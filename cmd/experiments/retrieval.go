@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/audio"
+	"repro/internal/curation"
+	"repro/internal/fnjv"
+)
+
+// E11 (supplementary) — §II.C retrieval comparison: "One approach is
+// retrieval based on the analysis of acoustic features... However, acoustic
+// properties of animal sounds vary widely, hampering this kind of retrieval.
+// Another way is to query metadata... limited to the stored fields, which
+// are often incomplete or blank." This experiment measures both modes on the
+// same synthetic collection: acoustic nearest-neighbour species retrieval
+// under field/legacy noise, versus metadata species lookup before and after
+// stage-1 name cleaning.
+func runRetrieval(e *environment) error {
+	e.build()
+
+	// Sample of recordings: a few clips per species over a species subset
+	// (feature extraction is the expensive part).
+	const nSpecies = 40
+	const clipsPer = 4
+	species := e.taxa.HistoricalNames[:nSpecies]
+
+	buildIndex := func(noise float64) *audio.Index {
+		var clips []audio.IndexedClip
+		for si, sp := range species {
+			voice := audio.VoiceOf(sp)
+			for c := 0; c < clipsPer; c++ {
+				clip := audio.Synthesize(voice, audio.SynthesisParams{
+					Duration: 1.0, Seed: int64(si*100 + c), NoiseLevel: noise,
+				})
+				clips = append(clips, audio.IndexedClip{
+					RecordID: fmt.Sprintf("R-%02d-%d", si, c),
+					Species:  sp,
+					Features: audio.Extract(clip),
+				})
+			}
+		}
+		return audio.NewIndex(clips)
+	}
+
+	accClean := buildIndex(0.02).TopSpeciesAccuracy()
+	accField := buildIndex(0.3).TopSpeciesAccuracy()
+	accLegacy := buildIndex(0.8).TopSpeciesAccuracy()
+
+	fmt.Println("acoustic-feature retrieval (nearest-neighbour species match):")
+	fmt.Printf("  studio-quality clips:        %.1f%%\n", 100*accClean)
+	fmt.Printf("  field recordings (noise .3): %.1f%%\n", 100*accField)
+	fmt.Printf("  legacy tapes (noise .8):     %.1f%%\n", 100*accLegacy)
+
+	// Metadata retrieval: can a curator find all recordings of a species by
+	// querying its canonical name? Before cleaning, dirty name strings hide
+	// records; after cleaning, lookup is exact.
+	dirty, col, db, err := e.freshDirtyStore()
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	measure := func(store *fnjv.Store) (float64, error) {
+		found, total := 0, 0
+		err := store.Scan(func(r *fnjv.Record) bool {
+			total++
+			if canonical := col.Truth.SpeciesOf[r.ID]; canonical != "" && r.Species == canonical {
+				found++
+			}
+			return true
+		})
+		if total == 0 {
+			return 0, err
+		}
+		return float64(found) / float64(total), err
+	}
+	before, err := measure(dirty)
+	if err != nil {
+		return err
+	}
+	if _, err := (&curation.Cleaner{Checklist: e.taxa.Checklist}).Clean(dirty); err != nil {
+		return err
+	}
+	after, err := measure(dirty)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nmetadata retrieval (exact canonical-name lookup reaches the record):")
+	fmt.Printf("  before stage-1 cleaning:     %.1f%%\n", 100*before)
+	fmt.Printf("  after stage-1 cleaning:      %.1f%%\n", 100*after)
+
+	fmt.Println("\nreading: curated metadata retrieval beats acoustic retrieval under real-world")
+	fmt.Println("noise — the paper's rationale for investing in metadata quality (§II.C).")
+	compareLine("acoustic retrieval under noise", "hampered (qualitative)",
+		fmt.Sprintf("%.0f%% -> %.0f%% as noise grows", 100*accClean, 100*accLegacy))
+	compareLine("metadata retrieval after curation", "the supported mode",
+		fmt.Sprintf("%.0f%% -> %.0f%% after cleaning", 100*before, 100*after))
+	return nil
+}

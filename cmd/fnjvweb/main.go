@@ -1,0 +1,73 @@
+// Command fnjvweb serves the FNJV prototype web environment (§IV.B: "the
+// case study ... was implemented in the FNJV web site environment"): a
+// dashboard, the Fig. 2 detection page, metadata-based record retrieval,
+// quality reports, OPM provenance export and a Linked-Data export.
+//
+// Usage:
+//
+//	fnjvweb [-addr :8080] [-data ./fnjv-data] [-records 11898] [-species 1929] [-authority URL]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/envsource"
+	"repro/internal/fnjv"
+	"repro/internal/geo"
+	"repro/internal/storage"
+	"repro/internal/taxonomy"
+	"repro/internal/web"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "./fnjv-data", "database directory")
+		records   = flag.Int("records", 11898, "records to generate when the collection is empty")
+		species   = flag.Int("species", 1929, "distinct species names")
+		authority = flag.String("authority", "", "URL of a colserver (empty = in-process checklist)")
+		seed      = flag.Int64("seed", 2014, "PRNG seed")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	sys, err := core.Open(*data, core.Options{Sync: storage.SyncOnClose})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	taxa, err := taxonomy.Generate(taxonomy.GeneratorSpec{
+		Species:             *species,
+		OutdatedFraction:    134.0 / 1929.0,
+		ProvisionalFraction: 0.05,
+		Seed:                *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sys.Records.Len() == 0 {
+		col, err := fnjv.Generate(fnjv.CollectionSpec{Records: *records, Seed: *seed + 2, SyntaxErrorRate: 1e-12},
+			taxa, geo.SyntheticGazetteer(40, *seed+1), envsource.NewSimulator())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Records.PutAll(col.Records); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("seeded collection: %d records over %d species", len(col.Records), col.DistinctSpecies)
+	}
+
+	var resolver taxonomy.Resolver = taxa.Checklist
+	if *authority != "" {
+		client := taxonomy.NewClient(*authority)
+		client.Retries = 6
+		resolver = client
+	}
+	srv := web.NewServer(&web.System{Core: sys, Resolver: resolver, Checklist: taxa.Checklist})
+	log.Printf("FNJV prototype listening on %s (collection: %d records)", *addr, sys.Records.Len())
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,96 @@
+// Qualityreport shows the user-extensible quality metamodel: scientists
+// define their own goals, dimensions and measurement methods, assess several
+// datasets, and rank them by utility — including a timeliness dimension that
+// demonstrates how quality decays when curation lapses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/quality"
+)
+
+// dataset is a toy description of one curated collection.
+type dataset struct {
+	name        string
+	namesOK     int
+	namesTotal  int
+	fieldsFull  int
+	fieldsTotal int
+	lastCurated time.Time
+	reputation  string
+}
+
+func main() {
+	log.SetFlags(0)
+	now := time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	datasets := []dataset{
+		{"FNJV sound collection", 1795, 1929, 24, 28, now.AddDate(0, -6, 0), "1"},
+		{"Herbarium vouchers", 880, 1000, 12, 20, now.AddDate(-6, 0, 0), "0.8"},
+		{"Camera-trap archive", 450, 460, 19, 20, now.AddDate(0, -1, 0), "0.9"},
+	}
+
+	// The end user defines the measurement methods once.
+	m := quality.NewManager()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(m.Register(quality.RatioMetric("species-name-accuracy", quality.DimAccuracy,
+		"names accepted by the taxonomic authority",
+		func(ctx *quality.Context) (int, int, error) {
+			d := ctx.Values["dataset"].(dataset)
+			return d.namesOK, d.namesTotal, nil
+		})))
+	must(m.Register(quality.RatioMetric("field-completeness", quality.DimCompleteness,
+		"metadata fields with non-blank values",
+		func(ctx *quality.Context) (int, int, error) {
+			d := ctx.Values["dataset"].(dataset)
+			return d.fieldsFull, d.fieldsTotal, nil
+		})))
+	must(m.Register(quality.TimelinessMetric("curation-freshness", "last_curated", 5*365*24*time.Hour)))
+	must(m.Register(quality.AnnotationMetric("source-reputation", quality.DimReputation)))
+
+	// A goal weighting the dimensions this community cares about.
+	goal := quality.Goal{
+		Name:        "reuse-readiness",
+		Description: "is this dataset ready for long-term reuse?",
+		Weights: map[string]float64{
+			quality.DimAccuracy:     3,
+			quality.DimCompleteness: 2,
+			quality.DimTimeliness:   2,
+			quality.DimReputation:   1,
+		},
+		AcceptThreshold: 0.7,
+	}
+
+	var ctxs []*quality.Context
+	for _, d := range datasets {
+		ctxs = append(ctxs, &quality.Context{
+			Subject: d.name,
+			Values: map[string]any{
+				"dataset":      d,
+				"last_curated": d.lastCurated,
+			},
+			Annotations: map[string]string{"reputation": d.reputation},
+			Now:         now,
+		})
+	}
+	ranked, err := m.Rank(goal, ctxs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(quality.Summary(ranked))
+	fmt.Println()
+	for _, r := range ranked {
+		fmt.Println(quality.Report(r.Assessment))
+		fmt.Println("------------------------------------------------------------")
+	}
+	fmt.Println("\nNote how the herbarium collection, uncurated for 6 years, is rejected on")
+	fmt.Println("timeliness despite decent accuracy — the paper's \"quality decreases with")
+	fmt.Println("time\" argument made operational.")
+}

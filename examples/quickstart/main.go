@@ -1,0 +1,88 @@
+// Quickstart: the smallest end-to-end use of the library — build a tiny
+// collection, run the provenance-based quality assessment, and print the
+// quality report plus the provenance lineage of the result.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/curation"
+	"repro/internal/envsource"
+	"repro/internal/fnjv"
+	"repro/internal/geo"
+	"repro/internal/quality"
+	"repro/internal/storage"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Open the preservation system (all repositories share one embedded DB).
+	sys, err := core.Open(dir, core.Options{Sync: storage.SyncOnClose})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// 2. Build a small synthetic world: a Catalogue-of-Life checklist where
+	//    7% of historical names are outdated, a gazetteer and a climate source.
+	taxa, err := taxonomy.Generate(taxonomy.GeneratorSpec{
+		Species: 250, OutdatedFraction: 0.07, ProvisionalFraction: 0.05, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	col, err := fnjv.Generate(fnjv.CollectionSpec{Records: 1200, Seed: 42},
+		taxa, geo.SyntheticGazetteer(20, 42), envsource.NewSimulator())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Records.PutAll(col.Records); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d records covering %d species\n", len(col.Records), col.DistinctSpecies)
+
+	// 3. Stage-1 cleaning: normalize and typo-repair the legacy species
+	//    names so detection sees canonical spellings.
+	cleaner := &curation.Cleaner{Checklist: taxa.Checklist, Ledger: sys.Ledger}
+	cr, err := cleaner.Clean(sys.Records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cleaned: %d names repaired, %d flagged\n\n", cr.Repaired, cr.FlaggedOnly)
+
+	// 4. Run the paper's loop: annotate the workflow, execute it against the
+	//    authority, capture provenance, assess quality.
+	outcome, err := sys.RunDetection(context.Background(), taxa.Checklist, core.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run %s: %d distinct names, %d outdated (%.0f%%), %d record updates pending review\n\n",
+		outcome.RunID, outcome.DistinctNames, outcome.Outdated,
+		100*outcome.OutdatedFraction(), outcome.UpdatesCreated)
+
+	// 5. The §IV.C quality report.
+	fmt.Println(quality.Report(outcome.Assessment))
+
+	// 6. Provenance: where did the summary come from?
+	g, err := sys.Provenance.Graph(outcome.RunID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provenance graph: %d nodes, %d edges\n", g.NodeCount(), g.EdgeCount())
+	pid := "p:" + outcome.RunID + "/Catalog_of_life"
+	if n, ok := g.Node(pid); ok {
+		fmt.Printf("authority step annotations: reputation=%s availability=%s iterations=%s\n",
+			n.Annotations["quality.reputation"], n.Annotations["quality.availability"], n.Annotations["iterations"])
+	}
+}

@@ -1,0 +1,186 @@
+// Package adapter implements the Workflow Adapter of the architecture
+// (Fig. 1, box B): it lets experts attach quality metadata to a workflow
+// specification without changing the workflow model, and it instruments
+// workflows so that quality attributes are produced as byproducts of
+// execution (the paper's Process Designer role).
+//
+// Two mechanisms are provided:
+//
+//  1. Quality annotations — Q(dimension)=value assertions added to processor
+//     or workflow specifications (Listing 1). These flow through the engine's
+//     events into the provenance graph untouched.
+//  2. Execution probes — service wrappers that observe every invocation
+//     (latency, failures, output volume) and derive measured quality
+//     attributes (reliability, mean latency) that the Data Quality Manager
+//     can consume alongside the asserted annotations.
+package adapter
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/workflow"
+)
+
+// AddQualityAnnotations returns a clone of def in which the named processor
+// carries one Q(dimension)=value annotation per entry of dims. The input
+// definition is never mutated — the repository's copy stays pristine.
+func AddQualityAnnotations(def *workflow.Definition, processor string, dims map[string]string, author string, when time.Time) (*workflow.Definition, error) {
+	out := def.Clone()
+	if _, ok := out.Processor(processor); !ok {
+		return nil, fmt.Errorf("adapter: workflow %q has no processor %q", def.Name, processor)
+	}
+	keys := make([]string, 0, len(dims))
+	for k := range dims {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, dim := range keys {
+		if err := out.AnnotateProcessor(processor, workflow.QualityKey(dim), dims[dim], author, when); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AddWorkflowQualityAnnotations annotates the workflow itself (rather than a
+// processor) with quality assertions.
+func AddWorkflowQualityAnnotations(def *workflow.Definition, dims map[string]string, author string, when time.Time) *workflow.Definition {
+	out := def.Clone()
+	keys := make([]string, 0, len(dims))
+	for k := range dims {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, dim := range keys {
+		out.Annotate(workflow.QualityKey(dim), dims[dim], author, when)
+	}
+	return out
+}
+
+// Observation aggregates the execution-quality byproducts of one processor's
+// service across a run (or several runs against the same probe).
+type Observation struct {
+	Invocations  int
+	Failures     int
+	TotalLatency time.Duration
+	OutputBytes  int64
+}
+
+// Reliability is the fraction of invocations that succeeded (1.0 when the
+// service was never invoked).
+func (o Observation) Reliability() float64 {
+	if o.Invocations == 0 {
+		return 1
+	}
+	return 1 - float64(o.Failures)/float64(o.Invocations)
+}
+
+// MeanLatency is the average service latency (0 when never invoked).
+func (o Observation) MeanLatency() time.Duration {
+	if o.Invocations == 0 {
+		return 0
+	}
+	return o.TotalLatency / time.Duration(o.Invocations)
+}
+
+// Probe collects execution-quality observations. One probe may serve many
+// runs; it is safe for concurrent use.
+type Probe struct {
+	mu  sync.Mutex
+	obs map[string]*Observation // service name -> observation
+}
+
+// NewProbe builds an empty probe.
+func NewProbe() *Probe { return &Probe{obs: make(map[string]*Observation)} }
+
+// Instrument returns a new registry in which every service referenced by def
+// is wrapped to report into the probe. Unreferenced services are passed
+// through untouched. The original registry is not modified.
+func (p *Probe) Instrument(def *workflow.Definition, reg *workflow.Registry) (*workflow.Registry, error) {
+	out := workflow.NewRegistry()
+	// Carry over everything, wrapping the services def actually uses.
+	wrapped := map[string]bool{}
+	for _, proc := range def.Processors {
+		if wrapped[proc.Service] {
+			continue
+		}
+		fn, ok := reg.Lookup(proc.Service)
+		if !ok {
+			return nil, fmt.Errorf("adapter: service %q not registered", proc.Service)
+		}
+		out.Register(proc.Service, p.wrap(proc.Service, fn))
+		wrapped[proc.Service] = true
+	}
+	for _, name := range reg.Names() {
+		if !wrapped[name] {
+			fn, _ := reg.Lookup(name)
+			out.Register(name, fn)
+		}
+	}
+	return out, nil
+}
+
+func (p *Probe) wrap(service string, fn workflow.ServiceFunc) workflow.ServiceFunc {
+	return func(ctx context.Context, call workflow.Call) (map[string]workflow.Data, error) {
+		start := time.Now()
+		outputs, err := fn(ctx, call)
+		elapsed := time.Since(start)
+		var outBytes int64
+		for _, d := range outputs {
+			outBytes += int64(len(d.String()))
+		}
+		p.mu.Lock()
+		o := p.obs[service]
+		if o == nil {
+			o = &Observation{}
+			p.obs[service] = o
+		}
+		o.Invocations++
+		if err != nil {
+			o.Failures++
+		}
+		o.TotalLatency += elapsed
+		o.OutputBytes += outBytes
+		p.mu.Unlock()
+		return outputs, err
+	}
+}
+
+// Snapshot returns a copy of all observations keyed by service name.
+func (p *Probe) Snapshot() map[string]Observation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]Observation, len(p.obs))
+	for k, v := range p.obs {
+		out[k] = *v
+	}
+	return out
+}
+
+// Reset clears all observations.
+func (p *Probe) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = make(map[string]*Observation)
+}
+
+// MeasuredAnnotations converts the probe's observations for a service into
+// quality-annotation form (dimension -> value), ready to be merged with the
+// expert-asserted annotations: reliability from the failure rate and
+// mean_latency_ms from timing.
+func (p *Probe) MeasuredAnnotations(service string) map[string]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	o := p.obs[service]
+	if o == nil {
+		return nil
+	}
+	return map[string]string{
+		"reliability":     fmt.Sprintf("%.4f", o.Reliability()),
+		"mean_latency_ms": fmt.Sprintf("%.3f", float64(o.MeanLatency().Microseconds())/1000),
+	}
+}

@@ -1,0 +1,152 @@
+package adapter
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workflow"
+)
+
+func testDef() *workflow.Definition {
+	return &workflow.Definition{
+		ID: "wf-t", Name: "t",
+		Inputs:  []workflow.Port{{Name: "in"}},
+		Outputs: []workflow.Port{{Name: "out"}},
+		Processors: []*workflow.Processor{
+			{Name: "Catalog_of_life", Service: "col.resolve",
+				Inputs:  []workflow.Port{{Name: "x"}},
+				Outputs: []workflow.Port{{Name: "y"}}},
+		},
+		Links: []workflow.Link{
+			{Source: workflow.Endpoint{Port: "in"}, Target: workflow.Endpoint{Processor: "Catalog_of_life", Port: "x"}},
+			{Source: workflow.Endpoint{Processor: "Catalog_of_life", Port: "y"}, Target: workflow.Endpoint{Port: "out"}},
+		},
+	}
+}
+
+func TestAddQualityAnnotations(t *testing.T) {
+	def := testDef()
+	when := time.Date(2013, 11, 12, 19, 58, 9, 0, time.UTC)
+	inst, err := AddQualityAnnotations(def, "Catalog_of_life",
+		map[string]string{"reputation": "1", "availability": "0.9"}, "expert", when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	orig, _ := def.Processor("Catalog_of_life")
+	if len(orig.Annotations) != 0 {
+		t.Fatal("original definition mutated")
+	}
+	p, _ := inst.Processor("Catalog_of_life")
+	q := workflow.QualityAnnotations(p.Annotations)
+	if q["reputation"] != "1" || q["availability"] != "0.9" {
+		t.Fatalf("annotations = %v", q)
+	}
+	// Deterministic order: availability sorts before reputation.
+	if p.Annotations[0].Key != "Q(availability)" {
+		t.Fatalf("annotation order: %v", p.Annotations)
+	}
+	// Serialized form matches Listing 1 content.
+	blob, err := workflow.MarshalXML(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "Q(reputation): 1;") {
+		t.Fatal("Listing-1 syntax missing from XML")
+	}
+	// Unknown processor.
+	if _, err := AddQualityAnnotations(def, "Nope", map[string]string{"a": "1"}, "x", when); err == nil {
+		t.Fatal("unknown processor accepted")
+	}
+}
+
+func TestAddWorkflowQualityAnnotations(t *testing.T) {
+	def := testDef()
+	inst := AddWorkflowQualityAnnotations(def, map[string]string{"trust": "0.8"}, "expert", time.Now())
+	if len(def.Annotations) != 0 {
+		t.Fatal("original mutated")
+	}
+	q := workflow.QualityAnnotations(inst.Annotations)
+	if q["trust"] != "0.8" {
+		t.Fatalf("workflow annotations = %v", q)
+	}
+}
+
+func TestProbeInstrumentation(t *testing.T) {
+	reg := workflow.NewRegistry()
+	calls := 0
+	reg.Register("col.resolve", func(_ context.Context, c workflow.Call) (map[string]workflow.Data, error) {
+		calls++
+		if c.Input("x").String() == "bad" {
+			return nil, errors.New("resolution failed")
+		}
+		return map[string]workflow.Data{"y": workflow.Scalar("ok:" + c.Input("x").String())}, nil
+	})
+	reg.Register("unrelated", func(_ context.Context, c workflow.Call) (map[string]workflow.Data, error) {
+		return nil, nil
+	})
+	probe := NewProbe()
+	def := testDef()
+	ireg, err := probe.Instrument(def, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ireg.Names()) != 2 {
+		t.Fatalf("instrumented registry names = %v", ireg.Names())
+	}
+	eng := workflow.NewEngine(ireg)
+	// A successful run over a 3-element list: 3 invocations.
+	if _, err := eng.Run(context.Background(), def, map[string]workflow.Data{
+		"in": workflow.List(workflow.Scalar("a"), workflow.Scalar("b"), workflow.Scalar("c")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing run.
+	if _, err := eng.Run(context.Background(), def, map[string]workflow.Data{
+		"in": workflow.Scalar("bad"),
+	}); err == nil {
+		t.Fatal("failing run succeeded")
+	}
+	snap := probe.Snapshot()
+	o := snap["col.resolve"]
+	if o.Invocations != 4 || o.Failures != 1 {
+		t.Fatalf("observation = %+v", o)
+	}
+	if rel := o.Reliability(); rel != 0.75 {
+		t.Fatalf("reliability = %f", rel)
+	}
+	if o.OutputBytes == 0 {
+		t.Fatal("output bytes not counted")
+	}
+	if o.MeanLatency() < 0 {
+		t.Fatal("negative latency")
+	}
+	ann := probe.MeasuredAnnotations("col.resolve")
+	if ann["reliability"] != "0.7500" {
+		t.Fatalf("measured annotations = %v", ann)
+	}
+	if probe.MeasuredAnnotations("never-ran") != nil {
+		t.Fatal("annotations for unknown service")
+	}
+	probe.Reset()
+	if len(probe.Snapshot()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestProbeInstrumentMissingService(t *testing.T) {
+	probe := NewProbe()
+	if _, err := probe.Instrument(testDef(), workflow.NewRegistry()); err == nil {
+		t.Fatal("missing service accepted")
+	}
+}
+
+func TestObservationZeroValues(t *testing.T) {
+	var o Observation
+	if o.Reliability() != 1 || o.MeanLatency() != 0 {
+		t.Fatalf("zero observation: rel=%f lat=%v", o.Reliability(), o.MeanLatency())
+	}
+}

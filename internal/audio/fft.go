@@ -1,0 +1,63 @@
+package audio
+
+import "math"
+
+// FFT computes the in-place radix-2 Cooley-Tukey FFT of the complex signal
+// given as separate real/imag slices, whose length must be a power of two.
+func FFT(re, im []float64) {
+	n := len(re)
+	if n != len(im) || n&(n-1) != 0 {
+		panic("audio: FFT length must be a power of two with matching imag")
+	}
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			for k := 0; k < length/2; k++ {
+				i1, i2 := start+k, start+k+length/2
+				evenRe, evenIm := re[i1], im[i1]
+				oddRe := re[i2]*curRe - im[i2]*curIm
+				oddIm := re[i2]*curIm + im[i2]*curRe
+				re[i1], im[i1] = evenRe+oddRe, evenIm+oddIm
+				re[i2], im[i2] = evenRe-oddRe, evenIm-oddIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+}
+
+// PowerSpectrum returns |FFT|^2 of the (Hann-windowed, zero-padded) signal,
+// bins 0..N/2, plus the bin width in Hz.
+func PowerSpectrum(samples []float64, sampleRate int) (power []float64, hzPerBin float64) {
+	n := 1
+	for n < len(samples) {
+		n <<= 1
+	}
+	re := make([]float64, n)
+	im := make([]float64, n)
+	// Hann window over the actual samples.
+	for i, s := range samples {
+		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(len(samples))))
+		re[i] = s * w
+	}
+	FFT(re, im)
+	half := n/2 + 1
+	power = make([]float64, half)
+	for i := 0; i < half; i++ {
+		power[i] = re[i]*re[i] + im[i]*im[i]
+	}
+	return power, float64(sampleRate) / float64(n)
+}

@@ -1,0 +1,107 @@
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Minimal PCM16 mono WAV codec — the digital format the paper lists among
+// the collection's media (WAV, AIFF, MP3, ATRAC); WAV is the archival one.
+
+// WriteWAV encodes the clip as 16-bit PCM mono RIFF/WAVE.
+func WriteWAV(w io.Writer, c Clip) error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("audio: sample rate %d", c.SampleRate)
+	}
+	dataLen := len(c.Samples) * 2
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(36+dataLen))
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16) // PCM chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], 1)  // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], 1)  // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(c.SampleRate))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(c.SampleRate*2)) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)                      // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)                     // bits/sample
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(dataLen))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(c.Samples))
+	for i, s := range c.Samples {
+		v := int16(math.Round(clampF(s, -1, 1) * 32767))
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func clampF(x, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, x)) }
+
+// ReadWAV decodes a 16-bit PCM mono WAV produced by WriteWAV (it tolerates
+// extra chunks before "data" but insists on PCM16 mono).
+func ReadWAV(r io.Reader) (Clip, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Clip{}, fmt.Errorf("audio: short riff header: %w", err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" {
+		return Clip{}, fmt.Errorf("audio: not a RIFF/WAVE file")
+	}
+	var sampleRate int
+	var gotFmt bool
+	for {
+		var ch [8]byte
+		if _, err := io.ReadFull(r, ch[:]); err != nil {
+			return Clip{}, fmt.Errorf("audio: truncated chunk header: %w", err)
+		}
+		id := string(ch[0:4])
+		size := binary.LittleEndian.Uint32(ch[4:8])
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return Clip{}, err
+			}
+			if len(body) < 16 {
+				return Clip{}, fmt.Errorf("audio: short fmt chunk")
+			}
+			if binary.LittleEndian.Uint16(body[0:2]) != 1 {
+				return Clip{}, fmt.Errorf("audio: only PCM supported")
+			}
+			if binary.LittleEndian.Uint16(body[2:4]) != 1 {
+				return Clip{}, fmt.Errorf("audio: only mono supported")
+			}
+			if binary.LittleEndian.Uint16(body[14:16]) != 16 {
+				return Clip{}, fmt.Errorf("audio: only 16-bit supported")
+			}
+			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
+			gotFmt = true
+		case "data":
+			if !gotFmt {
+				return Clip{}, fmt.Errorf("audio: data before fmt")
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return Clip{}, err
+			}
+			samples := make([]float64, len(body)/2)
+			for i := range samples {
+				v := int16(binary.LittleEndian.Uint16(body[2*i:]))
+				samples[i] = float64(v) / 32767
+			}
+			return Clip{SampleRate: sampleRate, Samples: samples}, nil
+		default:
+			// Skip unknown chunk.
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return Clip{}, err
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/curation"
+	"repro/internal/fnjv"
+	"repro/internal/provenance"
+	"repro/internal/quality"
+	"repro/internal/taxonomy"
+	"repro/internal/workflow"
+)
+
+// DetectionOutcome bundles everything one assessment run produces: the
+// Fig. 2 detection numbers, the provenance run ID, the persisted updates and
+// the §IV.C quality assessment.
+type DetectionOutcome struct {
+	RunID            string
+	WorkflowVersion  int
+	DistinctNames    int
+	RecordsProcessed int
+	Outdated         int
+	Unknown          int
+	Unavailable      int
+	Renames          map[string]string
+	UpdatesCreated   int
+	Elapsed          time.Duration
+	Assessment       *quality.Assessment
+}
+
+// OutdatedFraction is Outdated/DistinctNames (Fig. 2: 7%).
+func (o *DetectionOutcome) OutdatedFraction() float64 {
+	if o.DistinctNames == 0 {
+		return 0
+	}
+	return float64(o.Outdated) / float64(o.DistinctNames)
+}
+
+// RunOptions tunes one detection-and-assessment run.
+type RunOptions struct {
+	// Reputation and Availability are the expert-asserted annotations for
+	// the Catalogue of Life (Listing 1: 1 and 0.9).
+	Reputation   string
+	Availability string
+	// Author/Agent identify the annotating expert and the controlling agent.
+	Author string
+	Agent  string
+	// MeasuredAvailability, when ≥0, is fed to the quality manager as the
+	// *observed* authority availability (e.g. Client.ObservedAvailability).
+	// Negative means unavailable.
+	MeasuredAvailability float64
+	// SkipLedger skips persisting per-record updates (benchmarks).
+	SkipLedger bool
+}
+
+func (o *RunOptions) defaults() {
+	if o.Reputation == "" {
+		o.Reputation = "1"
+	}
+	if o.Availability == "" {
+		o.Availability = "0.9"
+	}
+	if o.Author == "" {
+		o.Author = "expert"
+	}
+	if o.Agent == "" {
+		o.Agent = "end-user"
+	}
+	if o.MeasuredAvailability == 0 {
+		o.MeasuredAvailability = -1
+	}
+}
+
+// RunDetection executes the paper's full loop (§IV.C "the metadata curation
+// process follows these steps"):
+//
+//  1. the expert adds quality metadata to the workflow (Workflow Adapter);
+//  2. the workflow receives the FNJV sound metadata as input;
+//  3. it checks for outdated names against the Catalogue of Life;
+//  4. the Provenance Manager stores provenance from the run;
+//  5. the output is a summary of updated species names;
+//
+// and then assesses quality (§IV.C): accuracy of species-name metadata plus
+// the authority's reputation and availability.
+func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, opts RunOptions) (*DetectionOutcome, error) {
+	opts.defaults()
+	start := time.Now()
+
+	// Step 1: instrument the specification.
+	def, err := AnnotatedDetectionWorkflow(opts.Reputation, opts.Availability, opts.Author, start)
+	if err != nil {
+		return nil, err
+	}
+	version, err := s.Workflows.Publish(def)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: gather the metadata (distinct names).
+	names, err := s.DistinctNames()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]workflow.Data, len(names))
+	for i, n := range names {
+		items[i] = workflow.Scalar(n)
+	}
+
+	// Step 3: execute with provenance capture and adapter probing.
+	s.RegisterDetectionServices(resolver)
+	reg, err := s.Probe.Instrument(def, s.Registry)
+	if err != nil {
+		return nil, err
+	}
+	collector := provenance.NewCollector(opts.Agent)
+	engine := workflow.NewEngine(reg)
+	result, err := engine.Run(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, collector)
+	if err != nil {
+		// Step 4 still applies: failed runs leave provenance too.
+		_ = s.Provenance.Store(collector.Info(), collector.Graph())
+		return nil, err
+	}
+
+	// Step 4: persist provenance.
+	if err := s.Provenance.Store(collector.Info(), collector.Graph()); err != nil {
+		return nil, err
+	}
+
+	// Step 5: parse the summary.
+	var sum detectionSummary
+	if err := json.Unmarshal([]byte(result.Outputs["summary"].String()), &sum); err != nil {
+		return nil, fmt.Errorf("core: bad summary datum: %w", err)
+	}
+
+	outcome := &DetectionOutcome{
+		RunID:           result.RunID,
+		WorkflowVersion: version,
+		DistinctNames:   sum.DistinctNames,
+		Outdated:        sum.Outdated,
+		Unknown:         sum.Unknown,
+		Unavailable:     sum.Unavailable,
+		Renames:         sum.Renames,
+	}
+
+	// Persist per-record updates referencing (not modifying) the originals.
+	var updates []*curation.NameUpdate
+	err = s.Records.Scan(func(rec *fnjv.Record) bool {
+		outcome.RecordsProcessed++
+		updated, bad := sum.Renames[rec.Species]
+		if !bad {
+			return true
+		}
+		status := "synonym"
+		name := updated
+		if updated == "Nomen inquirendum" {
+			status = "provisionally accepted"
+			name = ""
+		}
+		updates = append(updates, &curation.NameUpdate{
+			RecordID:     rec.ID,
+			OriginalName: rec.Species,
+			UpdatedName:  name,
+			Status:       status,
+			Reference:    sum.References[rec.Species],
+			DetectedAt:   start,
+			Review:       curation.ReviewPending,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !opts.SkipLedger && len(updates) > 0 {
+		if err := s.Ledger.AddUpdates(updates); err != nil {
+			return nil, err
+		}
+	}
+	outcome.UpdatesCreated = len(updates)
+
+	// §IV.C quality assessment.
+	assessment, err := s.assessDetection(result.RunID, sum, opts)
+	if err != nil {
+		return nil, err
+	}
+	outcome.Assessment = assessment
+	outcome.Elapsed = time.Since(start)
+	return outcome, nil
+}
+
+// assessDetection runs the §IV.C quality computation for a finished run:
+// species-name accuracy from the detection counts, reputation and
+// availability from the provenance annotations, and — when supplied — the
+// measured availability observed at the authority client.
+func (s *System) assessDetection(runID string, sum detectionSummary, opts RunOptions) (*quality.Assessment, error) {
+	annotations, err := s.Provenance.QualityOfProcess(runID, "Catalog_of_life")
+	if err != nil {
+		return nil, err
+	}
+	manager := quality.NewManager()
+	if err := manager.Register(quality.RatioMetric(
+		"species-name-accuracy", quality.DimAccuracy,
+		"fraction of distinct names the authority still accepts",
+		func(ctx *quality.Context) (int, int, error) {
+			correct := sum.DistinctNames - sum.Outdated - sum.Unknown - sum.Unavailable
+			checked := sum.DistinctNames - sum.Unavailable
+			return correct, checked, nil
+		})); err != nil {
+		return nil, err
+	}
+	if err := manager.Register(quality.AnnotationMetric("authority-reputation", quality.DimReputation)); err != nil {
+		return nil, err
+	}
+	if err := manager.Register(quality.AnnotationMetric("asserted-availability", quality.DimAvailability)); err != nil {
+		return nil, err
+	}
+	ctxValues := map[string]any{}
+	if opts.MeasuredAvailability >= 0 {
+		ctxValues["authority.observed_availability"] = opts.MeasuredAvailability
+		if err := manager.Register(quality.ObservedMetric(
+			"measured-availability", quality.DimAvailability,
+			"authority.observed_availability")); err != nil {
+			return nil, err
+		}
+	}
+	goal := quality.Goal{
+		Name: "long-term-preservation",
+		Weights: map[string]float64{
+			quality.DimAccuracy:     2,
+			quality.DimReputation:   1,
+			quality.DimAvailability: 1,
+		},
+	}
+	return manager.Assess(goal, &quality.Context{
+		Subject:     "FNJV species-name metadata",
+		Values:      ctxValues,
+		Annotations: annotations,
+	})
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/fnjv"
+	"repro/internal/quality"
+	"repro/internal/taxonomy"
+)
+
+// Collection-level quality assessment: beyond the §IV.C species-name
+// accuracy, the literature's standard dimensions (completeness, consistency,
+// timeliness — Wang & Strong) computed over the whole collection. This is
+// the assessment curators use to decide *where* to spend the next curation
+// pass.
+
+// CollectionFacts are the raw counters a single scan collects; exposed so
+// callers can reuse them in reports.
+type CollectionFacts struct {
+	Records int
+
+	// Completeness counters: records with each context group present.
+	WithIdentification int // species + classification fields
+	WithWhere          int // country + state + city
+	WithCoordinates    int
+	WithEnvironment    int // temperature + humidity + atmosphere
+	WithRecordingMeta  int // device + format + frequency
+
+	// Consistency counters.
+	GenusMismatch          int // genus field disagrees with the binomial
+	ClassificationMismatch int // classification disagrees with the authority
+	TimeDomainViolation    int // impossible collect time or date
+	LastCurated            time.Time
+}
+
+// gatherFacts scans the collection once. checklist may be nil (skips
+// authority-based consistency).
+func gatherFacts(store *fnjv.Store, checklist *taxonomy.Checklist) (CollectionFacts, error) {
+	var f CollectionFacts
+	err := store.Scan(func(r *fnjv.Record) bool {
+		f.Records++
+		if r.Species != "" && r.Class != "" && r.Family != "" {
+			f.WithIdentification++
+		}
+		if r.Country != "" && r.State != "" && r.City != "" {
+			f.WithWhere++
+		}
+		if r.HasCoordinates() {
+			f.WithCoordinates++
+		}
+		if r.AirTempC != nil && r.HumidityPct != nil && r.Atmosphere != "" {
+			f.WithEnvironment++
+		}
+		if r.RecordingDevice != "" && r.SoundFileFormat != "" && r.FrequencyKHz > 0 {
+			f.WithRecordingMeta++
+		}
+		// Genus/binomial agreement.
+		if r.Genus != "" && r.Species != "" {
+			if n, err := taxonomy.ParseName(r.Species); err == nil && !strings.EqualFold(n.Genus, r.Genus) {
+				f.GenusMismatch++
+			}
+		}
+		// Authority classification agreement.
+		if checklist != nil && r.Species != "" && r.Class != "" {
+			if res, err := checklist.Resolve(r.Species); err == nil && res.Classification.Class != "" {
+				if !strings.EqualFold(res.Classification.Class, r.Class) {
+					f.ClassificationMismatch++
+				}
+			}
+		}
+		// Temporal domain.
+		if !r.CollectDate.IsZero() && (r.CollectDate.Year() < 1900 || r.CollectDate.Year() > time.Now().Year()+1) {
+			f.TimeDomainViolation++
+		}
+		if r.CollectTime != "" && !validClockString(r.CollectTime) {
+			f.TimeDomainViolation++
+		}
+		return true
+	})
+	return f, err
+}
+
+func validClockString(s string) bool {
+	if len(s) != 5 || s[2] != ':' {
+		return false
+	}
+	h := int(s[0]-'0')*10 + int(s[1]-'0')
+	m := int(s[3]-'0')*10 + int(s[4]-'0')
+	return s[0] >= '0' && s[0] <= '9' && s[1] >= '0' && s[1] <= '9' &&
+		s[3] >= '0' && s[3] <= '9' && s[4] >= '0' && s[4] <= '9' &&
+		h <= 23 && m <= 59
+}
+
+// AssessCollection computes the collection-level assessment. lastCurated
+// feeds the timeliness dimension (zero disables it); checklist may be nil.
+func (s *System) AssessCollection(checklist *taxonomy.Checklist, lastCurated time.Time, now time.Time) (*quality.Assessment, CollectionFacts, error) {
+	facts, err := gatherFacts(s.Records, checklist)
+	if err != nil {
+		return nil, facts, err
+	}
+	m := quality.NewManager()
+	reg := func(metric quality.Metric) {
+		// Registration only fails on programmer error (dup/empty names).
+		if err := m.Register(metric); err != nil {
+			panic(err)
+		}
+	}
+	ratio := func(name, dim, desc string, num int) {
+		n := num
+		reg(quality.RatioMetric(name, dim, desc, func(*quality.Context) (int, int, error) {
+			return n, facts.Records, nil
+		}))
+	}
+	ratio("identification-completeness", quality.DimCompleteness, "species + classification present", facts.WithIdentification)
+	ratio("gazetteer-completeness", quality.DimCompleteness, "country/state/city present", facts.WithWhere)
+	ratio("coordinate-completeness", quality.DimCompleteness, "georeferenced records", facts.WithCoordinates)
+	ratio("environment-completeness", quality.DimCompleteness, "temperature/humidity/atmosphere present", facts.WithEnvironment)
+	ratio("recording-completeness", quality.DimCompleteness, "device/format/frequency present", facts.WithRecordingMeta)
+	ratio("genus-binomial-consistency", quality.DimConsistency, "genus field agrees with binomial", facts.Records-facts.GenusMismatch)
+	ratio("classification-consistency", quality.DimConsistency, "classification agrees with the authority", facts.Records-facts.ClassificationMismatch)
+	ratio("temporal-consistency", quality.DimConsistency, "dates and times in domain", facts.Records-facts.TimeDomainViolation)
+
+	weights := map[string]float64{
+		quality.DimCompleteness: 1,
+		quality.DimConsistency:  1,
+	}
+	values := map[string]any{}
+	if !lastCurated.IsZero() {
+		reg(quality.TimelinessMetric("curation-freshness", "last_curated", 5*365*24*time.Hour))
+		weights[quality.DimTimeliness] = 1
+		values["last_curated"] = lastCurated
+	}
+	goal := quality.Goal{Name: "collection-health", Weights: weights}
+	a, err := m.Assess(goal, &quality.Context{
+		Subject: "FNJV collection",
+		Values:  values,
+		Now:     now,
+	})
+	return a, facts, err
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/envsource"
+	"repro/internal/fnjv"
+	"repro/internal/geo"
+	"repro/internal/taxonomy"
+	"repro/internal/workflow"
+)
+
+// workflowMarshal keeps the test import list tidy.
+func workflowMarshal(d *workflow.Definition) ([]byte, error) { return workflow.MarshalXML(d) }
+
+// generateClean builds a syntax-clean record set from the given taxonomy.
+func generateClean(t *testing.T, taxa *taxonomy.Generated, records int) []*fnjv.Record {
+	t.Helper()
+	col, err := fnjv.Generate(fnjv.CollectionSpec{
+		Records: records, Seed: 8, SyntaxErrorRate: 1e-12,
+	}, taxa, geo.SyntheticGazetteer(10, 8), envsource.NewSimulator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col.Records
+}

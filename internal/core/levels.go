@@ -1,0 +1,115 @@
+// Package core is the public face of the preservation system: it wires the
+// substrates of Fig. 1 (workflow engine, adapter, provenance manager,
+// quality manager, repositories, external authorities) into a
+// PreservationManager that runs the paper's provenance-based quality
+// assessments, and it models the DPHEP preservation levels of Table I.
+package core
+
+import "fmt"
+
+// PreservationLevel enumerates the four DPHEP preservation models of
+// Table I, level 1 the least complex, level 4 the most complex. The paper's
+// approach concerns level 1: preserving (and curating) the additional
+// documentation — the metadata — that keeps data findable and usable.
+type PreservationLevel int
+
+// Table I rows.
+const (
+	// LevelDocumentation (1): provide additional documentation.
+	LevelDocumentation PreservationLevel = iota + 1
+	// LevelSimplifiedFormat (2): preserve the data in a simplified format.
+	LevelSimplifiedFormat
+	// LevelAnalysisSoftware (3): preserve the analysis-level software and
+	// data format.
+	LevelAnalysisSoftware
+	// LevelFullReconstruction (4): preserve the reconstruction and
+	// simulation software and basic-level data.
+	LevelFullReconstruction
+)
+
+// levelInfo carries the Table I row text.
+type levelInfo struct {
+	model   string
+	useCase string
+}
+
+var levels = map[PreservationLevel]levelInfo{
+	LevelDocumentation:      {"Provide additional documentation", "Publication-related information search"},
+	LevelSimplifiedFormat:   {"Preserve the data in a simplified format", "Outreach, simple training analyses"},
+	LevelAnalysisSoftware:   {"Preserve the analysis level software and data format", "Full scientific analysis based on existing reconstruction"},
+	LevelFullReconstruction: {"Preserve the reconstruction and simulation software and basic level data", "Full potential of the experimental data"},
+}
+
+// Model returns the Table I "Preservation Model" text.
+func (l PreservationLevel) Model() string { return levels[l].model }
+
+// UseCase returns the Table I "Use Case" text.
+func (l PreservationLevel) UseCase() string { return levels[l].useCase }
+
+// Valid reports whether l is one of the four levels.
+func (l PreservationLevel) Valid() bool {
+	return l >= LevelDocumentation && l <= LevelFullReconstruction
+}
+
+// String renders "level N: model".
+func (l PreservationLevel) String() string {
+	if !l.Valid() {
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+	return fmt.Sprintf("level %d: %s", int(l), levels[l].model)
+}
+
+// Holding describes what has been preserved for a dataset; used to decide
+// which preservation level a holding achieves.
+type Holding struct {
+	// HasDocumentation: metadata and publication-related documentation exist
+	// and are curated.
+	HasDocumentation bool
+	// HasSimplifiedData: the data exists in a simple, widely readable format.
+	HasSimplifiedData bool
+	// HasAnalysisSoftware: the analysis-level software and its data formats
+	// are preserved and runnable.
+	HasAnalysisSoftware bool
+	// HasReconstruction: the full reconstruction/simulation stack and raw
+	// data are preserved.
+	HasReconstruction bool
+}
+
+// AchievedLevel returns the highest Table I level the holding satisfies, or
+// 0 when not even documentation is preserved. Levels are cumulative: level N
+// requires everything below it (per the DPHEP model ordering by complexity).
+func (h Holding) AchievedLevel() PreservationLevel {
+	switch {
+	case h.HasDocumentation && h.HasSimplifiedData && h.HasAnalysisSoftware && h.HasReconstruction:
+		return LevelFullReconstruction
+	case h.HasDocumentation && h.HasSimplifiedData && h.HasAnalysisSoftware:
+		return LevelAnalysisSoftware
+	case h.HasDocumentation && h.HasSimplifiedData:
+		return LevelSimplifiedFormat
+	case h.HasDocumentation:
+		return LevelDocumentation
+	default:
+		return 0
+	}
+}
+
+// TableI renders the four rows of Table I in order, for the E1 experiment.
+func TableI() []struct {
+	Level   PreservationLevel
+	Model   string
+	UseCase string
+} {
+	out := make([]struct {
+		Level   PreservationLevel
+		Model   string
+		UseCase string
+	}, 0, 4)
+	for l := LevelDocumentation; l <= LevelFullReconstruction; l++ {
+		out = append(out, struct {
+			Level   PreservationLevel
+			Model   string
+			UseCase string
+		}{l, l.Model(), l.UseCase()})
+	}
+	return out
+}

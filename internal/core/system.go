@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/adapter"
+	"repro/internal/curation"
+	"repro/internal/fnjv"
+	"repro/internal/provenance"
+	"repro/internal/quality"
+	"repro/internal/storage"
+	"repro/internal/taxonomy"
+	"repro/internal/workflow"
+)
+
+// System wires the full architecture of Fig. 1 over one embedded database:
+// the collection store, the workflow repository and engine, the provenance
+// manager and repository, the curation ledger and the quality manager.
+type System struct {
+	DB         *storage.DB
+	Records    *fnjv.Store
+	Workflows  *workflow.Repository
+	Registry   *workflow.Registry
+	Engine     *workflow.Engine
+	Provenance *provenance.Repository
+	Ledger     *curation.Ledger
+	Quality    *quality.Manager
+	// Probe observes service executions (the Workflow Adapter's measured
+	// quality byproducts).
+	Probe *adapter.Probe
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync is the WAL policy of the backing database (default SyncOnClose).
+	Sync storage.SyncPolicy
+}
+
+// Open opens (or creates) a preservation system rooted at dir.
+func Open(dir string, opts Options) (*System, error) {
+	db, err := storage.Open(dir, storage.Options{Sync: opts.Sync})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{DB: db, Registry: workflow.NewRegistry(), Probe: adapter.NewProbe()}
+	if s.Records, err = fnjv.NewStore(db); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if s.Workflows, err = workflow.NewRepository(db); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if s.Provenance, err = provenance.NewRepository(db); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if s.Ledger, err = curation.NewLedger(db); err != nil {
+		db.Close()
+		return nil, err
+	}
+	s.Engine = workflow.NewEngine(s.Registry)
+	s.Quality = quality.NewManager()
+	return s, nil
+}
+
+// Close flushes and closes the backing database.
+func (s *System) Close() error { return s.DB.Close() }
+
+// DetectionWorkflowID is the repository ID of the case-study workflow.
+const DetectionWorkflowID = "wf-outdated-species-detection"
+
+// resolveResult is the JSON datum emitted per name by the Catalog_of_life
+// processor.
+type resolveResult struct {
+	Name      string `json:"name"`
+	Status    string `json:"status"` // accepted | synonym | provisionally accepted | unknown | unavailable
+	Accepted  string `json:"accepted,omitempty"`
+	Reference string `json:"reference,omitempty"`
+}
+
+// detectionSummary is the JSON datum emitted by the Summarize processor —
+// the Fig. 2 progress numbers.
+type detectionSummary struct {
+	DistinctNames int               `json:"distinct_names"`
+	Outdated      int               `json:"outdated"`
+	Unknown       int               `json:"unknown"`
+	Unavailable   int               `json:"unavailable"`
+	Renames       map[string]string `json:"renames"`
+	References    map[string]string `json:"references,omitempty"`
+}
+
+// RegisterDetectionServices binds the case-study services to the given
+// taxonomic authority. Call once before running the detection workflow.
+func (s *System) RegisterDetectionServices(resolver taxonomy.Resolver) {
+	s.Registry.Register("col.resolve", func(_ context.Context, call workflow.Call) (map[string]workflow.Data, error) {
+		name := call.Input("name").String()
+		res, err := resolver.Resolve(name)
+		rr := resolveResult{Name: name}
+		switch {
+		case err == nil:
+			rr.Status = res.Status.String()
+			rr.Accepted = res.AcceptedName
+			if len(res.History) > 0 {
+				rr.Reference = res.History[len(res.History)-1].Reference
+			}
+		default:
+			// Unknown and unavailable are data, not workflow failures: the
+			// pipeline must survive authority hiccups (availability 0.9).
+			if res.Status == taxonomy.StatusUnknown && err != nil {
+				rr.Status = "unknown"
+			}
+			if errIsUnavailable(err) {
+				rr.Status = "unavailable"
+			}
+		}
+		blob, err := json.Marshal(rr)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]workflow.Data{"result": workflow.Scalar(string(blob))}, nil
+	})
+
+	s.Registry.Register("detect.summarize", func(_ context.Context, call workflow.Call) (map[string]workflow.Data, error) {
+		sum := detectionSummary{Renames: map[string]string{}, References: map[string]string{}}
+		for _, item := range call.Input("results").Items() {
+			var rr resolveResult
+			if err := json.Unmarshal([]byte(item.String()), &rr); err != nil {
+				return nil, fmt.Errorf("summarize: bad result %q: %w", item.String(), err)
+			}
+			sum.DistinctNames++
+			switch rr.Status {
+			case "synonym":
+				sum.Outdated++
+				sum.Renames[rr.Name] = rr.Accepted
+				sum.References[rr.Name] = rr.Reference
+			case "provisionally accepted":
+				sum.Outdated++
+				sum.Renames[rr.Name] = "Nomen inquirendum"
+				sum.References[rr.Name] = rr.Reference
+			case "unknown":
+				sum.Unknown++
+			case "unavailable":
+				sum.Unavailable++
+			}
+		}
+		blob, err := json.Marshal(sum)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]workflow.Data{"summary": workflow.Scalar(string(blob))}, nil
+	})
+}
+
+func errIsUnavailable(err error) bool {
+	return errors.Is(err, taxonomy.ErrUnavailable)
+}
+
+// DetectionWorkflow builds the Fig. 3 workflow: FNJV sound metadata in,
+// Catalogue-of-Life check per name, summary of updated species names out.
+func DetectionWorkflow() *workflow.Definition {
+	return &workflow.Definition{
+		ID:          DetectionWorkflowID,
+		Name:        "Outdated Species Name Detection Workflow",
+		Description: "checks FNJV species names against the Catalogue of Life and summarizes outdated ones",
+		Inputs:      []workflow.Port{{Name: "names", Depth: 1}},
+		Outputs:     []workflow.Port{{Name: "summary"}},
+		Processors: []*workflow.Processor{
+			{
+				Name: "Catalog_of_life", Service: "col.resolve",
+				Inputs:  []workflow.Port{{Name: "name", Depth: 0}},
+				Outputs: []workflow.Port{{Name: "result", Depth: 0}},
+			},
+			{
+				Name: "Summarize", Service: "detect.summarize",
+				Inputs:  []workflow.Port{{Name: "results", Depth: 1}},
+				Outputs: []workflow.Port{{Name: "summary", Depth: 0}},
+			},
+		},
+		Links: []workflow.Link{
+			{Source: workflow.Endpoint{Port: "names"}, Target: workflow.Endpoint{Processor: "Catalog_of_life", Port: "name"}},
+			{Source: workflow.Endpoint{Processor: "Catalog_of_life", Port: "result"}, Target: workflow.Endpoint{Processor: "Summarize", Port: "results"}},
+			{Source: workflow.Endpoint{Processor: "Summarize", Port: "summary"}, Target: workflow.Endpoint{Port: "summary"}},
+		},
+	}
+}
+
+// AnnotatedDetectionWorkflow returns the detection workflow instrumented by
+// the Workflow Adapter with the paper's Listing 1 quality annotations.
+func AnnotatedDetectionWorkflow(reputation, availability string, author string, when time.Time) (*workflow.Definition, error) {
+	return adapter.AddQualityAnnotations(DetectionWorkflow(), "Catalog_of_life",
+		map[string]string{"reputation": reputation, "availability": availability},
+		author, when)
+}
+
+// DistinctNames returns the sorted distinct species names of the collection
+// as workflow input data.
+func (s *System) DistinctNames() ([]string, error) {
+	distinct, err := s.Records.DistinctSpecies()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(distinct))
+	for n := range distinct {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,118 @@
+package curation
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/envsource"
+	"repro/internal/fnjv"
+	"repro/internal/geo"
+	"repro/internal/taxonomy"
+)
+
+// Pipeline composes the whole §IV.B curation sequence — stage-1 clean /
+// geocode / gap-fill, detection, review, stage-2 spatial audit — into one
+// orchestrated pass with a consolidated report. Each stage is optional:
+// leave the corresponding dependency nil to skip it.
+type Pipeline struct {
+	Checklist *taxonomy.Checklist // enables cleaning (nil = normalize only)
+	Gazetteer *geo.Gazetteer      // enables geocoding
+	EnvSource envsource.Source    // enables gap-filling
+	Resolver  taxonomy.Resolver   // enables detection
+	Ledger    *Ledger             // persistence for updates + history
+	Curator   CuratorPolicy       // enables review (requires Ledger)
+	Spatial   *geo.OutlierParams  // enables stage-2 audit
+	Reviewer  string
+	Now       func() time.Time
+}
+
+// PipelineReport consolidates per-stage results; nil stages were skipped.
+type PipelineReport struct {
+	Clean   *CleanReport
+	Geocode *GeocodeReport
+	GapFill *GapFillReport
+	Detect  *DetectReport
+	Review  *ReviewReport
+	Spatial *SpatialReport
+	Elapsed time.Duration
+}
+
+// Run executes the configured stages in the paper's order.
+func (p *Pipeline) Run(store *fnjv.Store) (*PipelineReport, error) {
+	now := time.Now
+	if p.Now != nil {
+		now = p.Now
+	}
+	start := now()
+	report := &PipelineReport{}
+	var err error
+
+	cleaner := &Cleaner{Checklist: p.Checklist, Ledger: p.Ledger}
+	if report.Clean, err = cleaner.Clean(store); err != nil {
+		return nil, fmt.Errorf("curation: clean: %w", err)
+	}
+	if p.Gazetteer != nil {
+		g := &Geocoder{Gazetteer: p.Gazetteer, Ledger: p.Ledger}
+		if report.Geocode, err = g.Geocode(store); err != nil {
+			return nil, fmt.Errorf("curation: geocode: %w", err)
+		}
+	}
+	if p.EnvSource != nil {
+		gf := &GapFiller{Source: p.EnvSource, Ledger: p.Ledger}
+		if report.GapFill, err = gf.Fill(store); err != nil {
+			return nil, fmt.Errorf("curation: gapfill: %w", err)
+		}
+	}
+	if p.Resolver != nil {
+		det := &Detector{Resolver: p.Resolver, Ledger: p.Ledger, Now: p.Now}
+		if report.Detect, err = det.Detect(store); err != nil {
+			return nil, fmt.Errorf("curation: detect: %w", err)
+		}
+	}
+	if p.Curator != nil && p.Ledger != nil {
+		if report.Review, err = Review(p.Ledger, p.Curator, p.Reviewer, now()); err != nil {
+			return nil, fmt.Errorf("curation: review: %w", err)
+		}
+	}
+	if p.Spatial != nil {
+		aud := &SpatialAuditor{Params: *p.Spatial, Ledger: p.Ledger}
+		if report.Spatial, err = aud.Audit(store); err != nil {
+			return nil, fmt.Errorf("curation: spatial: %w", err)
+		}
+	}
+	report.Elapsed = now().Sub(start)
+	return report, nil
+}
+
+// Summary renders a one-block overview of the pass.
+func (r *PipelineReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "curation pass (%s)\n", r.Elapsed.Round(time.Millisecond))
+	if r.Clean != nil {
+		fmt.Fprintf(&b, "  clean:   %d checked, %d repaired, %d flagged\n",
+			r.Clean.RecordsChecked, r.Clean.Repaired, r.Clean.FlaggedOnly)
+	}
+	if r.Geocode != nil {
+		fmt.Fprintf(&b, "  geocode: %d added, %d ambiguous, %d unknown\n",
+			r.Geocode.Geocoded, r.Geocode.Ambiguous, r.Geocode.Unknown)
+	}
+	if r.GapFill != nil {
+		fmt.Fprintf(&b, "  gapfill: %d filled, %d lacked location\n",
+			r.GapFill.Filled, r.GapFill.SkippedNoLocation)
+	}
+	if r.Detect != nil {
+		fmt.Fprintf(&b, "  detect:  %d/%d names outdated (%.0f%%), %d record updates\n",
+			r.Detect.OutdatedNames, r.Detect.DistinctNames,
+			100*r.Detect.OutdatedFraction(), len(r.Detect.Updates))
+	}
+	if r.Review != nil {
+		fmt.Fprintf(&b, "  review:  %d approved, %d rejected, %d deferred\n",
+			r.Review.Approved, r.Review.Rejected, r.Review.Deferred)
+	}
+	if r.Spatial != nil {
+		fmt.Fprintf(&b, "  spatial: %d anomalies over %d species\n",
+			len(r.Spatial.Flagged), r.Spatial.SpeciesTested)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package curation
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func TestPipelineFullRun(t *testing.T) {
+	f := newFixture(t, 1500)
+	p := &Pipeline{
+		Checklist: f.taxa.Checklist,
+		Gazetteer: f.gaz,
+		EnvSource: f.env,
+		Resolver:  f.taxa.Checklist,
+		Ledger:    f.led,
+		Curator:   DefaultCurator,
+		Spatial:   &geo.OutlierParams{},
+		Reviewer:  "biologist",
+	}
+	report, err := p.Run(f.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clean == nil || report.Geocode == nil || report.GapFill == nil ||
+		report.Detect == nil || report.Review == nil || report.Spatial == nil {
+		t.Fatalf("stages skipped: %+v", report)
+	}
+	// Clean ran before detect: distinct names are canonical.
+	if report.Detect.DistinctNames != 150 {
+		t.Fatalf("distinct post-clean = %d", report.Detect.DistinctNames)
+	}
+	if report.Detect.OutdatedNames != len(f.taxa.OutdatedNames) {
+		t.Fatalf("outdated = %d, want %d", report.Detect.OutdatedNames, len(f.taxa.OutdatedNames))
+	}
+	if report.Review.Reviewed != len(report.Detect.Updates) {
+		t.Fatal("review did not cover all updates")
+	}
+	text := report.Summary()
+	for _, want := range []string{"clean:", "geocode:", "gapfill:", "detect:", "review:", "spatial:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPipelinePartialStages(t *testing.T) {
+	f := newFixture(t, 400)
+	p := &Pipeline{Checklist: f.taxa.Checklist} // clean only
+	report, err := p.Run(f.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clean == nil {
+		t.Fatal("clean skipped")
+	}
+	if report.Geocode != nil || report.Detect != nil || report.Review != nil || report.Spatial != nil {
+		t.Fatal("skipped stages produced reports")
+	}
+	if !strings.Contains(report.Summary(), "clean:") {
+		t.Fatal("summary missing clean")
+	}
+	if strings.Contains(report.Summary(), "detect:") {
+		t.Fatal("summary mentions skipped stage")
+	}
+}
+
+func TestPipelineDeterministicClock(t *testing.T) {
+	f := newFixture(t, 300)
+	fixed := time.Date(2013, 10, 1, 0, 0, 0, 0, time.UTC)
+	p := &Pipeline{
+		Checklist: f.taxa.Checklist,
+		Resolver:  f.taxa.Checklist,
+		Ledger:    f.led,
+		Curator:   ApproveAll,
+		Now:       func() time.Time { return fixed },
+	}
+	report, err := p.Run(f.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Elapsed != 0 {
+		t.Fatalf("elapsed with fixed clock = %v", report.Elapsed)
+	}
+	for _, u := range report.Detect.Updates {
+		if !u.DetectedAt.Equal(fixed) {
+			t.Fatalf("update timestamp = %v", u.DetectedAt)
+		}
+	}
+}

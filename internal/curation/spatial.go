@@ -1,0 +1,100 @@
+package curation
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fnjv"
+	"repro/internal/geo"
+)
+
+// Stage 2 (§IV.B): "using spatial analysis to check errors. Examples of
+// errors found included misidentified species and discovery of possible new
+// species' behavior." Records whose coordinates are improbably far from the
+// rest of their species' distribution are flagged for expert review.
+
+// SpatialReport summarizes a stage-2 pass.
+type SpatialReport struct {
+	RecordsWithCoords int
+	SpeciesTested     int
+	Flagged           []geo.Outlier
+	// Ranges summarizes each tested species' distribution (convex hull,
+	// area) — the raw material for "possible new behaviour" judgements:
+	// an outlier just outside a small range is more interesting than one
+	// inside a continental one.
+	Ranges  []geo.SpeciesRange
+	Elapsed time.Duration
+}
+
+// RangeOf returns the range summary for a species, if tested.
+func (r *SpatialReport) RangeOf(species string) (geo.SpeciesRange, bool) {
+	for _, sr := range r.Ranges {
+		if sr.Species == species {
+			return sr, true
+		}
+	}
+	return geo.SpeciesRange{}, false
+}
+
+// SpatialAuditor runs geographic outlier detection over a collection.
+type SpatialAuditor struct {
+	Params geo.OutlierParams
+	Ledger *Ledger
+	Actor  string
+}
+
+// Audit flags geographically anomalous records. Flagged records are written
+// to the curation history as observations (reason "stage2-spatial"), not
+// modified — the anomaly may be a misidentification or genuinely new
+// behaviour; only an expert can tell.
+func (a *SpatialAuditor) Audit(store *fnjv.Store) (*SpatialReport, error) {
+	start := time.Now()
+	var obs []geo.Observation
+	species := map[string]int{}
+	err := store.Scan(func(r *fnjv.Record) bool {
+		if !r.HasCoordinates() || r.Species == "" {
+			return true
+		}
+		obs = append(obs, geo.Observation{
+			RecordID: r.ID,
+			Species:  r.Species,
+			Location: geo.Point{Lat: *r.Latitude, Lon: *r.Longitude},
+		})
+		species[r.Species]++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &SpatialReport{RecordsWithCoords: len(obs)}
+	min := a.Params.MinRecords
+	if min <= 0 {
+		min = 5
+	}
+	for _, n := range species {
+		if n >= min {
+			report.SpeciesTested++
+		}
+	}
+	report.Flagged = geo.DetectOutliers(obs, a.Params)
+	report.Ranges = geo.RangesBySpecies(obs, min)
+	if a.Ledger != nil {
+		actor := a.Actor
+		if actor == "" {
+			actor = "spatial-audit"
+		}
+		for _, o := range report.Flagged {
+			if err := a.Ledger.LogChange(HistoryEntry{
+				RecordID: o.RecordID, Field: "latitude,longitude",
+				OldValue: o.Location.String(),
+				Reason: fmt.Sprintf("stage2-spatial: %.0f km from %s medoid (threshold %.0f km)",
+					o.DistanceKm, o.Species, o.ThresholdKm),
+				Actor: actor, At: time.Now(),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	report.Elapsed = time.Since(start)
+	return report, nil
+}

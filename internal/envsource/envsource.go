@@ -1,0 +1,102 @@
+// Package envsource simulates the authoritative environmental data source
+// the paper used in stage-1 curation to "fill in missing fields ...
+// concerning environmental conditions (e.g., humidity or temperature),
+// obtained from authoritative sources, once location and date were defined".
+//
+// The simulator serves deterministic climate normals for any coordinate and
+// date: a smooth function of latitude, elevation proxy and day-of-year, with
+// reproducible station-level noise. It exercises exactly the pipeline code
+// path a real normals service (e.g. WorldClim) would.
+package envsource
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Conditions are the environmental fields of the FNJV schema (Table II,
+// row 2: air temperature and atmospheric conditions, plus humidity which the
+// paper names in §IV.B).
+type Conditions struct {
+	TemperatureC float64
+	HumidityPct  float64
+	// Atmosphere is a categorical description, e.g. "clear", "rain".
+	Atmosphere string
+}
+
+// Source answers climate-normal queries. The interface lets the curation
+// pipeline accept either this simulator or a future real client.
+type Source interface {
+	Normals(lat, lon float64, date time.Time) (Conditions, error)
+}
+
+// ErrOutOfCoverage is returned for coordinates outside the source coverage.
+var ErrOutOfCoverage = errors.New("envsource: coordinates outside coverage")
+
+// Simulator is a deterministic climate-normals source covering the
+// Neotropics.
+type Simulator struct {
+	// Coverage is the served region; queries outside it fail.
+	Coverage struct{ MinLat, MaxLat, MinLon, MaxLon float64 }
+}
+
+// NewSimulator builds a simulator covering the Neotropical region
+// (southern Mexico through South America).
+func NewSimulator() *Simulator {
+	s := &Simulator{}
+	s.Coverage.MinLat, s.Coverage.MaxLat = -56, 24
+	s.Coverage.MinLon, s.Coverage.MaxLon = -110, -30
+	return s
+}
+
+// Normals returns deterministic climate normals for a point and date.
+func (s *Simulator) Normals(lat, lon float64, date time.Time) (Conditions, error) {
+	if lat < s.Coverage.MinLat || lat > s.Coverage.MaxLat || lon < s.Coverage.MinLon || lon > s.Coverage.MaxLon {
+		return Conditions{}, fmt.Errorf("%w: %.3f,%.3f", ErrOutOfCoverage, lat, lon)
+	}
+	doy := float64(date.YearDay())
+	// Southern-hemisphere seasonality: warm around January, cool in July.
+	season := math.Cos(2 * math.Pi * (doy - 15) / 365.25)
+	if lat > 0 {
+		season = -season
+	}
+	// Base temperature falls with |lat|; seasonal swing grows with |lat|.
+	base := 28 - 0.45*math.Abs(lat)
+	swing := 2 + 0.25*math.Abs(lat)
+	noise := stationNoise(lat, lon)
+	temp := base + swing*season + 3*noise
+
+	// Humidity: wetter near the equator and in the local wet season.
+	hum := 78 - 0.5*math.Abs(lat) + 10*season + 8*noise
+	hum = clamp(hum, 20, 100)
+
+	atmo := "clear"
+	switch {
+	case hum > 88:
+		atmo = "rain"
+	case hum > 78:
+		atmo = "overcast"
+	case hum > 68:
+		atmo = "partly cloudy"
+	}
+	return Conditions{
+		TemperatureC: round1(temp),
+		HumidityPct:  round1(hum),
+		Atmosphere:   atmo,
+	}, nil
+}
+
+// stationNoise is a deterministic pseudo-random field in [-1, 1] that varies
+// smoothly-ish with location, standing in for microclimate.
+func stationNoise(lat, lon float64) float64 {
+	x := math.Sin(lat*12.9898+lon*78.233) * 43758.5453
+	return 2*(x-math.Floor(x)) - 1
+}
+
+func clamp(x, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, x))
+}
+
+func round1(x float64) float64 { return math.Round(x*10) / 10 }

@@ -1,0 +1,99 @@
+package envsource
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNormalsDeterministic(t *testing.T) {
+	s := NewSimulator()
+	date := time.Date(1978, 1, 15, 0, 0, 0, 0, time.UTC)
+	a, err := s.Normals(-22.9, -47.06, date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Normals(-22.9, -47.06, date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic normals: %+v vs %+v", a, b)
+	}
+}
+
+func TestNormalsPlausible(t *testing.T) {
+	s := NewSimulator()
+	for _, tc := range []struct {
+		lat, lon float64
+		month    time.Month
+	}{
+		{-22.9, -47.06, time.January},
+		{-22.9, -47.06, time.July},
+		{-3.1, -60.0, time.March},
+		{-34.6, -58.4, time.June},
+		{10.5, -66.9, time.September},
+	} {
+		c, err := s.Normals(tc.lat, tc.lon, time.Date(1990, tc.month, 10, 0, 0, 0, 0, time.UTC))
+		if err != nil {
+			t.Fatalf("Normals(%v,%v): %v", tc.lat, tc.lon, err)
+		}
+		if c.TemperatureC < -10 || c.TemperatureC > 45 {
+			t.Errorf("temperature %.1f°C implausible at %v,%v", c.TemperatureC, tc.lat, tc.lon)
+		}
+		if c.HumidityPct < 20 || c.HumidityPct > 100 {
+			t.Errorf("humidity %.1f%% out of range", c.HumidityPct)
+		}
+		if c.Atmosphere == "" {
+			t.Error("empty atmosphere")
+		}
+	}
+}
+
+func TestNormalsSeasonality(t *testing.T) {
+	s := NewSimulator()
+	jan, _ := s.Normals(-30, -55, time.Date(1990, 1, 15, 0, 0, 0, 0, time.UTC))
+	jul, _ := s.Normals(-30, -55, time.Date(1990, 7, 15, 0, 0, 0, 0, time.UTC))
+	if jan.TemperatureC <= jul.TemperatureC {
+		t.Fatalf("southern-hemisphere January (%.1f) not warmer than July (%.1f)", jan.TemperatureC, jul.TemperatureC)
+	}
+	// Tropics warmer than temperate zone in the same month.
+	eq, _ := s.Normals(-2, -60, time.Date(1990, 7, 15, 0, 0, 0, 0, time.UTC))
+	if eq.TemperatureC <= jul.TemperatureC {
+		t.Fatalf("equator (%.1f) not warmer than 30°S (%.1f)", eq.TemperatureC, jul.TemperatureC)
+	}
+}
+
+func TestNormalsCoverage(t *testing.T) {
+	s := NewSimulator()
+	if _, err := s.Normals(48.8, 2.35, time.Now()); !errors.Is(err, ErrOutOfCoverage) {
+		t.Fatalf("Paris served by Neotropical source: %v", err)
+	}
+	if _, err := s.Normals(-22.9, -47.06, time.Now()); err != nil {
+		t.Fatalf("Campinas out of coverage: %v", err)
+	}
+}
+
+func TestAtmosphereCategories(t *testing.T) {
+	s := NewSimulator()
+	seen := map[string]bool{}
+	for lat := -50.0; lat < 20; lat += 1.7 {
+		for _, m := range []time.Month{time.January, time.April, time.July, time.October} {
+			c, err := s.Normals(lat, -55, time.Date(1985, m, 5, 0, 0, 0, 0, time.UTC))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[c.Atmosphere] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("atmosphere never varies: %v", seen)
+	}
+	for k := range seen {
+		switch k {
+		case "clear", "partly cloudy", "overcast", "rain":
+		default:
+			t.Fatalf("unknown atmosphere %q", k)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package fnjv
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/envsource"
+	"repro/internal/geo"
+	"repro/internal/taxonomy"
+)
+
+// CollectionSpec configures the synthetic collection generator.
+//
+// Sizes default to the paper's published statistics (Fig. 2): 11 898 records
+// over 1 929 distinct species names. Dirt rates are calibrated to the legacy-
+// collection pathologies the paper's stage-1 curation addressed: records
+// predating GPS lack coordinates, environmental fields are often blank, and
+// species names carry decades of hand-written noise.
+type CollectionSpec struct {
+	Records int
+	Seed    int64
+
+	// MissingCoordRate is the fraction of records without lat/lon
+	// (default 0.85 — "most recordings had been made before the advent of GPS").
+	MissingCoordRate float64
+	// MissingEnvRate is the fraction of records missing temperature /
+	// humidity / atmosphere (default 0.6).
+	MissingEnvRate float64
+	// MissingHabitatRate is the fraction missing habitat/micro-habitat
+	// (default 0.3).
+	MissingHabitatRate float64
+	// SyntaxErrorRate is the fraction of records whose species-name string
+	// carries a syntactic defect (case, whitespace, a single typo) while
+	// still denoting the same species (default 0.08).
+	SyntaxErrorRate float64
+	// MisplacedRate is the fraction of georeferenced records planted at an
+	// improbable location (stage-2 misidentification fodder, default 0.01).
+	MisplacedRate float64
+	// DomainErrorRate is the fraction of records with out-of-domain values
+	// (negative individuals, impossible temperatures; default 0.02).
+	DomainErrorRate float64
+}
+
+func (s *CollectionSpec) defaults() {
+	if s.Records == 0 {
+		s.Records = 11898
+	}
+	if s.MissingCoordRate == 0 {
+		s.MissingCoordRate = 0.85
+	}
+	if s.MissingEnvRate == 0 {
+		s.MissingEnvRate = 0.6
+	}
+	if s.MissingHabitatRate == 0 {
+		s.MissingHabitatRate = 0.3
+	}
+	if s.SyntaxErrorRate == 0 {
+		s.SyntaxErrorRate = 0.08
+	}
+	if s.MisplacedRate == 0 {
+		s.MisplacedRate = 0.01
+	}
+	if s.DomainErrorRate == 0 {
+		s.DomainErrorRate = 0.02
+	}
+}
+
+// Truth records the dirt the generator planted, so experiments can measure
+// detection against ground truth.
+type Truth struct {
+	// SyntaxErrors maps record ID -> the clean canonical name.
+	SyntaxErrors map[string]string
+	// Misplaced maps record ID -> true for records planted far from their
+	// species' range.
+	Misplaced map[string]bool
+	// DomainErrors maps record ID -> the field that is out of domain.
+	DomainErrors map[string]string
+	// MissingCoords counts records generated without coordinates.
+	MissingCoords int
+	// MissingEnv counts records with blank environmental fields.
+	MissingEnv int
+	// SpeciesOf maps record ID -> intended canonical species name.
+	SpeciesOf map[string]string
+	// HomeOf maps canonical species name -> its home range center.
+	HomeOf map[string]geo.Point
+}
+
+// Collection is the generated dataset plus its ground truth.
+type Collection struct {
+	Records []*Record
+	Truth   *Truth
+	// DistinctSpecies is the number of distinct canonical names used.
+	DistinctSpecies int
+}
+
+var (
+	habitats     = []string{"Atlantic forest", "cerrado", "gallery forest", "swamp", "pond margin", "pasture", "restinga", "riparian forest"}
+	microhabs    = []string{"leaf litter", "canopy", "understory", "water surface", "emergent vegetation", "bromeliad", "tree trunk"}
+	devices      = []string{"Nagra III", "Sony TC-D5M", "Marantz PMD661", "Uher 4000", "Sony WM-D6C"}
+	microphones  = []string{"Sennheiser ME66", "Sennheiser MKH816", "AKG D900", "Audio-Technica AT815b"}
+	fileFormats  = []string{"WAV", "MP3", "AIFF", "ATRAC"}
+	recordists   = []string{"J. Vielliard", "W. Silva", "L. Toledo", "C. Haddad", "A. Cardoso", "M. Martins"}
+	genders      = []string{"", "male", "female"}
+	localityTmpl = []string{"mata próxima ao rio", "estrada para %s", "fazenda perto de %s", "margem da lagoa", "campus da universidade", "reserva florestal de %s"}
+)
+
+// Generate builds the synthetic collection: names come from the taxonomy
+// generator's historical checklist, places from the gazetteer, and
+// environmental fields from the climate source. Everything is deterministic
+// under spec.Seed.
+func Generate(spec CollectionSpec, taxa *taxonomy.Generated, gaz *geo.Gazetteer, env envsource.Source) (*Collection, error) {
+	spec.defaults()
+	names := taxa.HistoricalNames
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fnjv: taxonomy has no historical names")
+	}
+	if spec.Records < len(names) {
+		return nil, fmt.Errorf("fnjv: %d records cannot cover %d distinct species", spec.Records, len(names))
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	truth := &Truth{
+		SyntaxErrors: map[string]string{},
+		Misplaced:    map[string]bool{},
+		DomainErrors: map[string]string{},
+		SpeciesOf:    map[string]string{},
+		HomeOf:       map[string]geo.Point{},
+	}
+
+	// Every species gets a home place; records cluster around it.
+	type home struct {
+		place geo.Place
+	}
+	homes := make(map[string]home, len(names))
+	var allPlaces []geo.Place
+	for _, st := range geo.BrazilStates {
+		allPlaces = append(allPlaces, gaz.PlacesIn(st.Name)...)
+	}
+	if len(allPlaces) == 0 {
+		return nil, fmt.Errorf("fnjv: gazetteer is empty")
+	}
+	for _, n := range names {
+		p := allPlaces[rng.Intn(len(allPlaces))]
+		homes[n] = home{place: p}
+		truth.HomeOf[n] = p.Location
+	}
+
+	// Species frequency: one guaranteed record per name, remainder assigned
+	// with a skewed (80/20-ish) draw so common species dominate, as in real
+	// collections.
+	assign := make([]string, 0, spec.Records)
+	assign = append(assign, names...)
+	for len(assign) < spec.Records {
+		// Quadratic skew towards low indexes.
+		idx := int(float64(len(names)) * rng.Float64() * rng.Float64())
+		assign = append(assign, names[idx])
+	}
+	rng.Shuffle(len(assign), func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
+
+	col := &Collection{Truth: truth, DistinctSpecies: len(names)}
+	for i, canonical := range assign {
+		id := fmt.Sprintf("FNJV-%05d", i+1)
+		truth.SpeciesOf[id] = canonical
+		h := homes[canonical]
+		tx := taxonOf(taxa, canonical)
+
+		date := time.Date(1961+rng.Intn(52), time.Month(1+rng.Intn(12)), 1+rng.Intn(28),
+			0, 0, 0, 0, time.UTC)
+		rec := &Record{
+			ID:              id,
+			Species:         canonical,
+			Gender:          genders[rng.Intn(len(genders))],
+			NumIndividuals:  1 + rng.Intn(5),
+			CollectDate:     date,
+			CollectTime:     fmt.Sprintf("%02d:%02d", 18+rng.Intn(6), rng.Intn(60)),
+			Country:         h.place.Country,
+			State:           h.place.State,
+			City:            h.place.City,
+			Locality:        locality(rng, h.place.City),
+			RecordingDevice: devices[rng.Intn(len(devices))],
+			MicrophoneModel: microphones[rng.Intn(len(microphones))],
+			SoundFileFormat: fileFormats[rng.Intn(len(fileFormats))],
+			FrequencyKHz:    44.1,
+			Recordist:       recordists[rng.Intn(len(recordists))],
+			DurationSec:     10 + rng.Intn(600),
+		}
+		if date.Year() < 1995 {
+			rec.SoundFileFormat = "ATRAC"
+			rec.FrequencyKHz = 22.05
+		}
+		if tx != nil {
+			rec.Phylum = tx.Classification.Phylum
+			rec.Class = tx.Classification.Class
+			rec.Order = tx.Classification.Order
+			rec.Family = tx.Classification.Family
+			if n, err := taxonomy.ParseName(canonical); err == nil {
+				rec.Genus = n.Genus
+			}
+		}
+
+		// Habitat fields.
+		if rng.Float64() >= spec.MissingHabitatRate {
+			rec.Habitat = habitats[rng.Intn(len(habitats))]
+			rec.MicroHabitat = microhabs[rng.Intn(len(microhabs))]
+		}
+
+		// Coordinates: post-GPS records carry them; a planted fraction are
+		// misplaced to a faraway location.
+		if rng.Float64() >= spec.MissingCoordRate {
+			loc := jitter(rng, h.place.Location, 0.4)
+			if rng.Float64() < spec.MisplacedRate {
+				far := allPlaces[rng.Intn(len(allPlaces))]
+				for geo.DistanceKm(far.Location, h.place.Location) < 1200 {
+					far = allPlaces[rng.Intn(len(allPlaces))]
+				}
+				loc = jitter(rng, far.Location, 0.2)
+				truth.Misplaced[id] = true
+			}
+			rec.Latitude, rec.Longitude = &loc.Lat, &loc.Lon
+		} else {
+			truth.MissingCoords++
+		}
+
+		// Environmental fields from the climate source (when "recorded").
+		if rng.Float64() >= spec.MissingEnvRate {
+			cond, err := env.Normals(h.place.Location.Lat, h.place.Location.Lon, date)
+			if err == nil {
+				t := cond.TemperatureC + (rng.Float64()-0.5)*2
+				hum := cond.HumidityPct
+				rec.AirTempC, rec.HumidityPct = &t, &hum
+				rec.Atmosphere = cond.Atmosphere
+			}
+		} else {
+			truth.MissingEnv++
+		}
+
+		// Syntactic name dirt.
+		if rng.Float64() < spec.SyntaxErrorRate {
+			rec.Species = corruptName(rng, canonical)
+			if rec.Species != canonical {
+				truth.SyntaxErrors[id] = canonical
+			}
+		}
+
+		// Domain errors.
+		if rng.Float64() < spec.DomainErrorRate {
+			switch rng.Intn(3) {
+			case 0:
+				rec.NumIndividuals = -1
+				truth.DomainErrors[id] = "num_individuals"
+			case 1:
+				bad := 85.0 + rng.Float64()*30
+				rec.AirTempC = &bad
+				truth.DomainErrors[id] = "air_temp_c"
+			case 2:
+				rec.CollectTime = fmt.Sprintf("%02d:%02d", 25+rng.Intn(10), rng.Intn(60))
+				truth.DomainErrors[id] = "collect_time"
+			}
+		}
+
+		col.Records = append(col.Records, rec)
+	}
+	return col, nil
+}
+
+func taxonOf(taxa *taxonomy.Generated, canonical string) *taxonomy.Taxon {
+	res, err := taxa.Checklist.Resolve(canonical)
+	if err != nil {
+		return nil
+	}
+	if t, ok := taxa.Checklist.Taxon(res.TaxonID); ok {
+		return t
+	}
+	return nil
+}
+
+func locality(rng *rand.Rand, city string) string {
+	t := localityTmpl[rng.Intn(len(localityTmpl))]
+	if strings.Contains(t, "%s") {
+		return fmt.Sprintf(t, city)
+	}
+	return t
+}
+
+func jitter(rng *rand.Rand, p geo.Point, maxDeg float64) geo.Point {
+	return geo.Point{
+		Lat: p.Lat + (rng.Float64()-0.5)*maxDeg,
+		Lon: p.Lon + (rng.Float64()-0.5)*maxDeg,
+	}
+}
+
+// corruptName injects one realistic syntactic defect into a binomial name.
+func corruptName(rng *rand.Rand, name string) string {
+	switch rng.Intn(4) {
+	case 0: // case noise
+		return strings.ToUpper(name)
+	case 1: // stray whitespace
+		return "  " + strings.Replace(name, " ", "   ", 1) + " "
+	case 2: // single-character typo in the epithet
+		b := []byte(name)
+		i := len(b) - 1 - rng.Intn(3)
+		if b[i] == ' ' {
+			i--
+		}
+		b[i] = "aeiou"[rng.Intn(5)]
+		if string(b) == name {
+			b[i] = 'x'
+		}
+		return string(b)
+	default: // transposition of last two letters
+		b := []byte(name)
+		n := len(b)
+		if b[n-1] != b[n-2] && b[n-2] != ' ' {
+			b[n-1], b[n-2] = b[n-2], b[n-1]
+			return string(b)
+		}
+		return strings.ToLower(name)
+	}
+}

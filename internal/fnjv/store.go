@@ -1,0 +1,176 @@
+package fnjv
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Store is the durable FNJV collection on the embedded database, indexed by
+// species name and state for the retrieval patterns the paper describes
+// ("queries on fields such as species taxonomy, and location").
+type Store struct {
+	db *storage.DB
+}
+
+// ErrRecordNotFound is returned for unknown record IDs.
+var ErrRecordNotFound = errors.New("fnjv: record not found")
+
+// NewStore opens (creating if needed) the collection tables in db.
+func NewStore(db *storage.DB) (*Store, error) {
+	if db.Table(Schema.Table) == nil {
+		if err := db.Apply(
+			storage.CreateTableOp(Schema),
+			storage.CreateIndexOp(Schema.Table, "species"),
+			storage.CreateIndexOp(Schema.Table, "state"),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{db: db}, nil
+}
+
+// Put inserts one record.
+func (s *Store) Put(r *Record) error {
+	if r.ID == "" {
+		return fmt.Errorf("fnjv: record needs an ID")
+	}
+	return s.db.Insert(Schema.Table, ToRow(r))
+}
+
+// PutAll bulk-loads records in batches for throughput.
+func (s *Store) PutAll(records []*Record) error {
+	const batch = 512
+	for start := 0; start < len(records); start += batch {
+		end := start + batch
+		if end > len(records) {
+			end = len(records)
+		}
+		ops := make([]storage.Op, 0, end-start)
+		for _, r := range records[start:end] {
+			if r.ID == "" {
+				return fmt.Errorf("fnjv: record needs an ID")
+			}
+			ops = append(ops, storage.InsertOp(Schema.Table, ToRow(r)))
+		}
+		if err := s.db.Apply(ops...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get loads one record by ID.
+func (s *Store) Get(id string) (*Record, error) {
+	row, err := s.db.Table(Schema.Table).Get(storage.S(id))
+	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, id)
+		}
+		return nil, err
+	}
+	return FromRow(row)
+}
+
+// Update replaces one record.
+func (s *Store) Update(r *Record) error {
+	return s.db.Update(Schema.Table, ToRow(r))
+}
+
+// Len reports the number of records.
+func (s *Store) Len() int { return s.db.Table(Schema.Table).Len() }
+
+// Scan walks all records in ID order; fn returning false stops the scan.
+func (s *Store) Scan(fn func(*Record) bool) error {
+	var convErr error
+	s.db.Table(Schema.Table).Scan(func(row storage.Row) bool {
+		r, err := FromRow(row)
+		if err != nil {
+			convErr = err
+			return false
+		}
+		return fn(r)
+	})
+	return convErr
+}
+
+// BySpecies returns all records whose raw species string equals name.
+func (s *Store) BySpecies(name string) ([]*Record, error) {
+	rows, err := s.db.Table(Schema.Table).Lookup("species", storage.S(name))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Record, 0, len(rows))
+	for _, row := range rows {
+		r, err := FromRow(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByState returns all records from the given state.
+func (s *Store) ByState(state string) ([]*Record, error) {
+	rows, err := s.db.Table(Schema.Table).Lookup("state", storage.S(state))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Record, 0, len(rows))
+	for _, row := range rows {
+		r, err := FromRow(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// DistinctSpecies returns the distinct raw species strings with their record
+// counts — the "1929 distinct species names analyzed" population of Fig. 2.
+func (s *Store) DistinctSpecies() (map[string]int, error) {
+	out := map[string]int{}
+	err := s.Scan(func(r *Record) bool {
+		if r.Species != "" {
+			out[r.Species]++
+		}
+		return true
+	})
+	return out, err
+}
+
+// Stats summarizes collection completeness for quality metrics.
+type Stats struct {
+	Records         int
+	DistinctSpecies int
+	WithCoordinates int
+	WithEnvFields   int
+	WithHabitat     int
+}
+
+// Stats computes collection statistics in one scan.
+func (s *Store) Stats() (Stats, error) {
+	var st Stats
+	species := map[string]bool{}
+	err := s.Scan(func(r *Record) bool {
+		st.Records++
+		if r.Species != "" {
+			species[r.Species] = true
+		}
+		if r.HasCoordinates() {
+			st.WithCoordinates++
+		}
+		if r.AirTempC != nil && r.HumidityPct != nil && r.Atmosphere != "" {
+			st.WithEnvFields++
+		}
+		if r.Habitat != "" {
+			st.WithHabitat++
+		}
+		return true
+	})
+	st.DistinctSpecies = len(species)
+	return st, err
+}

@@ -1,0 +1,113 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// GridIndex is a uniform lat/lon grid over point data, supporting radius
+// queries and nearest-neighbour search. Cell size is in degrees.
+type GridIndex[T any] struct {
+	cellDeg float64
+	cells   map[[2]int][]gridEntry[T]
+	size    int
+}
+
+type gridEntry[T any] struct {
+	pt  Point
+	val T
+}
+
+// NewGridIndex builds an index with the given cell size in degrees
+// (typical: 1.0 for continental data).
+func NewGridIndex[T any](cellDeg float64) *GridIndex[T] {
+	if cellDeg <= 0 {
+		cellDeg = 1.0
+	}
+	return &GridIndex[T]{cellDeg: cellDeg, cells: make(map[[2]int][]gridEntry[T])}
+}
+
+func (g *GridIndex[T]) cellOf(p Point) [2]int {
+	return [2]int{int(math.Floor(p.Lat / g.cellDeg)), int(math.Floor(p.Lon / g.cellDeg))}
+}
+
+// Add inserts a point with its payload.
+func (g *GridIndex[T]) Add(p Point, val T) {
+	c := g.cellOf(p)
+	g.cells[c] = append(g.cells[c], gridEntry[T]{pt: p, val: val})
+	g.size++
+}
+
+// Len reports the number of indexed points.
+func (g *GridIndex[T]) Len() int { return g.size }
+
+// WithinKm returns the payloads of all points within radiusKm of center,
+// ordered by increasing distance.
+func (g *GridIndex[T]) WithinKm(center Point, radiusKm float64) []T {
+	type hit struct {
+		d   float64
+		val T
+	}
+	// Degrees of latitude per km is constant; longitude shrinks by cos(lat).
+	latDeg := radiusKm / 111.0
+	lonDeg := latDeg / math.Max(0.1, math.Cos(center.Lat*math.Pi/180))
+	minCell := g.cellOf(Point{Lat: center.Lat - latDeg, Lon: center.Lon - lonDeg})
+	maxCell := g.cellOf(Point{Lat: center.Lat + latDeg, Lon: center.Lon + lonDeg})
+	var hits []hit
+	for ci := minCell[0]; ci <= maxCell[0]; ci++ {
+		for cj := minCell[1]; cj <= maxCell[1]; cj++ {
+			for _, e := range g.cells[[2]int{ci, cj}] {
+				if d := DistanceKm(center, e.pt); d <= radiusKm {
+					hits = append(hits, hit{d, e.val})
+				}
+			}
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].d < hits[b].d })
+	out := make([]T, len(hits))
+	for i, h := range hits {
+		out[i] = h.val
+	}
+	return out
+}
+
+// Nearest returns the payload of the closest indexed point to center and its
+// distance; ok is false when the index is empty.
+func (g *GridIndex[T]) Nearest(center Point) (val T, distKm float64, ok bool) {
+	// Expand ring by ring until a candidate is found, then verify one extra
+	// ring (a nearer point can sit in an adjacent cell).
+	cc := g.cellOf(center)
+	best := math.Inf(1)
+	var bestVal T
+	found := false
+	for ring := 0; ring < 512; ring++ {
+		any := false
+		for ci := cc[0] - ring; ci <= cc[0]+ring; ci++ {
+			for cj := cc[1] - ring; cj <= cc[1]+ring; cj++ {
+				if ring > 0 && ci > cc[0]-ring && ci < cc[0]+ring && cj > cc[1]-ring && cj < cc[1]+ring {
+					continue // interior already scanned
+				}
+				for _, e := range g.cells[[2]int{ci, cj}] {
+					any = true
+					if d := DistanceKm(center, e.pt); d < best {
+						best, bestVal, found = d, e.val, true
+					}
+				}
+			}
+		}
+		if found && ring > 0 && !any {
+			break
+		}
+		if found && any {
+			// One confirmation ring after the first hit is enough for the
+			// cell sizes used here.
+			if ring >= 1 {
+				break
+			}
+		}
+	}
+	if !found {
+		return bestVal, 0, false
+	}
+	return bestVal, best, true
+}

@@ -1,0 +1,143 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Stage-2 spatial analysis (paper §IV.B, second stage; Cugler et al. 2013):
+// for each species, examine the geographic distribution of its records and
+// flag those improbably far from the rest — evidence of a misidentified
+// species, a data-entry error, or possibly new behaviour worth expert review.
+
+// Observation ties a record ID to a species name and a coordinate.
+type Observation struct {
+	RecordID string
+	Species  string
+	Location Point
+}
+
+// Outlier is one flagged record.
+type Outlier struct {
+	RecordID string
+	Species  string
+	Location Point
+	// DistanceKm from the species' medoid.
+	DistanceKm float64
+	// Threshold the record exceeded.
+	ThresholdKm float64
+	// Score is DistanceKm/ThresholdKm (≥1 by construction); larger means
+	// more anomalous.
+	Score float64
+}
+
+// OutlierParams tunes the detector.
+type OutlierParams struct {
+	// MinRecords is the minimum records a species needs before its
+	// distribution is testable (default 5).
+	MinRecords int
+	// MADFactor scales the median absolute deviation to form the threshold
+	// (default 5.0).
+	MADFactor float64
+	// FloorKm is the minimum threshold, preventing dense clusters from
+	// flagging ordinary scatter (default 50 km).
+	FloorKm float64
+}
+
+func (p *OutlierParams) defaults() {
+	if p.MinRecords <= 0 {
+		p.MinRecords = 5
+	}
+	if p.MADFactor <= 0 {
+		p.MADFactor = 5.0
+	}
+	if p.FloorKm <= 0 {
+		p.FloorKm = 50
+	}
+}
+
+// DetectOutliers groups observations by species and applies a robust
+// median/MAD distance test around each species' medoid. Results are ordered
+// by descending score, ties broken by record ID for determinism.
+func DetectOutliers(obs []Observation, params OutlierParams) []Outlier {
+	params.defaults()
+	bySpecies := map[string][]Observation{}
+	for _, o := range obs {
+		if !o.Location.Valid() || o.Species == "" {
+			continue
+		}
+		bySpecies[o.Species] = append(bySpecies[o.Species], o)
+	}
+	var out []Outlier
+	for sp, group := range bySpecies {
+		if len(group) < params.MinRecords {
+			continue
+		}
+		medoid := medoidOf(group)
+		dists := make([]float64, len(group))
+		for i, o := range group {
+			dists[i] = DistanceKm(medoid, o.Location)
+		}
+		med := median(dists)
+		abs := make([]float64, len(dists))
+		for i, d := range dists {
+			abs[i] = math.Abs(d - med)
+		}
+		mad := median(abs)
+		threshold := med + params.MADFactor*mad*1.4826 // 1.4826 ≈ consistency constant for normal data
+		if threshold < params.FloorKm {
+			threshold = params.FloorKm
+		}
+		for i, o := range group {
+			if dists[i] > threshold {
+				out = append(out, Outlier{
+					RecordID:    o.RecordID,
+					Species:     sp,
+					Location:    o.Location,
+					DistanceKm:  dists[i],
+					ThresholdKm: threshold,
+					Score:       dists[i] / threshold,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].RecordID < out[b].RecordID
+	})
+	return out
+}
+
+// medoidOf returns the observation location minimizing total distance to the
+// group — more robust than the centroid when outliers are present.
+func medoidOf(group []Observation) Point {
+	if len(group) == 1 {
+		return group[0].Location
+	}
+	best, bestSum := group[0].Location, math.Inf(1)
+	for _, cand := range group {
+		sum := 0.0
+		for _, o := range group {
+			sum += DistanceKm(cand.Location, o.Location)
+		}
+		if sum < bestSum {
+			best, bestSum = cand.Location, sum
+		}
+	}
+	return best
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"repro/internal/fnjv"
+	"repro/internal/geo"
+)
+
+// FromRecord maps one FNJV sound record onto the generic observation model:
+// the organism is the observed entity, the recording session supplies the
+// spatio-temporal and methodological context, and every contextual field
+// becomes a measurement — the uniform representation the paper's §II.C
+// observation databases need.
+func FromRecord(r *fnjv.Record) Observation {
+	o := Observation{
+		ID: "obs:" + r.ID,
+		Entity: Entity{
+			ID:    "organism:" + r.ID,
+			Type:  "organism",
+			Label: r.Species,
+		},
+		At:         r.CollectDate,
+		Protocol:   "field sound recording",
+		ObservedBy: r.Recordist,
+	}
+	if r.HasCoordinates() {
+		o.Where = &geo.Point{Lat: *r.Latitude, Lon: *r.Longitude}
+	}
+	add := func(m Measurement) { o.Measurements = append(o.Measurements, m) }
+	if r.Class != "" {
+		add(Text("taxon_class", r.Class))
+	}
+	if r.Gender != "" {
+		add(Text("sex", r.Gender))
+	}
+	if r.NumIndividuals > 0 {
+		add(Float("individual_count", float64(r.NumIndividuals), "individuals"))
+	}
+	if r.Habitat != "" {
+		add(Text("habitat", r.Habitat))
+	}
+	if r.AirTempC != nil {
+		add(Float("air_temperature", *r.AirTempC, "°C"))
+	}
+	if r.HumidityPct != nil {
+		add(Float("relative_humidity", *r.HumidityPct, "%"))
+	}
+	if r.Atmosphere != "" {
+		add(Text("atmospheric_conditions", r.Atmosphere))
+	}
+	if r.FrequencyKHz > 0 {
+		add(Float("sampling_rate", r.FrequencyKHz, "kHz"))
+	}
+	if r.DurationSec > 0 {
+		add(Float("recording_duration", float64(r.DurationSec), "s"))
+	}
+	if r.SoundFileFormat != "" {
+		add(Text("file_format", r.SoundFileFormat))
+	}
+	add(Bool("vocalization_recorded", true))
+	return o
+}
+
+// ImportCollection loads every record of the store into the observation
+// database, returning the number imported. The scan and the writes are two
+// phases: writing inside the scan callback would take the database write
+// lock while the scan holds the read lock.
+func ImportCollection(d *DB, store *fnjv.Store) (int, error) {
+	var recs []*fnjv.Record
+	if err := store.Scan(func(r *fnjv.Record) bool {
+		recs = append(recs, r)
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	for i, r := range recs {
+		if err := d.Put(FromRecord(r)); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
+}

@@ -1,0 +1,325 @@
+// Package obs implements the observation data model the paper builds on
+// (§II.C, citing Bowers et al.'s OBSDB): "an observation represents an
+// assertion that a particular entity was observed and that the corresponding
+// set of measurements were recorded". Observation databases are
+// heterogeneous — sounds, museum specimens, plot surveys — so the model is
+// generic: typed entities, observations with time/place/protocol context,
+// and arbitrary characteristic/value/unit measurements, all stored uniformly
+// on the embedded database and queryable by entity, characteristic and value
+// range. The FNJV sound records map onto it losslessly (FromRecord).
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/storage"
+)
+
+// Entity is the thing observed: an organism occurrence, a site, a device.
+type Entity struct {
+	ID    string
+	Type  string // e.g. "organism", "site"
+	Label string // e.g. the species name
+}
+
+// ValueKind types a measurement value.
+type ValueKind uint8
+
+// Measurement value kinds.
+const (
+	ValueFloat ValueKind = iota
+	ValueString
+	ValueBool
+)
+
+// Measurement is one recorded characteristic of an observation.
+type Measurement struct {
+	Characteristic string // e.g. "air_temperature"
+	Kind           ValueKind
+	Number         float64
+	Text           string
+	Flag           bool
+	Unit           string // e.g. "°C"
+}
+
+// Float builds a numeric measurement.
+func Float(characteristic string, v float64, unit string) Measurement {
+	return Measurement{Characteristic: characteristic, Kind: ValueFloat, Number: v, Unit: unit}
+}
+
+// Text builds a categorical measurement.
+func Text(characteristic, v string) Measurement {
+	return Measurement{Characteristic: characteristic, Kind: ValueString, Text: v}
+}
+
+// Bool builds a boolean measurement.
+func Bool(characteristic string, v bool) Measurement {
+	return Measurement{Characteristic: characteristic, Kind: ValueBool, Flag: v}
+}
+
+// Value renders the measurement value for display.
+func (m Measurement) Value() string {
+	switch m.Kind {
+	case ValueFloat:
+		s := fmt.Sprintf("%g", m.Number)
+		if m.Unit != "" {
+			s += " " + m.Unit
+		}
+		return s
+	case ValueString:
+		return m.Text
+	case ValueBool:
+		return fmt.Sprintf("%t", m.Flag)
+	default:
+		return "?"
+	}
+}
+
+// Observation asserts that Entity was observed with Measurements, in a
+// spatio-temporal and methodological context.
+type Observation struct {
+	ID           string
+	Entity       Entity
+	At           time.Time
+	Where        *geo.Point
+	Protocol     string // observation methodology ("how")
+	ObservedBy   string
+	Measurements []Measurement
+}
+
+// --- storage mapping ---
+
+const (
+	obsTable  = "observations"
+	measTable = "measurements"
+)
+
+var (
+	obsSchema = storage.MustSchema(obsTable,
+		storage.Column{Name: "id", Kind: storage.KindString},
+		storage.Column{Name: "entity_id", Kind: storage.KindString},
+		storage.Column{Name: "entity_type", Kind: storage.KindString, Nullable: true},
+		storage.Column{Name: "entity_label", Kind: storage.KindString, Nullable: true},
+		storage.Column{Name: "at", Kind: storage.KindTime, Nullable: true},
+		storage.Column{Name: "lat", Kind: storage.KindFloat, Nullable: true},
+		storage.Column{Name: "lon", Kind: storage.KindFloat, Nullable: true},
+		storage.Column{Name: "protocol", Kind: storage.KindString, Nullable: true},
+		storage.Column{Name: "observed_by", Kind: storage.KindString, Nullable: true},
+	)
+	measSchema = storage.MustSchema(measTable,
+		storage.Column{Name: "key", Kind: storage.KindString}, // obsID/seq
+		storage.Column{Name: "obs_id", Kind: storage.KindString},
+		storage.Column{Name: "characteristic", Kind: storage.KindString},
+		storage.Column{Name: "kind", Kind: storage.KindInt},
+		storage.Column{Name: "number", Kind: storage.KindFloat, Nullable: true},
+		storage.Column{Name: "text", Kind: storage.KindString, Nullable: true},
+		storage.Column{Name: "flag", Kind: storage.KindBool, Nullable: true},
+		storage.Column{Name: "unit", Kind: storage.KindString, Nullable: true},
+	)
+)
+
+// DB is the observation store.
+type DB struct {
+	db *storage.DB
+}
+
+// ErrObservationNotFound is returned for unknown observation IDs.
+var ErrObservationNotFound = errors.New("obs: observation not found")
+
+// Open opens (creating if needed) the observation tables in db.
+func Open(db *storage.DB) (*DB, error) {
+	if db.Table(obsTable) == nil {
+		if err := db.Apply(
+			storage.CreateTableOp(obsSchema),
+			storage.CreateTableOp(measSchema),
+			storage.CreateIndexOp(obsTable, "entity_label"),
+			storage.CreateIndexOp(measTable, "obs_id"),
+			storage.CreateIndexOp(measTable, "characteristic"),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return &DB{db: db}, nil
+}
+
+// Put stores one observation and its measurements atomically.
+func (d *DB) Put(o Observation) error {
+	if o.ID == "" || o.Entity.ID == "" {
+		return fmt.Errorf("obs: observation needs ID and entity ID")
+	}
+	lat, lon := storage.Null(), storage.Null()
+	if o.Where != nil {
+		lat, lon = storage.F(o.Where.Lat), storage.F(o.Where.Lon)
+	}
+	at := storage.Null()
+	if !o.At.IsZero() {
+		at = storage.T(o.At)
+	}
+	ops := []storage.Op{storage.InsertOp(obsTable, storage.Row{
+		storage.S(o.ID), storage.S(o.Entity.ID), storage.S(o.Entity.Type),
+		storage.S(o.Entity.Label), at, lat, lon,
+		storage.S(o.Protocol), storage.S(o.ObservedBy),
+	})}
+	for i, m := range o.Measurements {
+		ops = append(ops, storage.InsertOp(measTable, storage.Row{
+			storage.S(fmt.Sprintf("%s/%03d", o.ID, i)),
+			storage.S(o.ID),
+			storage.S(m.Characteristic),
+			storage.I(int64(m.Kind)),
+			storage.F(m.Number),
+			storage.S(m.Text),
+			storage.B(m.Flag),
+			storage.S(m.Unit),
+		}))
+	}
+	return d.db.Apply(ops...)
+}
+
+// Get loads one observation with its measurements.
+func (d *DB) Get(id string) (Observation, error) {
+	row, err := d.db.Table(obsTable).Get(storage.S(id))
+	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) {
+			return Observation{}, fmt.Errorf("%w: %q", ErrObservationNotFound, id)
+		}
+		return Observation{}, err
+	}
+	o := rowToObs(row)
+	meas, err := d.db.Table(measTable).Lookup("obs_id", storage.S(id))
+	if err != nil {
+		return Observation{}, err
+	}
+	for _, mr := range meas {
+		o.Measurements = append(o.Measurements, rowToMeas(mr))
+	}
+	return o, nil
+}
+
+func rowToObs(row storage.Row) Observation {
+	o := Observation{
+		ID: row.Get(obsSchema, "id").Str(),
+		Entity: Entity{
+			ID:    row.Get(obsSchema, "entity_id").Str(),
+			Type:  row.Get(obsSchema, "entity_type").Str(),
+			Label: row.Get(obsSchema, "entity_label").Str(),
+		},
+		Protocol:   row.Get(obsSchema, "protocol").Str(),
+		ObservedBy: row.Get(obsSchema, "observed_by").Str(),
+	}
+	if v := row.Get(obsSchema, "at"); !v.IsNull() {
+		o.At = v.Time()
+	}
+	if la, lo := row.Get(obsSchema, "lat"), row.Get(obsSchema, "lon"); !la.IsNull() && !lo.IsNull() {
+		o.Where = &geo.Point{Lat: la.Float(), Lon: lo.Float()}
+	}
+	return o
+}
+
+func rowToMeas(row storage.Row) Measurement {
+	return Measurement{
+		Characteristic: row.Get(measSchema, "characteristic").Str(),
+		Kind:           ValueKind(row.Get(measSchema, "kind").Int()),
+		Number:         row.Get(measSchema, "number").Float(),
+		Text:           row.Get(measSchema, "text").Str(),
+		Flag:           row.Get(measSchema, "flag").Bool(),
+		Unit:           row.Get(measSchema, "unit").Str(),
+	}
+}
+
+// Len reports the number of observations.
+func (d *DB) Len() int { return d.db.Table(obsTable).Len() }
+
+// ByEntityLabel returns all observations of entities with the given label
+// (e.g. a species name), measurements included, in ID order.
+func (d *DB) ByEntityLabel(label string) ([]Observation, error) {
+	rows, err := d.db.Table(obsTable).Lookup("entity_label", storage.S(label))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Observation, 0, len(rows))
+	for _, row := range rows {
+		o, err := d.Get(row.Get(obsSchema, "id").Str())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// WhereMeasured returns the IDs of observations that recorded the given
+// characteristic with a numeric value in [lo, hi], sorted.
+func (d *DB) WhereMeasured(characteristic string, lo, hi float64) ([]string, error) {
+	rows, err := d.db.Table(measTable).Lookup("characteristic", storage.S(characteristic))
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for _, row := range rows {
+		if ValueKind(row.Get(measSchema, "kind").Int()) != ValueFloat {
+			continue
+		}
+		if v := row.Get(measSchema, "number").Float(); v >= lo && v <= hi {
+			set[row.Get(measSchema, "obs_id").Str()] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Summary aggregates a numeric characteristic.
+type Summary struct {
+	Characteristic string
+	Count          int
+	Min, Max, Mean float64
+}
+
+// Summarize computes min/max/mean over every numeric sample of the
+// characteristic.
+func (d *DB) Summarize(characteristic string) (Summary, error) {
+	rows, err := d.db.Table(measTable).Lookup("characteristic", storage.S(characteristic))
+	if err != nil {
+		return Summary{}, err
+	}
+	s := Summary{Characteristic: characteristic, Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, row := range rows {
+		if ValueKind(row.Get(measSchema, "kind").Int()) != ValueFloat {
+			continue
+		}
+		v := row.Get(measSchema, "number").Float()
+		s.Count++
+		sum += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	if s.Count == 0 {
+		return Summary{Characteristic: characteristic}, nil
+	}
+	s.Mean = sum / float64(s.Count)
+	return s, nil
+}
+
+// Characteristics lists every distinct measured characteristic, sorted.
+func (d *DB) Characteristics() []string {
+	set := map[string]bool{}
+	d.db.Table(measTable).Scan(func(row storage.Row) bool {
+		set[row.Get(measSchema, "characteristic").Str()] = true
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/envsource"
+	"repro/internal/fnjv"
+	"repro/internal/geo"
+	"repro/internal/storage"
+	"repro/internal/taxonomy"
+)
+
+func openObs(t *testing.T) *DB {
+	t.Helper()
+	db, err := storage.Open(t.TempDir(), storage.Options{Sync: storage.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	od, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return od
+}
+
+func sampleObservation() Observation {
+	return Observation{
+		ID:         "obs:1",
+		Entity:     Entity{ID: "organism:1", Type: "organism", Label: "Hyla faber"},
+		At:         time.Date(1978, 11, 3, 19, 30, 0, 0, time.UTC),
+		Where:      &geo.Point{Lat: -22.9, Lon: -47.06},
+		Protocol:   "field sound recording",
+		ObservedBy: "J. Vielliard",
+		Measurements: []Measurement{
+			Float("air_temperature", 24.5, "°C"),
+			Text("habitat", "pond margin"),
+			Bool("vocalization_recorded", true),
+		},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	od := openObs(t)
+	o := sampleObservation()
+	if err := od.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	got, err := od.Get("obs:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entity.Label != "Hyla faber" || got.Protocol != o.Protocol || !got.At.Equal(o.At) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Where == nil || got.Where.Lat != -22.9 {
+		t.Fatalf("location lost: %+v", got.Where)
+	}
+	if len(got.Measurements) != 3 {
+		t.Fatalf("measurements = %d", len(got.Measurements))
+	}
+	byChar := map[string]Measurement{}
+	for _, m := range got.Measurements {
+		byChar[m.Characteristic] = m
+	}
+	if m := byChar["air_temperature"]; m.Kind != ValueFloat || m.Number != 24.5 || m.Unit != "°C" {
+		t.Fatalf("temperature = %+v", m)
+	}
+	if m := byChar["habitat"]; m.Kind != ValueString || m.Text != "pond margin" {
+		t.Fatalf("habitat = %+v", m)
+	}
+	if m := byChar["vocalization_recorded"]; m.Kind != ValueBool || !m.Flag {
+		t.Fatalf("flag = %+v", m)
+	}
+	// Value rendering.
+	if byChar["air_temperature"].Value() != "24.5 °C" {
+		t.Fatalf("Value() = %q", byChar["air_temperature"].Value())
+	}
+	// Missing ID cases.
+	if _, err := od.Get("obs:missing"); !errors.Is(err, ErrObservationNotFound) {
+		t.Fatalf("missing get: %v", err)
+	}
+	if err := od.Put(Observation{}); err == nil {
+		t.Fatal("empty observation accepted")
+	}
+}
+
+func TestOptionalContext(t *testing.T) {
+	od := openObs(t)
+	o := Observation{ID: "obs:min", Entity: Entity{ID: "e1"}}
+	if err := od.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	got, err := od.Get("obs:min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Where != nil || !got.At.IsZero() || len(got.Measurements) != 0 {
+		t.Fatalf("minimal observation = %+v", got)
+	}
+}
+
+func TestQueriesAndSummaries(t *testing.T) {
+	od := openObs(t)
+	temps := []float64{18, 22, 26, 30}
+	for i, temp := range temps {
+		o := Observation{
+			ID:     ids("obs", i),
+			Entity: Entity{ID: ids("e", i), Type: "organism", Label: "Hyla faber"},
+			Measurements: []Measurement{
+				Float("air_temperature", temp, "°C"),
+				Text("habitat", "swamp"),
+			},
+		}
+		if err := od.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One observation of another species, no temperature.
+	if err := od.Put(Observation{
+		ID:           "obs:other",
+		Entity:       Entity{ID: "e:other", Type: "organism", Label: "Scinax fuscomarginatus"},
+		Measurements: []Measurement{Text("habitat", "pond")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if od.Len() != 5 {
+		t.Fatalf("Len = %d", od.Len())
+	}
+	byLabel, err := od.ByEntityLabel("Hyla faber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byLabel) != 4 {
+		t.Fatalf("ByEntityLabel = %d", len(byLabel))
+	}
+	for _, o := range byLabel {
+		if len(o.Measurements) != 2 {
+			t.Fatalf("measurements not joined: %+v", o)
+		}
+	}
+	// Range query on a characteristic.
+	hits, err := od.WhereMeasured("air_temperature", 20, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("WhereMeasured = %v", hits)
+	}
+	// Summary.
+	sum, err := od.Summarize("air_temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Count != 4 || sum.Min != 18 || sum.Max != 30 || sum.Mean != 24 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Summaries skip non-numeric kinds; absent characteristic is empty.
+	if s, _ := od.Summarize("habitat"); s.Count != 0 {
+		t.Fatalf("text summary = %+v", s)
+	}
+	chars := od.Characteristics()
+	if len(chars) != 2 || chars[0] != "air_temperature" || chars[1] != "habitat" {
+		t.Fatalf("characteristics = %v", chars)
+	}
+}
+
+func ids(prefix string, i int) string {
+	return prefix + ":" + string(rune('a'+i))
+}
+
+func TestImportCollection(t *testing.T) {
+	db, err := storage.Open(t.TempDir(), storage.Options{Sync: storage.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	taxa, err := taxonomy.Generate(taxonomy.GeneratorSpec{Species: 60, OutdatedFraction: 0.07, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := fnjv.Generate(fnjv.CollectionSpec{Records: 300, Seed: 3},
+		taxa, geo.SyntheticGazetteer(10, 3), envsource.NewSimulator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := fnjv.NewStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutAll(col.Records); err != nil {
+		t.Fatal(err)
+	}
+	od, err := Open(db) // same embedded database: uniform storage
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ImportCollection(od, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 || od.Len() != 300 {
+		t.Fatalf("imported %d, Len %d", n, od.Len())
+	}
+	// Every observation asserts a vocalization and carries the protocol.
+	o, err := od.Get("obs:" + col.Records[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Protocol != "field sound recording" {
+		t.Fatalf("protocol = %q", o.Protocol)
+	}
+	found := false
+	for _, m := range o.Measurements {
+		if m.Characteristic == "vocalization_recorded" && m.Flag {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("vocalization assertion missing")
+	}
+	// Cross-record aggregate over a heterogeneous characteristic.
+	sum, err := od.Summarize("recording_duration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Count == 0 || sum.Min < 10 || sum.Max > 610 {
+		t.Fatalf("duration summary = %+v", sum)
+	}
+}

@@ -1,0 +1,59 @@
+package opm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MarshalDot renders the graph in Graphviz DOT form using OPM's customary
+// shapes: ellipses for artifacts, rectangles for processes, octagons for
+// agents; edges are labeled with their dependency kind and role.
+func MarshalDot(g *Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph opm {\n  rankdir=BT;\n")
+	for _, n := range g.Nodes() {
+		shape := "ellipse"
+		switch n.Kind {
+		case KindProcess:
+			shape = "box"
+		case KindAgent:
+			shape = "octagon"
+		}
+		label := n.Label
+		if label == "" {
+			label = n.ID
+		}
+		fmt.Fprintf(&b, "  %s [shape=%s,label=%s];\n", dotID(n.ID), shape, dotString(label))
+	}
+	for _, e := range g.Edges() {
+		label := e.Kind.String()
+		if e.Role != "" {
+			label += "(" + e.Role + ")"
+		}
+		style := ""
+		if e.Kind == WasDerivedFrom || e.Kind == WasTriggeredBy {
+			style = ",style=dashed" // inferred/multi-step edges render dashed
+		}
+		fmt.Fprintf(&b, "  %s -> %s [label=%s%s];\n", dotID(e.Effect), dotID(e.Cause), dotString(label), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotID produces a safe DOT node identifier for an arbitrary node ID.
+func dotID(id string) string {
+	var b strings.Builder
+	b.WriteString("n_")
+	for _, r := range id {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			fmt.Fprintf(&b, "_%02x", r)
+		}
+	}
+	return b.String()
+}
+
+func dotString(s string) string {
+	return `"` + strings.NewReplacer(`"`, `\"`, "\n", `\n`).Replace(s) + `"`
+}

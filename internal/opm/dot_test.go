@@ -1,0 +1,45 @@
+package opm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarshalDot(t *testing.T) {
+	g := caseStudyGraph(t)
+	g.InferDerivations()
+	dot := MarshalDot(g)
+	for _, want := range []string{
+		"digraph opm",
+		"shape=box",     // process
+		"shape=octagon", // agent
+		"shape=ellipse", // artifact
+		`label="used(input)"`,
+		`label="wasControlledBy(operator)"`,
+		"style=dashed", // inferred derivation
+		"FNJV sound metadata",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q:\n%s", want, dot)
+		}
+	}
+	// IDs with punctuation are sanitized: no raw colons in identifiers.
+	for _, line := range strings.Split(dot, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "n_") {
+			id := strings.FieldsFunc(trimmed, func(r rune) bool { return r == ' ' || r == '[' })[0]
+			if strings.ContainsAny(id, ":/.") {
+				t.Fatalf("unsanitized dot id %q", id)
+			}
+		}
+	}
+}
+
+func TestDotStringEscaping(t *testing.T) {
+	if dotString(`a"b`) != `"a\"b"` {
+		t.Fatalf("quote escape: %s", dotString(`a"b`))
+	}
+	if dotID("p:run/1") == dotID("p:run_1") {
+		t.Fatal("dotID collisions for distinct IDs")
+	}
+}

@@ -1,0 +1,404 @@
+package opm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// caseStudyGraph builds the Fig. 3 provenance shape: metadata artifact ->
+// detection process (controlled by curator, using the authority list) ->
+// summary artifact.
+func caseStudyGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Artifact("a:metadata", "FNJV sound metadata", "11898 records"))
+	must(g.Artifact("a:checklist", "Catalogue of Life", "species list"))
+	must(g.Artifact("a:summary", "updated species names", "134 outdated"))
+	must(g.Process("p:detect", "Outdated Species Name Detection"))
+	must(g.Agent("ag:curator", "FNJV curator"))
+	must(g.AddEdge(Edge{Kind: Used, Effect: "p:detect", Cause: "a:metadata", Role: "input"}))
+	must(g.AddEdge(Edge{Kind: Used, Effect: "p:detect", Cause: "a:checklist", Role: "authority"}))
+	must(g.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a:summary", Cause: "p:detect", Role: "output"}))
+	must(g.AddEdge(Edge{Kind: WasControlledBy, Effect: "p:detect", Cause: "ag:curator", Role: "operator"}))
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := caseStudyGraph(t)
+	if g.NodeCount() != 5 || g.EdgeCount() != 4 {
+		t.Fatalf("counts = %d nodes %d edges", g.NodeCount(), g.EdgeCount())
+	}
+	if len(g.NodesOfKind(KindArtifact)) != 3 {
+		t.Fatal("artifact count wrong")
+	}
+	if len(g.EdgesOfKind(Used)) != 2 {
+		t.Fatal("used count wrong")
+	}
+	n, ok := g.Node("a:summary")
+	if !ok || n.Label != "updated species names" {
+		t.Fatalf("Node = %+v", n)
+	}
+	if err := g.Annotate("a:summary", "quality.accuracy", "0.93"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = g.Node("a:summary")
+	if n.Annotations["quality.accuracy"] != "0.93" {
+		t.Fatal("annotation not stored")
+	}
+	if err := g.Annotate("missing", "k", "v"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Annotate missing: %v", err)
+	}
+}
+
+func TestGraphNodeValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.Artifact("a", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Artifact("a", "x", ""); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := g.AddNode(Node{Kind: KindAgent}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+}
+
+func TestEdgeTypeConstraints(t *testing.T) {
+	g := NewGraph()
+	g.Artifact("a1", "", "")
+	g.Artifact("a2", "", "")
+	g.Process("p1", "")
+	g.Process("p2", "")
+	g.Agent("ag", "")
+	// Wrong endpoint kinds.
+	bad := []Edge{
+		{Kind: Used, Effect: "a1", Cause: "a2", Role: "r"},           // effect must be process
+		{Kind: Used, Effect: "p1", Cause: "p2", Role: "r"},           // cause must be artifact
+		{Kind: WasGeneratedBy, Effect: "p1", Cause: "a1", Role: "r"}, // reversed
+		{Kind: WasControlledBy, Effect: "a1", Cause: "ag", Role: "r"},
+		{Kind: WasTriggeredBy, Effect: "p1", Cause: "a1"},
+		{Kind: WasDerivedFrom, Effect: "a1", Cause: "p1"},
+	}
+	for i, e := range bad {
+		if err := g.AddEdge(e); !errors.Is(err, ErrBadEdge) {
+			t.Errorf("bad edge %d accepted: %v", i, err)
+		}
+	}
+	// Missing role on role-required kinds.
+	if err := g.AddEdge(Edge{Kind: Used, Effect: "p1", Cause: "a1"}); !errors.Is(err, ErrBadEdge) {
+		t.Fatalf("role-less used accepted: %v", err)
+	}
+	// Unknown nodes.
+	if err := g.AddEdge(Edge{Kind: Used, Effect: "zz", Cause: "a1", Role: "r"}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown effect: %v", err)
+	}
+	if err := g.AddEdge(Edge{Kind: Used, Effect: "p1", Cause: "zz", Role: "r"}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown cause: %v", err)
+	}
+	// Duplicates are silently deduplicated.
+	if err := g.AddEdge(Edge{Kind: Used, Effect: "p1", Cause: "a1", Role: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(Edge{Kind: Used, Effect: "p1", Cause: "a1", Role: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.EdgesOfKind(Used)); got != 1 {
+		t.Fatalf("dedup failed: %d used edges", got)
+	}
+}
+
+func TestInferTriggers(t *testing.T) {
+	g := NewGraph()
+	g.Process("p1", "")
+	g.Process("p2", "")
+	g.Artifact("a", "", "")
+	g.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a", Cause: "p1", Role: "out"})
+	g.AddEdge(Edge{Kind: Used, Effect: "p2", Cause: "a", Role: "in"})
+	if added := g.InferTriggers(); added != 1 {
+		t.Fatalf("InferTriggers added %d", added)
+	}
+	trigs := g.EdgesOfKind(WasTriggeredBy)
+	if len(trigs) != 1 || trigs[0].Effect != "p2" || trigs[0].Cause != "p1" {
+		t.Fatalf("triggers = %+v", trigs)
+	}
+	// Idempotent.
+	if added := g.InferTriggers(); added != 0 {
+		t.Fatalf("second InferTriggers added %d", added)
+	}
+}
+
+func TestInferDerivations(t *testing.T) {
+	g := caseStudyGraph(t)
+	added := g.InferDerivations()
+	if added != 2 {
+		t.Fatalf("InferDerivations added %d, want 2", added)
+	}
+	devs := g.EdgesOfKind(WasDerivedFrom)
+	causes := map[string]bool{}
+	for _, e := range devs {
+		if e.Effect != "a:summary" {
+			t.Fatalf("unexpected derivation effect %q", e.Effect)
+		}
+		causes[e.Cause] = true
+	}
+	if !causes["a:metadata"] || !causes["a:checklist"] {
+		t.Fatalf("derivation causes = %v", causes)
+	}
+}
+
+func TestLineageQueries(t *testing.T) {
+	g := caseStudyGraph(t)
+	g.InferDerivations()
+	anc, err := g.Ancestors("a:summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAnc := []string{"a:checklist", "a:metadata", "ag:curator", "p:detect"}
+	if strings.Join(anc, ",") != strings.Join(wantAnc, ",") {
+		t.Fatalf("ancestors = %v, want %v", anc, wantAnc)
+	}
+	desc, err := g.Descendants("a:metadata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(desc, ",")
+	if !strings.Contains(joined, "a:summary") || !strings.Contains(joined, "p:detect") {
+		t.Fatalf("descendants = %v", desc)
+	}
+	if _, err := g.Ancestors("missing"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Ancestors(missing): %v", err)
+	}
+	if _, err := g.Descendants("missing"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Descendants(missing): %v", err)
+	}
+	path := g.DerivationPath("a:summary", "a:metadata")
+	if len(path) != 2 || path[0] != "a:summary" || path[1] != "a:metadata" {
+		t.Fatalf("derivation path = %v", path)
+	}
+	if g.DerivationPath("a:metadata", "a:summary") != nil {
+		t.Fatal("reverse derivation path exists")
+	}
+	if got := g.ProcessesUsing("a:metadata"); len(got) != 1 || got[0] != "p:detect" {
+		t.Fatalf("ProcessesUsing = %v", got)
+	}
+	if gen, ok := g.GeneratorOf("a:summary", ""); !ok || gen != "p:detect" {
+		t.Fatalf("GeneratorOf = %q,%v", gen, ok)
+	}
+	if _, ok := g.GeneratorOf("a:metadata", ""); ok {
+		t.Fatal("input artifact has a generator")
+	}
+	if got := g.ControllersOf("p:detect"); len(got) != 1 || got[0] != "ag:curator" {
+		t.Fatalf("ControllersOf = %v", got)
+	}
+}
+
+func TestMultiStepDerivationChain(t *testing.T) {
+	// a3 <- p2 <- a2 <- p1 <- a1: path a3 -> a2 -> a1 after inference.
+	g := NewGraph()
+	g.Artifact("a1", "", "")
+	g.Artifact("a2", "", "")
+	g.Artifact("a3", "", "")
+	g.Process("p1", "")
+	g.Process("p2", "")
+	g.AddEdge(Edge{Kind: Used, Effect: "p1", Cause: "a1", Role: "in"})
+	g.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a2", Cause: "p1", Role: "out"})
+	g.AddEdge(Edge{Kind: Used, Effect: "p2", Cause: "a2", Role: "in"})
+	g.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a3", Cause: "p2", Role: "out"})
+	g.InferDerivations()
+	path := g.DerivationPath("a3", "a1")
+	if len(path) != 3 || path[0] != "a3" || path[1] != "a2" || path[2] != "a1" {
+		t.Fatalf("chain path = %v", path)
+	}
+}
+
+func TestAccountsAndViews(t *testing.T) {
+	g := NewGraph()
+	g.Artifact("a", "", "")
+	g.Process("p", "")
+	g.AddEdge(Edge{Kind: Used, Effect: "p", Cause: "a", Role: "in", Account: "run1"})
+	g.AddEdge(Edge{Kind: Used, Effect: "p", Cause: "a", Role: "in", Account: "run2"})
+	accounts := g.Accounts()
+	if len(accounts) != 2 || accounts[0] != "run1" || accounts[1] != "run2" {
+		t.Fatalf("accounts = %v", accounts)
+	}
+	if v := g.View("run1"); len(v) != 1 || v[0].Account != "run1" {
+		t.Fatalf("view = %+v", v)
+	}
+	if v := g.View("zzz"); len(v) != 0 {
+		t.Fatalf("empty view = %+v", v)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	g1 := NewGraph()
+	g1.Artifact("a:shared", "input", "data")
+	g1.Process("p:run1", "run 1")
+	g1.Annotate("a:shared", "origin", "field")
+	g1.AddEdge(Edge{Kind: Used, Effect: "p:run1", Cause: "a:shared", Role: "in", Account: "run1"})
+
+	g2 := NewGraph()
+	g2.Artifact("a:shared", "input", "data")
+	g2.Artifact("a:out2", "output 2", "")
+	g2.Process("p:run2", "run 2")
+	g2.Annotate("a:shared", "origin", "ignored-duplicate")
+	g2.Annotate("a:shared", "extra", "kept")
+	g2.AddEdge(Edge{Kind: Used, Effect: "p:run2", Cause: "a:shared", Role: "in", Account: "run2"})
+	g2.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a:out2", Cause: "p:run2", Role: "out", Account: "run2"})
+
+	if err := g1.Merge(g2); err != nil {
+		t.Fatal(err)
+	}
+	if g1.NodeCount() != 4 {
+		t.Fatalf("merged nodes = %d", g1.NodeCount())
+	}
+	if g1.EdgeCount() != 3 {
+		t.Fatalf("merged edges = %d", g1.EdgeCount())
+	}
+	// Annotation merge: first writer wins, gaps filled.
+	n, _ := g1.Node("a:shared")
+	if n.Annotations["origin"] != "field" || n.Annotations["extra"] != "kept" {
+		t.Fatalf("merged annotations = %v", n.Annotations)
+	}
+	// Shared artifact now used by both runs.
+	if got := g1.ProcessesUsing("a:shared"); len(got) != 2 {
+		t.Fatalf("users after merge = %v", got)
+	}
+	// Accounts kept distinct.
+	if len(g1.Accounts()) != 2 {
+		t.Fatalf("accounts = %v", g1.Accounts())
+	}
+	// Merging the same graph again is a no-op (dedup).
+	if err := g1.Merge(g2); err != nil {
+		t.Fatal(err)
+	}
+	if g1.EdgeCount() != 3 {
+		t.Fatalf("re-merge changed edges: %d", g1.EdgeCount())
+	}
+	// Kind conflicts are rejected.
+	g3 := NewGraph()
+	g3.Process("a:shared", "impostor")
+	if err := g1.Merge(g3); err == nil {
+		t.Fatal("kind conflict accepted")
+	}
+	// Merged graphs of distinct accounts are still legal even if both
+	// generate the same artifact.
+	gA := NewGraph()
+	gA.Artifact("a", "", "")
+	gA.Process("p1", "")
+	gA.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a", Cause: "p1", Role: "out", Account: "r1"})
+	gB := NewGraph()
+	gB.Artifact("a", "", "")
+	gB.Process("p2", "")
+	gB.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a", Cause: "p2", Role: "out", Account: "r2"})
+	if err := gA.Merge(gB); err != nil {
+		t.Fatal(err)
+	}
+	if probs := gA.CheckLegality(); len(probs) != 0 {
+		t.Fatalf("multi-account generation flagged: %v", probs)
+	}
+}
+
+func TestCheckLegality(t *testing.T) {
+	g := NewGraph()
+	g.Artifact("a", "", "")
+	g.Process("p1", "")
+	g.Process("p2", "")
+	g.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a", Cause: "p1", Role: "out"})
+	if probs := g.CheckLegality(); len(probs) != 0 {
+		t.Fatalf("legal graph flagged: %v", probs)
+	}
+	// Second generator in the same account: illegal.
+	g.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a", Cause: "p2", Role: "out"})
+	if probs := g.CheckLegality(); len(probs) != 1 {
+		t.Fatalf("violation not flagged: %v", probs)
+	}
+	// But two generators in different accounts are fine.
+	g2 := NewGraph()
+	g2.Artifact("a", "", "")
+	g2.Process("p1", "")
+	g2.Process("p2", "")
+	g2.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a", Cause: "p1", Role: "out", Account: "acc1"})
+	g2.AddEdge(Edge{Kind: WasGeneratedBy, Effect: "a", Cause: "p2", Role: "out", Account: "acc2"})
+	if probs := g2.CheckLegality(); len(probs) != 0 {
+		t.Fatalf("cross-account generation flagged: %v", probs)
+	}
+}
+
+func TestXMLRoundTripOPM(t *testing.T) {
+	g := caseStudyGraph(t)
+	g.Annotate("a:summary", "quality.accuracy", "0.93")
+	when := time.Date(2013, 11, 12, 19, 58, 9, 0, time.UTC)
+	g.AddEdge(Edge{Kind: WasDerivedFrom, Effect: "a:summary", Cause: "a:metadata", Time: when, Account: "run1"})
+	blob, err := MarshalXML(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalXML(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeCount() != g.NodeCount() || got.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d edges", got.NodeCount(), g.NodeCount(), got.EdgeCount(), g.EdgeCount())
+	}
+	n, _ := got.Node("a:summary")
+	if n.Annotations["quality.accuracy"] != "0.93" {
+		t.Fatal("annotation lost over XML")
+	}
+	var found bool
+	for _, e := range got.EdgesOfKind(WasDerivedFrom) {
+		if e.Account == "run1" && e.Time.Equal(when) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("edge account/time lost over XML")
+	}
+	if _, err := UnmarshalXML([]byte("<bogus")); err == nil {
+		t.Fatal("garbage XML accepted")
+	}
+}
+
+func TestJSONRoundTripOPM(t *testing.T) {
+	g := caseStudyGraph(t)
+	g.Annotate("p:detect", "service", "col.resolve")
+	blob, err := MarshalJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeCount() != g.NodeCount() || got.EdgeCount() != g.EdgeCount() {
+		t.Fatal("JSON round trip lost elements")
+	}
+	n, _ := got.Node("p:detect")
+	if n.Annotations["service"] != "col.resolve" {
+		t.Fatal("annotation lost over JSON")
+	}
+	if _, err := UnmarshalJSON([]byte("{")); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindArtifact.String() != "artifact" || KindProcess.String() != "process" || KindAgent.String() != "agent" {
+		t.Fatal("node kind strings")
+	}
+	for _, k := range []EdgeKind{Used, WasGeneratedBy, WasControlledBy, WasTriggeredBy, WasDerivedFrom} {
+		if strings.HasPrefix(k.String(), "edge(") {
+			t.Fatalf("edge kind %d has no name", k)
+		}
+	}
+	if _, err := edgeKindFromString("nope"); err == nil {
+		t.Fatal("unknown edge kind parsed")
+	}
+}

@@ -1,0 +1,236 @@
+// Package provenance implements the Provenance Manager of the architecture:
+// it listens to workflow execution events, builds an OPM graph per run
+// (artifacts for every datum, processes for every processor invocation,
+// agents for the controlling parties), merges the quality annotations that
+// the Workflow Adapter attached to the specification, and persists the
+// result in the Data Provenance Repository.
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/opm"
+	"repro/internal/workflow"
+)
+
+// QualityAnnotationPrefix prefixes quality-dimension annotations merged onto
+// OPM process nodes, e.g. "quality.reputation" = "1".
+const QualityAnnotationPrefix = "quality."
+
+// RunStatus is the terminal state of a captured run.
+type RunStatus string
+
+// Run statuses.
+const (
+	RunRunning   RunStatus = "running"
+	RunCompleted RunStatus = "completed"
+	RunFailed    RunStatus = "failed"
+)
+
+// RunInfo summarizes one captured workflow execution.
+type RunInfo struct {
+	RunID        string
+	WorkflowID   string
+	WorkflowName string
+	StartedAt    time.Time
+	FinishedAt   time.Time
+	Status       RunStatus
+	Error        string
+}
+
+// Collector is a workflow.Listener that accumulates the OPM graph of a
+// single run. It is safe for concurrent event delivery.
+type Collector struct {
+	// Agent identifies who controls the processors of this run (the paper's
+	// End User / Process Designer roles). Defaults to "workflow-engine".
+	Agent string
+	// MaxElements caps per-iteration fine-grained provenance: up to this
+	// many elements of an implicit iteration get element-level artifacts and
+	// derivation edges (default 4096; 0 uses the default, negative disables).
+	MaxElements int
+
+	mu    sync.Mutex
+	graph *opm.Graph
+	info  RunInfo
+	// artifactOf remembers the artifact ID assigned to each distinct datum.
+	artifactOf map[string]string
+}
+
+const defaultMaxElements = 4096
+
+// NewCollector builds a collector with the given controlling agent label.
+func NewCollector(agent string) *Collector {
+	if agent == "" {
+		agent = "workflow-engine"
+	}
+	return &Collector{
+		Agent:      agent,
+		graph:      opm.NewGraph(),
+		artifactOf: make(map[string]string),
+	}
+}
+
+// Graph returns the accumulated OPM graph. Call after the run finished.
+func (c *Collector) Graph() *opm.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.graph
+}
+
+// Info returns the run summary.
+func (c *Collector) Info() RunInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.info
+}
+
+// artifactID derives a content-addressed artifact ID so the same datum
+// flowing through several processors maps to one artifact node.
+func artifactID(d workflow.Data) string {
+	sum := sha256.Sum256([]byte(d.String()))
+	return "a:" + hex.EncodeToString(sum[:8])
+}
+
+const maxArtifactValue = 256
+
+func truncate(s string) string {
+	if len(s) > maxArtifactValue {
+		return s[:maxArtifactValue] + "…"
+	}
+	return s
+}
+
+// ensureArtifactLocked registers the artifact for d (if new) and returns its
+// ID. Caller holds c.mu.
+func (c *Collector) ensureArtifactLocked(label string, d workflow.Data) string {
+	id := artifactID(d)
+	if _, ok := c.artifactOf[id]; !ok {
+		// Label records the first port the datum was seen at.
+		_ = c.graph.Artifact(id, label, truncate(d.String()))
+		c.artifactOf[id] = label
+	}
+	return id
+}
+
+func (c *Collector) processID(processor string) string {
+	return "p:" + c.info.RunID + "/" + processor
+}
+
+// OnEvent implements workflow.Listener.
+func (c *Collector) OnEvent(ev workflow.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Type {
+	case workflow.EventWorkflowStarted:
+		c.info = RunInfo{
+			RunID:        ev.RunID,
+			WorkflowID:   ev.WorkflowID,
+			WorkflowName: ev.WorkflowName,
+			StartedAt:    ev.Time,
+			Status:       RunRunning,
+		}
+		_ = c.graph.Agent("ag:"+c.Agent, c.Agent)
+		for port, d := range ev.Inputs {
+			c.ensureArtifactLocked("workflow-input:"+port, d)
+		}
+
+	case workflow.EventProcessorStarted:
+		// Nodes are created at completion, when outputs are known; nothing
+		// to record yet.
+
+	case workflow.EventProcessorCompleted, workflow.EventProcessorFailed:
+		pid := c.processID(ev.Processor)
+		if _, exists := c.graph.Node(pid); !exists {
+			_ = c.graph.Process(pid, ev.Processor)
+		}
+		_ = c.graph.Annotate(pid, "service", ev.Service)
+		_ = c.graph.Annotate(pid, "iterations", fmt.Sprintf("%d", ev.Iterations))
+		_ = c.graph.Annotate(pid, "duration", ev.Duration.String())
+		if ev.Err != "" {
+			_ = c.graph.Annotate(pid, "error", ev.Err)
+		}
+		// Quality annotations from the (adapter-instrumented) specification.
+		for dim, val := range workflow.QualityAnnotations(ev.Annotations) {
+			_ = c.graph.Annotate(pid, QualityAnnotationPrefix+dim, val)
+		}
+		account := ev.RunID
+		for port, d := range ev.Inputs {
+			aid := c.ensureArtifactLocked(ev.Processor+"."+port, d)
+			_ = c.graph.AddEdge(opm.Edge{
+				Kind: opm.Used, Effect: pid, Cause: aid,
+				Role: port, Account: account, Time: ev.Time,
+			})
+		}
+		for port, d := range ev.Outputs {
+			aid := c.ensureArtifactLocked(ev.Processor+"."+port, d)
+			_ = c.graph.AddEdge(opm.Edge{
+				Kind: opm.WasGeneratedBy, Effect: aid, Cause: pid,
+				Role: port, Account: account, Time: ev.Time,
+			})
+		}
+		_ = c.graph.AddEdge(opm.Edge{
+			Kind: opm.WasControlledBy, Effect: pid, Cause: "ag:" + c.Agent,
+			Role: "executor", Account: account, Time: ev.Time,
+		})
+		// Fine-grained provenance: per-element derivation edges so that an
+		// individual result traces back to the individual input (e.g. one
+		// rename to one queried name), not just list to list.
+		max := c.MaxElements
+		if max == 0 {
+			max = defaultMaxElements
+		}
+		if max < 0 {
+			max = 0 // negative disables element-level provenance
+		}
+		for _, el := range ev.Elements {
+			if el.Index >= max {
+				break
+			}
+			var inIDs []string
+			for port, d := range el.Inputs {
+				inIDs = append(inIDs, c.ensureArtifactLocked(ev.Processor+"."+port+"[elem]", d))
+			}
+			for port, d := range el.Outputs {
+				outID := c.ensureArtifactLocked(ev.Processor+"."+port+"[elem]", d)
+				for _, inID := range inIDs {
+					if inID == outID {
+						continue
+					}
+					_ = c.graph.AddEdge(opm.Edge{
+						Kind: opm.WasDerivedFrom, Effect: outID, Cause: inID,
+						Account: account, Time: ev.Time,
+					})
+				}
+			}
+		}
+
+	case workflow.EventWorkflowCompleted:
+		c.info.FinishedAt = ev.Time
+		c.info.Status = RunCompleted
+		// Completion rules: derive artifact-to-artifact and
+		// process-to-process dependencies.
+		c.graph.InferDerivations()
+		c.graph.InferTriggers()
+
+	case workflow.EventWorkflowFailed:
+		c.info.FinishedAt = ev.Time
+		c.info.Status = RunFailed
+		c.info.Error = ev.Err
+	}
+}
+
+// OutputArtifacts maps each workflow output port of the completed run to its
+// artifact ID, given the run result.
+func (c *Collector) OutputArtifacts(result *workflow.RunResult) map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]string{}
+	for port, d := range result.Outputs {
+		out[port] = artifactID(d)
+	}
+	return out
+}

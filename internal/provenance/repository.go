@@ -1,0 +1,350 @@
+package provenance
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/opm"
+	"repro/internal/storage"
+)
+
+// Repository is the Data Provenance Repository (Fig. 1): durable storage of
+// captured runs and their OPM graphs, following Malaverri's model — run
+// records plus node and edge relations keyed by run.
+type Repository struct {
+	db *storage.DB
+}
+
+// Table names.
+const (
+	runsTable  = "prov_runs"
+	nodesTable = "prov_nodes"
+	edgesTable = "prov_edges"
+)
+
+var (
+	runsSchema = storage.MustSchema(runsTable,
+		storage.Column{Name: "run_id", Kind: storage.KindString},
+		storage.Column{Name: "workflow_id", Kind: storage.KindString},
+		storage.Column{Name: "workflow_name", Kind: storage.KindString},
+		storage.Column{Name: "started_at", Kind: storage.KindTime},
+		storage.Column{Name: "finished_at", Kind: storage.KindTime, Nullable: true},
+		storage.Column{Name: "status", Kind: storage.KindString},
+		storage.Column{Name: "error", Kind: storage.KindString, Nullable: true},
+	)
+	nodesSchema = storage.MustSchema(nodesTable,
+		storage.Column{Name: "key", Kind: storage.KindString}, // run/node
+		storage.Column{Name: "run_id", Kind: storage.KindString},
+		storage.Column{Name: "node_id", Kind: storage.KindString},
+		storage.Column{Name: "kind", Kind: storage.KindInt},
+		storage.Column{Name: "label", Kind: storage.KindString, Nullable: true},
+		storage.Column{Name: "value", Kind: storage.KindString, Nullable: true},
+		storage.Column{Name: "annotations", Kind: storage.KindBytes, Nullable: true},
+	)
+	edgesSchema = storage.MustSchema(edgesTable,
+		storage.Column{Name: "key", Kind: storage.KindString}, // run/seq
+		storage.Column{Name: "run_id", Kind: storage.KindString},
+		storage.Column{Name: "kind", Kind: storage.KindInt},
+		storage.Column{Name: "effect", Kind: storage.KindString},
+		storage.Column{Name: "cause", Kind: storage.KindString},
+		storage.Column{Name: "role", Kind: storage.KindString, Nullable: true},
+		storage.Column{Name: "account", Kind: storage.KindString, Nullable: true},
+		storage.Column{Name: "time", Kind: storage.KindTime, Nullable: true},
+	)
+)
+
+// ErrRunNotFound is returned for unknown run IDs.
+var ErrRunNotFound = errors.New("provenance: run not found")
+
+// NewRepository opens (creating if needed) the provenance repository in db.
+func NewRepository(db *storage.DB) (*Repository, error) {
+	if db.Table(runsTable) == nil {
+		if err := db.Apply(
+			storage.CreateTableOp(runsSchema),
+			storage.CreateTableOp(nodesSchema),
+			storage.CreateTableOp(edgesSchema),
+			storage.CreateIndexOp(nodesTable, "run_id"),
+			storage.CreateIndexOp(edgesTable, "run_id"),
+			storage.CreateIndexOp(runsTable, "workflow_id"),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return &Repository{db: db}, nil
+}
+
+// Store persists a captured run and its graph atomically.
+func (r *Repository) Store(info RunInfo, g *opm.Graph) error {
+	if info.RunID == "" {
+		return fmt.Errorf("provenance: run has no ID")
+	}
+	ops := []storage.Op{storage.InsertOp(runsTable, storage.Row{
+		storage.S(info.RunID),
+		storage.S(info.WorkflowID),
+		storage.S(info.WorkflowName),
+		storage.T(info.StartedAt),
+		timeOrNull(info.FinishedAt),
+		storage.S(string(info.Status)),
+		storage.S(info.Error),
+	})}
+	for _, n := range g.Nodes() {
+		ann, err := encodeAnnotations(n.Annotations)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, storage.InsertOp(nodesTable, storage.Row{
+			storage.S(info.RunID + "/" + n.ID),
+			storage.S(info.RunID),
+			storage.S(n.ID),
+			storage.I(int64(n.Kind)),
+			storage.S(n.Label),
+			storage.S(n.Value),
+			storage.Bytes(ann),
+		}))
+	}
+	for i, e := range g.Edges() {
+		ops = append(ops, storage.InsertOp(edgesTable, storage.Row{
+			storage.S(fmt.Sprintf("%s/%06d", info.RunID, i)),
+			storage.S(info.RunID),
+			storage.I(int64(e.Kind)),
+			storage.S(e.Effect),
+			storage.S(e.Cause),
+			storage.S(e.Role),
+			storage.S(e.Account),
+			timeOrNull(e.Time),
+		}))
+	}
+	return r.db.Apply(ops...)
+}
+
+func timeOrNull(t time.Time) storage.Value {
+	if t.IsZero() {
+		return storage.Null()
+	}
+	return storage.T(t)
+}
+
+// Run loads the summary of one run.
+func (r *Repository) Run(runID string) (RunInfo, error) {
+	row, err := r.db.Table(runsTable).Get(storage.S(runID))
+	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) {
+			return RunInfo{}, fmt.Errorf("%w: %q", ErrRunNotFound, runID)
+		}
+		return RunInfo{}, err
+	}
+	return rowToInfo(row), nil
+}
+
+func rowToInfo(row storage.Row) RunInfo {
+	info := RunInfo{
+		RunID:        row.Get(runsSchema, "run_id").Str(),
+		WorkflowID:   row.Get(runsSchema, "workflow_id").Str(),
+		WorkflowName: row.Get(runsSchema, "workflow_name").Str(),
+		StartedAt:    row.Get(runsSchema, "started_at").Time(),
+		Status:       RunStatus(row.Get(runsSchema, "status").Str()),
+		Error:        row.Get(runsSchema, "error").Str(),
+	}
+	if v := row.Get(runsSchema, "finished_at"); !v.IsNull() {
+		info.FinishedAt = v.Time()
+	}
+	return info
+}
+
+// Runs lists every run of a workflow, ordered by run ID.
+func (r *Repository) Runs(workflowID string) ([]RunInfo, error) {
+	rows, err := r.db.Table(runsTable).Lookup("workflow_id", storage.S(workflowID))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RunInfo, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, rowToInfo(row))
+	}
+	return out, nil
+}
+
+// AllRuns lists every stored run in run-ID order.
+func (r *Repository) AllRuns() []RunInfo {
+	var out []RunInfo
+	r.db.Table(runsTable).Scan(func(row storage.Row) bool {
+		out = append(out, rowToInfo(row))
+		return true
+	})
+	return out
+}
+
+// Graph reconstructs the OPM graph of a run.
+func (r *Repository) Graph(runID string) (*opm.Graph, error) {
+	if _, err := r.Run(runID); err != nil {
+		return nil, err
+	}
+	g := opm.NewGraph()
+	nodeRows, err := r.db.Table(nodesTable).Lookup("run_id", storage.S(runID))
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range nodeRows {
+		ann, err := decodeAnnotations(row.Get(nodesSchema, "annotations").Raw())
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddNode(opm.Node{
+			ID:          row.Get(nodesSchema, "node_id").Str(),
+			Kind:        opm.NodeKind(row.Get(nodesSchema, "kind").Int()),
+			Label:       row.Get(nodesSchema, "label").Str(),
+			Value:       row.Get(nodesSchema, "value").Str(),
+			Annotations: ann,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	edgeRows, err := r.db.Table(edgesTable).Lookup("run_id", storage.S(runID))
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range edgeRows {
+		e := opm.Edge{
+			Kind:    opm.EdgeKind(row.Get(edgesSchema, "kind").Int()),
+			Effect:  row.Get(edgesSchema, "effect").Str(),
+			Cause:   row.Get(edgesSchema, "cause").Str(),
+			Role:    row.Get(edgesSchema, "role").Str(),
+			Account: row.Get(edgesSchema, "account").Str(),
+		}
+		if v := row.Get(edgesSchema, "time"); !v.IsNull() {
+			e.Time = v.Time()
+		}
+		if err := g.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// QualityOfProcess returns the quality annotations (dimension -> value)
+// recorded on the named processor of a run.
+func (r *Repository) QualityOfProcess(runID, processor string) (map[string]string, error) {
+	g, err := r.Graph(runID)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := g.Node("p:" + runID + "/" + processor)
+	if !ok {
+		return nil, fmt.Errorf("provenance: run %q has no processor %q", runID, processor)
+	}
+	out := map[string]string{}
+	for k, v := range n.Annotations {
+		if len(k) > len(QualityAnnotationPrefix) && k[:len(QualityAnnotationPrefix)] == QualityAnnotationPrefix {
+			out[k[len(QualityAnnotationPrefix):]] = v
+		}
+	}
+	return out, nil
+}
+
+// UnionGraph merges the graphs of several runs into one multi-account OPM
+// graph. Shared artifacts (identical data flowing through different runs)
+// become single nodes, which is what makes cross-run lineage queries — "what
+// has ever been derived from this dataset?" — possible.
+func (r *Repository) UnionGraph(runIDs ...string) (*opm.Graph, error) {
+	union := opm.NewGraph()
+	for _, id := range runIDs {
+		g, err := r.Graph(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := union.Merge(g); err != nil {
+			return nil, fmt.Errorf("provenance: merging run %q: %w", id, err)
+		}
+	}
+	return union, nil
+}
+
+// RunsUsingArtifact returns the run IDs whose graphs contain a used edge on
+// the given artifact ID — "which analyses consumed this dataset?", the
+// cross-run reuse question long-term preservation exists to answer.
+func (r *Repository) RunsUsingArtifact(artifactID string) ([]string, error) {
+	set := map[string]bool{}
+	r.db.Table(edgesTable).Scan(func(row storage.Row) bool {
+		if opm.EdgeKind(row.Get(edgesSchema, "kind").Int()) == opm.Used &&
+			row.Get(edgesSchema, "cause").Str() == artifactID {
+			set[row.Get(edgesSchema, "run_id").Str()] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out, nil
+}
+
+// RunsGeneratingArtifact returns the run IDs whose graphs generated the
+// given artifact.
+func (r *Repository) RunsGeneratingArtifact(artifactID string) ([]string, error) {
+	set := map[string]bool{}
+	r.db.Table(edgesTable).Scan(func(row storage.Row) bool {
+		if opm.EdgeKind(row.Get(edgesSchema, "kind").Int()) == opm.WasGeneratedBy &&
+			row.Get(edgesSchema, "effect").Str() == artifactID {
+			set[row.Get(edgesSchema, "run_id").Str()] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out, nil
+}
+
+func sortStrings(s []string) {
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+}
+
+// annotation encoding: simple length-prefixed key/value pairs via the row
+// codec, reusing the storage wire format.
+func encodeAnnotations(m map[string]string) ([]byte, error) {
+	row := make(storage.Row, 0, len(m)*2)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Deterministic order.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		row = append(row, storage.S(k), storage.S(m[k]))
+	}
+	return storage.EncodeRow(nil, row), nil
+}
+
+func decodeAnnotations(blob []byte) (map[string]string, error) {
+	out := map[string]string{}
+	if len(blob) == 0 {
+		return out, nil
+	}
+	row, _, err := storage.DecodeRow(blob)
+	if err != nil {
+		return nil, fmt.Errorf("provenance: decode annotations: %w", err)
+	}
+	if len(row)%2 != 0 {
+		return nil, fmt.Errorf("provenance: odd annotation list")
+	}
+	for i := 0; i < len(row); i += 2 {
+		out[row[i].Str()] = row[i+1].Str()
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders an assessment as the text block shown to end users (the
+// paper's §IV.C output: "the original FNJV metadata, compared with an
+// external authoritative source (reputation 1, availability 0.9) is 93%
+// accurate").
+func Report(a *Assessment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Quality assessment — goal %q, subject %q\n", a.Goal, a.Subject)
+	fmt.Fprintf(&b, "assessed at %s\n\n", a.At.Format("2006-01-02 15:04:05 MST"))
+
+	dims := make([]string, 0, len(a.Dimensions))
+	for d := range a.Dimensions {
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	fmt.Fprintf(&b, "%-16s %8s\n", "dimension", "score")
+	for _, d := range dims {
+		fmt.Fprintf(&b, "%-16s %8.3f\n", d, a.Dimensions[d])
+	}
+	if len(a.Missing) > 0 {
+		fmt.Fprintf(&b, "\nunavailable dimensions: %s\n", strings.Join(a.Missing, ", "))
+	}
+	fmt.Fprintf(&b, "\nutility index: %.3f (%s)\n", a.Utility, acceptWord(a.Accepted))
+	fmt.Fprintf(&b, "\nmetric detail:\n")
+	for _, r := range a.Results {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "  %-28s [%s] unavailable: %s\n", r.Metric, r.Dimension, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-28s [%s] %.3f — %s\n", r.Metric, r.Dimension, r.Score.Value, r.Score.Detail)
+	}
+	return b.String()
+}
+
+func acceptWord(ok bool) string {
+	if ok {
+		return "accept"
+	}
+	return "reject"
+}
+
+// Summary renders one line per ranked subject.
+func Summary(ranked []Ranked) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-32s %8s %s\n", "rank", "subject", "utility", "verdict")
+	for i, r := range ranked {
+		fmt.Fprintf(&b, "%-4d %-32s %8.3f %s\n", i+1, r.Subject, r.Assessment.Utility, acceptWord(r.Assessment.Accepted))
+	}
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package storage
+
+import "bytes"
+
+// btree is an in-memory B-tree keyed by []byte with arbitrary values. It is
+// not safe for concurrent mutation; Table serializes access.
+type btree struct {
+	root   *btreeNode
+	degree int // minimum degree t: nodes hold t-1..2t-1 keys (root may hold fewer)
+	size   int
+}
+
+type btreeNode struct {
+	keys     [][]byte
+	vals     []any
+	children []*btreeNode // nil for leaves
+}
+
+const defaultBTreeDegree = 32
+
+func newBTree() *btree {
+	return &btree{degree: defaultBTreeDegree, root: &btreeNode{}}
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// find returns the index of key in n.keys (or insertion point) and whether
+// it was an exact match.
+func (n *btreeNode) find(key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(n.keys[mid], key) {
+		case -1:
+			lo = mid + 1
+		case 1:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// Get returns the value stored under key.
+func (t *btree) Get(key []byte) (any, bool) {
+	n := t.root
+	for {
+		i, ok := n.find(key)
+		if ok {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Len reports the number of keys in the tree.
+func (t *btree) Len() int { return t.size }
+
+// Set inserts or replaces the value under key. It reports whether the key
+// was newly inserted.
+func (t *btree) Set(key []byte, val any) bool {
+	max := 2*t.degree - 1
+	if len(t.root.keys) == max {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0, t.degree)
+	}
+	inserted := t.root.insertNonFull(key, val, t.degree)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+func (n *btreeNode) splitChild(i, degree int) {
+	child := n.children[i]
+	mid := degree - 1
+	right := &btreeNode{
+		keys: append([][]byte(nil), child.keys[mid+1:]...),
+		vals: append([]any(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	upKey, upVal := child.keys[mid], child.vals[mid]
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = upKey
+	n.vals = append(n.vals, nil)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = upVal
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insertNonFull(key []byte, val any, degree int) bool {
+	for {
+		i, ok := n.find(key)
+		if ok {
+			n.vals[i] = val
+			return false
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = append([]byte(nil), key...)
+			n.vals = append(n.vals, nil)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = val
+			return true
+		}
+		if len(n.children[i].keys) == 2*degree-1 {
+			n.splitChild(i, degree)
+			if c := bytes.Compare(key, n.keys[i]); c == 0 {
+				n.vals[i] = val
+				return false
+			} else if c > 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes key from the tree, reporting whether it was present.
+func (t *btree) Delete(key []byte) bool {
+	if !t.root.delete(key, t.degree) {
+		return false
+	}
+	if len(t.root.keys) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+func (n *btreeNode) delete(key []byte, degree int) bool {
+	i, ok := n.find(key)
+	if n.leaf() {
+		if !ok {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	if ok {
+		// Replace with predecessor or successor, or merge.
+		if len(n.children[i].keys) >= degree {
+			pk, pv := n.children[i].max()
+			n.keys[i], n.vals[i] = pk, pv
+			return n.children[i].delete(pk, degree)
+		}
+		if len(n.children[i+1].keys) >= degree {
+			sk, sv := n.children[i+1].min()
+			n.keys[i], n.vals[i] = sk, sv
+			return n.children[i+1].delete(sk, degree)
+		}
+		n.merge(i)
+		return n.children[i].delete(key, degree)
+	}
+	// Descend, ensuring the child has ≥ degree keys first.
+	if len(n.children[i].keys) < degree {
+		i = n.fill(i, degree)
+	}
+	return n.children[i].delete(key, degree)
+}
+
+// fill ensures children[i] has at least degree keys, borrowing or merging.
+// It returns the (possibly shifted) child index to descend into.
+func (n *btreeNode) fill(i, degree int) int {
+	switch {
+	case i > 0 && len(n.children[i-1].keys) >= degree:
+		n.borrowFromLeft(i)
+	case i < len(n.children)-1 && len(n.children[i+1].keys) >= degree:
+		n.borrowFromRight(i)
+	case i < len(n.children)-1:
+		n.merge(i)
+	default:
+		n.merge(i - 1)
+		i--
+	}
+	return i
+}
+
+func (n *btreeNode) borrowFromLeft(i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.keys = append([][]byte{n.keys[i-1]}, child.keys...)
+	child.vals = append([]any{n.vals[i-1]}, child.vals...)
+	n.keys[i-1] = left.keys[len(left.keys)-1]
+	n.vals[i-1] = left.vals[len(left.vals)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	left.vals = left.vals[:len(left.vals)-1]
+	if !child.leaf() {
+		child.children = append([]*btreeNode{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+func (n *btreeNode) borrowFromRight(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	n.keys[i] = right.keys[0]
+	n.vals[i] = right.vals[0]
+	right.keys = right.keys[1:]
+	right.vals = right.vals[1:]
+	if !child.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = right.children[1:]
+	}
+}
+
+// merge folds children[i+1] and keys[i] into children[i].
+func (n *btreeNode) merge(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	child.keys = append(child.keys, right.keys...)
+	child.vals = append(child.vals, right.vals...)
+	child.children = append(child.children, right.children...)
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func (n *btreeNode) min() ([]byte, any) {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+func (n *btreeNode) max() ([]byte, any) {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+}
+
+// Ascend walks keys in [from, to) in order (nil bounds are open) calling fn;
+// fn returning false stops the walk.
+func (t *btree) Ascend(from, to []byte, fn func(key []byte, val any) bool) {
+	t.root.ascend(from, to, fn)
+}
+
+func (n *btreeNode) ascend(from, to []byte, fn func([]byte, any) bool) bool {
+	start := 0
+	if from != nil {
+		start, _ = n.find(from)
+	}
+	for i := start; i < len(n.keys); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(from, to, fn) {
+				return false
+			}
+		}
+		if to != nil && bytes.Compare(n.keys[i], to) >= 0 {
+			return false
+		}
+		if from == nil || bytes.Compare(n.keys[i], from) >= 0 {
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(from, to, fn)
+	}
+	return true
+}

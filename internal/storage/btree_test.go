@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeSetGet(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if !bt.Set(k, i) {
+			t.Fatalf("Set(%q) reported replace on first insert", k)
+		}
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", bt.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v, ok := bt.Get(k)
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%q) = %v,%v; want %d,true", k, v, ok, i)
+		}
+	}
+	if _, ok := bt.Get([]byte("missing")); ok {
+		t.Fatal("Get(missing) found a value")
+	}
+}
+
+func TestBTreeReplace(t *testing.T) {
+	bt := newBTree()
+	bt.Set([]byte("a"), 1)
+	if bt.Set([]byte("a"), 2) {
+		t.Fatal("second Set of same key reported insert")
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", bt.Len())
+	}
+	v, _ := bt.Get([]byte("a"))
+	if v.(int) != 2 {
+		t.Fatalf("Get = %v, want 2", v)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := newBTree()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		bt.Set([]byte(fmt.Sprintf("k%05d", i)), i)
+	}
+	// Delete evens.
+	for i := 0; i < n; i += 2 {
+		if !bt.Delete([]byte(fmt.Sprintf("k%05d", i))) {
+			t.Fatalf("Delete(k%05d) failed", i)
+		}
+	}
+	if bt.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", bt.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := bt.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(k%05d) present=%v, want %v", i, ok, want)
+		}
+	}
+	if bt.Delete([]byte("absent")) {
+		t.Fatal("Delete(absent) reported success")
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 100; i++ {
+		bt.Set([]byte(fmt.Sprintf("%03d", i)), i)
+	}
+	var got []int
+	bt.Ascend([]byte("010"), []byte("020"), func(_ []byte, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range scan [010,020) = %v", got)
+	}
+	// Full scan is sorted.
+	var keys []string
+	bt.Ascend(nil, nil, func(k []byte, _ any) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("full scan not sorted")
+	}
+	if len(keys) != 100 {
+		t.Fatalf("full scan returned %d keys, want 100", len(keys))
+	}
+	// Early stop.
+	count := 0
+	bt.Ascend(nil, nil, func(_ []byte, _ any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestBTreeRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bt := newBTree()
+	ref := map[string]int{}
+	for op := 0; op < 20000; op++ {
+		k := fmt.Sprintf("%04d", rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			bt.Set([]byte(k), op)
+			ref[k] = op
+		case 2:
+			delBT := bt.Delete([]byte(k))
+			_, inRef := ref[k]
+			if delBT != inRef {
+				t.Fatalf("op %d: Delete(%q) = %v, map has %v", op, k, delBT, inRef)
+			}
+			delete(ref, k)
+		}
+	}
+	if bt.Len() != len(ref) {
+		t.Fatalf("Len = %d, map has %d", bt.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := bt.Get([]byte(k))
+		if !ok || got.(int) != v {
+			t.Fatalf("Get(%q) = %v,%v; want %d,true", k, got, ok, v)
+		}
+	}
+	// Scan order must match sorted map keys.
+	want := make([]string, 0, len(ref))
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	i := 0
+	bt.Ascend(nil, nil, func(k []byte, _ any) bool {
+		if string(k) != want[i] {
+			t.Fatalf("scan position %d = %q, want %q", i, k, want[i])
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("scan visited %d keys, want %d", i, len(want))
+	}
+}
+
+func TestBTreePropertyInsertedKeysRetrievable(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		bt := newBTree()
+		seen := map[string]bool{}
+		for _, k := range keys {
+			bt.Set(k, string(k))
+			seen[string(k)] = true
+		}
+		if bt.Len() != len(seen) {
+			return false
+		}
+		for k := range seen {
+			v, ok := bt.Get([]byte(k))
+			if !ok || v.(string) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreePropertyScanSorted(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		bt := newBTree()
+		for _, k := range keys {
+			bt.Set(k, true)
+		}
+		var prev []byte
+		ok := true
+		bt.Ascend(nil, nil, func(k []byte, _ any) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				ok = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,496 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Sync selects the WAL durability policy. Default SyncAlways.
+	Sync SyncPolicy
+	// SnapshotEvery triggers an automatic snapshot once the WAL exceeds this
+	// many bytes (0 disables automatic snapshots).
+	SnapshotEvery int64
+}
+
+// DB is the embedded database: a set of tables, durable via WAL + snapshot.
+//
+// Concurrency: any number of readers OR one writer (guarded internally by an
+// RWMutex). All acknowledged writes are recoverable under the chosen sync
+// policy.
+type DB struct {
+	mu     sync.RWMutex
+	dir    string
+	opts   Options
+	log    *wal
+	tables map[string]*Table
+	closed bool
+}
+
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.db"
+)
+
+// Operation codes in WAL/snapshot payloads.
+const (
+	opCreateTable byte = 1
+	opCreateIndex byte = 2
+	opInsert      byte = 3
+	opUpdate      byte = 4
+	opDelete      byte = 5
+)
+
+// Open opens (or creates) a database in dir, recovering state from the
+// snapshot and WAL if present.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir %q: %w", dir, err)
+	}
+	db := &DB{dir: dir, opts: opts, tables: make(map[string]*Table)}
+
+	// 1. Load snapshot (same framed-op format as the WAL).
+	snapPath := filepath.Join(dir, snapshotFile)
+	if _, err := replayWAL(snapPath, db.applyPayload); err != nil {
+		return nil, fmt.Errorf("storage: snapshot replay: %w", err)
+	}
+
+	// 2. Replay the WAL, truncating any torn tail.
+	walPath := filepath.Join(dir, walFile)
+	intact, err := replayWAL(walPath, db.applyPayload)
+	if err != nil {
+		return nil, fmt.Errorf("storage: wal replay: %w", err)
+	}
+	if st, err := os.Stat(walPath); err == nil && st.Size() > intact {
+		if err := os.Truncate(walPath, intact); err != nil {
+			return nil, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
+	}
+
+	db.log, err = openWAL(walPath, opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Op is one logical mutation, built with the Insert/Update/Delete/
+// CreateTable/CreateIndex constructors and applied atomically via Apply.
+type Op struct {
+	code   byte
+	table  string
+	row    Row     // insert/update
+	pk     Value   // delete
+	schema *Schema // create table
+	column string  // create index
+}
+
+// InsertOp inserts row into table.
+func InsertOp(table string, row Row) Op { return Op{code: opInsert, table: table, row: row} }
+
+// UpdateOp replaces the row with row's primary key in table.
+func UpdateOp(table string, row Row) Op { return Op{code: opUpdate, table: table, row: row} }
+
+// DeleteOp removes the row with primary key pk from table.
+func DeleteOp(table string, pk Value) Op { return Op{code: opDelete, table: table, pk: pk} }
+
+// CreateTableOp creates a table from schema.
+func CreateTableOp(schema *Schema) Op { return Op{code: opCreateTable, schema: schema} }
+
+// CreateIndexOp creates a secondary index on table.column.
+func CreateIndexOp(table, column string) Op {
+	return Op{code: opCreateIndex, table: table, column: column}
+}
+
+type schemaJSON struct {
+	Table   string `json:"table"`
+	Columns []struct {
+		Name     string `json:"name"`
+		Kind     uint8  `json:"kind"`
+		Nullable bool   `json:"nullable"`
+	} `json:"columns"`
+}
+
+func encodeOp(dst []byte, op Op) ([]byte, error) {
+	dst = append(dst, op.code)
+	switch op.code {
+	case opCreateTable:
+		var sj schemaJSON
+		sj.Table = op.schema.Table
+		for _, c := range op.schema.Columns {
+			sj.Columns = append(sj.Columns, struct {
+				Name     string `json:"name"`
+				Kind     uint8  `json:"kind"`
+				Nullable bool   `json:"nullable"`
+			}{c.Name, uint8(c.Kind), c.Nullable})
+		}
+		blob, err := json.Marshal(sj)
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(blob)))
+		dst = append(dst, blob...)
+	case opCreateIndex:
+		dst = appendString(dst, op.table)
+		dst = appendString(dst, op.column)
+	case opInsert, opUpdate:
+		dst = appendString(dst, op.table)
+		dst = EncodeRow(dst, op.row)
+	case opDelete:
+		dst = appendString(dst, op.table)
+		dst = EncodeRow(dst, Row{op.pk})
+	default:
+		return nil, fmt.Errorf("storage: unknown op code %d", op.code)
+	}
+	return dst, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(buf []byte) (string, int, error) {
+	l, sz := binary.Uvarint(buf)
+	if sz <= 0 || uint64(len(buf)-sz) < l {
+		return "", 0, fmt.Errorf("storage: truncated string in op")
+	}
+	return string(buf[sz : sz+int(l)]), sz + int(l), nil
+}
+
+// applyPayload decodes one WAL record (a batch of ops) and applies it to the
+// in-memory state. Used both for recovery replay and post-log application.
+func (db *DB) applyPayload(payload []byte) error {
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 {
+		return fmt.Errorf("storage: corrupt batch header")
+	}
+	off := sz
+	for i := uint64(0); i < n; i++ {
+		if off >= len(payload) {
+			return fmt.Errorf("storage: truncated batch at op %d", i)
+		}
+		code := payload[off]
+		off++
+		switch code {
+		case opCreateTable:
+			l, sz := binary.Uvarint(payload[off:])
+			if sz <= 0 || uint64(len(payload)-off-sz) < l {
+				return fmt.Errorf("storage: truncated schema blob")
+			}
+			off += sz
+			var sj schemaJSON
+			if err := json.Unmarshal(payload[off:off+int(l)], &sj); err != nil {
+				return fmt.Errorf("storage: decode schema: %w", err)
+			}
+			off += int(l)
+			cols := make([]Column, len(sj.Columns))
+			for i, c := range sj.Columns {
+				cols[i] = Column{Name: c.Name, Kind: Kind(c.Kind), Nullable: c.Nullable}
+			}
+			schema, err := NewSchema(sj.Table, cols...)
+			if err != nil {
+				return err
+			}
+			if _, exists := db.tables[schema.Table]; !exists {
+				db.tables[schema.Table] = newTable(schema, &db.mu)
+			}
+		case opCreateIndex:
+			table, n, err := readString(payload[off:])
+			if err != nil {
+				return err
+			}
+			off += n
+			col, n, err := readString(payload[off:])
+			if err != nil {
+				return err
+			}
+			off += n
+			t, ok := db.tables[table]
+			if !ok {
+				return fmt.Errorf("storage: create index on unknown table %q", table)
+			}
+			if err := t.applyCreateIndex(col); err != nil {
+				return err
+			}
+		case opInsert, opUpdate, opDelete:
+			table, n, err := readString(payload[off:])
+			if err != nil {
+				return err
+			}
+			off += n
+			row, n, err := DecodeRow(payload[off:])
+			if err != nil {
+				return err
+			}
+			off += n
+			t, ok := db.tables[table]
+			if !ok {
+				return fmt.Errorf("storage: op on unknown table %q", table)
+			}
+			switch code {
+			case opInsert:
+				err = t.applyInsert(row)
+			case opUpdate:
+				err = t.applyUpdate(row)
+			case opDelete:
+				err = t.applyDelete(row[0])
+			}
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("storage: unknown op code %d in batch", code)
+		}
+	}
+	return nil
+}
+
+// validateOps checks every op against current state before anything is
+// logged, so a batch either fully applies or is rejected up front.
+func (db *DB) validateOps(ops []Op) error {
+	// Track tables/rows created earlier in the same batch.
+	created := map[string]*Schema{}
+	pending := map[string]map[string]bool{} // table -> encoded pk -> exists after batch prefix
+	exists := func(table string, pk Value) bool {
+		if m := pending[table]; m != nil {
+			if v, ok := m[string(EncodeKey(nil, pk))]; ok {
+				return v
+			}
+		}
+		t := db.tables[table]
+		return t != nil && t.hasLocked(pk)
+	}
+	mark := func(table string, pk Value, present bool) {
+		if pending[table] == nil {
+			pending[table] = map[string]bool{}
+		}
+		pending[table][string(EncodeKey(nil, pk))] = present
+	}
+	schemaOf := func(table string) *Schema {
+		if s := created[table]; s != nil {
+			return s
+		}
+		if t := db.tables[table]; t != nil {
+			return t.schema
+		}
+		return nil
+	}
+	for _, op := range ops {
+		switch op.code {
+		case opCreateTable:
+			if op.schema == nil {
+				return fmt.Errorf("storage: create table with nil schema")
+			}
+			if schemaOf(op.schema.Table) != nil {
+				return fmt.Errorf("storage: table %q already exists", op.schema.Table)
+			}
+			created[op.schema.Table] = op.schema
+		case opCreateIndex:
+			s := schemaOf(op.table)
+			if s == nil {
+				return fmt.Errorf("storage: index on unknown table %q", op.table)
+			}
+			if s.Index(op.column) < 0 {
+				return fmt.Errorf("storage: table %q has no column %q", op.table, op.column)
+			}
+		case opInsert:
+			s := schemaOf(op.table)
+			if s == nil {
+				return fmt.Errorf("storage: insert into unknown table %q", op.table)
+			}
+			if err := s.Validate(op.row); err != nil {
+				return err
+			}
+			if exists(op.table, op.row[0]) {
+				return fmt.Errorf("%w: table %q pk %s", ErrDuplicate, op.table, op.row[0])
+			}
+			mark(op.table, op.row[0], true)
+		case opUpdate:
+			s := schemaOf(op.table)
+			if s == nil {
+				return fmt.Errorf("storage: update on unknown table %q", op.table)
+			}
+			if err := s.Validate(op.row); err != nil {
+				return err
+			}
+			if !exists(op.table, op.row[0]) {
+				return fmt.Errorf("%w: table %q pk %s", ErrNotFound, op.table, op.row[0])
+			}
+		case opDelete:
+			if schemaOf(op.table) == nil {
+				return fmt.Errorf("storage: delete on unknown table %q", op.table)
+			}
+			if !exists(op.table, op.pk) {
+				return fmt.Errorf("%w: table %q pk %s", ErrNotFound, op.table, op.pk)
+			}
+			mark(op.table, op.pk, false)
+		default:
+			return fmt.Errorf("storage: unknown op code %d", op.code)
+		}
+	}
+	return nil
+}
+
+// Apply validates, logs and applies a batch of operations atomically: either
+// every op is durable and applied, or none is.
+func (db *DB) Apply(ops ...Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("storage: db is closed")
+	}
+	if err := db.validateOps(ops); err != nil {
+		return err
+	}
+	payload := binary.AppendUvarint(nil, uint64(len(ops)))
+	var err error
+	for _, op := range ops {
+		payload, err = encodeOp(payload, op)
+		if err != nil {
+			return err
+		}
+	}
+	if err := db.log.Append(payload); err != nil {
+		return err
+	}
+	if err := db.applyPayload(payload); err != nil {
+		// validateOps guarantees this cannot happen; if it does, state and
+		// log have diverged and continuing would corrupt the database.
+		panic(fmt.Sprintf("storage: post-log apply failed after validation: %v", err))
+	}
+	if db.opts.SnapshotEvery > 0 && db.log.size >= db.opts.SnapshotEvery {
+		return db.snapshotLocked()
+	}
+	return nil
+}
+
+// CreateTable creates a new table.
+func (db *DB) CreateTable(schema *Schema) error { return db.Apply(CreateTableOp(schema)) }
+
+// CreateIndex creates a secondary index on table.column, backfilled from
+// existing rows.
+func (db *DB) CreateIndex(table, column string) error { return db.Apply(CreateIndexOp(table, column)) }
+
+// Insert adds one row.
+func (db *DB) Insert(table string, row Row) error { return db.Apply(InsertOp(table, row)) }
+
+// Update replaces one row by primary key.
+func (db *DB) Update(table string, row Row) error { return db.Apply(UpdateOp(table, row)) }
+
+// Delete removes one row by primary key.
+func (db *DB) Delete(table string, pk Value) error { return db.Apply(DeleteOp(table, pk)) }
+
+// Table returns a read handle for the named table, or nil if absent.
+// The handle must only be used for reads; mutations go through DB. Each
+// read method is individually atomic with respect to writers (the handle
+// shares the database lock); consistency across separate calls is not
+// guaranteed while writers run.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// Tables returns the names of all tables in lexical order of creation
+// iteration (unordered).
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Snapshot persists the full in-memory state and truncates the WAL.
+func (db *DB) Snapshot() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.snapshotLocked()
+}
+
+func (db *DB) snapshotLocked() error {
+	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: create snapshot: %w", err)
+	}
+	snap, err := openWALFromFile(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	writeBatch := func(ops ...Op) error {
+		payload := binary.AppendUvarint(nil, uint64(len(ops)))
+		for _, op := range ops {
+			payload, err = encodeOp(payload, op)
+			if err != nil {
+				return err
+			}
+		}
+		return snap.Append(payload)
+	}
+	for name, t := range db.tables {
+		if err := writeBatch(CreateTableOp(t.schema)); err != nil {
+			return err
+		}
+		var failed error
+		t.scanLocked(func(r Row) bool {
+			if err := writeBatch(InsertOp(name, r)); err != nil {
+				failed = err
+				return false
+			}
+			return true
+		})
+		if failed != nil {
+			return failed
+		}
+		for col := range t.secondary {
+			if err := writeBatch(CreateIndexOp(name, col)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := snap.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("storage: publish snapshot: %w", err)
+	}
+	return db.log.Truncate()
+}
+
+// openWALFromFile wraps an already-open file in the WAL framing writer; the
+// snapshot writer reuses the WAL record format.
+func openWALFromFile(f *os.File) (*wal, error) {
+	return &wal{
+		f:      f,
+		w:      newBufWriter(f),
+		policy: SyncOnClose,
+		crcTab: castagnoliTable(),
+	}, nil
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	return db.log.Close()
+}
+
+// WALSize reports the current WAL length (for snapshot policies and tests).
+func (db *DB) WALSize() int64 { return db.log.Size() }

@@ -1,0 +1,457 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("recordings",
+		Column{Name: "id", Kind: KindString},
+		Column{Name: "species", Kind: KindString, Nullable: true},
+		Column{Name: "year", Kind: KindInt, Nullable: true},
+		Column{Name: "quality", Kind: KindFloat, Nullable: true},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func openTestDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestDBBasicCRUD(t *testing.T) {
+	db := openTestDB(t, Options{Sync: SyncOnClose})
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	row := Row{S("r1"), S("Elachistocleis ovalis"), I(1978), F(0.9)}
+	if err := db.Insert("recordings", row); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	got, err := db.Table("recordings").Get(S("r1"))
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.Get(db.Table("recordings").Schema(), "species").Str() != "Elachistocleis ovalis" {
+		t.Fatalf("Get returned %v", got)
+	}
+
+	row[1] = S("Nomen inquirenda")
+	if err := db.Update("recordings", row); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	got, _ = db.Table("recordings").Get(S("r1"))
+	if got[1].Str() != "Nomen inquirenda" {
+		t.Fatalf("after update species = %q", got[1].Str())
+	}
+
+	if err := db.Delete("recordings", S("r1")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := db.Table("recordings").Get(S("r1")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete: %v, want ErrNotFound", err)
+	}
+}
+
+func TestDBSchemaValidation(t *testing.T) {
+	db := openTestDB(t, Options{Sync: SyncNever})
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong arity.
+	if err := db.Insert("recordings", Row{S("x")}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	// Wrong kind.
+	if err := db.Insert("recordings", Row{S("x"), I(1), I(1), F(0)}); err == nil {
+		t.Fatal("wrong-kind row accepted")
+	}
+	// Null PK.
+	if err := db.Insert("recordings", Row{Null(), S("a"), I(1), F(0)}); err == nil {
+		t.Fatal("null primary key accepted")
+	}
+	// Nullable columns accept NULL.
+	if err := db.Insert("recordings", Row{S("x"), Null(), Null(), Null()}); err != nil {
+		t.Fatalf("nullable columns rejected NULL: %v", err)
+	}
+	// Duplicate PK.
+	if err := db.Insert("recordings", Row{S("x"), Null(), Null(), Null()}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v, want ErrDuplicate", err)
+	}
+	// Unknown table.
+	if err := db.Insert("nope", Row{S("x")}); err == nil {
+		t.Fatal("insert into unknown table accepted")
+	}
+	// Update/delete of missing rows.
+	if err := db.Update("recordings", Row{S("zz"), Null(), Null(), Null()}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing: %v", err)
+	}
+	if err := db.Delete("recordings", S("zz")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+	// Duplicate table.
+	if err := db.CreateTable(testSchema(t)); err == nil {
+		t.Fatal("duplicate CreateTable accepted")
+	}
+}
+
+func TestDBSecondaryIndex(t *testing.T) {
+	db := openTestDB(t, Options{Sync: SyncNever})
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sp := fmt.Sprintf("species-%d", i%10)
+		if err := db.Insert("recordings", Row{S(fmt.Sprintf("r%03d", i)), S(sp), I(int64(1960 + i)), Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Index created after data exists must backfill.
+	if err := db.CreateIndex("recordings", "species"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	rows, err := db.Table("recordings").Lookup("species", S("species-3"))
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("Lookup returned %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].Str() != "species-3" {
+			t.Fatalf("Lookup returned row with species %q", r[1].Str())
+		}
+	}
+	// Index maintained on update.
+	r := rows[0].Clone()
+	r[1] = S("renamed")
+	if err := db.Update("recordings", r); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.Table("recordings").Lookup("species", S("species-3"))
+	if len(rows) != 9 {
+		t.Fatalf("after update Lookup returned %d rows, want 9", len(rows))
+	}
+	rows, _ = db.Table("recordings").Lookup("species", S("renamed"))
+	if len(rows) != 1 {
+		t.Fatalf("Lookup(renamed) returned %d rows, want 1", len(rows))
+	}
+	// Index maintained on delete.
+	if err := db.Delete("recordings", rows[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.Table("recordings").Lookup("species", S("renamed"))
+	if len(rows) != 0 {
+		t.Fatalf("Lookup after delete returned %d rows", len(rows))
+	}
+	// Lookup without an index errors.
+	if _, err := db.Table("recordings").Lookup("year", I(1970)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup without index: %v", err)
+	}
+	// Index on unknown column rejected.
+	if err := db.CreateIndex("recordings", "nope"); err == nil {
+		t.Fatal("index on unknown column accepted")
+	}
+}
+
+func TestDBRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("recordings", "species"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Insert("recordings", Row{S(fmt.Sprintf("r%02d", i)), S("sp"), I(int64(i)), Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete("recordings", S("r00")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	tab := db2.Table("recordings")
+	if tab == nil {
+		t.Fatal("table lost after recovery")
+	}
+	if tab.Len() != 49 {
+		t.Fatalf("recovered %d rows, want 49", tab.Len())
+	}
+	if tab.Has(S("r00")) {
+		t.Fatal("deleted row resurrected by recovery")
+	}
+	rows, err := tab.Lookup("species", S("sp"))
+	if err != nil {
+		t.Fatalf("secondary index lost after recovery: %v", err)
+	}
+	if len(rows) != 49 {
+		t.Fatalf("index recovered %d rows, want 49", len(rows))
+	}
+}
+
+func TestDBRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Insert("recordings", Row{S(fmt.Sprintf("r%d", i)), Null(), Null(), Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	// Simulate a crash mid-write: append garbage to the WAL.
+	walPath := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	if db2.Table("recordings").Len() != 10 {
+		t.Fatalf("recovered %d rows, want 10", db2.Table("recordings").Len())
+	}
+	// Writes after truncation still work and survive another cycle.
+	if err := db2.Insert("recordings", Row{S("r10"), Null(), Null(), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	db3, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.Table("recordings").Len() != 11 {
+		t.Fatalf("third open recovered %d rows, want 11", db3.Table("recordings").Len())
+	}
+}
+
+func TestDBSnapshotAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncOnClose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("recordings", "species"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := db.Insert("recordings", Row{S(fmt.Sprintf("r%03d", i)), S(fmt.Sprintf("sp%d", i%7)), I(int64(i)), Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if db.WALSize() != 0 {
+		t.Fatalf("WAL not truncated after snapshot: %d bytes", db.WALSize())
+	}
+	// Post-snapshot writes land in the fresh WAL.
+	if err := db.Insert("recordings", Row{S("r999"), S("sp0"), I(999), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{Sync: SyncOnClose})
+	if err != nil {
+		t.Fatalf("reopen after snapshot: %v", err)
+	}
+	defer db2.Close()
+	if got := db2.Table("recordings").Len(); got != 201 {
+		t.Fatalf("recovered %d rows, want 201", got)
+	}
+	rows, err := db2.Table("recordings").Lookup("species", S("sp0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 29+1 {
+		t.Fatalf("index after snapshot recovery: %d rows, want 30", len(rows))
+	}
+}
+
+func TestDBAutoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncNever, SnapshotEvery: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := db.Insert("recordings", Row{S(fmt.Sprintf("r%04d", i)), S("some species name payload"), I(int64(i)), F(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("auto snapshot not created: %v", err)
+	}
+	if db.WALSize() >= 1024*4 {
+		t.Fatalf("WAL grew to %d despite auto snapshots", db.WALSize())
+	}
+	db.Close()
+	db2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Table("recordings").Len() != 500 {
+		t.Fatalf("recovered %d rows, want 500", db2.Table("recordings").Len())
+	}
+}
+
+func TestDBAtomicBatch(t *testing.T) {
+	db := openTestDB(t, Options{Sync: SyncNever})
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("recordings", Row{S("a"), Null(), Null(), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	// Batch where the *last* op conflicts: nothing must apply.
+	err := db.Apply(
+		InsertOp("recordings", Row{S("b"), Null(), Null(), Null()}),
+		InsertOp("recordings", Row{S("a"), Null(), Null(), Null()}), // duplicate
+	)
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("batch with duplicate: %v", err)
+	}
+	if db.Table("recordings").Has(S("b")) {
+		t.Fatal("partial batch applied: b exists")
+	}
+	// Batch that is internally consistent: create table + insert + index.
+	s2, _ := NewSchema("updates", Column{Name: "id", Kind: KindString}, Column{Name: "ref", Kind: KindString, Nullable: true})
+	err = db.Apply(
+		CreateTableOp(s2),
+		InsertOp("updates", Row{S("u1"), S("a")}),
+		CreateIndexOp("updates", "ref"),
+	)
+	if err != nil {
+		t.Fatalf("composite batch: %v", err)
+	}
+	rows, err := db.Table("updates").Lookup("ref", S("a"))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("Lookup after composite batch: %v %d", err, len(rows))
+	}
+	// Insert-then-delete of the same key within one batch is legal.
+	if err := db.Apply(
+		InsertOp("updates", Row{S("tmp"), Null()}),
+		DeleteOp("updates", S("tmp")),
+	); err != nil {
+		t.Fatalf("insert+delete batch: %v", err)
+	}
+	if db.Table("updates").Has(S("tmp")) {
+		t.Fatal("tmp row survived insert+delete batch")
+	}
+}
+
+func TestDBViewAndScan(t *testing.T) {
+	db := openTestDB(t, Options{Sync: SyncNever})
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := db.Insert("recordings", Row{S(fmt.Sprintf("r%02d", i)), Null(), I(int64(i)), Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum int64
+	db.Table("recordings").Scan(func(r Row) bool {
+		sum += r[2].Int()
+		return true
+	})
+	if sum != 190 {
+		t.Fatalf("sum = %d, want 190", sum)
+	}
+	sel := db.Table("recordings").Select(func(r Row) bool { return r[2].Int() >= 15 })
+	if len(sel) != 5 {
+		t.Fatalf("Select returned %d rows, want 5", len(sel))
+	}
+	if n := db.Table("recordings").Count(func(r Row) bool { return r[2].Int()%2 == 0 }); n != 10 {
+		t.Fatalf("Count = %d, want 10", n)
+	}
+}
+
+func TestDBClosedRejectsWrites(t *testing.T) {
+	db := openTestDB(t, Options{Sync: SyncNever})
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := db.Insert("recordings", Row{S("x"), Null(), Null(), Null()}); err == nil {
+		t.Fatal("write accepted after Close")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestSchemaConstructorValidation(t *testing.T) {
+	if _, err := NewSchema(""); err == nil {
+		t.Fatal("empty table name accepted")
+	}
+	if _, err := NewSchema("t"); err == nil {
+		t.Fatal("zero columns accepted")
+	}
+	if _, err := NewSchema("t", Column{Name: "pk", Kind: KindString, Nullable: true}); err == nil {
+		t.Fatal("nullable primary key accepted")
+	}
+	if _, err := NewSchema("t", Column{Name: "pk", Kind: KindString}, Column{Name: "pk", Kind: KindInt}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := NewSchema("t", Column{Name: "", Kind: KindString}); err == nil {
+		t.Fatal("unnamed column accepted")
+	}
+	if _, err := NewSchema("t", Column{Name: "pk", Kind: KindNull}); err == nil {
+		t.Fatal("null-kind column accepted")
+	}
+	s := MustSchema("t", Column{Name: "pk", Kind: KindString}, Column{Name: "v", Kind: KindTime, Nullable: true})
+	if s.Index("v") != 1 || s.Index("missing") != -1 {
+		t.Fatal("Index lookup broken")
+	}
+	if err := s.Validate(Row{S("k"), T(time.Now())}); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+}

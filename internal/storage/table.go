@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotFound is returned when a key or record does not exist.
+var ErrNotFound = errors.New("storage: not found")
+
+// ErrDuplicate is returned when inserting a primary key that already exists.
+var ErrDuplicate = errors.New("storage: duplicate key")
+
+// Table is one relation: a schema, a primary-key B-tree and any secondary
+// indexes. All mutation goes through DB so it can be logged. Read methods
+// share the database lock, so each call is atomic with respect to writers.
+type Table struct {
+	mu        *sync.RWMutex // the owning DB's lock; nil only in unit fixtures
+	schema    *Schema
+	primary   *btree            // encoded pk -> Row
+	secondary map[string]*btree // column name -> (encoded value ++ encoded pk) -> pk Value
+}
+
+func newTable(schema *Schema, mu *sync.RWMutex) *Table {
+	return &Table{
+		mu:        mu,
+		schema:    schema,
+		primary:   newBTree(),
+		secondary: make(map[string]*btree),
+	}
+}
+
+func (t *Table) rlock() func() {
+	if t.mu == nil {
+		return func() {}
+	}
+	t.mu.RLock()
+	return t.mu.RUnlock
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len reports the number of rows.
+func (t *Table) Len() int {
+	defer t.rlock()()
+	return t.primary.Len()
+}
+
+// Get fetches the row with the given primary key.
+func (t *Table) Get(pk Value) (Row, error) {
+	defer t.rlock()()
+	return t.getLocked(pk)
+}
+
+func (t *Table) getLocked(pk Value) (Row, error) {
+	v, ok := t.primary.Get(EncodeKey(nil, pk))
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q pk %s", ErrNotFound, t.schema.Table, pk)
+	}
+	return v.(Row), nil
+}
+
+// Has reports whether a row with the given primary key exists.
+func (t *Table) Has(pk Value) bool {
+	defer t.rlock()()
+	_, ok := t.primary.Get(EncodeKey(nil, pk))
+	return ok
+}
+
+// hasLocked is Has without locking, for use under the DB write lock.
+func (t *Table) hasLocked(pk Value) bool {
+	_, ok := t.primary.Get(EncodeKey(nil, pk))
+	return ok
+}
+
+// secondaryKey builds the composite (value, pk) key used in secondary trees
+// so that duplicate column values coexist.
+func secondaryKey(val, pk Value) []byte {
+	k := EncodeKey(nil, val)
+	return EncodeKey(k, pk)
+}
+
+func (t *Table) applyInsert(row Row) error {
+	pkKey := EncodeKey(nil, row[0])
+	if _, exists := t.primary.Get(pkKey); exists {
+		return fmt.Errorf("%w: table %q pk %s", ErrDuplicate, t.schema.Table, row[0])
+	}
+	t.primary.Set(pkKey, row)
+	for col, idx := range t.secondary {
+		ci := t.schema.Index(col)
+		idx.Set(secondaryKey(row[ci], row[0]), row[0])
+	}
+	return nil
+}
+
+func (t *Table) applyUpdate(row Row) error {
+	pkKey := EncodeKey(nil, row[0])
+	oldAny, exists := t.primary.Get(pkKey)
+	if !exists {
+		return fmt.Errorf("%w: table %q pk %s", ErrNotFound, t.schema.Table, row[0])
+	}
+	old := oldAny.(Row)
+	t.primary.Set(pkKey, row)
+	for col, idx := range t.secondary {
+		ci := t.schema.Index(col)
+		if !old[ci].Equal(row[ci]) {
+			idx.Delete(secondaryKey(old[ci], row[0]))
+			idx.Set(secondaryKey(row[ci], row[0]), row[0])
+		}
+	}
+	return nil
+}
+
+func (t *Table) applyDelete(pk Value) error {
+	pkKey := EncodeKey(nil, pk)
+	oldAny, exists := t.primary.Get(pkKey)
+	if !exists {
+		return fmt.Errorf("%w: table %q pk %s", ErrNotFound, t.schema.Table, pk)
+	}
+	old := oldAny.(Row)
+	t.primary.Delete(pkKey)
+	for col, idx := range t.secondary {
+		ci := t.schema.Index(col)
+		idx.Delete(secondaryKey(old[ci], pk))
+	}
+	return nil
+}
+
+func (t *Table) applyCreateIndex(col string) error {
+	ci := t.schema.Index(col)
+	if ci < 0 {
+		return fmt.Errorf("storage: table %q has no column %q", t.schema.Table, col)
+	}
+	if _, exists := t.secondary[col]; exists {
+		return nil // idempotent: replay may re-create
+	}
+	idx := newBTree()
+	t.primary.Ascend(nil, nil, func(_ []byte, v any) bool {
+		row := v.(Row)
+		idx.Set(secondaryKey(row[ci], row[0]), row[0])
+		return true
+	})
+	t.secondary[col] = idx
+	return nil
+}
+
+// Scan walks every row in primary-key order under the read lock; fn
+// returning false stops the scan. Rows must not be mutated by fn, and fn
+// must not call DB write methods (the read lock is held).
+func (t *Table) Scan(fn func(Row) bool) {
+	defer t.rlock()()
+	t.scanLocked(fn)
+}
+
+func (t *Table) scanLocked(fn func(Row) bool) {
+	t.primary.Ascend(nil, nil, func(_ []byte, v any) bool {
+		return fn(v.(Row))
+	})
+}
+
+// Select returns every row matching pred, in primary-key order.
+func (t *Table) Select(pred func(Row) bool) []Row {
+	var out []Row
+	t.Scan(func(r Row) bool {
+		if pred(r) {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// Lookup uses the secondary index on col to return all rows whose column
+// equals val. It returns ErrNotFound if no index exists on col.
+func (t *Table) Lookup(col string, val Value) ([]Row, error) {
+	defer t.rlock()()
+	idx, ok := t.secondary[col]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q has no index on %q", ErrNotFound, t.schema.Table, col)
+	}
+	from := EncodeKey(nil, val)
+	to := append(append([]byte(nil), from...), 0xFF)
+	var out []Row
+	idx.Ascend(from, to, func(_ []byte, pkAny any) bool {
+		row, err := t.getLocked(pkAny.(Value))
+		if err == nil {
+			out = append(out, row)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// LookupRange uses the secondary index on col to return all rows whose
+// column value lies in [lo, hi] (inclusive; NULL bounds are rejected), in
+// ascending column order. It returns ErrNotFound if no index exists on col.
+func (t *Table) LookupRange(col string, lo, hi Value) ([]Row, error) {
+	defer t.rlock()()
+	idx, ok := t.secondary[col]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q has no index on %q", ErrNotFound, t.schema.Table, col)
+	}
+	if lo.IsNull() || hi.IsNull() {
+		return nil, fmt.Errorf("storage: LookupRange bounds must be non-null")
+	}
+	from := EncodeKey(nil, lo)
+	to := append(EncodeKey(nil, hi), 0xFF) // include all pk suffixes of hi
+	var out []Row
+	idx.Ascend(from, to, func(_ []byte, pkAny any) bool {
+		row, err := t.getLocked(pkAny.(Value))
+		if err == nil {
+			out = append(out, row)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// Count returns the number of rows matching pred (nil counts all rows).
+func (t *Table) Count(pred func(Row) bool) int {
+	if pred == nil {
+		return t.Len()
+	}
+	n := 0
+	t.Scan(func(r Row) bool {
+		if pred(r) {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,317 @@
+// Package storage implements the embedded database engine that backs every
+// repository in the preservation architecture: the data repository, the
+// workflow repository and the data-provenance repository.
+//
+// The engine is deliberately small but complete: typed schemas, a binary row
+// codec, an in-memory B-tree primary index with optional secondary indexes,
+// a write-ahead log with CRC-framed records and group commit, snapshots, and
+// crash recovery (snapshot load + WAL replay). It is single-process and
+// single-writer, which matches the paper's deployment (one curation service
+// in front of the collection database).
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the column types supported by the engine.
+type Kind uint8
+
+// Supported column kinds.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+	KindTime
+	KindBytes
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindTime:
+		return "time"
+	case KindBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed cell. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	str  string
+	i    int64
+	f    float64
+	b    bool
+	t    time.Time
+	raw  []byte
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// S builds a string value.
+func S(v string) Value { return Value{kind: KindString, str: v} }
+
+// I builds an int value.
+func I(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// F builds a float value.
+func F(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// B builds a bool value.
+func B(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// T builds a time value (stored in UTC at microsecond precision).
+func T(v time.Time) Value { return Value{kind: KindTime, t: v.UTC().Truncate(time.Microsecond)} }
+
+// Bytes builds a raw bytes value; the slice is not copied.
+func Bytes(v []byte) Value { return Value{kind: KindBytes, raw: v} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload (zero value if not a string).
+func (v Value) Str() string { return v.str }
+
+// Int returns the int payload.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload.
+func (v Value) Float() float64 { return v.f }
+
+// Bool returns the bool payload.
+func (v Value) Bool() bool { return v.b }
+
+// Time returns the time payload.
+func (v Value) Time() time.Time { return v.t }
+
+// Raw returns the bytes payload.
+func (v Value) Raw() []byte { return v.raw }
+
+// String renders the value for display and debugging.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return v.str
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindTime:
+		return v.t.Format(time.RFC3339Nano)
+	case KindBytes:
+		return fmt.Sprintf("%x", v.raw)
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep equality of two values, including kind.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.str == o.str
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindBool:
+		return v.b == o.b
+	case KindTime:
+		return v.t.Equal(o.t)
+	case KindBytes:
+		return string(v.raw) == string(o.raw)
+	default:
+		return false
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; values of
+// different kinds order by kind; otherwise natural ordering applies.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return compareOrdered(v.str, o.str)
+	case KindInt:
+		return compareOrdered(v.i, o.i)
+	case KindFloat:
+		return compareOrdered(v.f, o.f)
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	case KindTime:
+		switch {
+		case v.t.Before(o.t):
+			return -1
+		case v.t.After(o.t):
+			return 1
+		default:
+			return 0
+		}
+	case KindBytes:
+		return compareOrdered(string(v.raw), string(o.raw))
+	default:
+		return 0
+	}
+}
+
+func compareOrdered[T interface{ ~string | ~int64 | ~float64 }](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Column describes one field of a table schema.
+type Column struct {
+	Name     string
+	Kind     Kind
+	Nullable bool
+}
+
+// Schema is an ordered list of columns; column 0 is the primary key.
+type Schema struct {
+	Table   string
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds and validates a schema. The first column is the primary
+// key and must be non-nullable.
+func NewSchema(table string, cols ...Column) (*Schema, error) {
+	if table == "" {
+		return nil, fmt.Errorf("storage: schema needs a table name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("storage: schema %q needs at least one column", table)
+	}
+	if cols[0].Nullable {
+		return nil, fmt.Errorf("storage: schema %q primary key %q must be non-nullable", table, cols[0].Name)
+	}
+	s := &Schema{Table: table, Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("storage: schema %q column %d has no name", table, i)
+		}
+		if c.Kind == KindNull {
+			return nil, fmt.Errorf("storage: schema %q column %q cannot have kind null", table, c.Name)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("storage: schema %q duplicate column %q", table, c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for package-level schemas.
+func MustSchema(table string, cols ...Column) *Schema {
+	s, err := NewSchema(table, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Index returns the position of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Validate checks a row against the schema: arity, kinds and nullability.
+func (s *Schema) Validate(row Row) error {
+	if len(row) != len(s.Columns) {
+		return fmt.Errorf("storage: table %q row has %d values, schema has %d columns", s.Table, len(row), len(s.Columns))
+	}
+	for i, c := range s.Columns {
+		v := row[i]
+		if v.IsNull() {
+			if !c.Nullable {
+				return fmt.Errorf("storage: table %q column %q is not nullable", s.Table, c.Name)
+			}
+			continue
+		}
+		if v.Kind() != c.Kind {
+			return fmt.Errorf("storage: table %q column %q expects %s, got %s", s.Table, c.Name, c.Kind, v.Kind())
+		}
+	}
+	return nil
+}
+
+// Row is one record, positional per the schema.
+type Row []Value
+
+// Clone returns a deep copy of the row (bytes payloads are copied).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for i, v := range r {
+		if v.kind == KindBytes {
+			cp := make([]byte, len(v.raw))
+			copy(cp, v.raw)
+			v.raw = cp
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Get returns the value at the named column per the schema, or NULL if the
+// column does not exist.
+func (r Row) Get(s *Schema, name string) Value {
+	i := s.Index(name)
+	if i < 0 || i >= len(r) {
+		return Null()
+	}
+	return r[i]
+}

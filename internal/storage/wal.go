@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// SyncPolicy controls when the WAL calls fsync.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs on every commit (durable, slowest).
+	SyncAlways SyncPolicy = iota
+	// SyncOnClose fsyncs only on Close and Snapshot (fast, loses the tail on crash).
+	SyncOnClose
+	// SyncNever never fsyncs (benchmarking only).
+	SyncNever
+)
+
+// ErrCorrupt marks a WAL record that failed its CRC or framing check;
+// recovery stops at the first corrupt record and truncates there.
+var ErrCorrupt = errors.New("storage: corrupt wal record")
+
+// wal record framing:
+//
+//	4 bytes little-endian payload length
+//	4 bytes little-endian CRC32 (Castagnoli) of the payload
+//	payload
+type wal struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	policy SyncPolicy
+	size   int64
+	crcTab *crc32.Table
+}
+
+func openWAL(path string, policy SyncPolicy) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat wal: %w", err)
+	}
+	return &wal{
+		f:      f,
+		w:      bufio.NewWriterSize(f, 1<<16),
+		policy: policy,
+		size:   st.Size(),
+		crcTab: crc32.MakeTable(crc32.Castagnoli),
+	}, nil
+}
+
+// Append writes one framed record and applies the sync policy.
+func (l *wal) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, l.crcTab))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	l.size += int64(8 + len(payload))
+	if l.policy == SyncAlways {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("storage: wal flush: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("storage: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Size returns the current WAL length in bytes.
+func (l *wal) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Sync flushes buffers and fsyncs regardless of policy.
+func (l *wal) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if l.policy == SyncNever {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Truncate discards all WAL contents (called after a snapshot).
+func (l *wal) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	l.size = 0
+	return nil
+}
+
+// Close flushes, optionally fsyncs, and closes the file.
+func (l *wal) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	if l.policy != SyncNever {
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			return err
+		}
+	}
+	return l.f.Close()
+}
+
+func newBufWriter(f *os.File) *bufio.Writer { return bufio.NewWriterSize(f, 1<<16) }
+
+func castagnoliTable() *crc32.Table { return crc32.MakeTable(crc32.Castagnoli) }
+
+// replayWAL streams every intact record in the log at path to fn. A trailing
+// torn or corrupt record ends replay silently (it was never acknowledged);
+// replayWAL returns the byte offset of the last intact record boundary so the
+// caller can truncate garbage.
+func replayWAL(path string, fn func(payload []byte) error) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("storage: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	tab := crc32.MakeTable(crc32.Castagnoli)
+	r := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return off, nil // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.Checksum(payload, tab) != want {
+			return off, nil // corrupt tail
+		}
+		if err := fn(payload); err != nil {
+			return off, err
+		}
+		off += int64(8 + len(payload))
+	}
+}

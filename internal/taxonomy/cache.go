@@ -1,0 +1,94 @@
+package taxonomy
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// CachingResolver memoizes resolutions from an inner resolver with a TTL —
+// the periodic-reassessment loop re-checks the same 1 929 names every tick,
+// and the real Catalogue of Life is slow and only 90% available, so caching
+// is what makes "verification performed frequently" affordable. Unknown
+// names are cached too (negative caching); transient unavailability is not.
+type CachingResolver struct {
+	Inner Resolver
+	// TTL bounds entry lifetime (0 = cache forever). Expired entries are
+	// re-fetched lazily.
+	TTL time.Duration
+	// Now supplies the clock (defaults to time.Now).
+	Now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	res   Resolution
+	err   error
+	added time.Time
+}
+
+// NewCachingResolver wraps inner with a TTL cache.
+func NewCachingResolver(inner Resolver, ttl time.Duration) *CachingResolver {
+	return &CachingResolver{Inner: inner, TTL: ttl, entries: make(map[string]cacheEntry)}
+}
+
+// Resolve implements Resolver.
+func (c *CachingResolver) Resolve(name string) (Resolution, error) {
+	now := time.Now
+	if c.Now != nil {
+		now = c.Now
+	}
+	key := Normalize(name)
+	if key == "" {
+		key = name // unparseable names still cache under their raw form
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && (c.TTL == 0 || now().Sub(e.added) <= c.TTL) {
+		c.hits++
+		c.mu.Unlock()
+		return e.res, e.err
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	res, err := c.Inner.Resolve(name)
+	// Never cache transient authority failures: the next attempt may
+	// succeed, and caching an outage would freeze it in place.
+	if err != nil && errors.Is(err, ErrUnavailable) {
+		return res, err
+	}
+	c.mu.Lock()
+	c.entries[key] = cacheEntry{res: res, err: err, added: now()}
+	c.mu.Unlock()
+	return res, err
+}
+
+// Stats reports cache hits and misses since construction.
+func (c *CachingResolver) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Invalidate drops a single entry (e.g. after a curator fixes a name).
+func (c *CachingResolver) Invalidate(name string) {
+	key := Normalize(name)
+	if key == "" {
+		key = name
+	}
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
+// Flush drops every entry — done when new taxonomy is published, so the next
+// reassessment sees the evolved knowledge.
+func (c *CachingResolver) Flush() {
+	c.mu.Lock()
+	c.entries = make(map[string]cacheEntry)
+	c.mu.Unlock()
+}

@@ -1,0 +1,149 @@
+package taxonomy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type countResolver struct {
+	mu    sync.Mutex
+	inner Resolver
+	calls int
+	fail  bool
+}
+
+func (c *countResolver) Resolve(name string) (Resolution, error) {
+	c.mu.Lock()
+	c.calls++
+	fail := c.fail
+	c.mu.Unlock()
+	if fail {
+		return Resolution{Query: name, Status: StatusUnknown}, fmt.Errorf("wrapped: %w", ErrUnavailable)
+	}
+	return c.inner.Resolve(name)
+}
+
+func (c *countResolver) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+func TestCachingResolverMemoizes(t *testing.T) {
+	cl := demoChecklist(t)
+	inner := &countResolver{inner: cl}
+	cache := NewCachingResolver(inner, 0)
+	for i := 0; i < 5; i++ {
+		res, err := cache.Resolve("Hyla faber")
+		if err != nil || res.Status != StatusAccepted {
+			t.Fatalf("resolve %d: %+v, %v", i, res, err)
+		}
+	}
+	if inner.Calls() != 1 {
+		t.Fatalf("inner called %d times", inner.Calls())
+	}
+	hits, misses := cache.Stats()
+	if hits != 4 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses", hits, misses)
+	}
+	// Normalized variants share an entry.
+	if _, err := cache.Resolve("  hyla   FABER "); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Calls() != 1 {
+		t.Fatalf("normalized variant missed cache: %d calls", inner.Calls())
+	}
+}
+
+func TestCachingResolverNegativeCaching(t *testing.T) {
+	cl := demoChecklist(t)
+	inner := &countResolver{inner: cl}
+	cache := NewCachingResolver(inner, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := cache.Resolve("Missing species"); !errors.Is(err, ErrUnknownName) {
+			t.Fatalf("unknown resolve %d: %v", i, err)
+		}
+	}
+	if inner.Calls() != 1 {
+		t.Fatalf("negative result not cached: %d calls", inner.Calls())
+	}
+}
+
+func TestCachingResolverDoesNotCacheOutages(t *testing.T) {
+	cl := demoChecklist(t)
+	inner := &countResolver{inner: cl, fail: true}
+	cache := NewCachingResolver(inner, 0)
+	if _, err := cache.Resolve("Hyla faber"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("outage: %v", err)
+	}
+	// The authority recovers: the next call must reach it.
+	inner.mu.Lock()
+	inner.fail = false
+	inner.mu.Unlock()
+	res, err := cache.Resolve("Hyla faber")
+	if err != nil || res.Status != StatusAccepted {
+		t.Fatalf("post-recovery: %+v, %v", res, err)
+	}
+	if inner.Calls() != 2 {
+		t.Fatalf("outage was cached: %d calls", inner.Calls())
+	}
+}
+
+func TestCachingResolverTTL(t *testing.T) {
+	cl := demoChecklist(t)
+	inner := &countResolver{inner: cl}
+	cache := NewCachingResolver(inner, time.Hour)
+	now := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	cache.Now = func() time.Time { return now }
+	cache.Resolve("Hyla faber")
+	cache.Resolve("Hyla faber")
+	if inner.Calls() != 1 {
+		t.Fatalf("calls = %d", inner.Calls())
+	}
+	// Advance beyond the TTL: refetch.
+	now = now.Add(2 * time.Hour)
+	cache.Resolve("Hyla faber")
+	if inner.Calls() != 2 {
+		t.Fatalf("TTL not honored: %d calls", inner.Calls())
+	}
+}
+
+func TestCachingResolverInvalidateAndFlush(t *testing.T) {
+	cl := demoChecklist(t)
+	inner := &countResolver{inner: cl}
+	cache := NewCachingResolver(inner, 0)
+	cache.Resolve("Hyla faber")
+	cache.Resolve("Scinax fuscomarginatus")
+	cache.Invalidate("hyla faber")
+	cache.Resolve("Hyla faber")
+	if inner.Calls() != 3 {
+		t.Fatalf("invalidate did not evict: %d calls", inner.Calls())
+	}
+	cache.Flush()
+	cache.Resolve("Hyla faber")
+	cache.Resolve("Scinax fuscomarginatus")
+	if inner.Calls() != 5 {
+		t.Fatalf("flush did not evict: %d calls", inner.Calls())
+	}
+}
+
+func TestCachingResolverConcurrent(t *testing.T) {
+	cl := demoChecklist(t)
+	cache := NewCachingResolver(cl, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				cache.Resolve("Hyla faber")
+				cache.Resolve("Elachistocleis ovalis")
+				cache.Invalidate("Hyla faber")
+			}
+		}()
+	}
+	wg.Wait()
+}

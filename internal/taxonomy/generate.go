@@ -1,0 +1,192 @@
+package taxonomy
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// GeneratorSpec configures the synthetic Catalogue-of-Life checklist.
+//
+// The generator plants a controlled fraction of nomenclatural churn: each
+// "outdated" species keeps its historical name in the checklist as a synonym
+// of a freshly published accepted name, exactly the structure the case study
+// probes (e.g. Elachistocleis ovalis → renamed in Caramaschi 2010).
+type GeneratorSpec struct {
+	// Species is the number of historical species names to generate; these
+	// are the names field biologists would have written on recordings.
+	Species int
+	// OutdatedFraction of the historical names have since been renamed
+	// (become synonyms). The paper observes 7% (134 of 1929).
+	OutdatedFraction float64
+	// ProvisionalFraction of the *outdated* names resolve to "nomen
+	// inquirendum" instead of a replacement name (uncertain application).
+	ProvisionalFraction float64
+	// Seed drives the deterministic PRNG.
+	Seed int64
+}
+
+// Group describes one animal group with its fixed upper classification. The
+// set mirrors the FNJV holdings: "all vertebrate groups (fishes, amphibians,
+// reptiles, birds and mammals) and some groups of invertebrates (as insects
+// and arachnids)".
+type Group struct {
+	Name   string
+	Phylum string
+	Class  string
+	Orders []string
+	// Weight is the relative share of species drawn from this group.
+	Weight int
+}
+
+// Groups returns the FNJV animal groups with synthetic-but-plausible orders.
+func Groups() []Group {
+	return []Group{
+		{Name: "fishes", Phylum: "Chordata", Class: "Actinopterygii",
+			Orders: []string{"Siluriformes", "Characiformes", "Perciformes"}, Weight: 5},
+		{Name: "amphibians", Phylum: "Chordata", Class: "Amphibia",
+			Orders: []string{"Anura", "Caudata", "Gymnophiona"}, Weight: 30},
+		{Name: "reptiles", Phylum: "Chordata", Class: "Reptilia",
+			Orders: []string{"Squamata", "Testudines", "Crocodylia"}, Weight: 8},
+		{Name: "birds", Phylum: "Chordata", Class: "Aves",
+			Orders: []string{"Passeriformes", "Apodiformes", "Psittaciformes", "Strigiformes"}, Weight: 40},
+		{Name: "mammals", Phylum: "Chordata", Class: "Mammalia",
+			Orders: []string{"Primates", "Chiroptera", "Rodentia"}, Weight: 7},
+		{Name: "insects", Phylum: "Arthropoda", Class: "Insecta",
+			Orders: []string{"Orthoptera", "Hemiptera", "Coleoptera"}, Weight: 8},
+		{Name: "arachnids", Phylum: "Arthropoda", Class: "Arachnida",
+			Orders: []string{"Araneae", "Scorpiones"}, Weight: 2},
+	}
+}
+
+var (
+	genusStems  = []string{"Lepto", "Hylo", "Rhino", "Micro", "Platy", "Chloro", "Melano", "Xeno", "Brachy", "Steno", "Neo", "Para", "Pseudo", "Eu", "Tricho", "Odonto", "Phyllo", "Ptero", "Cyano", "Erythro"}
+	genusRoots  = []string{"dactylus", "batrachus", "cephalus", "gnathus", "phrys", "stoma", "soma", "therium", "mys", "saurus", "ornis", "pterus", "cleis", "hyla", "nectes", "gale", "lestes", "chirus", "rhamphus", "glossa"}
+	epithetPool = []string{"ovalis", "brasiliensis", "neotropicalis", "vielliardi", "campinensis", "atlanticus", "minor", "major", "gracilis", "robustus", "viridis", "fuscus", "marginatus", "punctatus", "striatus", "nigricans", "albifrons", "aurita", "crepitans", "nocturnus", "matutinus", "paulensis", "amazonicus", "andinus", "montanus", "fluvialis", "sylvestris", "pratensis", "riparius", "lacustris", "palustris", "insularis", "australis", "borealis", "occidentalis", "orientalis", "vulgaris", "rarus", "elegans", "modestus"}
+	familyStems = []string{"Hylidae", "Leptodactylidae", "Bufonidae", "Microhylidae", "Tyrannidae", "Thraupidae", "Furnariidae", "Trochilidae", "Phyllostomidae", "Cricetidae", "Gryllidae", "Cicadidae", "Theraphosidae", "Colubridae", "Characidae", "Loricariidae", "Strigidae", "Psittacidae", "Cebidae", "Acrididae"}
+	authors     = []string{"Schneider", "Parker", "Caramaschi", "Vielliard", "Spix", "Wied", "Burmeister", "Lund", "Miranda-Ribeiro", "Cope", "Boulenger", "Wagler"}
+)
+
+// Generated bundles the generator output: the checklist itself, plus the
+// historical (field-annotated) names and which of those are now outdated —
+// ground truth that the experiments measure detection against.
+type Generated struct {
+	Checklist *Checklist
+	// HistoricalNames are the names a field biologist would have used at
+	// recording time, one per generated species, sorted deterministically.
+	HistoricalNames []string
+	// OutdatedNames is the subset of HistoricalNames that have since been
+	// renamed or marked provisional.
+	OutdatedNames map[string]bool
+	// GroupOf maps each historical name to its animal group.
+	GroupOf map[string]string
+}
+
+// Generate builds a deterministic synthetic checklist per spec.
+func Generate(spec GeneratorSpec) (*Generated, error) {
+	if spec.Species <= 0 {
+		return nil, fmt.Errorf("taxonomy: spec.Species must be positive, got %d", spec.Species)
+	}
+	if spec.OutdatedFraction < 0 || spec.OutdatedFraction > 1 {
+		return nil, fmt.Errorf("taxonomy: OutdatedFraction %.3f out of [0,1]", spec.OutdatedFraction)
+	}
+	if spec.ProvisionalFraction < 0 || spec.ProvisionalFraction > 1 {
+		return nil, fmt.Errorf("taxonomy: ProvisionalFraction %.3f out of [0,1]", spec.ProvisionalFraction)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	cl := NewChecklist()
+	groups := Groups()
+	totalWeight := 0
+	for _, g := range groups {
+		totalWeight += g.Weight
+	}
+
+	out := &Generated{
+		Checklist:     cl,
+		OutdatedNames: make(map[string]bool),
+		GroupOf:       make(map[string]string),
+	}
+
+	usedNames := map[string]bool{}
+	nextName := func() Name {
+		for {
+			n := Name{
+				Genus:   genusStems[rng.Intn(len(genusStems))] + genusRoots[rng.Intn(len(genusRoots))],
+				Epithet: epithetPool[rng.Intn(len(epithetPool))],
+			}
+			if !usedNames[n.Canonical()] {
+				usedNames[n.Canonical()] = true
+				return n
+			}
+		}
+	}
+	pickGroup := func() Group {
+		w := rng.Intn(totalWeight)
+		for _, g := range groups {
+			if w < g.Weight {
+				return g
+			}
+			w -= g.Weight
+		}
+		return groups[len(groups)-1]
+	}
+
+	nOutdated := int(float64(spec.Species)*spec.OutdatedFraction + 0.5)
+	id := 0
+	newID := func() string {
+		id++
+		return fmt.Sprintf("COL-%06d", id)
+	}
+
+	for i := 0; i < spec.Species; i++ {
+		g := pickGroup()
+		name := nextName()
+		author := authors[rng.Intn(len(authors))]
+		year := 1799 + rng.Intn(180) // described 1799–1979
+		t := &Taxon{
+			ID:     newID(),
+			Name:   name,
+			Status: StatusAccepted,
+			Group:  g.Name,
+			Classification: Classification{
+				Phylum: g.Phylum,
+				Class:  g.Class,
+				Order:  g.Orders[rng.Intn(len(g.Orders))],
+				Family: familyStems[rng.Intn(len(familyStems))],
+			},
+			Authorship: fmt.Sprintf("(%s, %d)", author, year),
+		}
+		if err := cl.Add(t); err != nil {
+			return nil, err
+		}
+		out.HistoricalNames = append(out.HistoricalNames, name.Canonical())
+		out.GroupOf[name.Canonical()] = g.Name
+
+		if i < nOutdated {
+			// This historical name has since changed.
+			when := time.Date(1990+rng.Intn(24), time.Month(1+rng.Intn(12)), 1+rng.Intn(28), 0, 0, 0, 0, time.UTC)
+			ref := fmt.Sprintf("%s (%d). Boletim do Museu Nacional %d.", authors[rng.Intn(len(authors))], when.Year(), 400+rng.Intn(300))
+			if rng.Float64() < spec.ProvisionalFraction {
+				if err := cl.MarkProvisional(name.Canonical(), when, ref); err != nil {
+					return nil, err
+				}
+			} else {
+				replacement := nextName()
+				repl := &Taxon{
+					ID:             newID(),
+					Name:           replacement,
+					Status:         StatusAccepted,
+					Group:          g.Name,
+					Classification: t.Classification,
+					Authorship:     fmt.Sprintf("(%s, %d)", authors[rng.Intn(len(authors))], when.Year()),
+				}
+				if err := cl.Deprecate(name.Canonical(), repl, when, ref); err != nil {
+					return nil, err
+				}
+				out.GroupOf[replacement.Canonical()] = g.Name
+			}
+			out.OutdatedNames[name.Canonical()] = true
+		}
+	}
+	return out, nil
+}

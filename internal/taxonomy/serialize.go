@@ -1,0 +1,120 @@
+package taxonomy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Checklist serialization: the authority database can be dumped to JSON and
+// reloaded, so a colserver instance can persist its (evolving) checklist
+// across restarts and checklists can be exchanged between installations —
+// real species lists are published exactly this way.
+
+type checklistJSON struct {
+	Version int         `json:"version"`
+	Taxa    []taxonJSON `json:"taxa"`
+}
+
+type taxonJSON struct {
+	ID         string    `json:"id"`
+	Genus      string    `json:"genus"`
+	Epithet    string    `json:"epithet"`
+	Status     string    `json:"status"`
+	AcceptedID string    `json:"accepted_id,omitempty"`
+	Group      string    `json:"group,omitempty"`
+	Phylum     string    `json:"phylum,omitempty"`
+	Class      string    `json:"class,omitempty"`
+	Order      string    `json:"order,omitempty"`
+	Family     string    `json:"family,omitempty"`
+	Authorship string    `json:"authorship,omitempty"`
+	History    []evtJSON `json:"history,omitempty"`
+}
+
+type evtJSON struct {
+	Date      time.Time `json:"date"`
+	FromName  string    `json:"from_name"`
+	ToName    string    `json:"to_name"`
+	Reference string    `json:"reference,omitempty"`
+}
+
+// WriteJSON dumps the checklist in deterministic (name-sorted) order.
+func (c *Checklist) WriteJSON(w io.Writer) error {
+	doc := checklistJSON{Version: 1}
+	for _, name := range c.Names() {
+		t := c.byName[name]
+		tj := taxonJSON{
+			ID:         t.ID,
+			Genus:      t.Name.Genus,
+			Epithet:    t.Name.Epithet,
+			Status:     t.Status.String(),
+			AcceptedID: t.AcceptedID,
+			Group:      t.Group,
+			Phylum:     t.Classification.Phylum,
+			Class:      t.Classification.Class,
+			Order:      t.Classification.Order,
+			Family:     t.Classification.Family,
+			Authorship: t.Authorship,
+		}
+		for _, e := range t.History {
+			tj.History = append(tj.History, evtJSON(e))
+		}
+		doc.Taxa = append(doc.Taxa, tj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON loads a checklist dumped by WriteJSON.
+func ReadJSON(r io.Reader) (*Checklist, error) {
+	var doc checklistJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("taxonomy: decode checklist: %w", err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("taxonomy: unsupported checklist version %d", doc.Version)
+	}
+	cl := NewChecklist()
+	for _, tj := range doc.Taxa {
+		var status Status
+		switch tj.Status {
+		case "accepted":
+			status = StatusAccepted
+		case "synonym":
+			status = StatusSynonym
+		case "provisionally accepted":
+			status = StatusProvisional
+		default:
+			return nil, fmt.Errorf("taxonomy: taxon %q has unknown status %q", tj.ID, tj.Status)
+		}
+		t := &Taxon{
+			ID:         tj.ID,
+			Name:       Name{Genus: tj.Genus, Epithet: tj.Epithet},
+			Status:     status,
+			AcceptedID: tj.AcceptedID,
+			Group:      tj.Group,
+			Classification: Classification{
+				Phylum: tj.Phylum, Class: tj.Class, Order: tj.Order, Family: tj.Family,
+			},
+			Authorship: tj.Authorship,
+		}
+		for _, e := range tj.History {
+			t.History = append(t.History, NomenclaturalEvent(e))
+		}
+		if err := cl.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	// Referential integrity: every synonym points at a known taxon.
+	for _, name := range cl.Names() {
+		t := cl.byName[name]
+		if t.Status == StatusSynonym {
+			if _, ok := cl.taxa[t.AcceptedID]; !ok {
+				return nil, fmt.Errorf("taxonomy: synonym %q references unknown accepted taxon %q", name, t.AcceptedID)
+			}
+		}
+	}
+	return cl, nil
+}

@@ -1,0 +1,101 @@
+package taxonomy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChecklistJSONRoundTrip(t *testing.T) {
+	gen, err := Generate(GeneratorSpec{Species: 200, OutdatedFraction: 0.1, ProvisionalFraction: 0.2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gen.Checklist.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != gen.Checklist.Len() || got.AcceptedCount() != gen.Checklist.AcceptedCount() {
+		t.Fatalf("round trip: %d/%d taxa, %d/%d accepted",
+			got.Len(), gen.Checklist.Len(), got.AcceptedCount(), gen.Checklist.AcceptedCount())
+	}
+	// Every historical name resolves identically in both checklists.
+	for _, name := range gen.HistoricalNames {
+		a, errA := gen.Checklist.Resolve(name)
+		b, errB := got.Resolve(name)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("name %q: error mismatch %v vs %v", name, errA, errB)
+		}
+		if a.Status != b.Status || a.AcceptedName != b.AcceptedName {
+			t.Fatalf("name %q: %v/%q vs %v/%q", name, a.Status, a.AcceptedName, b.Status, b.AcceptedName)
+		}
+		if len(a.History) != len(b.History) {
+			t.Fatalf("name %q: history %d vs %d", name, len(a.History), len(b.History))
+		}
+	}
+	// Fuzzy matching works on the reloaded checklist (trigram index rebuilt).
+	name := gen.HistoricalNames[0]
+	dirty := name[:len(name)-1] + "x"
+	if _, err := got.ResolveFuzzy(dirty, 2); err != nil {
+		t.Fatalf("fuzzy on reloaded checklist: %v", err)
+	}
+	// Deterministic dump: same bytes twice.
+	var buf2, buf3 bytes.Buffer
+	gen.Checklist.WriteJSON(&buf2)
+	got.WriteJSON(&buf3)
+	if buf2.String() != buf3.String() {
+		t.Fatal("dump is not canonical")
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":9,"taxa":[]}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"version":1,"taxa":[{"id":"T1","genus":"A","epithet":"b","status":"mysterious"}]}`)); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+	// Dangling synonym reference.
+	if _, err := ReadJSON(strings.NewReader(
+		`{"version":1,"taxa":[{"id":"T1","genus":"A","epithet":"b","status":"synonym","accepted_id":"GHOST"}]}`)); err == nil {
+		t.Fatal("dangling synonym accepted")
+	}
+	// Duplicate taxon ID.
+	if _, err := ReadJSON(strings.NewReader(
+		`{"version":1,"taxa":[{"id":"T1","genus":"A","epithet":"b","status":"accepted"},{"id":"T1","genus":"C","epithet":"d","status":"accepted"}]}`)); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestChecklistJSONPreservesHistoryDates(t *testing.T) {
+	cl := demoChecklist(t)
+	when := time.Date(2010, 3, 1, 12, 30, 0, 0, time.UTC)
+	repl := &Taxon{ID: "T9", Name: Name{Genus: "Elachistocleis", Epithet: "cesarii"}, Status: StatusAccepted}
+	if err := cl.Deprecate("Elachistocleis ovalis", repl, when, "Caramaschi (2010)"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := got.Resolve("Elachistocleis ovalis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 1 || !res.History[0].Date.Equal(when) || res.History[0].Reference != "Caramaschi (2010)" {
+		t.Fatalf("history = %+v", res.History)
+	}
+}

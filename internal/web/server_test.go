@@ -1,0 +1,281 @@
+package web
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/envsource"
+	"repro/internal/fnjv"
+	"repro/internal/geo"
+	"repro/internal/linkeddata"
+	"repro/internal/storage"
+	"repro/internal/taxonomy"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *System, *taxonomy.Generated) {
+	t.Helper()
+	sys, err := core.Open(t.TempDir(), core.Options{Sync: storage.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	taxa, err := taxonomy.Generate(taxonomy.GeneratorSpec{
+		Species: 100, OutdatedFraction: 0.07, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := fnjv.Generate(fnjv.CollectionSpec{
+		Records: 400, Seed: 4, SyntaxErrorRate: 1e-12,
+	}, taxa, geo.SyntheticGazetteer(10, 4), envsource.NewSimulator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Records.PutAll(col.Records); err != nil {
+		t.Fatal(err)
+	}
+	wsys := &System{Core: sys, Resolver: taxa.Checklist, Checklist: taxa.Checklist}
+	srv := httptest.NewServer(NewServer(wsys))
+	t.Cleanup(srv.Close)
+	return srv, wsys, taxa
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDashboard(t *testing.T) {
+	srv, _, _ := testServer(t)
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"Collection dashboard", "400", "distinct species names"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if code, _ := get(t, srv.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", code)
+	}
+	if code, body := get(t, srv.URL+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+}
+
+func TestDetectPage(t *testing.T) {
+	srv, _, _ := testServer(t)
+	// Before any run.
+	code, body := get(t, srv.URL+"/detect")
+	if code != 200 || !strings.Contains(body, "No run yet") {
+		t.Fatalf("pre-run page: %d", code)
+	}
+	// Trigger a run (the Fig. 2 page).
+	code, body = get(t, srv.URL+"/detect?run=1")
+	if code != 200 {
+		t.Fatalf("run status %d", code)
+	}
+	for _, want := range []string{
+		"distinct species names in the database",
+		"records processed",
+		"detected as outdated",
+		"updated species names",
+		"flagged for biologists",
+		"<td class=num>400</td>", // records processed
+		"<td class=num>100</td>", // distinct names
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("detect page missing %q", want)
+		}
+	}
+	// The quality page now renders the §IV.C report.
+	code, body = get(t, srv.URL+"/quality")
+	if code != 200 || !strings.Contains(body, "utility index") || !strings.Contains(body, "accuracy") {
+		t.Fatalf("quality page: %d", code)
+	}
+	// Dashboard lists the run with a provenance link.
+	_, dash := get(t, srv.URL+"/")
+	if !strings.Contains(dash, "/provenance/run-") {
+		t.Fatal("dashboard missing provenance link")
+	}
+}
+
+func TestRecordsSearchAndDetail(t *testing.T) {
+	srv, wsys, _ := testServer(t)
+	// Pick a real species.
+	var species, id string
+	wsys.Core.Records.Scan(func(r *fnjv.Record) bool {
+		species, id = r.Species, r.ID
+		return false
+	})
+	code, body := get(t, srv.URL+"/records?species="+strings.ReplaceAll(species, " ", "+"))
+	if code != 200 || !strings.Contains(body, id) {
+		t.Fatalf("search: %d, missing %s", code, id)
+	}
+	// Empty search form renders without results.
+	code, body = get(t, srv.URL+"/records")
+	if code != 200 || strings.Contains(body, "results") {
+		t.Fatalf("empty search: %d", code)
+	}
+	// Record detail.
+	code, body = get(t, srv.URL+"/record/"+id)
+	if code != 200 || !strings.Contains(body, species) || !strings.Contains(body, "curated (current) name") {
+		t.Fatalf("record page: %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/record/FNJV-99999"); code != http.StatusNotFound {
+		t.Fatalf("missing record: %d", code)
+	}
+}
+
+func TestRecordPageShowsUpdates(t *testing.T) {
+	srv, wsys, taxa := testServer(t)
+	// Run detection so updates exist.
+	if code, _ := get(t, srv.URL+"/detect?run=1"); code != 200 {
+		t.Fatal("run failed")
+	}
+	// Find a record with an outdated name.
+	var target string
+	wsys.Core.Records.Scan(func(r *fnjv.Record) bool {
+		if taxa.OutdatedNames[r.Species] {
+			target = r.ID
+			return false
+		}
+		return true
+	})
+	if target == "" {
+		t.Skip("no outdated record in sample")
+	}
+	code, body := get(t, srv.URL+"/record/"+target)
+	if code != 200 || !strings.Contains(body, "name updates (original record unchanged)") {
+		t.Fatalf("record with updates: %d", code)
+	}
+	if !strings.Contains(body, "pending") {
+		t.Fatal("update review state missing")
+	}
+}
+
+func TestReviewQueueUI(t *testing.T) {
+	srv, wsys, _ := testServer(t)
+	// Empty queue.
+	code, body := get(t, srv.URL+"/review")
+	if code != 200 || !strings.Contains(body, "0 updates pending") {
+		t.Fatalf("empty queue: %d", code)
+	}
+	// After detection there are pending updates.
+	get(t, srv.URL+"/detect?run=1")
+	code, body = get(t, srv.URL+"/review")
+	if code != 200 || strings.Contains(body, "0 updates pending") {
+		t.Fatalf("queue after run: %d", code)
+	}
+	if !strings.Contains(body, "approve") || !strings.Contains(body, "reject") {
+		t.Fatal("review controls missing")
+	}
+	pending, err := wsys.Core.Ledger.Pending()
+	if err != nil || len(pending) == 0 {
+		t.Fatalf("pending: %v %d", err, len(pending))
+	}
+	// Approve one via the form endpoint.
+	resp, err := http.PostForm(srv.URL+"/review/act",
+		map[string][]string{"id": {pending[0].ID}, "verdict": {"approved"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK { // after redirect to /review
+		t.Fatalf("approve status %d", resp.StatusCode)
+	}
+	u, err := wsys.Core.Ledger.Update(pending[0].ID)
+	if err != nil || u.Review != "approved" {
+		t.Fatalf("verdict not recorded: %+v %v", u, err)
+	}
+	// Approved rename entered the history.
+	hist, err := wsys.Core.Ledger.History(pending[0].RecordID)
+	if err != nil || len(hist) == 0 {
+		t.Fatalf("history: %v %d", err, len(hist))
+	}
+	// Reject another.
+	resp, err = http.PostForm(srv.URL+"/review/act",
+		map[string][]string{"id": {pending[1].ID}, "verdict": {"rejected"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	u, _ = wsys.Core.Ledger.Update(pending[1].ID)
+	if u.Review != "rejected" {
+		t.Fatalf("reject not recorded: %+v", u)
+	}
+	// Bad requests.
+	if code, _ := get(t, srv.URL+"/review/act"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET act: %d", code)
+	}
+	resp, _ = http.PostForm(srv.URL+"/review/act", map[string][]string{"id": {"UPD-999999"}, "verdict": {"approved"}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing update act: %d", resp.StatusCode)
+	}
+	resp, _ = http.PostForm(srv.URL+"/review/act", map[string][]string{"id": {pending[0].ID}, "verdict": {"approved"}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest { // already resolved
+		t.Fatalf("double act: %d", resp.StatusCode)
+	}
+}
+
+func TestProvenanceExport(t *testing.T) {
+	srv, wsys, _ := testServer(t)
+	get(t, srv.URL+"/detect?run=1")
+	runs := wsys.Core.Provenance.AllRuns()
+	if len(runs) == 0 {
+		t.Fatal("no runs")
+	}
+	code, body := get(t, srv.URL+"/provenance/"+runs[0].RunID)
+	if code != 200 || !strings.Contains(body, "<opmGraph>") || !strings.Contains(body, "Catalog_of_life") {
+		t.Fatalf("provenance export: %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/provenance/run-999999"); code != http.StatusNotFound {
+		t.Fatalf("missing run export: %d", code)
+	}
+}
+
+func TestCollectionHealthPage(t *testing.T) {
+	srv, _, _ := testServer(t)
+	code, body := get(t, srv.URL+"/health")
+	if code != 200 {
+		t.Fatalf("health page: %d", code)
+	}
+	for _, want := range []string{"Collection health", "georeferenced", "completeness", "consistency", "utility index"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("health page missing %q", want)
+		}
+	}
+}
+
+func TestNTriplesExport(t *testing.T) {
+	srv, _, _ := testServer(t)
+	code, body := get(t, srv.URL+"/export/ntriples")
+	if code != 200 {
+		t.Fatalf("export: %d", code)
+	}
+	// Parses back and contains one recording per record.
+	store, err := linkeddata.ReadNTriples(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("export not parseable: %v", err)
+	}
+	recs := store.Subjects(linkeddata.RDFType, linkeddata.IRI(linkeddata.TypeRecording))
+	if len(recs) != 400 {
+		t.Fatalf("exported %d recordings, want 400", len(recs))
+	}
+}

@@ -1,0 +1,156 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func freshDetector() (*DecayDetector, *Registry) {
+	reg := upperReg()
+	return &DecayDetector{Registry: reg}, reg
+}
+
+func decayDef() *Definition {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	return d
+}
+
+func TestDecayCleanWorkflow(t *testing.T) {
+	det, _ := freshDetector()
+	if findings := det.Check(decayDef()); len(findings) != 0 {
+		t.Fatalf("healthy workflow flagged: %+v", findings)
+	}
+	if err := det.MustBeFresh(decayDef()); err != nil {
+		t.Fatalf("MustBeFresh: %v", err)
+	}
+}
+
+func TestDecayInvalidDefinition(t *testing.T) {
+	det, _ := freshDetector()
+	d := decayDef()
+	d.Links = d.Links[1:] // unconnected input
+	findings := det.Check(d)
+	if len(findings) != 1 || findings[0].Kind != DecayInvalid {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if err := det.MustBeFresh(d); !errors.Is(err, ErrDecayed) {
+		t.Fatalf("MustBeFresh: %v", err)
+	}
+}
+
+func TestDecayMissingService(t *testing.T) {
+	det, reg := freshDetector()
+	_ = reg
+	d := decayDef()
+	d.Processors[1].Service = "retired.service"
+	findings := det.Check(d)
+	if len(findings) != 1 || findings[0].Kind != DecayMissingService || findings[0].Processor != "B" {
+		t.Fatalf("findings = %+v", findings)
+	}
+}
+
+func TestDecayUnhealthyService(t *testing.T) {
+	det, _ := freshDetector()
+	det.Probe = func(p *Processor) error {
+		if p.Name == "A" {
+			return errors.New("connection refused")
+		}
+		return nil
+	}
+	findings := det.Check(decayDef())
+	if len(findings) != 1 || findings[0].Kind != DecayUnhealthyService || findings[0].Processor != "A" {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if !strings.Contains(findings[0].Detail, "connection refused") {
+		t.Fatalf("detail = %q", findings[0].Detail)
+	}
+}
+
+func TestDecayStaleAnnotations(t *testing.T) {
+	det, _ := freshDetector()
+	det.MaxAnnotationAge = 365 * 24 * time.Hour
+	now := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	det.Now = func() time.Time { return now }
+	d := decayDef()
+	// One fresh, one stale quality annotation, one non-quality annotation
+	// (ignored even if old).
+	d.AnnotateProcessor("A", QualityKey("availability"), "0.9", "expert", now.AddDate(-2, 0, 0))
+	d.AnnotateProcessor("A", QualityKey("reputation"), "1", "expert", now.AddDate(0, -1, 0))
+	d.AnnotateProcessor("B", "author", "renato", "renato", now.AddDate(-10, 0, 0))
+	findings := det.Check(d)
+	if len(findings) != 1 || findings[0].Kind != DecayStaleAnnotation || findings[0].Processor != "A" {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if !strings.Contains(findings[0].Detail, "Q(availability)") {
+		t.Fatalf("detail = %q", findings[0].Detail)
+	}
+}
+
+func TestDecayFindingsOrdered(t *testing.T) {
+	det, _ := freshDetector()
+	det.Probe = func(p *Processor) error { return errors.New("down") }
+	d := decayDef()
+	d.Processors[1].Service = "gone"
+	findings := det.Check(d)
+	// Missing-service for B sorts before unhealthy for A? Kinds: missing(1) < unhealthy(2).
+	if len(findings) != 2 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if findings[0].Kind != DecayMissingService || findings[1].Kind != DecayUnhealthyService {
+		t.Fatalf("order = %v,%v", findings[0].Kind, findings[1].Kind)
+	}
+}
+
+func TestGoldenRunDetectsDrift(t *testing.T) {
+	det, reg := freshDetector()
+	d := decayDef()
+	inputs := map[string]Data{"in": Scalar("hello")}
+	golden := map[string]Data{"out": Scalar("HELLO!")}
+	if findings := det.GoldenRun(context.Background(), d, inputs, golden); len(findings) != 0 {
+		t.Fatalf("clean golden run flagged: %+v", findings)
+	}
+	// The upstream service changes behaviour: drift.
+	reg.Register("upper", func(_ context.Context, c Call) (map[string]Data, error) {
+		return map[string]Data{"y": Scalar("changed:" + c.Input("x").String())}, nil
+	})
+	findings := det.GoldenRun(context.Background(), d, inputs, golden)
+	if len(findings) != 1 || findings[0].Kind != DecayOutputDrift {
+		t.Fatalf("drift findings = %+v", findings)
+	}
+	// The service dies: execution failure.
+	reg.Register("upper", func(_ context.Context, c Call) (map[string]Data, error) {
+		return nil, errors.New("endpoint retired")
+	})
+	findings = det.GoldenRun(context.Background(), d, inputs, golden)
+	if len(findings) != 1 || findings[0].Kind != DecayExecutionFailure {
+		t.Fatalf("failure findings = %+v", findings)
+	}
+	// Golden port never produced.
+	reg2 := upperReg()
+	det2 := &DecayDetector{Registry: reg2}
+	findings = det2.GoldenRun(context.Background(), d, inputs, map[string]Data{"nonexistent": Scalar("x")})
+	if len(findings) != 1 || findings[0].Kind != DecayOutputDrift ||
+		!strings.Contains(findings[0].Detail, "missing from run") {
+		t.Fatalf("missing-port findings = %+v", findings)
+	}
+	// No registry at all.
+	det3 := &DecayDetector{}
+	if findings := det3.GoldenRun(context.Background(), d, inputs, golden); len(findings) != 1 ||
+		findings[0].Kind != DecayExecutionFailure {
+		t.Fatalf("no-registry findings = %+v", findings)
+	}
+}
+
+func TestDecayKindStrings(t *testing.T) {
+	for _, k := range []DecayKind{DecayInvalid, DecayMissingService, DecayUnhealthyService,
+		DecayStaleAnnotation, DecayOutputDrift, DecayExecutionFailure} {
+		if strings.HasPrefix(k.String(), "decay(") {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}

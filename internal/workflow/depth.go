@@ -1,0 +1,94 @@
+package workflow
+
+import "fmt"
+
+// Static depth analysis, after Taverna's iteration-strategy checking: given
+// the declared depths of workflow inputs, propagate effective depths through
+// the dataflow, computing each processor's iteration delta (how many levels
+// of implicit iteration the engine will apply) and flagging wirings that can
+// never execute (depth gaps the single-level iteration cannot bridge) before
+// any service runs.
+
+// DepthAnalysis is the result of AnalyzeDepths.
+type DepthAnalysis struct {
+	// IterationDelta maps each processor to the number of implicit-iteration
+	// levels the engine will apply (0 = single invocation, 1 = element-wise).
+	IterationDelta map[string]int
+	// OutputDepth maps each workflow output port to its effective depth.
+	OutputDepth map[string]int
+	// Warnings lists workflow outputs whose effective depth differs from the
+	// declared depth — legal at run time, but usually a specification bug.
+	Warnings []string
+}
+
+// AnalyzeDepths computes effective depths. It assumes def is structurally
+// valid (call Validate first); it returns an error for depth gaps the engine
+// cannot bridge (an input deeper than declared+1, or shallower than
+// declared).
+func AnalyzeDepths(def *Definition) (*DepthAnalysis, error) {
+	order, err := topoOrder(def)
+	if err != nil {
+		return nil, err
+	}
+	// Effective depth per source endpoint.
+	eff := map[string]int{}
+	for _, in := range def.Inputs {
+		eff[Endpoint{Port: in.Name}.String()] = in.Depth
+	}
+	// Incoming link per target endpoint.
+	incoming := map[string]Link{}
+	for _, l := range def.Links {
+		incoming[l.Target.String()] = l
+	}
+
+	out := &DepthAnalysis{
+		IterationDelta: map[string]int{},
+		OutputDepth:    map[string]int{},
+	}
+	for _, p := range order {
+		delta := 0
+		for _, in := range p.Inputs {
+			link, ok := incoming[Endpoint{Processor: p.Name, Port: in.Name}.String()]
+			if !ok {
+				return nil, fmt.Errorf("workflow: input %s.%s unconnected", p.Name, in.Name)
+			}
+			actual, ok := eff[link.Source.String()]
+			if !ok {
+				return nil, fmt.Errorf("workflow: source %s has no computed depth", link.Source)
+			}
+			diff := actual - in.Depth
+			switch {
+			case diff == 0:
+				// exact or broadcast
+			case diff == 1:
+				delta = 1
+			case diff > 1:
+				return nil, fmt.Errorf("workflow: processor %q input %q receives depth %d but declares %d — %d levels of iteration needed, engine supports 1",
+					p.Name, in.Name, actual, in.Depth, diff)
+			default:
+				return nil, fmt.Errorf("workflow: processor %q input %q receives depth %d but declares %d — value too shallow",
+					p.Name, in.Name, actual, in.Depth)
+			}
+		}
+		out.IterationDelta[p.Name] = delta
+		for _, op := range p.Outputs {
+			eff[Endpoint{Processor: p.Name, Port: op.Name}.String()] = op.Depth + delta
+		}
+	}
+	for _, wout := range def.Outputs {
+		link, ok := incoming[Endpoint{Port: wout.Name}.String()]
+		if !ok {
+			return nil, fmt.Errorf("workflow: output %q unconnected", wout.Name)
+		}
+		actual, ok := eff[link.Source.String()]
+		if !ok {
+			return nil, fmt.Errorf("workflow: output %q fed by source with no computed depth", wout.Name)
+		}
+		out.OutputDepth[wout.Name] = actual
+		if actual != wout.Depth {
+			out.Warnings = append(out.Warnings, fmt.Sprintf(
+				"output %q declared depth %d but will receive depth %d", wout.Name, wout.Depth, actual))
+		}
+	}
+	return out, nil
+}

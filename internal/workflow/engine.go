@@ -1,0 +1,491 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Call is one service invocation: the bound inputs plus the processor's
+// static configuration.
+type Call struct {
+	Inputs map[string]Data
+	Config map[string]string
+}
+
+// Input returns the named input (zero Data when absent).
+func (c Call) Input(name string) Data { return c.Inputs[name] }
+
+// ServiceFunc implements a processor. It must be safe for concurrent use:
+// the engine may invoke it from several goroutines (iteration elements and
+// independent processors run in parallel).
+type ServiceFunc func(ctx context.Context, call Call) (map[string]Data, error)
+
+// Registry maps service names to implementations. Workflows reference
+// services by name, decoupling specifications from code — this is what lets
+// the Workflow Adapter rewrite specifications without touching the model.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]ServiceFunc
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]ServiceFunc)} }
+
+// Register binds a service name; re-registration replaces.
+func (r *Registry) Register(name string, fn ServiceFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[name] = fn
+}
+
+// Lookup resolves a service name.
+func (r *Registry) Lookup(name string) (ServiceFunc, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.m[name]
+	return fn, ok
+}
+
+// Names returns the registered service names (unordered).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	return out
+}
+
+// EventType classifies execution events.
+type EventType uint8
+
+// Execution event types, emitted in causal order per run.
+const (
+	EventWorkflowStarted EventType = iota
+	EventProcessorStarted
+	EventProcessorCompleted
+	EventProcessorFailed
+	EventWorkflowCompleted
+	EventWorkflowFailed
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventWorkflowStarted:
+		return "workflow-started"
+	case EventProcessorStarted:
+		return "processor-started"
+	case EventProcessorCompleted:
+		return "processor-completed"
+	case EventProcessorFailed:
+		return "processor-failed"
+	case EventWorkflowCompleted:
+		return "workflow-completed"
+	case EventWorkflowFailed:
+		return "workflow-failed"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+// ElementTrace records one element of an implicit iteration: the per-element
+// inputs and outputs of a single service invocation. It enables fine-grained
+// provenance — "which input name produced this particular result" — instead
+// of only list-to-list derivation.
+type ElementTrace struct {
+	Index   int
+	Inputs  map[string]Data
+	Outputs map[string]Data
+}
+
+// Event is one observation of workflow execution — the raw material the
+// Provenance Manager turns into OPM graphs.
+type Event struct {
+	Type         EventType
+	Time         time.Time
+	RunID        string
+	WorkflowID   string
+	WorkflowName string
+	Processor    string // "" for workflow-level events
+	Service      string
+	Annotations  []Annotation // processor (or workflow) annotations
+	Inputs       map[string]Data
+	Outputs      map[string]Data
+	Iterations   int // number of service invocations (≥1 once completed)
+	// Elements carries the per-element traces of an implicit iteration
+	// (nil for single invocations).
+	Elements []ElementTrace
+	Duration time.Duration
+	Err      string
+}
+
+// Listener observes execution events. OnEvent is called synchronously from
+// the engine; implementations must be safe for concurrent calls (independent
+// processors complete in parallel).
+type Listener interface {
+	OnEvent(Event)
+}
+
+// ListenerFunc adapts a function to Listener.
+type ListenerFunc func(Event)
+
+// OnEvent implements Listener.
+func (f ListenerFunc) OnEvent(e Event) { f(e) }
+
+// RunResult summarizes one workflow execution.
+type RunResult struct {
+	RunID      string
+	Outputs    map[string]Data
+	StartedAt  time.Time
+	FinishedAt time.Time
+	// Invocations counts service calls per processor (iteration elements
+	// count individually).
+	Invocations map[string]int
+}
+
+// Engine executes workflow definitions against a service registry.
+type Engine struct {
+	registry *Registry
+	// Parallel bounds concurrent processor execution (default: unlimited).
+	Parallel int
+}
+
+// NewEngine builds an engine over the given registry.
+func NewEngine(reg *Registry) *Engine { return &Engine{registry: reg} }
+
+var runCounter int64
+
+// ErrMissingInput is returned when Run is not given a required workflow input.
+var ErrMissingInput = errors.New("workflow: missing workflow input")
+
+// Run validates and executes def with the given workflow inputs, notifying
+// every listener of each execution event. It returns when the run completes
+// or fails; on failure the partial result carries whatever completed.
+func (e *Engine) Run(ctx context.Context, def *Definition, inputs map[string]Data, listeners ...Listener) (*RunResult, error) {
+	if err := Validate(def); err != nil {
+		return nil, err
+	}
+	for _, in := range def.Inputs {
+		if _, ok := inputs[in.Name]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrMissingInput, in.Name)
+		}
+	}
+	for _, p := range def.Processors {
+		if _, ok := e.registry.Lookup(p.Service); !ok {
+			return nil, fmt.Errorf("workflow: processor %q needs unregistered service %q", p.Name, p.Service)
+		}
+	}
+
+	runID := fmt.Sprintf("run-%06d", atomic.AddInt64(&runCounter, 1))
+	st := &runState{
+		engine:    e,
+		def:       def,
+		runID:     runID,
+		listeners: listeners,
+		values:    map[string]Data{},
+		remaining: map[string]int{},
+		result: &RunResult{
+			RunID:       runID,
+			Outputs:     map[string]Data{},
+			StartedAt:   time.Now(),
+			Invocations: map[string]int{},
+		},
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st.cancel = cancel
+
+	st.emit(Event{Type: EventWorkflowStarted, RunID: runID, WorkflowID: def.ID,
+		WorkflowName: def.Name, Annotations: def.Annotations, Inputs: inputs, Time: time.Now()})
+
+	// Seed workflow inputs.
+	st.mu.Lock()
+	for name, d := range inputs {
+		st.values[Endpoint{Port: name}.String()] = d
+	}
+	for _, p := range def.Processors {
+		st.remaining[p.Name] = len(p.Inputs)
+	}
+	// Deliver every link whose source is a workflow input; also find
+	// zero-input processors.
+	var ready []*Processor
+	for _, p := range def.Processors {
+		if len(p.Inputs) == 0 {
+			ready = append(ready, p)
+		}
+	}
+	for _, l := range def.Links {
+		if l.Source.Processor == "" {
+			if procs := st.deliverLocked(l, inputs[l.Source.Port]); procs != nil {
+				ready = append(ready, procs...)
+			}
+		}
+	}
+	st.mu.Unlock()
+
+	var sem chan struct{}
+	if e.Parallel > 0 {
+		sem = make(chan struct{}, e.Parallel)
+	}
+	st.sem = sem
+	for _, p := range ready {
+		st.launch(ctx, p)
+	}
+	st.wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.result.FinishedAt = time.Now()
+	if st.err != nil {
+		st.emit(Event{Type: EventWorkflowFailed, RunID: runID, WorkflowID: def.ID,
+			WorkflowName: def.Name, Err: st.err.Error(), Time: time.Now()})
+		return st.result, st.err
+	}
+	// Collect workflow outputs.
+	for _, out := range def.Outputs {
+		v, ok := st.values[Endpoint{Port: out.Name}.String()]
+		if !ok {
+			st.err = fmt.Errorf("workflow: output %q was never produced", out.Name)
+			st.emit(Event{Type: EventWorkflowFailed, RunID: runID, WorkflowID: def.ID,
+				WorkflowName: def.Name, Err: st.err.Error(), Time: time.Now()})
+			return st.result, st.err
+		}
+		st.result.Outputs[out.Name] = v
+	}
+	st.emit(Event{Type: EventWorkflowCompleted, RunID: runID, WorkflowID: def.ID,
+		WorkflowName: def.Name, Outputs: st.result.Outputs, Time: time.Now()})
+	return st.result, nil
+}
+
+// runState is the mutable state of one execution.
+type runState struct {
+	engine    *Engine
+	def       *Definition
+	runID     string
+	listeners []Listener
+	sem       chan struct{}
+
+	mu        sync.Mutex
+	values    map[string]Data // endpoint -> datum
+	remaining map[string]int  // processor -> inputs not yet bound
+	err       error
+	result    *RunResult
+	wg        sync.WaitGroup
+	cancel    context.CancelFunc
+}
+
+func (st *runState) emit(ev Event) {
+	for _, l := range st.listeners {
+		l.OnEvent(ev)
+	}
+}
+
+// deliverLocked binds a datum to a link target, returning any processors
+// that became ready. Caller holds st.mu.
+func (st *runState) deliverLocked(l Link, d Data) []*Processor {
+	key := l.Target.String()
+	if _, dup := st.values[key]; dup {
+		return nil // validation guarantees single fan-in; defensive
+	}
+	st.values[key] = d
+	if l.Target.Processor == "" {
+		return nil
+	}
+	st.remaining[l.Target.Processor]--
+	if st.remaining[l.Target.Processor] == 0 {
+		if p, ok := st.def.Processor(l.Target.Processor); ok {
+			return []*Processor{p}
+		}
+	}
+	return nil
+}
+
+func (st *runState) launch(ctx context.Context, p *Processor) {
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		if st.sem != nil {
+			st.sem <- struct{}{}
+			defer func() { <-st.sem }()
+		}
+		st.runProcessor(ctx, p)
+	}()
+}
+
+func (st *runState) runProcessor(ctx context.Context, p *Processor) {
+	st.mu.Lock()
+	if st.err != nil {
+		st.mu.Unlock()
+		return
+	}
+	inputs := map[string]Data{}
+	for _, in := range p.Inputs {
+		inputs[in.Name] = st.values[Endpoint{Processor: p.Name, Port: in.Name}.String()]
+	}
+	st.mu.Unlock()
+
+	st.emit(Event{Type: EventProcessorStarted, RunID: st.runID, WorkflowID: st.def.ID,
+		WorkflowName: st.def.Name, Processor: p.Name, Service: p.Service,
+		Annotations: p.Annotations, Inputs: inputs, Time: time.Now()})
+
+	fn, _ := st.engine.registry.Lookup(p.Service)
+	start := time.Now()
+	outputs, iterations, elements, err := invoke(ctx, fn, p, inputs)
+	elapsed := time.Since(start)
+
+	if err != nil {
+		st.emit(Event{Type: EventProcessorFailed, RunID: st.runID, WorkflowID: st.def.ID,
+			WorkflowName: st.def.Name, Processor: p.Name, Service: p.Service,
+			Annotations: p.Annotations, Inputs: inputs, Iterations: iterations,
+			Duration: elapsed, Err: err.Error(), Time: time.Now()})
+		st.mu.Lock()
+		if st.err == nil {
+			st.err = fmt.Errorf("workflow: processor %q: %w", p.Name, err)
+			st.cancel()
+		}
+		st.mu.Unlock()
+		return
+	}
+
+	st.emit(Event{Type: EventProcessorCompleted, RunID: st.runID, WorkflowID: st.def.ID,
+		WorkflowName: st.def.Name, Processor: p.Name, Service: p.Service,
+		Annotations: p.Annotations, Inputs: inputs, Outputs: outputs,
+		Iterations: iterations, Elements: elements, Duration: elapsed, Time: time.Now()})
+
+	st.mu.Lock()
+	st.result.Invocations[p.Name] += iterations
+	var ready []*Processor
+	for _, l := range st.def.Links {
+		if l.Source.Processor != p.Name {
+			continue
+		}
+		d, ok := outputs[l.Source.Port]
+		if !ok {
+			if st.err == nil {
+				st.err = fmt.Errorf("workflow: processor %q did not produce output %q", p.Name, l.Source.Port)
+				st.cancel()
+			}
+			st.mu.Unlock()
+			return
+		}
+		ready = append(ready, st.deliverLocked(l, d)...)
+	}
+	st.mu.Unlock()
+	for _, next := range ready {
+		st.launch(ctx, next)
+	}
+}
+
+// invoke runs the service, applying implicit iteration: any input whose
+// actual depth exceeds the declared port depth by one drives element-wise
+// (dot-product) iteration, with equal lengths required and non-iterated
+// inputs broadcast. Outputs of iterated invocations are collected into
+// lists, as in Taverna.
+func invoke(ctx context.Context, fn ServiceFunc, p *Processor, inputs map[string]Data) (map[string]Data, int, []ElementTrace, error) {
+	iterating := false
+	n := -1
+	for _, port := range p.Inputs {
+		d := inputs[port.Name]
+		switch d.Depth() {
+		case port.Depth:
+			// exact match: broadcast if others iterate
+		case port.Depth + 1:
+			iterating = true
+			if n == -1 {
+				n = len(d.Items())
+			} else if n != len(d.Items()) {
+				return nil, 0, nil, fmt.Errorf("iteration length mismatch on port %q: %d vs %d", port.Name, len(d.Items()), n)
+			}
+		default:
+			return nil, 0, nil, fmt.Errorf("port %q expects depth %d, got depth %d", port.Name, port.Depth, d.Depth())
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, nil, err
+	}
+	if !iterating {
+		out, err := callWithRetry(ctx, fn, p, Call{Inputs: inputs, Config: p.Config})
+		if err != nil {
+			return nil, 1, nil, err
+		}
+		if err := checkOutputs(p, out); err != nil {
+			return nil, 1, nil, err
+		}
+		return out, 1, nil, nil
+	}
+
+	// Element-wise iteration.
+	collected := map[string][]Data{}
+	for _, port := range p.Outputs {
+		collected[port.Name] = make([]Data, n)
+	}
+	elements := make([]ElementTrace, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, i, nil, err
+		}
+		callIn := map[string]Data{}
+		for _, port := range p.Inputs {
+			d := inputs[port.Name]
+			if d.Depth() == port.Depth+1 {
+				callIn[port.Name] = d.Items()[i]
+			} else {
+				callIn[port.Name] = d
+			}
+		}
+		out, err := callWithRetry(ctx, fn, p, Call{Inputs: callIn, Config: p.Config})
+		if err != nil {
+			return nil, i + 1, nil, fmt.Errorf("iteration %d: %w", i, err)
+		}
+		if err := checkOutputs(p, out); err != nil {
+			return nil, i + 1, nil, fmt.Errorf("iteration %d: %w", i, err)
+		}
+		for _, port := range p.Outputs {
+			collected[port.Name][i] = out[port.Name]
+		}
+		elements = append(elements, ElementTrace{Index: i, Inputs: callIn, Outputs: out})
+	}
+	outputs := map[string]Data{}
+	for name, items := range collected {
+		outputs[name] = List(items...)
+	}
+	return outputs, n, elements, nil
+}
+
+// callWithRetry invokes the service, retrying up to p.Retries extra times on
+// error. Context cancellation is never retried.
+func callWithRetry(ctx context.Context, fn ServiceFunc, p *Processor, call Call) (map[string]Data, error) {
+	var lastErr error
+	for attempt := 0; attempt <= p.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out, err := fn(ctx, call)
+		if err == nil {
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if p.Retries > 0 {
+		return nil, fmt.Errorf("after %d attempts: %w", p.Retries+1, lastErr)
+	}
+	return nil, lastErr
+}
+
+func checkOutputs(p *Processor, out map[string]Data) error {
+	for _, port := range p.Outputs {
+		if _, ok := out[port.Name]; !ok {
+			return fmt.Errorf("service %q omitted output %q", p.Service, port.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,486 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func upperReg() *Registry {
+	reg := NewRegistry()
+	reg.Register("upper", func(_ context.Context, c Call) (map[string]Data, error) {
+		return map[string]Data{"y": Scalar(strings.ToUpper(c.Input("x").String()))}, nil
+	})
+	reg.Register("exclaim", func(_ context.Context, c Call) (map[string]Data, error) {
+		return map[string]Data{"y": Scalar(c.Input("x").String() + "!")}, nil
+	})
+	reg.Register("concat", func(_ context.Context, c Call) (map[string]Data, error) {
+		return map[string]Data{"y": Scalar(c.Input("a").String() + c.Input("b").String())}, nil
+	})
+	return reg
+}
+
+func TestEngineLinear(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	eng := NewEngine(upperReg())
+	res, err := eng.Run(context.Background(), d, map[string]Data{"in": Scalar("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs["out"].String(); got != "HELLO!" {
+		t.Fatalf("out = %q", got)
+	}
+	if res.Invocations["A"] != 1 || res.Invocations["B"] != 1 {
+		t.Fatalf("invocations = %v", res.Invocations)
+	}
+	if res.RunID == "" || res.FinishedAt.Before(res.StartedAt) {
+		t.Fatalf("result metadata: %+v", res)
+	}
+}
+
+func TestEngineDiamond(t *testing.T) {
+	// in -> A, in -> B, (A,B) -> C -> out: exercises fan-out and a join.
+	d := &Definition{
+		ID: "wf-diamond", Name: "diamond",
+		Inputs:  []Port{{Name: "in"}},
+		Outputs: []Port{{Name: "out"}},
+		Processors: []*Processor{
+			{Name: "A", Service: "upper", Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}}},
+			{Name: "B", Service: "exclaim", Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}}},
+			{Name: "C", Service: "concat", Inputs: []Port{{Name: "a"}, {Name: "b"}}, Outputs: []Port{{Name: "y"}}},
+		},
+		Links: []Link{
+			{Source: Endpoint{Port: "in"}, Target: Endpoint{Processor: "A", Port: "x"}},
+			{Source: Endpoint{Port: "in"}, Target: Endpoint{Processor: "B", Port: "x"}},
+			{Source: Endpoint{Processor: "A", Port: "y"}, Target: Endpoint{Processor: "C", Port: "a"}},
+			{Source: Endpoint{Processor: "B", Port: "y"}, Target: Endpoint{Processor: "C", Port: "b"}},
+			{Source: Endpoint{Processor: "C", Port: "y"}, Target: Endpoint{Port: "out"}},
+		},
+	}
+	res, err := NewEngine(upperReg()).Run(context.Background(), d, map[string]Data{"in": Scalar("ab")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs["out"].String(); got != "ABab!" {
+		t.Fatalf("out = %q", got)
+	}
+}
+
+func TestEngineParallelism(t *testing.T) {
+	// N independent slow processors must overlap in time.
+	const n = 8
+	var cur, max int32
+	reg := NewRegistry()
+	reg.Register("slow", func(_ context.Context, c Call) (map[string]Data, error) {
+		v := atomic.AddInt32(&cur, 1)
+		for {
+			m := atomic.LoadInt32(&max)
+			if v <= m || atomic.CompareAndSwapInt32(&max, m, v) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		return map[string]Data{"y": c.Input("x")}, nil
+	})
+	d := &Definition{ID: "wf-par", Name: "par", Inputs: []Port{{Name: "in"}}}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("P%d", i)
+		d.Processors = append(d.Processors, &Processor{
+			Name: name, Service: "slow",
+			Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}},
+		})
+		out := fmt.Sprintf("out%d", i)
+		d.Outputs = append(d.Outputs, Port{Name: out})
+		d.Links = append(d.Links,
+			Link{Source: Endpoint{Port: "in"}, Target: Endpoint{Processor: name, Port: "x"}},
+			Link{Source: Endpoint{Processor: name, Port: "y"}, Target: Endpoint{Port: out}},
+		)
+	}
+	if _, err := NewEngine(reg).Run(context.Background(), d, map[string]Data{"in": Scalar("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&max) < 2 {
+		t.Fatalf("max concurrency = %d, want ≥2", max)
+	}
+	// With Parallel=1 concurrency must not exceed 1.
+	atomic.StoreInt32(&max, 0)
+	eng := NewEngine(reg)
+	eng.Parallel = 1
+	if _, err := eng.Run(context.Background(), d, map[string]Data{"in": Scalar("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&max) != 1 {
+		t.Fatalf("bounded run reached concurrency %d", max)
+	}
+}
+
+func TestEngineImplicitIteration(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	// Feed a list into a scalar-port pipeline: both processors iterate.
+	in := List(Scalar("a"), Scalar("b"), Scalar("c"))
+	res, err := NewEngine(upperReg()).Run(context.Background(), d, map[string]Data{"in": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs["out"].String(); got != "[A!, B!, C!]" {
+		t.Fatalf("out = %q", got)
+	}
+	if res.Invocations["A"] != 3 || res.Invocations["B"] != 3 {
+		t.Fatalf("invocations = %v", res.Invocations)
+	}
+}
+
+func TestEngineIterationBroadcast(t *testing.T) {
+	// concat(a: list, b: scalar) broadcasts b across the iteration.
+	d := &Definition{
+		ID: "wf-bcast", Name: "bcast",
+		Inputs:  []Port{{Name: "many"}, {Name: "one"}},
+		Outputs: []Port{{Name: "out"}},
+		Processors: []*Processor{
+			{Name: "C", Service: "concat", Inputs: []Port{{Name: "a"}, {Name: "b"}}, Outputs: []Port{{Name: "y"}}},
+		},
+		Links: []Link{
+			{Source: Endpoint{Port: "many"}, Target: Endpoint{Processor: "C", Port: "a"}},
+			{Source: Endpoint{Port: "one"}, Target: Endpoint{Processor: "C", Port: "b"}},
+			{Source: Endpoint{Processor: "C", Port: "y"}, Target: Endpoint{Port: "out"}},
+		},
+	}
+	res, err := NewEngine(upperReg()).Run(context.Background(), d, map[string]Data{
+		"many": List(Scalar("x"), Scalar("y")),
+		"one":  Scalar("-suffix"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs["out"].String(); got != "[x-suffix, y-suffix]" {
+		t.Fatalf("out = %q", got)
+	}
+}
+
+func TestEngineIterationLengthMismatch(t *testing.T) {
+	d := &Definition{
+		ID: "wf-mismatch", Name: "mismatch",
+		Inputs:  []Port{{Name: "p"}, {Name: "q"}},
+		Outputs: []Port{{Name: "out"}},
+		Processors: []*Processor{
+			{Name: "C", Service: "concat", Inputs: []Port{{Name: "a"}, {Name: "b"}}, Outputs: []Port{{Name: "y"}}},
+		},
+		Links: []Link{
+			{Source: Endpoint{Port: "p"}, Target: Endpoint{Processor: "C", Port: "a"}},
+			{Source: Endpoint{Port: "q"}, Target: Endpoint{Processor: "C", Port: "b"}},
+			{Source: Endpoint{Processor: "C", Port: "y"}, Target: Endpoint{Port: "out"}},
+		},
+	}
+	_, err := NewEngine(upperReg()).Run(context.Background(), d, map[string]Data{
+		"p": List(Scalar("x"), Scalar("y")),
+		"q": List(Scalar("1"), Scalar("2"), Scalar("3")),
+	})
+	if err == nil || !strings.Contains(err.Error(), "length mismatch") {
+		t.Fatalf("mismatch not detected: %v", err)
+	}
+}
+
+func TestEngineDepthTooDeep(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	_, err := NewEngine(upperReg()).Run(context.Background(), d, map[string]Data{
+		"in": List(List(Scalar("a"))),
+	})
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("excess depth not detected: %v", err)
+	}
+}
+
+func TestEngineProcessorFailure(t *testing.T) {
+	reg := upperReg()
+	boom := errors.New("boom")
+	reg.Register("fail", func(_ context.Context, c Call) (map[string]Data, error) {
+		return nil, boom
+	})
+	d := linearDef()
+	d.Processors[0].Service = "fail"
+	d.Processors[1].Service = "exclaim"
+	var events []Event
+	var mu sync.Mutex
+	_, err := NewEngine(reg).Run(context.Background(), d, map[string]Data{"in": Scalar("x")},
+		ListenerFunc(func(e Event) { mu.Lock(); events = append(events, e); mu.Unlock() }))
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("failure not propagated: %v", err)
+	}
+	var sawFailed, sawWfFailed bool
+	for _, e := range events {
+		if e.Type == EventProcessorFailed && e.Processor == "A" && e.Err != "" {
+			sawFailed = true
+		}
+		if e.Type == EventWorkflowFailed {
+			sawWfFailed = true
+		}
+		if e.Type == EventProcessorStarted && e.Processor == "B" {
+			t.Fatal("downstream processor B started after upstream failure")
+		}
+	}
+	if !sawFailed || !sawWfFailed {
+		t.Fatalf("failure events missing: failed=%v wfFailed=%v", sawFailed, sawWfFailed)
+	}
+}
+
+func TestEngineMissingOutputDetected(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("empty", func(_ context.Context, c Call) (map[string]Data, error) {
+		return map[string]Data{}, nil
+	})
+	d := &Definition{
+		ID: "wf-noout", Name: "noout",
+		Inputs:  []Port{{Name: "in"}},
+		Outputs: []Port{{Name: "out"}},
+		Processors: []*Processor{
+			{Name: "A", Service: "empty", Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}}},
+		},
+		Links: []Link{
+			{Source: Endpoint{Port: "in"}, Target: Endpoint{Processor: "A", Port: "x"}},
+			{Source: Endpoint{Processor: "A", Port: "y"}, Target: Endpoint{Port: "out"}},
+		},
+	}
+	_, err := NewEngine(reg).Run(context.Background(), d, map[string]Data{"in": Scalar("x")})
+	if err == nil || !strings.Contains(err.Error(), "omitted output") {
+		t.Fatalf("missing output not detected: %v", err)
+	}
+}
+
+func TestEngineEventOrder(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	var mu sync.Mutex
+	var types []EventType
+	_, err := NewEngine(upperReg()).Run(context.Background(), d, map[string]Data{"in": Scalar("x")},
+		ListenerFunc(func(e Event) { mu.Lock(); types = append(types, e.Type); mu.Unlock() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EventType{EventWorkflowStarted, EventProcessorStarted, EventProcessorCompleted,
+		EventProcessorStarted, EventProcessorCompleted, EventWorkflowCompleted}
+	if len(types) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(types), len(want), types)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, types[i], want[i])
+		}
+	}
+}
+
+func TestEngineEventCarriesAnnotations(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	when := time.Date(2013, 11, 12, 19, 58, 9, 0, time.UTC)
+	d.AnnotateProcessor("A", QualityKey("reputation"), "1", "expert", when)
+	var got map[string]string
+	var mu sync.Mutex
+	_, err := NewEngine(upperReg()).Run(context.Background(), d, map[string]Data{"in": Scalar("x")},
+		ListenerFunc(func(e Event) {
+			if e.Type == EventProcessorCompleted && e.Processor == "A" {
+				mu.Lock()
+				got = QualityAnnotations(e.Annotations)
+				mu.Unlock()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["reputation"] != "1" {
+		t.Fatalf("annotations on event = %v", got)
+	}
+}
+
+func TestEngineRejections(t *testing.T) {
+	eng := NewEngine(upperReg())
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	// Missing workflow input.
+	if _, err := eng.Run(context.Background(), d, nil); !errors.Is(err, ErrMissingInput) {
+		t.Fatalf("missing input: %v", err)
+	}
+	// Unregistered service.
+	d2 := linearDef() // svcA/svcB unregistered
+	if _, err := eng.Run(context.Background(), d2, map[string]Data{"in": Scalar("x")}); err == nil ||
+		!strings.Contains(err.Error(), "unregistered service") {
+		t.Fatalf("unregistered service: %v", err)
+	}
+	// Invalid definition.
+	d3 := linearDef()
+	d3.Name = ""
+	if _, err := eng.Run(context.Background(), d3, map[string]Data{"in": Scalar("x")}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("invalid def: %v", err)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	reg := NewRegistry()
+	started := make(chan struct{})
+	reg.Register("block", func(ctx context.Context, c Call) (map[string]Data, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	d := &Definition{
+		ID: "wf-cancel", Name: "cancel",
+		Inputs:  []Port{{Name: "in"}},
+		Outputs: []Port{{Name: "out"}},
+		Processors: []*Processor{
+			{Name: "A", Service: "block", Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}}},
+		},
+		Links: []Link{
+			{Source: Endpoint{Port: "in"}, Target: Endpoint{Processor: "A", Port: "x"}},
+			{Source: Endpoint{Processor: "A", Port: "y"}, Target: Endpoint{Port: "out"}},
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := NewEngine(reg).Run(ctx, d, map[string]Data{"in": Scalar("x")})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation: %v", err)
+	}
+}
+
+func TestProcessorRetries(t *testing.T) {
+	var calls int32
+	reg := NewRegistry()
+	reg.Register("flaky", func(_ context.Context, c Call) (map[string]Data, error) {
+		n := atomic.AddInt32(&calls, 1)
+		if n%3 != 0 { // succeeds every 3rd attempt
+			return nil, errors.New("transient")
+		}
+		return map[string]Data{"y": c.Input("x")}, nil
+	})
+	d := &Definition{
+		ID: "wf-retry", Name: "retry",
+		Inputs:  []Port{{Name: "in"}},
+		Outputs: []Port{{Name: "out"}},
+		Processors: []*Processor{
+			{Name: "A", Service: "flaky", Retries: 4,
+				Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}}},
+		},
+		Links: []Link{
+			{Source: Endpoint{Port: "in"}, Target: Endpoint{Processor: "A", Port: "x"}},
+			{Source: Endpoint{Processor: "A", Port: "y"}, Target: Endpoint{Port: "out"}},
+		},
+	}
+	res, err := NewEngine(reg).Run(context.Background(), d, map[string]Data{"in": Scalar("v")})
+	if err != nil {
+		t.Fatalf("retrying run failed: %v", err)
+	}
+	if res.Outputs["out"].String() != "v" {
+		t.Fatalf("out = %q", res.Outputs["out"])
+	}
+	if atomic.LoadInt32(&calls) != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	// With zero retries the same workflow fails.
+	atomic.StoreInt32(&calls, 0)
+	d.Processors[0].Retries = 0
+	if _, err := NewEngine(reg).Run(context.Background(), d, map[string]Data{"in": Scalar("v")}); err == nil {
+		t.Fatal("fail-fast run succeeded")
+	}
+	// Retries exhausted -> error mentions attempts.
+	atomic.StoreInt32(&calls, 0)
+	d.Processors[0].Retries = 1
+	_, err = NewEngine(reg).Run(context.Background(), d, map[string]Data{"in": Scalar("v")})
+	if err == nil || !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("exhausted retries error: %v", err)
+	}
+	// Retries survive XML round-trip.
+	d.Processors[0].Retries = 4
+	blob, err := MarshalXML(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalXML(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Processors[0].Retries != 4 {
+		t.Fatalf("retries lost over XML: %d", back.Processors[0].Retries)
+	}
+	// ...and Clone.
+	if d.Clone().Processors[0].Retries != 4 {
+		t.Fatal("retries lost in Clone")
+	}
+}
+
+func TestRetryPerIterationElement(t *testing.T) {
+	// Each list element gets its own retry budget.
+	var mu sync.Mutex
+	failures := map[string]int{}
+	reg := NewRegistry()
+	reg.Register("flaky", func(_ context.Context, c Call) (map[string]Data, error) {
+		v := c.Input("x").String()
+		mu.Lock()
+		defer mu.Unlock()
+		if failures[v] < 1 {
+			failures[v]++
+			return nil, errors.New("first attempt always fails")
+		}
+		return map[string]Data{"y": Scalar(strings.ToUpper(v))}, nil
+	})
+	d := &Definition{
+		ID: "wf-iter-retry", Name: "iter-retry",
+		Inputs:  []Port{{Name: "in", Depth: 1}},
+		Outputs: []Port{{Name: "out", Depth: 1}},
+		Processors: []*Processor{
+			{Name: "A", Service: "flaky", Retries: 2,
+				Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}}},
+		},
+		Links: []Link{
+			{Source: Endpoint{Port: "in"}, Target: Endpoint{Processor: "A", Port: "x"}},
+			{Source: Endpoint{Processor: "A", Port: "y"}, Target: Endpoint{Port: "out"}},
+		},
+	}
+	res, err := NewEngine(reg).Run(context.Background(), d,
+		map[string]Data{"in": List(Scalar("a"), Scalar("b"), Scalar("c"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs["out"].String(); got != "[A, B, C]" {
+		t.Fatalf("out = %q", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	if _, ok := reg.Lookup("x"); ok {
+		t.Fatal("empty registry resolved a name")
+	}
+	reg.Register("x", func(_ context.Context, c Call) (map[string]Data, error) { return nil, nil })
+	if _, ok := reg.Lookup("x"); !ok {
+		t.Fatal("registered service not found")
+	}
+	if len(reg.Names()) != 1 {
+		t.Fatalf("Names = %v", reg.Names())
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	for _, tt := range []EventType{EventWorkflowStarted, EventProcessorStarted, EventProcessorCompleted,
+		EventProcessorFailed, EventWorkflowCompleted, EventWorkflowFailed} {
+		if strings.HasPrefix(tt.String(), "event(") {
+			t.Fatalf("missing name for %d", tt)
+		}
+	}
+}

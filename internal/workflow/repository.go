@@ -1,0 +1,186 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Repository is the Workflow Repository of the architecture (Fig. 1): a
+// versioned store of workflow definitions backed by the embedded database.
+// Publishing never overwrites — each publish creates a new version, so the
+// provenance of any past run can always be traced back to the exact
+// specification that produced it.
+type Repository struct {
+	db *storage.DB
+}
+
+const wfTable = "workflows"
+
+var wfSchema = storage.MustSchema(wfTable,
+	storage.Column{Name: "key", Kind: storage.KindString}, // id@version
+	storage.Column{Name: "id", Kind: storage.KindString},
+	storage.Column{Name: "name", Kind: storage.KindString},
+	storage.Column{Name: "version", Kind: storage.KindInt},
+	storage.Column{Name: "published_at", Kind: storage.KindTime},
+	storage.Column{Name: "xml", Kind: storage.KindBytes},
+)
+
+// ErrWorkflowNotFound is returned for unknown workflow IDs or versions.
+var ErrWorkflowNotFound = errors.New("workflow: not found in repository")
+
+// NewRepository opens (creating if needed) the workflow repository inside db.
+func NewRepository(db *storage.DB) (*Repository, error) {
+	if db.Table(wfTable) == nil {
+		if err := db.Apply(
+			storage.CreateTableOp(wfSchema),
+			storage.CreateIndexOp(wfTable, "id"),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return &Repository{db: db}, nil
+}
+
+func wfKey(id string, version int) string { return fmt.Sprintf("%s@%06d", id, version) }
+
+// Publish validates def and stores it as the next version of def.ID,
+// returning the assigned version number. def itself is not mutated.
+func (r *Repository) Publish(def *Definition) (int, error) {
+	if def.ID == "" {
+		return 0, fmt.Errorf("workflow: cannot publish a definition without an ID")
+	}
+	if err := Validate(def); err != nil {
+		return 0, err
+	}
+	latest, err := r.LatestVersion(def.ID)
+	if err != nil && !errors.Is(err, ErrWorkflowNotFound) {
+		return 0, err
+	}
+	version := latest + 1
+	cp := def.Clone()
+	cp.Version = version
+	blob, err := MarshalXML(cp)
+	if err != nil {
+		return 0, err
+	}
+	row := storage.Row{
+		storage.S(wfKey(def.ID, version)),
+		storage.S(def.ID),
+		storage.S(def.Name),
+		storage.I(int64(version)),
+		storage.T(time.Now()),
+		storage.Bytes(blob),
+	}
+	if err := r.db.Insert(wfTable, row); err != nil {
+		return 0, err
+	}
+	return version, nil
+}
+
+// Get loads one exact version.
+func (r *Repository) Get(id string, version int) (*Definition, error) {
+	row, err := r.db.Table(wfTable).Get(storage.S(wfKey(id, version)))
+	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s v%d", ErrWorkflowNotFound, id, version)
+		}
+		return nil, err
+	}
+	return UnmarshalXML(row.Get(wfSchema, "xml").Raw())
+}
+
+// Latest loads the newest version of id.
+func (r *Repository) Latest(id string) (*Definition, error) {
+	v, err := r.LatestVersion(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.Get(id, v)
+}
+
+// LatestVersion returns the highest published version of id.
+func (r *Repository) LatestVersion(id string) (int, error) {
+	rows, err := r.db.Table(wfTable).Lookup("id", storage.S(id))
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("%w: %s", ErrWorkflowNotFound, id)
+	}
+	max := 0
+	for _, row := range rows {
+		if v := int(row.Get(wfSchema, "version").Int()); v > max {
+			max = v
+		}
+	}
+	return max, nil
+}
+
+// VersionInfo summarizes one stored version.
+type VersionInfo struct {
+	ID          string
+	Name        string
+	Version     int
+	PublishedAt time.Time
+}
+
+// Versions lists all versions of id in ascending order.
+func (r *Repository) Versions(id string) ([]VersionInfo, error) {
+	rows, err := r.db.Table(wfTable).Lookup("id", storage.S(id))
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrWorkflowNotFound, id)
+	}
+	out := make([]VersionInfo, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, VersionInfo{
+			ID:          row.Get(wfSchema, "id").Str(),
+			Name:        row.Get(wfSchema, "name").Str(),
+			Version:     int(row.Get(wfSchema, "version").Int()),
+			PublishedAt: row.Get(wfSchema, "published_at").Time(),
+		})
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Version < out[i].Version {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// List returns the latest VersionInfo of every stored workflow, ordered by
+// workflow ID.
+func (r *Repository) List() ([]VersionInfo, error) {
+	latest := map[string]VersionInfo{}
+	r.db.Table(wfTable).Scan(func(row storage.Row) bool {
+		vi := VersionInfo{
+			ID:          row.Get(wfSchema, "id").Str(),
+			Name:        row.Get(wfSchema, "name").Str(),
+			Version:     int(row.Get(wfSchema, "version").Int()),
+			PublishedAt: row.Get(wfSchema, "published_at").Time(),
+		}
+		if cur, ok := latest[vi.ID]; !ok || vi.Version > cur.Version {
+			latest[vi.ID] = vi
+		}
+		return true
+	})
+	out := make([]VersionInfo, 0, len(latest))
+	for _, vi := range latest {
+		out = append(out, vi)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].ID < out[i].ID {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid wraps all structural validation failures.
+var ErrInvalid = errors.New("workflow: invalid definition")
+
+// Validate checks the structural well-formedness of a definition:
+//
+//   - non-empty name; unique processor and port names
+//   - every link references existing endpoints with compatible direction
+//   - every processor input and every workflow output has exactly one
+//     incoming link
+//   - the dataflow graph is acyclic
+func Validate(d *Definition) error {
+	if d.Name == "" {
+		return fmt.Errorf("%w: workflow has no name", ErrInvalid)
+	}
+	procs := map[string]*Processor{}
+	for _, p := range d.Processors {
+		if p.Name == "" {
+			return fmt.Errorf("%w: processor with empty name", ErrInvalid)
+		}
+		if _, dup := procs[p.Name]; dup {
+			return fmt.Errorf("%w: duplicate processor %q", ErrInvalid, p.Name)
+		}
+		if p.Service == "" {
+			return fmt.Errorf("%w: processor %q has no service", ErrInvalid, p.Name)
+		}
+		if err := uniquePorts(p.Inputs); err != nil {
+			return fmt.Errorf("%w: processor %q inputs: %v", ErrInvalid, p.Name, err)
+		}
+		if err := uniquePorts(p.Outputs); err != nil {
+			return fmt.Errorf("%w: processor %q outputs: %v", ErrInvalid, p.Name, err)
+		}
+		procs[p.Name] = p
+	}
+	if err := uniquePorts(d.Inputs); err != nil {
+		return fmt.Errorf("%w: workflow inputs: %v", ErrInvalid, err)
+	}
+	if err := uniquePorts(d.Outputs); err != nil {
+		return fmt.Errorf("%w: workflow outputs: %v", ErrInvalid, err)
+	}
+
+	wfIn := portSet(d.Inputs)
+	wfOut := portSet(d.Outputs)
+
+	// Link endpoint resolution + fan-in counting.
+	fanIn := map[string]int{} // target endpoint -> count
+	for _, l := range d.Links {
+		// Source must be a workflow input or a processor output.
+		if l.Source.Processor == "" {
+			if !wfIn[l.Source.Port] {
+				return fmt.Errorf("%w: link source %s is not a workflow input", ErrInvalid, l.Source)
+			}
+		} else {
+			sp, ok := procs[l.Source.Processor]
+			if !ok {
+				return fmt.Errorf("%w: link source %s references unknown processor", ErrInvalid, l.Source)
+			}
+			if _, ok := sp.OutputPort(l.Source.Port); !ok {
+				return fmt.Errorf("%w: link source %s is not an output port", ErrInvalid, l.Source)
+			}
+		}
+		// Target must be a workflow output or a processor input.
+		if l.Target.Processor == "" {
+			if !wfOut[l.Target.Port] {
+				return fmt.Errorf("%w: link target %s is not a workflow output", ErrInvalid, l.Target)
+			}
+		} else {
+			tp, ok := procs[l.Target.Processor]
+			if !ok {
+				return fmt.Errorf("%w: link target %s references unknown processor", ErrInvalid, l.Target)
+			}
+			if _, ok := tp.InputPort(l.Target.Port); !ok {
+				return fmt.Errorf("%w: link target %s is not an input port", ErrInvalid, l.Target)
+			}
+		}
+		fanIn[l.Target.String()]++
+		if fanIn[l.Target.String()] > 1 {
+			return fmt.Errorf("%w: target %s has multiple incoming links", ErrInvalid, l.Target)
+		}
+	}
+
+	// Completeness: every processor input and workflow output is fed.
+	for _, p := range d.Processors {
+		for _, in := range p.Inputs {
+			ep := Endpoint{Processor: p.Name, Port: in.Name}
+			if fanIn[ep.String()] == 0 {
+				return fmt.Errorf("%w: processor input %s is unconnected", ErrInvalid, ep)
+			}
+		}
+	}
+	for _, out := range d.Outputs {
+		ep := Endpoint{Port: out.Name}
+		if fanIn[ep.String()] == 0 {
+			return fmt.Errorf("%w: workflow output %s is unconnected", ErrInvalid, ep)
+		}
+	}
+
+	if _, err := topoOrder(d); err != nil {
+		return err
+	}
+	return nil
+}
+
+func uniquePorts(ports []Port) error {
+	seen := map[string]bool{}
+	for _, p := range ports {
+		if p.Name == "" {
+			return fmt.Errorf("port with empty name")
+		}
+		if p.Depth < 0 || p.Depth > 3 {
+			return fmt.Errorf("port %q has unsupported depth %d", p.Name, p.Depth)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("duplicate port %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+func portSet(ports []Port) map[string]bool {
+	s := make(map[string]bool, len(ports))
+	for _, p := range ports {
+		s[p.Name] = true
+	}
+	return s
+}
+
+// topoOrder returns the processors in a topological order of the dataflow
+// graph, or an error naming a processor on a cycle.
+func topoOrder(d *Definition) ([]*Processor, error) {
+	deps := map[string]map[string]bool{} // processor -> upstream processors
+	for _, p := range d.Processors {
+		deps[p.Name] = map[string]bool{}
+	}
+	for _, l := range d.Links {
+		if l.Source.Processor != "" && l.Target.Processor != "" {
+			deps[l.Target.Processor][l.Source.Processor] = true
+		}
+	}
+	var order []*Processor
+	done := map[string]bool{}
+	for len(order) < len(d.Processors) {
+		progressed := false
+		for _, p := range d.Processors {
+			if done[p.Name] {
+				continue
+			}
+			ready := true
+			for up := range deps[p.Name] {
+				if !done[up] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				order = append(order, p)
+				done[p.Name] = true
+				progressed = true
+			}
+		}
+		if !progressed {
+			for _, p := range d.Processors {
+				if !done[p.Name] {
+					return nil, fmt.Errorf("%w: cycle involving processor %q", ErrInvalid, p.Name)
+				}
+			}
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,205 @@
+package workflow
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// XML serialization of workflow definitions, shaped after Taverna's t2flow
+// files: processors carry <annotations> with <annotationAssertion> entries
+// whose text uses the "Q(dimension): value" syntax shown in the paper's
+// Listing 1.
+
+type xmlWorkflow struct {
+	XMLName     xml.Name        `xml:"workflow"`
+	ID          string          `xml:"id,attr"`
+	Name        string          `xml:"name,attr"`
+	Version     int             `xml:"version,attr"`
+	Description string          `xml:"description,omitempty"`
+	Inputs      []xmlPort       `xml:"inputPorts>port"`
+	Outputs     []xmlPort       `xml:"outputPorts>port"`
+	Processors  []xmlProcessor  `xml:"processors>processor"`
+	Links       []xmlLink       `xml:"datalinks>datalink"`
+	Annotations []xmlAnnotation `xml:"annotations>annotationAssertion"`
+}
+
+type xmlPort struct {
+	Name  string `xml:"name,attr"`
+	Depth int    `xml:"depth,attr"`
+}
+
+type xmlProcessor struct {
+	Name        string          `xml:"name"`
+	Service     string          `xml:"service"`
+	Retries     int             `xml:"retries,omitempty"`
+	Inputs      []xmlPort       `xml:"inputPorts>port"`
+	Outputs     []xmlPort       `xml:"outputPorts>port"`
+	Config      []xmlConfig     `xml:"config>entry,omitempty"`
+	Annotations []xmlAnnotation `xml:"annotations>annotationAssertion"`
+}
+
+type xmlConfig struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+type xmlAnnotation struct {
+	Text   string `xml:"text"`
+	Date   string `xml:"date"`
+	Author string `xml:"creator,omitempty"`
+}
+
+type xmlLink struct {
+	SourceProc string `xml:"source>processor"`
+	SourcePort string `xml:"source>port"`
+	TargetProc string `xml:"sink>processor"`
+	TargetPort string `xml:"sink>port"`
+}
+
+const annotationDateLayout = "2006-01-02 15:04:05.000 MST"
+
+func annToXML(a Annotation) xmlAnnotation {
+	return xmlAnnotation{
+		Text:   a.Key + ": " + a.Value + ";",
+		Date:   a.Date.UTC().Format(annotationDateLayout),
+		Author: a.Author,
+	}
+}
+
+func annFromXML(x xmlAnnotation) (Annotation, error) {
+	text := strings.TrimSuffix(strings.TrimSpace(x.Text), ";")
+	key, value, found := strings.Cut(text, ":")
+	if !found {
+		return Annotation{}, fmt.Errorf("workflow: annotation text %q has no key", x.Text)
+	}
+	a := Annotation{Key: strings.TrimSpace(key), Value: strings.TrimSpace(value), Author: x.Author}
+	if x.Date != "" {
+		t, err := time.Parse(annotationDateLayout, x.Date)
+		if err != nil {
+			return Annotation{}, fmt.Errorf("workflow: annotation date %q: %w", x.Date, err)
+		}
+		a.Date = t
+	}
+	return a, nil
+}
+
+func portsToXML(ports []Port) []xmlPort {
+	out := make([]xmlPort, len(ports))
+	for i, p := range ports {
+		out[i] = xmlPort(p)
+	}
+	return out
+}
+
+func portsFromXML(ports []xmlPort) []Port {
+	out := make([]Port, len(ports))
+	for i, p := range ports {
+		out[i] = Port(p)
+	}
+	return out
+}
+
+// MarshalXML serializes a definition to its t2flow-like XML form.
+func MarshalXML(d *Definition) ([]byte, error) {
+	x := xmlWorkflow{
+		ID:          d.ID,
+		Name:        d.Name,
+		Version:     d.Version,
+		Description: d.Description,
+		Inputs:      portsToXML(d.Inputs),
+		Outputs:     portsToXML(d.Outputs),
+	}
+	for _, a := range d.Annotations {
+		x.Annotations = append(x.Annotations, annToXML(a))
+	}
+	for _, p := range d.Processors {
+		xp := xmlProcessor{
+			Name:    p.Name,
+			Service: p.Service,
+			Retries: p.Retries,
+			Inputs:  portsToXML(p.Inputs),
+			Outputs: portsToXML(p.Outputs),
+		}
+		for k, v := range p.Config {
+			xp.Config = append(xp.Config, xmlConfig{Key: k, Value: v})
+		}
+		// Deterministic config order.
+		for i := 0; i < len(xp.Config); i++ {
+			for j := i + 1; j < len(xp.Config); j++ {
+				if xp.Config[j].Key < xp.Config[i].Key {
+					xp.Config[i], xp.Config[j] = xp.Config[j], xp.Config[i]
+				}
+			}
+		}
+		for _, a := range p.Annotations {
+			xp.Annotations = append(xp.Annotations, annToXML(a))
+		}
+		x.Processors = append(x.Processors, xp)
+	}
+	for _, l := range d.Links {
+		x.Links = append(x.Links, xmlLink{
+			SourceProc: l.Source.Processor, SourcePort: l.Source.Port,
+			TargetProc: l.Target.Processor, TargetPort: l.Target.Port,
+		})
+	}
+	blob, err := xml.MarshalIndent(x, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workflow: marshal: %w", err)
+	}
+	return append([]byte(xml.Header), blob...), nil
+}
+
+// UnmarshalXML parses a definition from its XML form.
+func UnmarshalXML(blob []byte) (*Definition, error) {
+	var x xmlWorkflow
+	if err := xml.Unmarshal(blob, &x); err != nil {
+		return nil, fmt.Errorf("workflow: unmarshal: %w", err)
+	}
+	d := &Definition{
+		ID:          x.ID,
+		Name:        x.Name,
+		Version:     x.Version,
+		Description: x.Description,
+		Inputs:      portsFromXML(x.Inputs),
+		Outputs:     portsFromXML(x.Outputs),
+	}
+	for _, xa := range x.Annotations {
+		a, err := annFromXML(xa)
+		if err != nil {
+			return nil, err
+		}
+		d.Annotations = append(d.Annotations, a)
+	}
+	for _, xp := range x.Processors {
+		p := &Processor{
+			Name:    xp.Name,
+			Service: xp.Service,
+			Retries: xp.Retries,
+			Inputs:  portsFromXML(xp.Inputs),
+			Outputs: portsFromXML(xp.Outputs),
+		}
+		if len(xp.Config) > 0 {
+			p.Config = make(map[string]string, len(xp.Config))
+			for _, c := range xp.Config {
+				p.Config[c.Key] = c.Value
+			}
+		}
+		for _, xa := range xp.Annotations {
+			a, err := annFromXML(xa)
+			if err != nil {
+				return nil, err
+			}
+			p.Annotations = append(p.Annotations, a)
+		}
+		d.Processors = append(d.Processors, p)
+	}
+	for _, xl := range x.Links {
+		d.Links = append(d.Links, Link{
+			Source: Endpoint{Processor: xl.SourceProc, Port: xl.SourcePort},
+			Target: Endpoint{Processor: xl.TargetProc, Port: xl.TargetPort},
+		})
+	}
+	return d, nil
+}
