@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race bench verify experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detector pass over the concurrent subsystems (the parallel
+## workflow engine and the singleflight caching resolver), plus the core
+## detection stack that drives them end to end.
+race:
+	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/core/...
+
+## verify: the gate for engine/concurrency changes — vet everything, then
+## run the race-detector suite over the parallel iteration and resolver code.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -46,7 +46,7 @@ func runEvolution(e *environment) error {
 		return err
 	}
 
-	mon, err := core.NewMonitor(sys, e.taxa.Checklist, core.RunOptions{})
+	mon, err := core.NewMonitor(sys, e.taxa.Checklist, core.RunOptions{Parallel: e.parallel})
 	if err != nil {
 		return err
 	}

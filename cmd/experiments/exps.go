@@ -94,13 +94,17 @@ func runFigure3(e *environment) error {
 	client := taxonomy.NewClient(server.URL)
 	client.Retries = 6
 	client.Backoff = 0
+	// The recommended production stack: singleflight cache in front of the
+	// slow authority, engine parallelism from -parallel.
+	cache := taxonomy.NewCachingResolver(client, 0)
 
-	outcome, err := e.sys.RunDetection(context.Background(), client, core.RunOptions{
+	outcome, err := e.sys.RunDetection(context.Background(), cache, core.RunOptions{
 		Reputation:           "1",
 		Availability:         "0.9",
 		Author:               "expert",
 		Agent:                "end-user",
 		MeasuredAvailability: -1, // patched below after the run
+		Parallel:             e.parallel,
 	})
 	if err != nil {
 		return err
@@ -120,6 +124,13 @@ func runFigure3(e *environment) error {
 	fmt.Printf("\nprovenance graph: %d nodes, %d edges, legality violations: %d\n",
 		g.NodeCount(), g.EdgeCount(), len(g.CheckLegality()))
 	fmt.Printf("authority client observed availability: %.3f (injected 0.9)\n", client.ObservedAvailability())
+
+	em := outcome.EngineMetrics
+	hits, misses := cache.Stats()
+	fmt.Printf("engine: %d invocations, %d iteration elements, peak in-flight %d (budget %d)\n",
+		em.Invocations, em.ElementsDispatched, em.PeakInFlight, e.parallel)
+	fmt.Printf("resolver cache: %d hits, %d misses, %d coalesced in-flight lookups\n",
+		hits, misses, cache.Coalesced())
 
 	rr, err := curation.Review(e.sys.Ledger, curation.DefaultCurator, "biologist", time.Now())
 	if err != nil {
@@ -158,7 +169,7 @@ func runListing1(e *environment) error {
 // E6 — §IV.C: the quality numbers the Data Quality Manager reports.
 func runQualityIVC(e *environment) error {
 	e.build()
-	outcome, err := e.sys.RunDetection(context.Background(), e.taxa.Checklist, core.RunOptions{})
+	outcome, err := e.sys.RunDetection(context.Background(), e.taxa.Checklist, core.RunOptions{Parallel: e.parallel})
 	if err != nil {
 		return err
 	}

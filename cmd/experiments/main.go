@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|tableI|tableII|figure2|figure3|listing1|qualityIVC|timing|stage1|stage2] [-records N] [-species N] [-seed N]
+//	experiments [-run all|tableI|tableII|figure2|figure3|listing1|qualityIVC|timing|stage1|stage2] [-records N] [-species N] [-seed N] [-parallel N]
 package main
 
 import (
@@ -21,11 +21,12 @@ func main() {
 		records = flag.Int("records", 11898, "collection size (paper: 11898)")
 		species = flag.Int("species", 1929, "distinct species names (paper: 1929)")
 		seed    = flag.Int64("seed", 2014, "master PRNG seed")
+		par     = flag.Int("parallel", 0, "workflow engine concurrency budget (0 = sequential iteration)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 
-	env := newEnvironment(*records, *species, *seed)
+	env := newEnvironment(*records, *species, *seed, *par)
 	all := map[string]func(*environment) error{
 		"tableI":     runTableI,
 		"tableII":    runTableII,

@@ -21,6 +21,9 @@ type environment struct {
 	records int
 	species int
 	seed    int64
+	// parallel is the engine's unified concurrency budget for detection
+	// runs (0 keeps the historical sequential iteration).
+	parallel int
 
 	once sync.Once
 	err  error
@@ -33,8 +36,8 @@ type environment struct {
 	dir  string
 }
 
-func newEnvironment(records, species int, seed int64) *environment {
-	return &environment{records: records, species: species, seed: seed}
+func newEnvironment(records, species int, seed int64, parallel int) *environment {
+	return &environment{records: records, species: species, seed: seed, parallel: parallel}
 }
 
 // paper constants for calibration commentary.

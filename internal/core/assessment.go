@@ -29,6 +29,9 @@ type DetectionOutcome struct {
 	UpdatesCreated   int
 	Elapsed          time.Duration
 	Assessment       *quality.Assessment
+	// EngineMetrics snapshots the workflow engine's concurrency counters
+	// for this run (invocations, elements dispatched, peak in-flight).
+	EngineMetrics workflow.MetricsSnapshot
 }
 
 // OutdatedFraction is Outdated/DistinctNames (Fig. 2: 7%).
@@ -54,6 +57,13 @@ type RunOptions struct {
 	MeasuredAvailability float64
 	// SkipLedger skips persisting per-record updates (benchmarks).
 	SkipLedger bool
+	// Parallel is the workflow engine's concurrency budget for the run:
+	// the maximum number of service invocations in flight, shared by
+	// processors and implicit-iteration elements (workflow.Engine.Parallel).
+	// 0 keeps the historical sequential iteration. With the Catalogue of
+	// Life hundreds of milliseconds away, this is the difference between
+	// n×latency and n×latency/Parallel per detection pass.
+	Parallel int
 }
 
 func (o *RunOptions) defaults() {
@@ -117,6 +127,7 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 	}
 	collector := provenance.NewCollector(opts.Agent)
 	engine := workflow.NewEngine(reg)
+	engine.Parallel = opts.Parallel
 	result, err := engine.Run(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, collector)
 	if err != nil {
 		// Step 4 still applies: failed runs leave provenance too.
@@ -143,6 +154,7 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		Unknown:         sum.Unknown,
 		Unavailable:     sum.Unavailable,
 		Renames:         sum.Renames,
+		EngineMetrics:   engine.Metrics(),
 	}
 
 	// Persist per-record updates referencing (not modifying) the originals.

@@ -16,6 +16,13 @@ import (
 // periodic reassessment loop: each tick re-runs the detection workflow,
 // persists a quality sample, and raises alerts when quality degrades (new
 // knowledge invalidated names) or the authority misbehaves.
+//
+// The tick re-pays the full n-names authority sweep, so Opts.Parallel
+// (the engine's unified concurrency budget) applies to every reassessment:
+// set it so a tick finishes well inside the monitoring interval even when
+// the authority is slow. Pair the resolver with taxonomy.CachingResolver —
+// its singleflight coalescing keeps a parallel tick from flooding the
+// authority with duplicate in-flight lookups.
 type Monitor struct {
 	System   *System
 	Resolver taxonomy.Resolver

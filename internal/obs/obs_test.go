@@ -231,3 +231,39 @@ func TestImportCollection(t *testing.T) {
 		t.Fatalf("duration summary = %+v", sum)
 	}
 }
+
+func TestFromRuntimeMetrics(t *testing.T) {
+	at := time.Date(2014, 3, 31, 12, 0, 0, 0, time.UTC)
+	o := FromRuntimeMetrics("workflow-engine", at, map[string]float64{
+		"engine.peak_in_flight":      8,
+		"engine.elements_dispatched": 1929,
+		"engine.invocations":         1930,
+	})
+	if o.Entity.ID != "subsystem:workflow-engine" || o.Entity.Type != "subsystem" {
+		t.Fatalf("entity = %+v", o.Entity)
+	}
+	if o.Protocol != RuntimeProtocol {
+		t.Fatalf("protocol = %q", o.Protocol)
+	}
+	// Deterministic (sorted) measurement order regardless of map iteration.
+	want := []string{"engine.elements_dispatched", "engine.invocations", "engine.peak_in_flight"}
+	if len(o.Measurements) != len(want) {
+		t.Fatalf("measurements = %+v", o.Measurements)
+	}
+	for i, name := range want {
+		if o.Measurements[i].Characteristic != name {
+			t.Fatalf("measurement %d = %q, want %q", i, o.Measurements[i].Characteristic, name)
+		}
+	}
+
+	// Runtime telemetry flows through the same store and queries as any
+	// other observation.
+	db := openObs(t)
+	if err := db.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := db.WhereMeasured("engine.peak_in_flight", 1, 100)
+	if err != nil || len(ids) != 1 || ids[0] != o.ID {
+		t.Fatalf("query: %v %v", ids, err)
+	}
+}

@@ -3,6 +3,7 @@ package taxonomy
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,6 +12,18 @@ import (
 // and the real Catalogue of Life is slow and only 90% available, so caching
 // is what makes "verification performed frequently" affordable. Unknown
 // names are cached too (negative caching); transient unavailability is not.
+//
+// Concurrent misses on the same name are coalesced into a single upstream
+// request (singleflight): with the workflow engine dispatching iteration
+// elements in parallel, N simultaneous lookups of one name would otherwise
+// become N round trips against the slow authority — a thundering herd the
+// old sequential engine merely masked. All waiters share the leader's
+// result, including a transient ErrUnavailable (which is still not cached,
+// so the next tick retries).
+//
+// Hot-path reads take only an RWMutex read lock and bump atomic counters,
+// so cache hits never serialize against writers (Invalidate/Flush) or each
+// other.
 type CachingResolver struct {
 	Inner Resolver
 	// TTL bounds entry lifetime (0 = cache forever). Expired entries are
@@ -19,10 +32,15 @@ type CachingResolver struct {
 	// Now supplies the clock (defaults to time.Now).
 	Now func() time.Time
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[string]cacheEntry
-	hits    int64
-	misses  int64
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
 }
 
 type cacheEntry struct {
@@ -31,55 +49,114 @@ type cacheEntry struct {
 	added time.Time
 }
 
-// NewCachingResolver wraps inner with a TTL cache.
-func NewCachingResolver(inner Resolver, ttl time.Duration) *CachingResolver {
-	return &CachingResolver{Inner: inner, TTL: ttl, entries: make(map[string]cacheEntry)}
+// flight is one in-progress upstream resolution that concurrent misses of
+// the same key wait on.
+type flight struct {
+	done chan struct{}
+	res  Resolution
+	err  error
 }
 
-// Resolve implements Resolver.
-func (c *CachingResolver) Resolve(name string) (Resolution, error) {
-	now := time.Now
-	if c.Now != nil {
-		now = c.Now
+// NewCachingResolver wraps inner with a TTL cache.
+func NewCachingResolver(inner Resolver, ttl time.Duration) *CachingResolver {
+	return &CachingResolver{
+		Inner:   inner,
+		TTL:     ttl,
+		entries: make(map[string]cacheEntry),
+		flights: make(map[string]*flight),
 	}
+}
+
+func (c *CachingResolver) clock() func() time.Time {
+	if c.Now != nil {
+		return c.Now
+	}
+	return time.Now
+}
+
+func (c *CachingResolver) key(name string) string {
 	key := Normalize(name)
 	if key == "" {
 		key = name // unparseable names still cache under their raw form
 	}
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok && (c.TTL == 0 || now().Sub(e.added) <= c.TTL) {
-		c.hits++
-		c.mu.Unlock()
+	return key
+}
+
+// lookup returns the cached entry for key if present and fresh.
+func (c *CachingResolver) lookup(key string, now func() time.Time) (cacheEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok && (c.TTL == 0 || now().Sub(e.added) <= c.TTL) {
+		return e, true
+	}
+	return cacheEntry{}, false
+}
+
+// Resolve implements Resolver.
+func (c *CachingResolver) Resolve(name string) (Resolution, error) {
+	now := c.clock()
+	key := c.key(name)
+	if e, ok := c.lookup(key, now); ok {
+		c.hits.Add(1)
 		return e.res, e.err
 	}
-	c.misses++
-	c.mu.Unlock()
+	c.misses.Add(1)
 
-	res, err := c.Inner.Resolve(name)
-	// Never cache transient authority failures: the next attempt may
-	// succeed, and caching an outage would freeze it in place.
-	if err != nil && errors.Is(err, ErrUnavailable) {
-		return res, err
+	c.flightMu.Lock()
+	if c.flights == nil {
+		c.flights = make(map[string]*flight)
 	}
-	c.mu.Lock()
-	c.entries[key] = cacheEntry{res: res, err: err, added: now()}
-	c.mu.Unlock()
-	return res, err
+	if f, inFlight := c.flights[key]; inFlight {
+		c.flightMu.Unlock()
+		c.coalesced.Add(1)
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.flightMu.Unlock()
+
+	// We are the flight leader. A previous leader may have filled the cache
+	// between our miss and our registration — re-check before paying the
+	// upstream round trip.
+	if e, ok := c.lookup(key, now); ok {
+		f.res, f.err = e.res, e.err
+	} else {
+		f.res, f.err = c.Inner.Resolve(name)
+		// Never cache transient authority failures: the next attempt may
+		// succeed, and caching an outage would freeze it in place.
+		if f.err == nil || !errors.Is(f.err, ErrUnavailable) {
+			c.mu.Lock()
+			if c.entries == nil {
+				c.entries = make(map[string]cacheEntry)
+			}
+			c.entries[key] = cacheEntry{res: f.res, err: f.err, added: now()}
+			c.mu.Unlock()
+		}
+	}
+
+	c.flightMu.Lock()
+	delete(c.flights, key)
+	c.flightMu.Unlock()
+	close(f.done)
+	return f.res, f.err
 }
 
-// Stats reports cache hits and misses since construction.
+// Stats reports cache hits and misses since construction. Coalesced waiters
+// count as misses (they did not find an entry), and additionally as
+// Coalesced.
 func (c *CachingResolver) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
+
+// Coalesced reports how many lookups joined another caller's in-flight
+// upstream request instead of issuing their own.
+func (c *CachingResolver) Coalesced() int64 { return c.coalesced.Load() }
 
 // Invalidate drops a single entry (e.g. after a curator fixes a name).
 func (c *CachingResolver) Invalidate(name string) {
-	key := Normalize(name)
-	if key == "" {
-		key = name
-	}
+	key := c.key(name)
 	c.mu.Lock()
 	delete(c.entries, key)
 	c.mu.Unlock()

@@ -130,6 +130,127 @@ func TestCachingResolverInvalidateAndFlush(t *testing.T) {
 	}
 }
 
+// blockingResolver parks every Resolve until released, so a test can hold
+// an upstream call in flight while more callers pile up on the same key.
+type blockingResolver struct {
+	inner   Resolver
+	entered chan struct{} // one tick per upstream call started
+	release chan struct{} // closed to let upstream calls finish
+	fail    bool
+}
+
+func (b *blockingResolver) Resolve(name string) (Resolution, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	if b.fail {
+		return Resolution{Query: name, Status: StatusUnknown}, fmt.Errorf("wrapped: %w", ErrUnavailable)
+	}
+	return b.inner.Resolve(name)
+}
+
+// waitCoalesced blocks until n lookups have joined an in-flight request.
+func waitCoalesced(t *testing.T, cache *CachingResolver, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for cache.Coalesced() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters coalesced", cache.Coalesced(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCachingResolverSingleflight(t *testing.T) {
+	const waiters = 16
+	cl := demoChecklist(t)
+	block := &blockingResolver{inner: cl, entered: make(chan struct{}, waiters+1), release: make(chan struct{})}
+	inner := &countResolver{inner: block}
+	cache := NewCachingResolver(inner, 0)
+
+	results := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			res, err := cache.Resolve("Hyla faber")
+			if err == nil && res.Status != StatusAccepted {
+				err = fmt.Errorf("status %v", res.Status)
+			}
+			results <- err
+		}()
+	}
+	// Exactly one goroutine reaches the upstream; the rest must be waiting
+	// on its flight, not queued for their own round trips.
+	<-block.entered
+	waitCoalesced(t, cache, waiters-1)
+	select {
+	case <-block.entered:
+		t.Fatal("second upstream call issued for a coalesced key")
+	default:
+	}
+	close(block.release)
+	for i := 0; i < waiters; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if inner.Calls() != 1 {
+		t.Fatalf("upstream called %d times for %d concurrent misses", inner.Calls(), waiters)
+	}
+	if got := cache.Coalesced(); got != waiters-1 {
+		t.Fatalf("coalesced = %d, want %d", got, waiters-1)
+	}
+	hits, misses := cache.Stats()
+	if hits != 0 || misses != waiters {
+		t.Fatalf("stats = %d hits %d misses", hits, misses)
+	}
+	// The leader populated the cache: later lookups are plain hits.
+	if _, err := cache.Resolve("Hyla faber"); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Calls() != 1 {
+		t.Fatalf("cache not populated by flight leader: %d calls", inner.Calls())
+	}
+}
+
+func TestCachingResolverSingleflightSharesOutage(t *testing.T) {
+	const waiters = 6
+	cl := demoChecklist(t)
+	block := &blockingResolver{inner: cl, entered: make(chan struct{}, waiters+1), release: make(chan struct{}), fail: true}
+	inner := &countResolver{inner: block}
+	cache := NewCachingResolver(inner, 0)
+
+	results := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := cache.Resolve("Hyla faber")
+			results <- err
+		}()
+	}
+	// Hold the leader's flight open until every other goroutine has joined
+	// it — an outage is not cached, so a latecomer arriving after the flight
+	// closed would (correctly) open its own.
+	<-block.entered
+	waitCoalesced(t, cache, waiters-1)
+	close(block.release)
+	// Every waiter sees the leader's transient failure...
+	for i := 0; i < waiters; i++ {
+		if err := <-results; !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if inner.Calls() != 1 {
+		t.Fatalf("upstream called %d times", inner.Calls())
+	}
+	// ...but the outage is not cached: a later lookup retries upstream.
+	block.fail = false
+	res, err := cache.Resolve("Hyla faber")
+	if err != nil || res.Status != StatusAccepted {
+		t.Fatalf("post-recovery: %+v, %v", res, err)
+	}
+	if inner.Calls() != 2 {
+		t.Fatalf("shared outage was cached: %d calls", inner.Calls())
+	}
+}
+
 func TestCachingResolverConcurrent(t *testing.T) {
 	cl := demoChecklist(t)
 	cache := NewCachingResolver(cl, 0)

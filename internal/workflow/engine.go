@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -152,12 +153,54 @@ type RunResult struct {
 // Engine executes workflow definitions against a service registry.
 type Engine struct {
 	registry *Registry
-	// Parallel bounds concurrent processor execution (default: unlimited).
+	// Parallel is the engine-wide concurrency budget: the maximum number of
+	// service invocations in flight at once, shared by processor launches
+	// AND implicit-iteration elements. A slot is held only for the duration
+	// of one service call — never while a processor is blocked waiting on
+	// its iteration elements — so the budget cannot deadlock no matter how
+	// processors and iterations nest.
+	//
+	// 0 preserves the historical default: unbounded processor concurrency
+	// with strictly sequential iteration. With Parallel ≥ 1, iteration
+	// elements are dispatched concurrently under the budget (Parallel == 1
+	// is fully sequential execution). Nested workflows run on their own
+	// engine and do not consume the outer budget.
 	Parallel int
+
+	metrics engineMetrics
 }
 
 // NewEngine builds an engine over the given registry.
 func NewEngine(reg *Registry) *Engine { return &Engine{registry: reg} }
+
+// engineMetrics counts engine activity across runs. All fields are atomics:
+// the hot path never takes a lock to record them.
+type engineMetrics struct {
+	invocations        atomic.Int64 // service calls started
+	elementsDispatched atomic.Int64 // implicit-iteration elements dispatched
+	elementsCoalesced  atomic.Int64 // reserved: elements served from upstream coalescing
+	inFlight           atomic.Int64 // service calls currently executing
+	peakInFlight       atomic.Int64 // high-water mark of inFlight
+}
+
+// MetricsSnapshot is a point-in-time reading of the engine's counters,
+// cumulative over every run the engine has executed.
+type MetricsSnapshot struct {
+	Invocations        int64 // service calls started
+	ElementsDispatched int64 // iteration elements dispatched to workers
+	InFlight           int64 // service calls executing right now
+	PeakInFlight       int64 // high-water mark of concurrent calls
+}
+
+// Metrics returns the engine's cumulative instrumentation counters.
+func (e *Engine) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		Invocations:        e.metrics.invocations.Load(),
+		ElementsDispatched: e.metrics.elementsDispatched.Load(),
+		InFlight:           e.metrics.inFlight.Load(),
+		PeakInFlight:       e.metrics.peakInFlight.Load(),
+	}
+}
 
 var runCounter int64
 
@@ -269,7 +312,9 @@ type runState struct {
 	def       *Definition
 	runID     string
 	listeners []Listener
-	sem       chan struct{}
+	// sem is the engine-wide slot budget (nil = unlimited). Slots are
+	// acquired around individual service calls only — see Engine.Parallel.
+	sem chan struct{}
 
 	mu        sync.Mutex
 	values    map[string]Data // endpoint -> datum
@@ -284,6 +329,49 @@ func (st *runState) emit(ev Event) {
 	for _, l := range st.listeners {
 		l.OnEvent(ev)
 	}
+}
+
+// acquire takes one budget slot, or returns early when ctx is done. A nil
+// budget admits immediately.
+func (st *runState) acquire(ctx context.Context) error {
+	if st.sem == nil {
+		return ctx.Err()
+	}
+	select {
+	case st.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (st *runState) release() {
+	if st.sem != nil {
+		<-st.sem
+	}
+}
+
+// call runs one slot-gated service invocation: it blocks for a budget slot,
+// tracks the in-flight gauge, and invokes the service with retry. This is
+// the ONLY place execution holds a budget slot, which is what makes the
+// unified budget deadlock-free: nothing waits on other work while holding
+// a slot.
+func (st *runState) call(ctx context.Context, fn ServiceFunc, p *Processor, c Call) (map[string]Data, error) {
+	if err := st.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer st.release()
+	m := &st.engine.metrics
+	m.invocations.Add(1)
+	cur := m.inFlight.Add(1)
+	for {
+		peak := m.peakInFlight.Load()
+		if cur <= peak || m.peakInFlight.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	defer m.inFlight.Add(-1)
+	return callWithRetry(ctx, fn, p, c)
 }
 
 // deliverLocked binds a datum to a link target, returning any processors
@@ -310,10 +398,6 @@ func (st *runState) launch(ctx context.Context, p *Processor) {
 	st.wg.Add(1)
 	go func() {
 		defer st.wg.Done()
-		if st.sem != nil {
-			st.sem <- struct{}{}
-			defer func() { <-st.sem }()
-		}
 		st.runProcessor(ctx, p)
 	}()
 }
@@ -336,7 +420,7 @@ func (st *runState) runProcessor(ctx context.Context, p *Processor) {
 
 	fn, _ := st.engine.registry.Lookup(p.Service)
 	start := time.Now()
-	outputs, iterations, elements, err := invoke(ctx, fn, p, inputs)
+	outputs, iterations, elements, err := st.invoke(ctx, fn, p, inputs)
 	elapsed := time.Since(start)
 
 	if err != nil {
@@ -382,87 +466,19 @@ func (st *runState) runProcessor(ctx context.Context, p *Processor) {
 	}
 }
 
-// invoke runs the service, applying implicit iteration: any input whose
-// actual depth exceeds the declared port depth by one drives element-wise
-// (dot-product) iteration, with equal lengths required and non-iterated
-// inputs broadcast. Outputs of iterated invocations are collected into
-// lists, as in Taverna.
-func invoke(ctx context.Context, fn ServiceFunc, p *Processor, inputs map[string]Data) (map[string]Data, int, []ElementTrace, error) {
-	iterating := false
-	n := -1
-	for _, port := range p.Inputs {
-		d := inputs[port.Name]
-		switch d.Depth() {
-		case port.Depth:
-			// exact match: broadcast if others iterate
-		case port.Depth + 1:
-			iterating = true
-			if n == -1 {
-				n = len(d.Items())
-			} else if n != len(d.Items()) {
-				return nil, 0, nil, fmt.Errorf("iteration length mismatch on port %q: %d vs %d", port.Name, len(d.Items()), n)
-			}
-		default:
-			return nil, 0, nil, fmt.Errorf("port %q expects depth %d, got depth %d", port.Name, port.Depth, d.Depth())
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, 0, nil, err
-	}
-	if !iterating {
-		out, err := callWithRetry(ctx, fn, p, Call{Inputs: inputs, Config: p.Config})
-		if err != nil {
-			return nil, 1, nil, err
-		}
-		if err := checkOutputs(p, out); err != nil {
-			return nil, 1, nil, err
-		}
-		return out, 1, nil, nil
-	}
-
-	// Element-wise iteration.
-	collected := map[string][]Data{}
-	for _, port := range p.Outputs {
-		collected[port.Name] = make([]Data, n)
-	}
-	elements := make([]ElementTrace, 0, n)
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, i, nil, err
-		}
-		callIn := map[string]Data{}
-		for _, port := range p.Inputs {
-			d := inputs[port.Name]
-			if d.Depth() == port.Depth+1 {
-				callIn[port.Name] = d.Items()[i]
-			} else {
-				callIn[port.Name] = d
-			}
-		}
-		out, err := callWithRetry(ctx, fn, p, Call{Inputs: callIn, Config: p.Config})
-		if err != nil {
-			return nil, i + 1, nil, fmt.Errorf("iteration %d: %w", i, err)
-		}
-		if err := checkOutputs(p, out); err != nil {
-			return nil, i + 1, nil, fmt.Errorf("iteration %d: %w", i, err)
-		}
-		for _, port := range p.Outputs {
-			collected[port.Name][i] = out[port.Name]
-		}
-		elements = append(elements, ElementTrace{Index: i, Inputs: callIn, Outputs: out})
-	}
-	outputs := map[string]Data{}
-	for name, items := range collected {
-		outputs[name] = List(items...)
-	}
-	return outputs, n, elements, nil
-}
-
 // callWithRetry invokes the service, retrying up to p.Retries extra times on
-// error. Context cancellation is never retried.
+// error. Retries back off exponentially with full jitter when the processor
+// configures RetryBase (see backoffDelay); the zero default retries
+// immediately, as the engine always has. Context cancellation is never
+// retried, and the backoff sleep aborts as soon as the context is done.
 func callWithRetry(ctx context.Context, fn ServiceFunc, p *Processor, call Call) (map[string]Data, error) {
 	var lastErr error
 	for attempt := 0; attempt <= p.Retries; attempt++ {
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, backoffDelay(p, attempt)); err != nil {
+				return nil, err
+			}
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -479,6 +495,45 @@ func callWithRetry(ctx context.Context, fn ServiceFunc, p *Processor, call Call)
 		return nil, fmt.Errorf("after %d attempts: %w", p.Retries+1, lastErr)
 	}
 	return nil, lastErr
+}
+
+// backoffDelay computes the pause before retry attempt n (n ≥ 1):
+// exponential growth from p.RetryBase, capped at p.RetryCap (default 30s
+// when a base is set), with full jitter — a uniform draw over (0, delay] so
+// concurrent retries against a struggling authority spread out instead of
+// hammering it in lockstep. Zero RetryBase means no backoff.
+func backoffDelay(p *Processor, attempt int) time.Duration {
+	if p.RetryBase <= 0 {
+		return 0
+	}
+	ceiling := p.RetryCap
+	if ceiling <= 0 {
+		ceiling = 30 * time.Second
+	}
+	d := p.RetryBase
+	for i := 1; i < attempt && d < ceiling; i++ {
+		d *= 2
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// sleepBackoff sleeps for d, returning early with the context error if ctx
+// finishes first. Zero and negative d return immediately.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func checkOutputs(p *Processor, out map[string]Data) error {

@@ -462,6 +462,275 @@ func TestRetryPerIterationElement(t *testing.T) {
 	}
 }
 
+func iterDef(retries int) *Definition {
+	return &Definition{
+		ID: "wf-iter", Name: "iter",
+		Inputs:  []Port{{Name: "in", Depth: 1}},
+		Outputs: []Port{{Name: "out", Depth: 1}},
+		Processors: []*Processor{
+			{Name: "A", Service: "work", Retries: retries,
+				Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}}},
+		},
+		Links: []Link{
+			{Source: Endpoint{Port: "in"}, Target: Endpoint{Processor: "A", Port: "x"}},
+			{Source: Endpoint{Processor: "A", Port: "y"}, Target: Endpoint{Port: "out"}},
+		},
+	}
+}
+
+func TestParallelIterationMatchesSequential(t *testing.T) {
+	// Later elements finish first (reverse latency), so any ordering bug in
+	// the parallel collector shows up as scrambled outputs or traces.
+	const n = 24
+	reg := NewRegistry()
+	reg.Register("work", func(_ context.Context, c Call) (map[string]Data, error) {
+		v := c.Input("x").String()
+		var idx int
+		fmt.Sscanf(v, "item%02d", &idx)
+		time.Sleep(time.Duration(n-idx) * 300 * time.Microsecond)
+		return map[string]Data{"y": Scalar(strings.ToUpper(v))}, nil
+	})
+	items := make([]Data, n)
+	for i := range items {
+		items[i] = Scalar(fmt.Sprintf("item%02d", i))
+	}
+	in := map[string]Data{"in": List(items...)}
+
+	type capture struct {
+		out      string
+		elements string
+	}
+	runWith := func(parallel int) capture {
+		var mu sync.Mutex
+		var elems string
+		eng := NewEngine(reg)
+		eng.Parallel = parallel
+		res, err := eng.Run(context.Background(), iterDef(0), in,
+			ListenerFunc(func(e Event) {
+				if e.Type == EventProcessorCompleted && e.Processor == "A" {
+					mu.Lock()
+					elems = fmt.Sprintf("%+v", e.Elements)
+					mu.Unlock()
+				}
+			}))
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if res.Invocations["A"] != n {
+			t.Fatalf("parallel=%d: invocations = %d", parallel, res.Invocations["A"])
+		}
+		return capture{out: res.Outputs["out"].String(), elements: elems}
+	}
+
+	want := runWith(0) // sequential reference
+	if want.elements == "" || !strings.Contains(want.elements, "Index:0") {
+		t.Fatalf("reference trace missing: %q", want.elements)
+	}
+	for _, parallel := range []int{1, 4, 32} {
+		got := runWith(parallel)
+		if got.out != want.out {
+			t.Errorf("parallel=%d outputs diverge:\n got %s\nwant %s", parallel, got.out, want.out)
+		}
+		if got.elements != want.elements {
+			t.Errorf("parallel=%d element traces diverge from sequential run", parallel)
+		}
+	}
+}
+
+func TestEngineUnifiedBudgetBoundsElements(t *testing.T) {
+	// Three iterating processors share one engine-wide budget of 2. The old
+	// processor-only semaphore design would either deadlock here (processors
+	// holding slots while their elements wait for slots) or let 3×budget
+	// elements run at once. The unified budget must (a) finish and (b) keep
+	// total in-flight service calls ≤ 2.
+	const procs, elems, budget = 3, 8, 2
+	var cur, max int32
+	reg := NewRegistry()
+	reg.Register("slow", func(_ context.Context, c Call) (map[string]Data, error) {
+		v := atomic.AddInt32(&cur, 1)
+		for {
+			m := atomic.LoadInt32(&max)
+			if v <= m || atomic.CompareAndSwapInt32(&max, m, v) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		return map[string]Data{"y": c.Input("x")}, nil
+	})
+	d := &Definition{ID: "wf-budget", Name: "budget", Inputs: []Port{{Name: "in", Depth: 1}}}
+	for i := 0; i < procs; i++ {
+		name := fmt.Sprintf("P%d", i)
+		out := fmt.Sprintf("out%d", i)
+		d.Processors = append(d.Processors, &Processor{
+			Name: name, Service: "slow",
+			Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}},
+		})
+		d.Outputs = append(d.Outputs, Port{Name: out, Depth: 1})
+		d.Links = append(d.Links,
+			Link{Source: Endpoint{Port: "in"}, Target: Endpoint{Processor: name, Port: "x"}},
+			Link{Source: Endpoint{Processor: name, Port: "y"}, Target: Endpoint{Port: out}},
+		)
+	}
+	items := make([]Data, elems)
+	for i := range items {
+		items[i] = Scalar(fmt.Sprintf("v%d", i))
+	}
+	eng := NewEngine(reg)
+	eng.Parallel = budget
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(context.Background(), d, map[string]Data{"in": List(items...)})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("unified budget deadlocked")
+	}
+	if got := atomic.LoadInt32(&max); got > budget {
+		t.Fatalf("concurrency reached %d, budget %d", got, budget)
+	}
+	m := eng.Metrics()
+	if m.Invocations != procs*elems || m.ElementsDispatched != procs*elems {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.InFlight != 0 || m.PeakInFlight > budget || m.PeakInFlight < 1 {
+		t.Fatalf("in-flight gauge = %+v", m)
+	}
+}
+
+func TestParallelIterationFailFast(t *testing.T) {
+	// Element 5 fails; everything else blocks until cancelled. The run must
+	// report the sequential engine's error shape and cancel the stragglers.
+	const n, failAt = 12, 5
+	var started, cancelled int32
+	boom := errors.New("boom")
+	reg := NewRegistry()
+	reg.Register("work", func(ctx context.Context, c Call) (map[string]Data, error) {
+		atomic.AddInt32(&started, 1)
+		if c.Input("x").String() == fmt.Sprintf("item%02d", failAt) {
+			return nil, boom
+		}
+		select {
+		case <-ctx.Done():
+			atomic.AddInt32(&cancelled, 1)
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return map[string]Data{"y": c.Input("x")}, nil
+		}
+	})
+	items := make([]Data, n)
+	for i := range items {
+		items[i] = Scalar(fmt.Sprintf("item%02d", i))
+	}
+	eng := NewEngine(reg)
+	eng.Parallel = 8
+	start := time.Now()
+	_, err := eng.Run(context.Background(), iterDef(0), map[string]Data{"in": List(items...)})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("failure not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("iteration %d:", failAt)) {
+		t.Fatalf("error shape = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("fail-fast took %s — cancellation did not reach in-flight elements", elapsed)
+	}
+	if atomic.LoadInt32(&cancelled) == 0 {
+		t.Fatal("no in-flight element observed cancellation")
+	}
+}
+
+func TestBackoffDelay(t *testing.T) {
+	p := &Processor{RetryBase: 10 * time.Millisecond, RetryCap: 40 * time.Millisecond}
+	for attempt, wantCeil := range map[int]time.Duration{
+		1: 10 * time.Millisecond,
+		2: 20 * time.Millisecond,
+		3: 40 * time.Millisecond,
+		4: 40 * time.Millisecond, // capped
+		9: 40 * time.Millisecond,
+	} {
+		for trial := 0; trial < 50; trial++ {
+			d := backoffDelay(p, attempt)
+			if d <= 0 || d > wantCeil {
+				t.Fatalf("attempt %d: delay %s outside (0, %s]", attempt, d, wantCeil)
+			}
+		}
+	}
+	// Zero base: no backoff at all (the historical default).
+	if d := backoffDelay(&Processor{Retries: 3}, 1); d != 0 {
+		t.Fatalf("zero-base delay = %s", d)
+	}
+	// Base without cap defaults the ceiling, not the disable switch.
+	if d := backoffDelay(&Processor{RetryBase: time.Millisecond}, 1); d <= 0 || d > time.Millisecond {
+		t.Fatalf("uncapped first delay = %s", d)
+	}
+}
+
+func TestRetryBackoffSleepsAndHonorsCancel(t *testing.T) {
+	var calls int32
+	reg := NewRegistry()
+	reg.Register("flaky", func(_ context.Context, c Call) (map[string]Data, error) {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			return nil, errors.New("transient")
+		}
+		return map[string]Data{"y": c.Input("x")}, nil
+	})
+	d := iterDef(0)
+	d.Processors[0].Service = "flaky"
+	d.Processors[0].Retries = 4
+	d.Processors[0].RetryBase = 5 * time.Millisecond
+	d.Processors[0].RetryCap = 10 * time.Millisecond
+	// Scalar input: single invocation with two backoff sleeps.
+	d.Inputs = []Port{{Name: "in"}}
+	d.Outputs = []Port{{Name: "out"}}
+	res, err := NewEngine(reg).Run(context.Background(), d, map[string]Data{"in": Scalar("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["out"].String() != "v" {
+		t.Fatalf("out = %q", res.Outputs["out"])
+	}
+	// Cancellation during backoff aborts promptly instead of sleeping on.
+	atomic.StoreInt32(&calls, -1000000)
+	d.Processors[0].RetryBase = 10 * time.Second
+	d.Processors[0].RetryCap = 10 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = NewEngine(reg).Run(ctx, d, map[string]Data{"in": Scalar("v")})
+	if err == nil {
+		t.Fatal("cancelled backoff run succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("backoff ignored context cancellation")
+	}
+}
+
+func TestRetryBackoffXMLAndClone(t *testing.T) {
+	d := iterDef(3)
+	d.Processors[0].RetryBase = 250 * time.Millisecond
+	d.Processors[0].RetryCap = 4 * time.Second
+	blob, err := MarshalXML(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalXML(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := back.Processors[0]; p.RetryBase != 250*time.Millisecond || p.RetryCap != 4*time.Second {
+		t.Fatalf("backoff lost over XML: base=%s cap=%s", p.RetryBase, p.RetryCap)
+	}
+	if p := d.Clone().Processors[0]; p.RetryBase != 250*time.Millisecond || p.RetryCap != 4*time.Second {
+		t.Fatalf("backoff lost in Clone: base=%s cap=%s", p.RetryBase, p.RetryCap)
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	reg := NewRegistry()
 	if _, ok := reg.Lookup("x"); ok {

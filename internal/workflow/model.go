@@ -115,6 +115,13 @@ type Processor struct {
 	// Retries is the number of extra attempts per invocation when the
 	// service errors (Taverna-style per-processor retry; 0 = fail fast).
 	Retries int
+	// RetryBase, when positive, enables exponential backoff with full
+	// jitter between retry attempts: the k-th retry sleeps a uniform draw
+	// from (0, min(RetryBase·2^(k-1), RetryCap)]. Zero keeps the historical
+	// immediate retry.
+	RetryBase time.Duration
+	// RetryCap bounds the backoff growth (default 30s when RetryBase > 0).
+	RetryCap time.Duration
 }
 
 // InputPort returns the input port with the given name.
@@ -229,6 +236,8 @@ func (d *Definition) Clone() *Definition {
 			Outputs:     append([]Port(nil), p.Outputs...),
 			Annotations: append([]Annotation(nil), p.Annotations...),
 			Retries:     p.Retries,
+			RetryBase:   p.RetryBase,
+			RetryCap:    p.RetryCap,
 		}
 		if p.Config != nil {
 			cp.Config = make(map[string]string, len(p.Config))

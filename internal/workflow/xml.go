@@ -34,6 +34,8 @@ type xmlProcessor struct {
 	Name        string          `xml:"name"`
 	Service     string          `xml:"service"`
 	Retries     int             `xml:"retries,omitempty"`
+	RetryBaseMS int64           `xml:"retryBaseMs,omitempty"`
+	RetryCapMS  int64           `xml:"retryCapMs,omitempty"`
 	Inputs      []xmlPort       `xml:"inputPorts>port"`
 	Outputs     []xmlPort       `xml:"outputPorts>port"`
 	Config      []xmlConfig     `xml:"config>entry,omitempty"`
@@ -116,11 +118,13 @@ func MarshalXML(d *Definition) ([]byte, error) {
 	}
 	for _, p := range d.Processors {
 		xp := xmlProcessor{
-			Name:    p.Name,
-			Service: p.Service,
-			Retries: p.Retries,
-			Inputs:  portsToXML(p.Inputs),
-			Outputs: portsToXML(p.Outputs),
+			Name:        p.Name,
+			Service:     p.Service,
+			Retries:     p.Retries,
+			RetryBaseMS: p.RetryBase.Milliseconds(),
+			RetryCapMS:  p.RetryCap.Milliseconds(),
+			Inputs:      portsToXML(p.Inputs),
+			Outputs:     portsToXML(p.Outputs),
 		}
 		for k, v := range p.Config {
 			xp.Config = append(xp.Config, xmlConfig{Key: k, Value: v})
@@ -174,11 +178,13 @@ func UnmarshalXML(blob []byte) (*Definition, error) {
 	}
 	for _, xp := range x.Processors {
 		p := &Processor{
-			Name:    xp.Name,
-			Service: xp.Service,
-			Retries: xp.Retries,
-			Inputs:  portsFromXML(xp.Inputs),
-			Outputs: portsFromXML(xp.Outputs),
+			Name:      xp.Name,
+			Service:   xp.Service,
+			Retries:   xp.Retries,
+			RetryBase: time.Duration(xp.RetryBaseMS) * time.Millisecond,
+			RetryCap:  time.Duration(xp.RetryCapMS) * time.Millisecond,
+			Inputs:    portsFromXML(xp.Inputs),
+			Outputs:   portsFromXML(xp.Outputs),
 		}
 		if len(xp.Config) > 0 {
 			p.Config = make(map[string]string, len(xp.Config))
