@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify experiments
+.PHONY: build test race bench ci verify experiments
 
 build:
 	$(GO) build ./...
@@ -9,16 +9,25 @@ test:
 	$(GO) test ./...
 
 ## race: race-detector pass over the concurrent subsystems (the parallel
-## workflow engine and the singleflight caching resolver), plus the core
-## detection stack that drives them end to end.
+## workflow engine, the singleflight caching resolver, and the streaming
+## provenance pipeline), plus the core detection stack that drives them
+## end to end.
 race:
-	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/core/...
+	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/provenance/... ./internal/core/...
 
-## verify: the gate for engine/concurrency changes — vet everything, then
-## run the race-detector suite over the parallel iteration and resolver code.
-verify:
+## ci: the full hygiene gate — formatting, vet, and the race-enabled tests.
+ci:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
-	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/...
+	$(MAKE) race
+
+## verify: the gate for engine/concurrency/persistence changes — the ci
+## hygiene pass (gofmt, vet, race suite) plus the full test suite.
+verify: ci
+	$(GO) test ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

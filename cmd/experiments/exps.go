@@ -12,6 +12,7 @@ import (
 	"repro/internal/curation"
 	"repro/internal/fnjv"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/taxonomy"
 	"repro/internal/workflow"
@@ -131,6 +132,19 @@ func runFigure3(e *environment) error {
 		em.Invocations, em.ElementsDispatched, em.PeakInFlight, e.parallel)
 	fmt.Printf("resolver cache: %d hits, %d misses, %d coalesced in-flight lookups\n",
 		hits, misses, cache.Coalesced())
+	pw := outcome.ProvenanceWriter
+	fmt.Printf("provenance writer: %d deltas in %d batches (avg %.1f, max %d), flush max %s, peak queue %d, blocked emits %d\n",
+		pw.Flushed, pw.Batches, pw.AvgBatch(), pw.MaxBatch,
+		pw.FlushMax.Round(time.Microsecond), pw.PeakQueue, pw.BlockedEmits)
+	// Writer telemetry is an observation like any other (§II.C): persist it
+	// so dashboards query flush latency the same way they query sounds.
+	odb, err := obs.Open(e.sys.DB)
+	if err != nil {
+		return err
+	}
+	if err := odb.Put(obs.FromRuntimeMetrics("provenance.batchwriter", time.Now(), pw.Counters())); err != nil {
+		return err
+	}
 
 	rr, err := curation.Review(e.sys.Ledger, curation.DefaultCurator, "biologist", time.Now())
 	if err != nil {

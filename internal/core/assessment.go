@@ -32,6 +32,11 @@ type DetectionOutcome struct {
 	// EngineMetrics snapshots the workflow engine's concurrency counters
 	// for this run (invocations, elements dispatched, peak in-flight).
 	EngineMetrics workflow.MetricsSnapshot
+	// ProvenanceWriter snapshots the streaming provenance writer for this
+	// run (queue depth, batch sizes, flush latency). Feed
+	// ProvenanceWriter.Counters() to obs.FromRuntimeMetrics to persist it
+	// as an ordinary observation.
+	ProvenanceWriter provenance.WriterMetrics
 }
 
 // OutdatedFraction is Outdated/DistinctNames (Fig. 2: 7%).
@@ -126,18 +131,22 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		return nil, err
 	}
 	collector := provenance.NewCollector(opts.Agent)
+	// Step 4 overlaps step 3: the Provenance Manager streams graph deltas
+	// into the repository while the workflow executes (write-behind,
+	// group-committed batches), so completed runs are already persisted when
+	// the engine returns and failed runs keep their partial provenance,
+	// finalized as failed.
+	writer := s.Provenance.NewBatchWriter(provenance.BatchWriterOptions{})
+	collector.AddSink(writer)
 	engine := workflow.NewEngine(reg)
 	engine.Parallel = opts.Parallel
-	result, err := engine.Run(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, collector)
-	if err != nil {
-		// Step 4 still applies: failed runs leave provenance too.
-		_ = s.Provenance.Store(collector.Info(), collector.Graph())
-		return nil, err
+	result, runErr := engine.Run(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, collector)
+	werr := writer.Close()
+	if runErr != nil {
+		return nil, runErr
 	}
-
-	// Step 4: persist provenance.
-	if err := s.Provenance.Store(collector.Info(), collector.Graph()); err != nil {
-		return nil, err
+	if werr != nil {
+		return nil, fmt.Errorf("core: streaming provenance: %w", werr)
 	}
 
 	// Step 5: parse the summary.
@@ -147,14 +156,15 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 	}
 
 	outcome := &DetectionOutcome{
-		RunID:           result.RunID,
-		WorkflowVersion: version,
-		DistinctNames:   sum.DistinctNames,
-		Outdated:        sum.Outdated,
-		Unknown:         sum.Unknown,
-		Unavailable:     sum.Unavailable,
-		Renames:         sum.Renames,
-		EngineMetrics:   engine.Metrics(),
+		RunID:            result.RunID,
+		WorkflowVersion:  version,
+		DistinctNames:    sum.DistinctNames,
+		Outdated:         sum.Outdated,
+		Unknown:          sum.Unknown,
+		Unavailable:      sum.Unavailable,
+		Renames:          sum.Renames,
+		EngineMetrics:    engine.Metrics(),
+		ProvenanceWriter: writer.Metrics(),
 	}
 
 	// Persist per-record updates referencing (not modifying) the originals.

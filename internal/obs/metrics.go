@@ -6,8 +6,10 @@ import (
 )
 
 // Runtime telemetry as observations. The engine's concurrency counters
-// (in-flight iteration elements, peak parallelism) and the caching
-// resolver's coalesced-lookup counts are assertions about a system entity
+// (in-flight iteration elements, peak parallelism), the caching
+// resolver's coalesced-lookup counts, and the provenance batch writer's
+// counters (queue depth, batch sizes, flush latency — see
+// provenance.WriterMetrics.Counters) are assertions about a system entity
 // observed at a point in time — exactly the §II.C observation shape — so
 // they are stored and queried through the same uniform model as sounds and
 // specimens. A monitoring dashboard then needs no second storage path:

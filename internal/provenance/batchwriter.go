@@ -1,0 +1,365 @@
+package provenance
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/opm"
+	"repro/internal/storage"
+)
+
+// BatchWriterOptions tunes the write-behind persistence sink.
+type BatchWriterOptions struct {
+	// MaxBatch is the number of deltas that triggers a group commit
+	// (default 128).
+	MaxBatch int
+	// FlushInterval bounds how long a delta can sit in the batch buffer
+	// before a time-triggered flush (default 25ms).
+	FlushInterval time.Duration
+	// Queue is the capacity of the bounded delta queue (default 1024).
+	// When the queue is full, Emit blocks — backpressure propagates to the
+	// workflow engine's event delivery instead of growing memory unboundedly.
+	Queue int
+}
+
+func (o *BatchWriterOptions) defaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 128
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 25 * time.Millisecond
+	}
+	if o.Queue <= 0 {
+		o.Queue = 1024
+	}
+}
+
+// WriterMetrics snapshots one BatchWriter's counters.
+type WriterMetrics struct {
+	Enqueued        int64 // deltas accepted by Emit
+	Flushed         int64 // deltas turned into durable storage ops
+	Batches         int64 // group commits issued
+	MaxBatch        int64 // largest single group commit, in deltas
+	SizeFlushes     int64 // flushes triggered by MaxBatch
+	IntervalFlushes int64 // flushes triggered by FlushInterval
+	FinalFlushes    int64 // flushes triggered by run finalize / close
+	PeakQueue       int64 // deepest the bounded queue got
+	BlockedEmits    int64 // Emit calls that hit backpressure
+	FlushTotal      time.Duration
+	FlushMax        time.Duration
+}
+
+// AvgBatch is the mean group-commit size in deltas.
+func (m WriterMetrics) AvgBatch() float64 {
+	if m.Batches == 0 {
+		return 0
+	}
+	return float64(m.Flushed) / float64(m.Batches)
+}
+
+// Counters renders the metrics as named readings for
+// obs.FromRuntimeMetrics, so writer telemetry (queue depth, batch size,
+// flush latency) is stored and queried like any other observation.
+func (m WriterMetrics) Counters() map[string]float64 {
+	return map[string]float64{
+		"provenance.writer.enqueued":         float64(m.Enqueued),
+		"provenance.writer.flushed":          float64(m.Flushed),
+		"provenance.writer.batches":          float64(m.Batches),
+		"provenance.writer.max_batch":        float64(m.MaxBatch),
+		"provenance.writer.avg_batch":        m.AvgBatch(),
+		"provenance.writer.size_flushes":     float64(m.SizeFlushes),
+		"provenance.writer.interval_flushes": float64(m.IntervalFlushes),
+		"provenance.writer.final_flushes":    float64(m.FinalFlushes),
+		"provenance.writer.peak_queue":       float64(m.PeakQueue),
+		"provenance.writer.blocked_emits":    float64(m.BlockedEmits),
+		"provenance.writer.flush_total_us":   float64(m.FlushTotal.Microseconds()),
+		"provenance.writer.flush_max_us":     float64(m.FlushMax.Microseconds()),
+	}
+}
+
+// wnode is the writer's materialized view of one node: the immutable node
+// fields plus the annotations accumulated so far, and whether the node's row
+// already exists in storage.
+type wnode struct {
+	node      opm.Node
+	ann       map[string]string
+	persisted bool
+	dirty     bool
+}
+
+// BatchWriter is a Sink that streams a run's deltas into the repository
+// while the run executes: write-behind, group-committed batches (size- or
+// interval-triggered), bounded queue with backpressure, and a final fsync'd
+// flush plus run-status finalize when the run completes or fails. If the
+// process dies mid-run, recovery replays the WAL to a consistent prefix of
+// the stream and the run row still reads Status == RunRunning — the
+// "unfinished" marker. Failed runs keep their partial provenance.
+//
+// A BatchWriter persists exactly one run. Emit is safe for the Collector's
+// serialized delivery; Close must be called after the run's last event (and
+// never concurrently with Emit).
+type BatchWriter struct {
+	repo *Repository
+	opts BatchWriterOptions
+
+	ch   chan Delta
+	done chan struct{}
+
+	mu     sync.Mutex // guards closed, err, m
+	closed bool
+	err    error
+	m      WriterMetrics
+
+	// Writer-goroutine state (single goroutine, no locking needed).
+	runID       string
+	runInserted bool
+	finalized   bool
+	nodes       map[string]*wnode
+	dirtyOrder  []string
+	edgeSeq     int
+}
+
+// ErrWriterClosed is returned by Emit after Close.
+var ErrWriterClosed = errors.New("provenance: batch writer closed")
+
+// NewBatchWriter builds a write-behind sink persisting into the repository
+// and starts its flusher goroutine. Attach it to a Collector before the run
+// and Close it after the run returns.
+func (r *Repository) NewBatchWriter(opts BatchWriterOptions) *BatchWriter {
+	opts.defaults()
+	w := &BatchWriter{
+		repo:  r,
+		opts:  opts,
+		ch:    make(chan Delta, opts.Queue),
+		done:  make(chan struct{}),
+		nodes: make(map[string]*wnode),
+	}
+	go w.loop()
+	return w
+}
+
+// Emit implements Sink. It enqueues the delta, blocking when the bounded
+// queue is full (backpressure). After a storage error the writer drains and
+// discards, and Emit keeps returning that first error.
+func (w *BatchWriter) Emit(d Delta) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWriterClosed
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.m.Enqueued++
+	w.mu.Unlock()
+	select {
+	case w.ch <- d:
+	default:
+		w.mu.Lock()
+		w.m.BlockedEmits++
+		w.mu.Unlock()
+		w.ch <- d
+	}
+	return nil
+}
+
+// Close waits for the queue to drain, issues the final flush (fsync'd), and
+// returns the first error the writer hit (nil on a clean stream).
+func (w *BatchWriter) Close() error {
+	w.mu.Lock()
+	already := w.closed
+	w.closed = true
+	w.mu.Unlock()
+	if !already {
+		close(w.ch)
+	}
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Err returns the sticky first error (nil if none so far).
+func (w *BatchWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Metrics snapshots the writer's counters.
+func (w *BatchWriter) Metrics() WriterMetrics {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.m
+}
+
+// QueueDepth reports the number of deltas currently queued.
+func (w *BatchWriter) QueueDepth() int { return len(w.ch) }
+
+func (w *BatchWriter) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+func (w *BatchWriter) loop() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.opts.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]Delta, 0, w.opts.MaxBatch)
+	for {
+		select {
+		case d, ok := <-w.ch:
+			if !ok {
+				w.flush(batch, "final")
+				w.syncWAL()
+				return
+			}
+			w.notePeak(int64(len(w.ch)) + 1)
+			batch = append(batch, d)
+			switch {
+			case d.Kind == DeltaRunFinished:
+				// The terminal delta: flush everything and make it durable
+				// together with the run-status finalize.
+				batch = w.flush(batch, "final")
+				w.syncWAL()
+			case len(batch) >= w.opts.MaxBatch:
+				batch = w.flush(batch, "size")
+			}
+		case <-ticker.C:
+			if len(batch) > 0 {
+				batch = w.flush(batch, "interval")
+			}
+		}
+	}
+}
+
+func (w *BatchWriter) notePeak(depth int64) {
+	w.mu.Lock()
+	if depth > w.m.PeakQueue {
+		w.m.PeakQueue = depth
+	}
+	w.mu.Unlock()
+}
+
+func (w *BatchWriter) syncWAL() {
+	if w.Err() != nil || !w.runInserted {
+		return
+	}
+	if err := w.repo.db.Sync(); err != nil {
+		w.fail(err)
+	}
+}
+
+// flush turns the buffered deltas into one atomic group commit: run insert
+// first, then edge inserts in sequence order interleaved with coalesced node
+// writes (one insert-or-update per touched node, however many annotation
+// deltas arrived), and the run-status finalize last. Returns the reusable
+// empty batch slice.
+func (w *BatchWriter) flush(batch []Delta, trigger string) []Delta {
+	if len(batch) == 0 {
+		return batch
+	}
+	defer func() {
+		for i := range batch {
+			batch[i] = Delta{}
+		}
+	}()
+	if w.Err() != nil {
+		return batch[:0] // sticky failure: drain and discard
+	}
+	var ops []storage.Op
+	var finishRow storage.Row
+	markDirty := func(id string, ns *wnode) {
+		if !ns.dirty {
+			ns.dirty = true
+			w.dirtyOrder = append(w.dirtyOrder, id)
+		}
+	}
+	for _, d := range batch {
+		switch d.Kind {
+		case DeltaRunStarted:
+			if d.Info.RunID == "" {
+				w.fail(fmt.Errorf("provenance: run has no ID"))
+				return batch[:0]
+			}
+			w.runID = d.Info.RunID
+			w.runInserted = true
+			ops = append(ops, storage.InsertOp(runsTable, runRow(d.Info)))
+		case DeltaAddNode:
+			ns := &wnode{node: d.Node, ann: map[string]string{}}
+			w.nodes[d.Node.ID] = ns
+			markDirty(d.Node.ID, ns)
+		case DeltaAnnotate:
+			ns, ok := w.nodes[d.NodeID]
+			if !ok {
+				w.fail(fmt.Errorf("provenance: annotate on unknown node %q", d.NodeID))
+				return batch[:0]
+			}
+			ns.ann[d.Key] = d.Value
+			markDirty(d.NodeID, ns)
+		case DeltaAddEdge:
+			ops = append(ops, storage.InsertOp(edgesTable, edgeRow(w.runID, w.edgeSeq, d.Edge)))
+			w.edgeSeq++
+		case DeltaRunFinished:
+			w.finalized = true
+			finishRow = runRow(d.Info)
+		default:
+			w.fail(fmt.Errorf("provenance: unknown delta kind %d", d.Kind))
+			return batch[:0]
+		}
+	}
+	for _, id := range w.dirtyOrder {
+		ns := w.nodes[id]
+		row, err := nodeRow(w.runID, ns.node, ns.ann)
+		if err != nil {
+			w.fail(err)
+			return batch[:0]
+		}
+		if ns.persisted {
+			ops = append(ops, storage.UpdateOp(nodesTable, row))
+		} else {
+			ops = append(ops, storage.InsertOp(nodesTable, row))
+			ns.persisted = true
+		}
+		ns.dirty = false
+	}
+	w.dirtyOrder = w.dirtyOrder[:0]
+	if finishRow != nil {
+		ops = append(ops, storage.UpdateOp(runsTable, finishRow))
+	}
+	start := time.Now()
+	err := w.repo.db.Apply(ops...)
+	lat := time.Since(start)
+
+	w.mu.Lock()
+	w.m.Flushed += int64(len(batch))
+	w.m.Batches++
+	if int64(len(batch)) > w.m.MaxBatch {
+		w.m.MaxBatch = int64(len(batch))
+	}
+	switch trigger {
+	case "size":
+		w.m.SizeFlushes++
+	case "interval":
+		w.m.IntervalFlushes++
+	default:
+		w.m.FinalFlushes++
+	}
+	w.m.FlushTotal += lat
+	if lat > w.m.FlushMax {
+		w.m.FlushMax = lat
+	}
+	w.mu.Unlock()
+
+	if err != nil {
+		w.fail(err)
+	}
+	return batch[:0]
+}

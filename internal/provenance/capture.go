@@ -4,6 +4,12 @@
 // agents for the controlling parties), merges the quality annotations that
 // the Workflow Adapter attached to the specification, and persists the
 // result in the Data Provenance Repository.
+//
+// Capture is incremental: every graph mutation is also emitted as a Delta to
+// any attached Sinks, in causal order, while the run executes. The
+// Repository's BatchWriter sink streams those deltas into storage behind the
+// run (write-behind, group-committed), so provenance is durable shortly
+// after it happens instead of in one monolithic store after the run ends.
 package provenance
 
 import (
@@ -43,7 +49,8 @@ type RunInfo struct {
 }
 
 // Collector is a workflow.Listener that accumulates the OPM graph of a
-// single run. It is safe for concurrent event delivery.
+// single run and streams every mutation to its attached Sinks. It is safe
+// for concurrent event delivery.
 type Collector struct {
 	// Agent identifies who controls the processors of this run (the paper's
 	// End User / Process Designer roles). Defaults to "workflow-engine".
@@ -58,6 +65,8 @@ type Collector struct {
 	info  RunInfo
 	// artifactOf remembers the artifact ID assigned to each distinct datum.
 	artifactOf map[string]string
+	sinks      []Sink
+	sinkErr    error
 }
 
 const defaultMaxElements = 4096
@@ -74,11 +83,37 @@ func NewCollector(agent string) *Collector {
 	}
 }
 
-// Graph returns the accumulated OPM graph. Call after the run finished.
+// AddSink attaches a delta consumer. Attach sinks before the run starts;
+// sinks attached mid-run miss the deltas already emitted.
+func (c *Collector) AddSink(s Sink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sinks = append(c.sinks, s)
+}
+
+// SinkErr returns the first error any sink returned from Emit (nil if none).
+func (c *Collector) SinkErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sinkErr
+}
+
+// emitLocked delivers one delta to every sink. Caller holds c.mu.
+func (c *Collector) emitLocked(d Delta) {
+	for _, s := range c.sinks {
+		if err := s.Emit(d); err != nil && c.sinkErr == nil {
+			c.sinkErr = err
+		}
+	}
+}
+
+// Graph returns a snapshot of the accumulated OPM graph. The snapshot is
+// deep-copied, so callers can never race with events still mutating the live
+// graph (parallel engines deliver processor completions concurrently).
 func (c *Collector) Graph() *opm.Graph {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.graph
+	return c.graph.Clone()
 }
 
 // Info returns the run summary.
@@ -104,13 +139,42 @@ func truncate(s string) string {
 	return s
 }
 
+// addNodeLocked inserts a node into the graph and emits the matching delta
+// when the insert actually happened. Caller holds c.mu.
+func (c *Collector) addNodeLocked(n opm.Node) {
+	if err := c.graph.AddNode(n); err != nil {
+		return
+	}
+	n.Annotations = nil // annotations flow as DeltaAnnotate ops
+	c.emitLocked(Delta{Kind: DeltaAddNode, Node: n})
+}
+
+// addEdgeLocked inserts an edge and emits the delta when it was new (the
+// graph deduplicates repeats). Caller holds c.mu.
+func (c *Collector) addEdgeLocked(e opm.Edge) {
+	added, err := c.graph.InsertEdge(e)
+	if err != nil || !added {
+		return
+	}
+	c.emitLocked(Delta{Kind: DeltaAddEdge, Edge: e})
+}
+
+// annotateLocked sets one node annotation and emits the delta. Caller holds
+// c.mu.
+func (c *Collector) annotateLocked(id, key, value string) {
+	if err := c.graph.Annotate(id, key, value); err != nil {
+		return
+	}
+	c.emitLocked(Delta{Kind: DeltaAnnotate, NodeID: id, Key: key, Value: value})
+}
+
 // ensureArtifactLocked registers the artifact for d (if new) and returns its
 // ID. Caller holds c.mu.
 func (c *Collector) ensureArtifactLocked(label string, d workflow.Data) string {
 	id := artifactID(d)
 	if _, ok := c.artifactOf[id]; !ok {
 		// Label records the first port the datum was seen at.
-		_ = c.graph.Artifact(id, label, truncate(d.String()))
+		c.addNodeLocked(opm.Node{ID: id, Kind: opm.KindArtifact, Label: label, Value: truncate(d.String())})
 		c.artifactOf[id] = label
 	}
 	return id
@@ -133,7 +197,8 @@ func (c *Collector) OnEvent(ev workflow.Event) {
 			StartedAt:    ev.Time,
 			Status:       RunRunning,
 		}
-		_ = c.graph.Agent("ag:"+c.Agent, c.Agent)
+		c.emitLocked(Delta{Kind: DeltaRunStarted, Info: c.info})
+		c.addNodeLocked(opm.Node{ID: "ag:" + c.Agent, Kind: opm.KindAgent, Label: c.Agent})
 		for port, d := range ev.Inputs {
 			c.ensureArtifactLocked("workflow-input:"+port, d)
 		}
@@ -145,34 +210,34 @@ func (c *Collector) OnEvent(ev workflow.Event) {
 	case workflow.EventProcessorCompleted, workflow.EventProcessorFailed:
 		pid := c.processID(ev.Processor)
 		if _, exists := c.graph.Node(pid); !exists {
-			_ = c.graph.Process(pid, ev.Processor)
+			c.addNodeLocked(opm.Node{ID: pid, Kind: opm.KindProcess, Label: ev.Processor})
 		}
-		_ = c.graph.Annotate(pid, "service", ev.Service)
-		_ = c.graph.Annotate(pid, "iterations", fmt.Sprintf("%d", ev.Iterations))
-		_ = c.graph.Annotate(pid, "duration", ev.Duration.String())
+		c.annotateLocked(pid, "service", ev.Service)
+		c.annotateLocked(pid, "iterations", fmt.Sprintf("%d", ev.Iterations))
+		c.annotateLocked(pid, "duration", ev.Duration.String())
 		if ev.Err != "" {
-			_ = c.graph.Annotate(pid, "error", ev.Err)
+			c.annotateLocked(pid, "error", ev.Err)
 		}
 		// Quality annotations from the (adapter-instrumented) specification.
 		for dim, val := range workflow.QualityAnnotations(ev.Annotations) {
-			_ = c.graph.Annotate(pid, QualityAnnotationPrefix+dim, val)
+			c.annotateLocked(pid, QualityAnnotationPrefix+dim, val)
 		}
 		account := ev.RunID
 		for port, d := range ev.Inputs {
 			aid := c.ensureArtifactLocked(ev.Processor+"."+port, d)
-			_ = c.graph.AddEdge(opm.Edge{
+			c.addEdgeLocked(opm.Edge{
 				Kind: opm.Used, Effect: pid, Cause: aid,
 				Role: port, Account: account, Time: ev.Time,
 			})
 		}
 		for port, d := range ev.Outputs {
 			aid := c.ensureArtifactLocked(ev.Processor+"."+port, d)
-			_ = c.graph.AddEdge(opm.Edge{
+			c.addEdgeLocked(opm.Edge{
 				Kind: opm.WasGeneratedBy, Effect: aid, Cause: pid,
 				Role: port, Account: account, Time: ev.Time,
 			})
 		}
-		_ = c.graph.AddEdge(opm.Edge{
+		c.addEdgeLocked(opm.Edge{
 			Kind: opm.WasControlledBy, Effect: pid, Cause: "ag:" + c.Agent,
 			Role: "executor", Account: account, Time: ev.Time,
 		})
@@ -200,7 +265,7 @@ func (c *Collector) OnEvent(ev workflow.Event) {
 					if inID == outID {
 						continue
 					}
-					_ = c.graph.AddEdge(opm.Edge{
+					c.addEdgeLocked(opm.Edge{
 						Kind: opm.WasDerivedFrom, Effect: outID, Cause: inID,
 						Account: account, Time: ev.Time,
 					})
@@ -212,14 +277,20 @@ func (c *Collector) OnEvent(ev workflow.Event) {
 		c.info.FinishedAt = ev.Time
 		c.info.Status = RunCompleted
 		// Completion rules: derive artifact-to-artifact and
-		// process-to-process dependencies.
+		// process-to-process dependencies, then stream the inferred edges.
+		before := c.graph.EdgeCount()
 		c.graph.InferDerivations()
 		c.graph.InferTriggers()
+		for _, e := range c.graph.EdgesSince(before) {
+			c.emitLocked(Delta{Kind: DeltaAddEdge, Edge: e})
+		}
+		c.emitLocked(Delta{Kind: DeltaRunFinished, Info: c.info})
 
 	case workflow.EventWorkflowFailed:
 		c.info.FinishedAt = ev.Time
 		c.info.Status = RunFailed
 		c.info.Error = ev.Err
+		c.emitLocked(Delta{Kind: DeltaRunFinished, Info: c.info})
 	}
 }
 

@@ -3,6 +3,7 @@ package provenance
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/opm"
@@ -11,7 +12,9 @@ import (
 
 // Repository is the Data Provenance Repository (Fig. 1): durable storage of
 // captured runs and their OPM graphs, following Malaverri's model — run
-// records plus node and edge relations keyed by run.
+// records plus node and edge relations keyed by run. Runs arrive either
+// monolithically (Store) or as a live delta stream (NewBatchWriter); both
+// paths produce identical rows.
 type Repository struct {
 	db *storage.DB
 }
@@ -58,6 +61,8 @@ var (
 var ErrRunNotFound = errors.New("provenance: run not found")
 
 // NewRepository opens (creating if needed) the provenance repository in db.
+// Repositories created by earlier versions are upgraded in place: the
+// lineage indexes on edge effect/cause are backfilled when missing.
 func NewRepository(db *storage.DB) (*Repository, error) {
 	if db.Table(runsTable) == nil {
 		if err := db.Apply(
@@ -71,15 +76,23 @@ func NewRepository(db *storage.DB) (*Repository, error) {
 			return nil, err
 		}
 	}
+	// Lineage indexes (added after the first release): cross-run artifact
+	// queries resolve via these instead of full edge scans.
+	for _, col := range []string{"effect", "cause"} {
+		if !db.Table(edgesTable).HasIndex(col) {
+			if err := db.CreateIndex(edgesTable, col); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return &Repository{db: db}, nil
 }
 
-// Store persists a captured run and its graph atomically.
-func (r *Repository) Store(info RunInfo, g *opm.Graph) error {
-	if info.RunID == "" {
-		return fmt.Errorf("provenance: run has no ID")
-	}
-	ops := []storage.Op{storage.InsertOp(runsTable, storage.Row{
+// --- row builders, shared by Store and the BatchWriter so both persistence
+// paths produce byte-identical rows ---
+
+func runRow(info RunInfo) storage.Row {
+	return storage.Row{
 		storage.S(info.RunID),
 		storage.S(info.WorkflowID),
 		storage.S(info.WorkflowName),
@@ -87,33 +100,59 @@ func (r *Repository) Store(info RunInfo, g *opm.Graph) error {
 		timeOrNull(info.FinishedAt),
 		storage.S(string(info.Status)),
 		storage.S(info.Error),
-	})}
+	}
+}
+
+func nodeKey(runID, nodeID string) string { return runID + "/" + nodeID }
+
+func nodeRow(runID string, n opm.Node, annotations map[string]string) (storage.Row, error) {
+	ann, err := encodeAnnotations(annotations)
+	if err != nil {
+		return nil, err
+	}
+	return storage.Row{
+		storage.S(nodeKey(runID, n.ID)),
+		storage.S(runID),
+		storage.S(n.ID),
+		storage.I(int64(n.Kind)),
+		storage.S(n.Label),
+		storage.S(n.Value),
+		storage.Bytes(ann),
+	}, nil
+}
+
+func edgeKey(runID string, seq int) string { return fmt.Sprintf("%s/%06d", runID, seq) }
+
+func edgeRow(runID string, seq int, e opm.Edge) storage.Row {
+	return storage.Row{
+		storage.S(edgeKey(runID, seq)),
+		storage.S(runID),
+		storage.I(int64(e.Kind)),
+		storage.S(e.Effect),
+		storage.S(e.Cause),
+		storage.S(e.Role),
+		storage.S(e.Account),
+		timeOrNull(e.Time),
+	}
+}
+
+// Store persists a captured run and its graph atomically — the legacy
+// monolithic path, kept for after-the-fact imports. Live runs stream through
+// NewBatchWriter instead and arrive batch by batch while they execute.
+func (r *Repository) Store(info RunInfo, g *opm.Graph) error {
+	if info.RunID == "" {
+		return fmt.Errorf("provenance: run has no ID")
+	}
+	ops := []storage.Op{storage.InsertOp(runsTable, runRow(info))}
 	for _, n := range g.Nodes() {
-		ann, err := encodeAnnotations(n.Annotations)
+		row, err := nodeRow(info.RunID, *n, n.Annotations)
 		if err != nil {
 			return err
 		}
-		ops = append(ops, storage.InsertOp(nodesTable, storage.Row{
-			storage.S(info.RunID + "/" + n.ID),
-			storage.S(info.RunID),
-			storage.S(n.ID),
-			storage.I(int64(n.Kind)),
-			storage.S(n.Label),
-			storage.S(n.Value),
-			storage.Bytes(ann),
-		}))
+		ops = append(ops, storage.InsertOp(nodesTable, row))
 	}
 	for i, e := range g.Edges() {
-		ops = append(ops, storage.InsertOp(edgesTable, storage.Row{
-			storage.S(fmt.Sprintf("%s/%06d", info.RunID, i)),
-			storage.S(info.RunID),
-			storage.I(int64(e.Kind)),
-			storage.S(e.Effect),
-			storage.S(e.Cause),
-			storage.S(e.Role),
-			storage.S(e.Account),
-			timeOrNull(e.Time),
-		}))
+		ops = append(ops, storage.InsertOp(edgesTable, edgeRow(info.RunID, i, e)))
 	}
 	return r.db.Apply(ops...)
 }
@@ -175,6 +214,133 @@ func (r *Repository) AllRuns() []RunInfo {
 	return out
 }
 
+// RunsPage returns up to limit runs with run ID strictly greater than after
+// ("" starts at the beginning), in run-ID order, plus the cursor to pass as
+// after for the next page ("" when this was the last page). This is the read
+// API dashboards page through instead of materializing every run at once.
+func (r *Repository) RunsPage(after string, limit int) ([]RunInfo, string, error) {
+	if limit <= 0 {
+		limit = 50
+	}
+	out := make([]RunInfo, 0, limit)
+	more := false
+	r.db.Table(runsTable).ScanFrom(storage.S(after), func(row storage.Row) bool {
+		info := rowToInfo(row)
+		if info.RunID == after {
+			return true // ScanFrom is inclusive; pagination resumes after
+		}
+		if len(out) == limit {
+			more = true
+			return false
+		}
+		out = append(out, info)
+		return true
+	})
+	next := ""
+	if more && len(out) > 0 {
+		next = out[len(out)-1].RunID
+	}
+	return out, next, nil
+}
+
+// NodesPage returns up to limit of a run's OPM nodes whose node ID is
+// strictly greater than after (""), in node-ID order, with the next-page
+// cursor. The rows are read by primary-key range, never a table scan.
+func (r *Repository) NodesPage(runID, after string, limit int) ([]*opm.Node, string, error) {
+	if _, err := r.Run(runID); err != nil {
+		return nil, "", err
+	}
+	if limit <= 0 {
+		limit = 500
+	}
+	out := make([]*opm.Node, 0, limit)
+	more := false
+	var scanErr error
+	r.db.Table(nodesTable).ScanFrom(storage.S(nodeKey(runID, after)), func(row storage.Row) bool {
+		if row.Get(nodesSchema, "run_id").Str() != runID {
+			return false // walked past the run's key range
+		}
+		n, err := rowToNode(row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if n.ID == after {
+			return true
+		}
+		if len(out) == limit {
+			more = true
+			return false
+		}
+		out = append(out, n)
+		return true
+	})
+	if scanErr != nil {
+		return nil, "", scanErr
+	}
+	next := ""
+	if more && len(out) > 0 {
+		next = out[len(out)-1].ID
+	}
+	return out, next, nil
+}
+
+// EdgesPage returns up to limit of a run's edges with sequence number
+// strictly greater than after (-1 starts at the beginning), in capture
+// order, plus the cursor for the next page (-1 when exhausted).
+func (r *Repository) EdgesPage(runID string, after, limit int) ([]opm.Edge, int, error) {
+	if _, err := r.Run(runID); err != nil {
+		return nil, -1, err
+	}
+	if limit <= 0 {
+		limit = 500
+	}
+	out := make([]opm.Edge, 0, limit)
+	next := -1
+	seq := after
+	r.db.Table(edgesTable).ScanFrom(storage.S(edgeKey(runID, after+1)), func(row storage.Row) bool {
+		if row.Get(edgesSchema, "run_id").Str() != runID {
+			return false
+		}
+		if len(out) == limit {
+			next = seq
+			return false
+		}
+		out = append(out, rowToEdge(row))
+		seq++
+		return true
+	})
+	return out, next, nil
+}
+
+func rowToNode(row storage.Row) (*opm.Node, error) {
+	ann, err := decodeAnnotations(row.Get(nodesSchema, "annotations").Raw())
+	if err != nil {
+		return nil, err
+	}
+	return &opm.Node{
+		ID:          row.Get(nodesSchema, "node_id").Str(),
+		Kind:        opm.NodeKind(row.Get(nodesSchema, "kind").Int()),
+		Label:       row.Get(nodesSchema, "label").Str(),
+		Value:       row.Get(nodesSchema, "value").Str(),
+		Annotations: ann,
+	}, nil
+}
+
+func rowToEdge(row storage.Row) opm.Edge {
+	e := opm.Edge{
+		Kind:    opm.EdgeKind(row.Get(edgesSchema, "kind").Int()),
+		Effect:  row.Get(edgesSchema, "effect").Str(),
+		Cause:   row.Get(edgesSchema, "cause").Str(),
+		Role:    row.Get(edgesSchema, "role").Str(),
+		Account: row.Get(edgesSchema, "account").Str(),
+	}
+	if v := row.Get(edgesSchema, "time"); !v.IsNull() {
+		e.Time = v.Time()
+	}
+	return e
+}
+
 // Graph reconstructs the OPM graph of a run.
 func (r *Repository) Graph(runID string) (*opm.Graph, error) {
 	if _, err := r.Run(runID); err != nil {
@@ -186,17 +352,11 @@ func (r *Repository) Graph(runID string) (*opm.Graph, error) {
 		return nil, err
 	}
 	for _, row := range nodeRows {
-		ann, err := decodeAnnotations(row.Get(nodesSchema, "annotations").Raw())
+		n, err := rowToNode(row)
 		if err != nil {
 			return nil, err
 		}
-		if err := g.AddNode(opm.Node{
-			ID:          row.Get(nodesSchema, "node_id").Str(),
-			Kind:        opm.NodeKind(row.Get(nodesSchema, "kind").Int()),
-			Label:       row.Get(nodesSchema, "label").Str(),
-			Value:       row.Get(nodesSchema, "value").Str(),
-			Annotations: ann,
-		}); err != nil {
+		if err := g.AddNode(*n); err != nil {
 			return nil, err
 		}
 	}
@@ -205,17 +365,7 @@ func (r *Repository) Graph(runID string) (*opm.Graph, error) {
 		return nil, err
 	}
 	for _, row := range edgeRows {
-		e := opm.Edge{
-			Kind:    opm.EdgeKind(row.Get(edgesSchema, "kind").Int()),
-			Effect:  row.Get(edgesSchema, "effect").Str(),
-			Cause:   row.Get(edgesSchema, "cause").Str(),
-			Role:    row.Get(edgesSchema, "role").Str(),
-			Account: row.Get(edgesSchema, "account").Str(),
-		}
-		if v := row.Get(edgesSchema, "time"); !v.IsNull() {
-			e.Time = v.Time()
-		}
-		if err := g.AddEdge(e); err != nil {
+		if err := g.AddEdge(rowToEdge(row)); err != nil {
 			return nil, err
 		}
 	}
@@ -223,18 +373,27 @@ func (r *Repository) Graph(runID string) (*opm.Graph, error) {
 }
 
 // QualityOfProcess returns the quality annotations (dimension -> value)
-// recorded on the named processor of a run.
+// recorded on the named processor of a run. It reads the single node row
+// directly instead of reconstructing the run's whole graph.
 func (r *Repository) QualityOfProcess(runID, processor string) (map[string]string, error) {
-	g, err := r.Graph(runID)
+	nid := "p:" + runID + "/" + processor
+	row, err := r.db.Table(nodesTable).Get(storage.S(nodeKey(runID, nid)))
+	if err != nil {
+		if !errors.Is(err, storage.ErrNotFound) {
+			return nil, err
+		}
+		// Distinguish "no such run" from "run has no such processor".
+		if _, rerr := r.Run(runID); rerr != nil {
+			return nil, rerr
+		}
+		return nil, fmt.Errorf("provenance: run %q has no processor %q", runID, processor)
+	}
+	ann, err := decodeAnnotations(row.Get(nodesSchema, "annotations").Raw())
 	if err != nil {
 		return nil, err
 	}
-	n, ok := g.Node("p:" + runID + "/" + processor)
-	if !ok {
-		return nil, fmt.Errorf("provenance: run %q has no processor %q", runID, processor)
-	}
 	out := map[string]string{}
-	for k, v := range n.Annotations {
+	for k, v := range ann {
 		if len(k) > len(QualityAnnotationPrefix) && k[:len(QualityAnnotationPrefix)] == QualityAnnotationPrefix {
 			out[k[len(QualityAnnotationPrefix):]] = v
 		}
@@ -260,53 +419,39 @@ func (r *Repository) UnionGraph(runIDs ...string) (*opm.Graph, error) {
 	return union, nil
 }
 
-// RunsUsingArtifact returns the run IDs whose graphs contain a used edge on
-// the given artifact ID — "which analyses consumed this dataset?", the
-// cross-run reuse question long-term preservation exists to answer.
-func (r *Repository) RunsUsingArtifact(artifactID string) ([]string, error) {
+// runsWithEdge resolves run IDs via the secondary index on the given edge
+// column, keeping only edges of the wanted kind.
+func (r *Repository) runsWithEdge(column, nodeID string, kind opm.EdgeKind) ([]string, error) {
+	rows, err := r.db.Table(edgesTable).Lookup(column, storage.S(nodeID))
+	if err != nil {
+		return nil, err
+	}
 	set := map[string]bool{}
-	r.db.Table(edgesTable).Scan(func(row storage.Row) bool {
-		if opm.EdgeKind(row.Get(edgesSchema, "kind").Int()) == opm.Used &&
-			row.Get(edgesSchema, "cause").Str() == artifactID {
+	for _, row := range rows {
+		if opm.EdgeKind(row.Get(edgesSchema, "kind").Int()) == kind {
 			set[row.Get(edgesSchema, "run_id").Str()] = true
 		}
-		return true
-	})
+	}
 	out := make([]string, 0, len(set))
 	for k := range set {
 		out = append(out, k)
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out, nil
+}
+
+// RunsUsingArtifact returns the run IDs whose graphs contain a used edge on
+// the given artifact ID — "which analyses consumed this dataset?", the
+// cross-run reuse question long-term preservation exists to answer. The
+// lookup is an index probe on edge cause, not a table scan.
+func (r *Repository) RunsUsingArtifact(artifactID string) ([]string, error) {
+	return r.runsWithEdge("cause", artifactID, opm.Used)
 }
 
 // RunsGeneratingArtifact returns the run IDs whose graphs generated the
-// given artifact.
+// given artifact, via an index probe on edge effect.
 func (r *Repository) RunsGeneratingArtifact(artifactID string) ([]string, error) {
-	set := map[string]bool{}
-	r.db.Table(edgesTable).Scan(func(row storage.Row) bool {
-		if opm.EdgeKind(row.Get(edgesSchema, "kind").Int()) == opm.WasGeneratedBy &&
-			row.Get(edgesSchema, "effect").Str() == artifactID {
-			set[row.Get(edgesSchema, "run_id").Str()] = true
-		}
-		return true
-	})
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sortStrings(out)
-	return out, nil
-}
-
-func sortStrings(s []string) {
-	for i := 0; i < len(s); i++ {
-		for j := i + 1; j < len(s); j++ {
-			if s[j] < s[i] {
-				s[i], s[j] = s[j], s[i]
-			}
-		}
-	}
+	return r.runsWithEdge("effect", artifactID, opm.WasGeneratedBy)
 }
 
 // annotation encoding: simple length-prefixed key/value pairs via the row
@@ -317,14 +462,7 @@ func encodeAnnotations(m map[string]string) ([]byte, error) {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	// Deterministic order.
-	for i := 0; i < len(keys); i++ {
-		for j := i + 1; j < len(keys); j++ {
-			if keys[j] < keys[i] {
-				keys[i], keys[j] = keys[j], keys[i]
-			}
-		}
-	}
+	sort.Strings(keys) // deterministic order
 	for _, k := range keys {
 		row = append(row, storage.S(k), storage.S(m[k]))
 	}

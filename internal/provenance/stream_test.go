@@ -1,0 +1,598 @@
+package provenance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/opm"
+	"repro/internal/storage"
+	"repro/internal/workflow"
+)
+
+// assertSameGraph fails unless the two graphs are structurally identical:
+// same node set (kind, label, value, annotations) and the same edge sequence
+// in the same order.
+func assertSameGraph(t *testing.T, want, got *opm.Graph) {
+	t.Helper()
+	wantNodes := map[string]*opm.Node{}
+	for _, n := range want.Nodes() {
+		wantNodes[n.ID] = n
+	}
+	gotNodes := map[string]*opm.Node{}
+	for _, n := range got.Nodes() {
+		gotNodes[n.ID] = n
+	}
+	if len(wantNodes) != len(gotNodes) {
+		t.Fatalf("node count: want %d, got %d", len(wantNodes), len(gotNodes))
+	}
+	for id, wn := range wantNodes {
+		gn, ok := gotNodes[id]
+		if !ok {
+			t.Fatalf("node %q missing", id)
+		}
+		if gn.Kind != wn.Kind || gn.Label != wn.Label || gn.Value != wn.Value {
+			t.Fatalf("node %q differs: want %+v, got %+v", id, wn, gn)
+		}
+		if len(gn.Annotations) != len(wn.Annotations) {
+			t.Fatalf("node %q annotations: want %v, got %v", id, wn.Annotations, gn.Annotations)
+		}
+		for k, v := range wn.Annotations {
+			if gn.Annotations[k] != v {
+				t.Fatalf("node %q annotation %q: want %q, got %q", id, k, v, gn.Annotations[k])
+			}
+		}
+	}
+	we, ge := want.Edges(), got.Edges()
+	if len(we) != len(ge) {
+		t.Fatalf("edge count: want %d, got %d", len(we), len(ge))
+	}
+	for i := range we {
+		if !we[i].Time.Equal(ge[i].Time) {
+			t.Fatalf("edge %d time: want %v, got %v", i, we[i].Time, ge[i].Time)
+		}
+		a, b := we[i], ge[i]
+		a.Time, b.Time = time.Time{}, time.Time{}
+		if a != b {
+			t.Fatalf("edge %d differs: want %+v, got %+v", i, we[i], ge[i])
+		}
+	}
+}
+
+func TestGraphSinkMaterializesIdenticalGraph(t *testing.T) {
+	col := NewCollector("curator")
+	gs := NewGraphSink()
+	col.AddSink(gs)
+	res, err := workflow.NewEngine(detectionRegistry()).Run(
+		context.Background(), detectionDef(),
+		map[string]workflow.Data{"metadata": workflow.List(
+			workflow.Scalar("Elachistocleis ovalis"),
+			workflow.Scalar("Hyla faber"),
+		)}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, col.Graph(), gs.Graph())
+	info := gs.Info()
+	if info.RunID != res.RunID || info.Status != RunCompleted {
+		t.Fatalf("sink info = %+v", info)
+	}
+}
+
+func TestCollectorGraphIsSnapshot(t *testing.T) {
+	col, _ := runCaptured(t, "Hyla faber")
+	g1 := col.Graph()
+	// Mutating the snapshot must not leak into the collector's live graph.
+	if err := g1.AddNode(opm.Node{ID: "a:intruder", Kind: opm.KindArtifact}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.Annotate("ag:curator", "tampered", "yes"); err != nil {
+		t.Fatal(err)
+	}
+	g2 := col.Graph()
+	if _, ok := g2.Node("a:intruder"); ok {
+		t.Fatal("snapshot mutation leaked into collector graph")
+	}
+	n, _ := g2.Node("ag:curator")
+	if n.Annotations["tampered"] != "" {
+		t.Fatal("annotation mutation leaked into collector graph")
+	}
+}
+
+// TestStreamingMatchesLegacyStore is the tentpole equivalence check: one run
+// captured once, persisted through both paths — the live BatchWriter delta
+// stream and the legacy monolithic Store — must reconstruct identical graphs
+// and run records, sequentially and under the parallel engine.
+func TestStreamingMatchesLegacyStore(t *testing.T) {
+	for _, parallel := range []int{0, 4} {
+		t.Run(fmt.Sprintf("parallel=%d", parallel), func(t *testing.T) {
+			repoStream, _ := openRepo(t)
+			repoLegacy, _ := openRepo(t)
+
+			col := NewCollector("curator")
+			w := repoStream.NewBatchWriter(BatchWriterOptions{MaxBatch: 8, FlushInterval: time.Millisecond})
+			col.AddSink(w)
+			engine := workflow.NewEngine(detectionRegistry())
+			engine.Parallel = parallel
+			res, err := engine.Run(context.Background(), detectionDef(),
+				map[string]workflow.Data{"metadata": workflow.List(
+					workflow.Scalar("Elachistocleis ovalis"),
+					workflow.Scalar("Hyla faber"),
+					workflow.Scalar("Scinax fuscomarginatus"),
+					workflow.Scalar("Physalaemus cuvieri"),
+					workflow.Scalar("Boana albopunctata"),
+				)}, col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := col.SinkErr(); err != nil {
+				t.Fatal(err)
+			}
+			if err := repoLegacy.Store(col.Info(), col.Graph()); err != nil {
+				t.Fatal(err)
+			}
+
+			gotInfo, err := repoStream.Run(res.RunID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantInfo, err := repoLegacy.Run(res.RunID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotInfo != wantInfo {
+				t.Fatalf("run info differs:\nstream %+v\nlegacy %+v", gotInfo, wantInfo)
+			}
+			if gotInfo.Status != RunCompleted {
+				t.Fatalf("status = %q", gotInfo.Status)
+			}
+			wantG, err := repoLegacy.Graph(res.RunID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotG, err := repoStream.Graph(res.RunID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameGraph(t, wantG, gotG)
+			// Quality reads agree too.
+			wq, err := repoLegacy.QualityOfProcess(res.RunID, "Catalog_of_life")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gq, err := repoStream.QualityOfProcess(res.RunID, "Catalog_of_life")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wq) != len(gq) || wq["reputation"] != gq["reputation"] {
+				t.Fatalf("quality differs: %v vs %v", wq, gq)
+			}
+			m := w.Metrics()
+			if m.Enqueued == 0 || m.Flushed != m.Enqueued || m.Batches == 0 {
+				t.Fatalf("writer metrics = %+v", m)
+			}
+		})
+	}
+}
+
+func TestStreamingFailedRunKeepsPartialProvenance(t *testing.T) {
+	repo, _ := openRepo(t)
+	reg := detectionRegistry()
+	reg.Register("resolve", func(_ context.Context, c workflow.Call) (map[string]workflow.Data, error) {
+		return nil, errors.New("authority down")
+	})
+	col := NewCollector("curator")
+	w := repo.NewBatchWriter(BatchWriterOptions{})
+	col.AddSink(w)
+	_, err := workflow.NewEngine(reg).Run(context.Background(), detectionDef(),
+		map[string]workflow.Data{"metadata": workflow.Scalar("Hyla faber")}, col)
+	if err == nil {
+		t.Fatal("run succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	runID := col.Info().RunID
+	info, err := repo.Run(runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != RunFailed || info.Error == "" {
+		t.Fatalf("info = %+v", info)
+	}
+	// The partial provenance survived: the step that did complete is there.
+	g, err := repo.Graph(runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Node("p:" + runID + "/Normalize"); !ok {
+		t.Fatal("partial provenance lost")
+	}
+}
+
+func TestBatchWriterDuplicateRunFails(t *testing.T) {
+	repo, _ := openRepo(t)
+	col, _ := runCaptured(t, "Hyla faber")
+	if err := repo.Store(col.Info(), col.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	// Streaming the same run again must surface the insert conflict.
+	w := repo.NewBatchWriter(BatchWriterOptions{})
+	if err := w.Emit(Delta{Kind: DeltaRunStarted, Info: col.Info()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("duplicate run streamed without error")
+	}
+	if w.Err() == nil {
+		t.Fatal("no sticky error")
+	}
+}
+
+func TestBatchWriterEmitAfterClose(t *testing.T) {
+	repo, _ := openRepo(t)
+	w := repo.NewBatchWriter(BatchWriterOptions{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := w.Emit(Delta{Kind: DeltaAddEdge}); !errors.Is(err, ErrWriterClosed) {
+		t.Fatalf("emit after close = %v", err)
+	}
+}
+
+// waitWriter polls the writer's metrics until cond holds (or fails the test).
+func waitWriter(t *testing.T, w *BatchWriter, cond func(WriterMetrics) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(w.Metrics()) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("writer never reached condition; metrics = %+v", w.Metrics())
+}
+
+// TestBatchWriterCrashRecovery kills the process (simulated by truncating the
+// WAL) at batch boundaries and mid-batch: replay must always recover a
+// consistent prefix of the delta stream, and a run whose finalize never made
+// it to disk must read back as unfinished (Status == RunRunning).
+func TestBatchWriterCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := storage.Open(dir, storage.Options{Sync: storage.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := NewRepository(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval flushing off (1h): only size-triggered and final flushes, so
+	// batch boundaries — and therefore WAL record boundaries — are exact.
+	w := repo.NewBatchWriter(BatchWriterOptions{MaxBatch: 4, FlushInterval: time.Hour})
+
+	started := time.Date(2013, 11, 12, 19, 58, 9, 0, time.UTC)
+	info := RunInfo{RunID: "run-crash", WorkflowID: "wf-detect",
+		WorkflowName: "Detection", StartedAt: started, Status: RunRunning}
+	emit := func(d Delta) {
+		t.Helper()
+		if err := w.Emit(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wave 1 — exactly one size-triggered batch: run row + three nodes.
+	emit(Delta{Kind: DeltaRunStarted, Info: info})
+	emit(Delta{Kind: DeltaAddNode, Node: opm.Node{ID: "ag:curator", Kind: opm.KindAgent, Label: "curator"}})
+	emit(Delta{Kind: DeltaAddNode, Node: opm.Node{ID: "p:run-crash/Resolve", Kind: opm.KindProcess, Label: "Resolve"}})
+	emit(Delta{Kind: DeltaAddNode, Node: opm.Node{ID: "a:in", Kind: opm.KindArtifact, Label: "input", Value: "Hyla faber"}})
+	waitWriter(t, w, func(m WriterMetrics) bool { return m.Batches == 1 })
+	size1 := db.WALSize()
+
+	// Wave 2 — second batch: annotation update, two edges, one more node.
+	emit(Delta{Kind: DeltaAnnotate, NodeID: "p:run-crash/Resolve", Key: "service", Value: "resolve"})
+	emit(Delta{Kind: DeltaAddEdge, Edge: opm.Edge{Kind: opm.Used, Effect: "p:run-crash/Resolve", Cause: "a:in", Role: "name", Account: "run-crash"}})
+	emit(Delta{Kind: DeltaAddEdge, Edge: opm.Edge{Kind: opm.WasControlledBy, Effect: "p:run-crash/Resolve", Cause: "ag:curator", Role: "executor", Account: "run-crash"}})
+	emit(Delta{Kind: DeltaAddNode, Node: opm.Node{ID: "a:out", Kind: opm.KindArtifact, Label: "output", Value: "accepted"}})
+	waitWriter(t, w, func(m WriterMetrics) bool { return m.Batches == 2 })
+	size2 := db.WALSize()
+
+	// Wave 3 — final batch: last edge plus the run finalize.
+	done := info
+	done.FinishedAt = started.Add(time.Second)
+	done.Status = RunCompleted
+	emit(Delta{Kind: DeltaAddEdge, Edge: opm.Edge{Kind: opm.WasGeneratedBy, Effect: "a:out", Cause: "p:run-crash/Resolve", Role: "status", Account: "run-crash"}})
+	emit(Delta{Kind: DeltaRunFinished, Info: done})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	walPath := filepath.Join(dir, "wal.log")
+	st, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size3 := st.Size()
+	if !(size1 < size2 && size2 < size3) {
+		t.Fatalf("WAL sizes not increasing: %d, %d, %d", size1, size2, size3)
+	}
+
+	reopen := func() (*Repository, func()) {
+		t.Helper()
+		db2, err := storage.Open(dir, storage.Options{Sync: storage.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repo2, err := NewRepository(db2)
+		if err != nil {
+			db2.Close()
+			t.Fatal(err)
+		}
+		return repo2, func() { db2.Close() }
+	}
+	truncateTo := func(n int64) {
+		t.Helper()
+		if err := os.Truncate(walPath, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Clean shutdown: everything durable, run finalized.
+	r2, cls := reopen()
+	if inf, err := r2.Run("run-crash"); err != nil || inf.Status != RunCompleted {
+		t.Fatalf("full reopen: %+v, %v", inf, err)
+	}
+	g, err := r2.Graph("run-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 4 || g.EdgeCount() != 3 {
+		t.Fatalf("full graph: %d nodes, %d edges", g.NodeCount(), g.EdgeCount())
+	}
+	cls()
+
+	// Torn final record (killed mid final commit): state rolls back to wave 2 —
+	// nodes, both edges and the annotation survive, and the run reads
+	// unfinished because the finalize never became durable.
+	truncateTo(size3 - 1)
+	r2, cls = reopen()
+	inf, err := r2.Run("run-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Status != RunRunning {
+		t.Fatalf("crashed run status = %q, want %q", inf.Status, RunRunning)
+	}
+	g, err = r2.Graph("run-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 4 || g.EdgeCount() != 2 {
+		t.Fatalf("wave-2 graph: %d nodes, %d edges", g.NodeCount(), g.EdgeCount())
+	}
+	n, _ := g.Node("p:run-crash/Resolve")
+	if n.Annotations["service"] != "resolve" {
+		t.Fatalf("annotation lost: %v", n.Annotations)
+	}
+	// Every surviving edge has both endpoints — batches are atomic, so an
+	// edge can never outlive the nodes written with or before it.
+	for _, e := range g.Edges() {
+		if _, ok := g.Node(e.Effect); !ok {
+			t.Fatalf("edge effect %q dangling", e.Effect)
+		}
+		if _, ok := g.Node(e.Cause); !ok {
+			t.Fatalf("edge cause %q dangling", e.Cause)
+		}
+	}
+	cls()
+
+	// Torn wave-2 record: only the first batch remains — run row plus three
+	// nodes, no annotation, no edges. Still a consistent prefix.
+	truncateTo(size2 - 1)
+	r2, cls = reopen()
+	inf, err = r2.Run("run-crash")
+	if err != nil || inf.Status != RunRunning {
+		t.Fatalf("wave-1 run: %+v, %v", inf, err)
+	}
+	g, err = r2.Graph("run-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 3 || g.EdgeCount() != 0 {
+		t.Fatalf("wave-1 graph: %d nodes, %d edges", g.NodeCount(), g.EdgeCount())
+	}
+	n, _ = g.Node("p:run-crash/Resolve")
+	if len(n.Annotations) != 0 {
+		t.Fatalf("unexpected annotations: %v", n.Annotations)
+	}
+	cls()
+
+	// Torn wave-1 record: the whole run vanishes atomically; the repository
+	// schema (written earlier) is intact.
+	truncateTo(size1 - 1)
+	r2, cls = reopen()
+	if _, err := r2.Run("run-crash"); !errors.Is(err, ErrRunNotFound) {
+		t.Fatalf("torn first batch: %v", err)
+	}
+	cls()
+}
+
+func seedRuns(t *testing.T, repo *Repository, ids ...string) {
+	t.Helper()
+	started := time.Date(2013, 11, 12, 19, 58, 9, 0, time.UTC)
+	for _, id := range ids {
+		g := opm.NewGraph()
+		if err := g.Agent("ag:x", "x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Process("p:"+id+"/step", "step"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(opm.Edge{Kind: opm.WasControlledBy, Effect: "p:" + id + "/step", Cause: "ag:x", Role: "executor", Account: id}); err != nil {
+			t.Fatal(err)
+		}
+		info := RunInfo{RunID: id, WorkflowID: "wf", WorkflowName: "W",
+			StartedAt: started, FinishedAt: started.Add(time.Second), Status: RunCompleted}
+		if err := repo.Store(info, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunsPage(t *testing.T) {
+	repo, _ := openRepo(t)
+	seedRuns(t, repo, "run-a", "run-b", "run-c", "run-d", "run-e")
+	var got []string
+	after := ""
+	pages := 0
+	for {
+		runs, next, err := repo.RunsPage(after, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		for _, r := range runs {
+			got = append(got, r.RunID)
+		}
+		if next == "" {
+			break
+		}
+		after = next
+	}
+	want := []string{"run-a", "run-b", "run-c", "run-d", "run-e"}
+	if len(got) != len(want) {
+		t.Fatalf("paged runs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paged runs = %v", got)
+		}
+	}
+	if pages != 3 {
+		t.Fatalf("pages = %d", pages)
+	}
+	// Page boundaries are exact: no duplicates when a new run lands between
+	// page fetches.
+	runs, next, err := repo.RunsPage("run-b", 10)
+	if err != nil || next != "" {
+		t.Fatalf("tail page: %v, %q", err, next)
+	}
+	if len(runs) != 3 || runs[0].RunID != "run-c" {
+		t.Fatalf("tail page = %+v", runs)
+	}
+}
+
+func TestNodesAndEdgesPages(t *testing.T) {
+	repo, _ := openRepo(t)
+	col, res := runCaptured(t, "Elachistocleis ovalis")
+	if err := repo.Store(col.Info(), col.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	full := col.Graph()
+
+	var nodes []*opm.Node
+	after := ""
+	for {
+		page, next, err := repo.NodesPage(res.RunID, after, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, page...)
+		if next == "" {
+			break
+		}
+		after = next
+	}
+	if len(nodes) != full.NodeCount() {
+		t.Fatalf("paged %d nodes, graph has %d", len(nodes), full.NodeCount())
+	}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if seen[n.ID] {
+			t.Fatalf("node %q paged twice", n.ID)
+		}
+		seen[n.ID] = true
+		if _, ok := full.Node(n.ID); !ok {
+			t.Fatalf("phantom node %q", n.ID)
+		}
+	}
+
+	var edges []opm.Edge
+	cursor := -1
+	for {
+		page, next, err := repo.EdgesPage(res.RunID, cursor, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges = append(edges, page...)
+		if next < 0 {
+			break
+		}
+		cursor = next
+	}
+	want := full.Edges()
+	if len(edges) != len(want) {
+		t.Fatalf("paged %d edges, graph has %d", len(edges), len(want))
+	}
+	for i := range want {
+		if edges[i].Effect != want[i].Effect || edges[i].Cause != want[i].Cause || edges[i].Kind != want[i].Kind {
+			t.Fatalf("edge %d out of order: %+v vs %+v", i, edges[i], want[i])
+		}
+	}
+
+	if _, _, err := repo.NodesPage("run-nope", "", 10); !errors.Is(err, ErrRunNotFound) {
+		t.Fatalf("nodes of missing run: %v", err)
+	}
+	if _, _, err := repo.EdgesPage("run-nope", -1, 10); !errors.Is(err, ErrRunNotFound) {
+		t.Fatalf("edges of missing run: %v", err)
+	}
+}
+
+func TestWriterMetricsAndBackpressure(t *testing.T) {
+	repo, _ := openRepo(t)
+	col := NewCollector("curator")
+	// A tiny queue forces Emit through the backpressure path.
+	w := repo.NewBatchWriter(BatchWriterOptions{MaxBatch: 2, FlushInterval: time.Millisecond, Queue: 1})
+	col.AddSink(w)
+	items := make([]workflow.Data, 8)
+	for i := range items {
+		items[i] = workflow.Scalar(fmt.Sprintf("Generated name%d", i))
+	}
+	_, err := workflow.NewEngine(detectionRegistry()).Run(
+		context.Background(), detectionDef(),
+		map[string]workflow.Data{"metadata": workflow.List(items...)}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	if m.Enqueued == 0 || m.Flushed != m.Enqueued {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Batches == 0 || m.AvgBatch() <= 0 || m.MaxBatch == 0 {
+		t.Fatalf("batch metrics = %+v", m)
+	}
+	if m.PeakQueue == 0 {
+		t.Fatalf("peak queue = %d", m.PeakQueue)
+	}
+	if got := m.Counters(); got["provenance.writer.flushed"] != float64(m.Flushed) {
+		t.Fatalf("counters = %v", got)
+	}
+	if w.QueueDepth() != 0 {
+		t.Fatalf("queue depth after close = %d", w.QueueDepth())
+	}
+}

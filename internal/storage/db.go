@@ -412,6 +412,19 @@ func (db *DB) Tables() []string {
 	return names
 }
 
+// Sync flushes the WAL's buffered writes to disk and fsyncs, regardless of
+// the configured sync policy (except SyncNever, which only flushes buffers).
+// Group-committing writers call it to make a run's tail durable — e.g. the
+// provenance BatchWriter's final flush — without paying fsync-per-Apply.
+func (db *DB) Sync() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return fmt.Errorf("storage: db is closed")
+	}
+	return db.log.Sync()
+}
+
 // Snapshot persists the full in-memory state and truncates the WAL.
 func (db *DB) Snapshot() error {
 	db.mu.Lock()

@@ -146,12 +146,30 @@ func (t *Table) applyCreateIndex(col string) error {
 	return nil
 }
 
+// HasIndex reports whether a secondary index exists on col.
+func (t *Table) HasIndex(col string) bool {
+	defer t.rlock()()
+	_, ok := t.secondary[col]
+	return ok
+}
+
 // Scan walks every row in primary-key order under the read lock; fn
 // returning false stops the scan. Rows must not be mutated by fn, and fn
 // must not call DB write methods (the read lock is held).
 func (t *Table) Scan(fn func(Row) bool) {
 	defer t.rlock()()
 	t.scanLocked(fn)
+}
+
+// ScanFrom walks rows in primary-key order starting at the first key >= from
+// (inclusive); fn returning false stops the scan. It is the primitive behind
+// paginated reads: resume from the last key of the previous page without
+// re-walking the prefix. The same locking rules as Scan apply.
+func (t *Table) ScanFrom(from Value, fn func(Row) bool) {
+	defer t.rlock()()
+	t.primary.Ascend(EncodeKey(nil, from), nil, func(_ []byte, v any) bool {
+		return fn(v.(Row))
+	})
 }
 
 func (t *Table) scanLocked(fn func(Row) bool) {

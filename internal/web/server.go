@@ -12,6 +12,7 @@ import (
 	"html/template"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -116,13 +117,36 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		s.System.Core.Ledger.CountUpdates(curation.ReviewPending),
 		s.System.Core.Ledger.CountUpdates(curation.ReviewApproved),
 		s.System.Core.Ledger.HistoryCount())
+	// Runs are paged through the repository's cursor API: at production
+	// scale the dashboard must not materialize every run ever captured.
+	after := r.URL.Query().Get("after")
+	limit := parseLimit(r.URL.Query().Get("limit"), 25)
+	runs, next, err := s.System.Core.Provenance.RunsPage(after, limit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	b.WriteString("<h2>provenance runs</h2><table><tr><th>run</th><th>workflow</th><th>status</th><th>provenance</th></tr>")
-	for _, info := range s.System.Core.Provenance.AllRuns() {
-		fmt.Fprintf(&b, `<tr><td>%s</td><td>%s</td><td>%s</td><td><a href="/provenance/%s">OPM XML</a></td></tr>`,
-			esc(info.RunID), esc(info.WorkflowName), esc(string(info.Status)), esc(info.RunID))
+	for _, info := range runs {
+		fmt.Fprintf(&b, `<tr><td>%s</td><td>%s</td><td>%s</td><td><a href="/provenance/%s">OPM XML</a> <a href="/provenance/%s/edges">edges</a></td></tr>`,
+			esc(info.RunID), esc(info.WorkflowName), esc(string(info.Status)), esc(info.RunID), esc(info.RunID))
 	}
 	b.WriteString("</table>")
+	if next != "" {
+		fmt.Fprintf(&b, `<p><a href="/?after=%s&limit=%d">next page</a></p>`, esc(next), limit)
+	}
 	s.render(w, "Collection dashboard", b.String())
+}
+
+func parseLimit(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 || n > 1000 {
+		return def
+	}
+	return n
 }
 
 // handleDetect runs the detection workflow (GET shows the last result;
@@ -363,8 +387,12 @@ func (s *Server) handleReviewAct(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
-	runID := strings.TrimPrefix(r.URL.Path, "/provenance/")
-	g, err := s.System.Core.Provenance.Graph(runID)
+	rest := strings.TrimPrefix(r.URL.Path, "/provenance/")
+	if runID, ok := strings.CutSuffix(rest, "/edges"); ok {
+		s.handleProvenanceEdges(w, r, runID)
+		return
+	}
+	g, err := s.System.Core.Provenance.Graph(rest)
 	if err != nil {
 		http.NotFound(w, r)
 		return
@@ -376,6 +404,43 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/xml")
 	w.Write(blob)
+}
+
+// handleProvenanceEdges renders one page of a run's dependency edges using
+// the repository's cursor API — large runs (per-element derivations) never
+// load whole into a response.
+func (s *Server) handleProvenanceEdges(w http.ResponseWriter, r *http.Request, runID string) {
+	if _, err := s.System.Core.Provenance.Run(runID); err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	after := -1
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad after cursor", http.StatusBadRequest)
+			return
+		}
+		after = n
+	}
+	limit := parseLimit(r.URL.Query().Get("limit"), 100)
+	edges, next, err := s.System.Core.Provenance.EdgesPage(runID, after, limit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<p>run <b>%s</b> — <a href="/provenance/%s">OPM XML</a></p>`, esc(runID), esc(runID))
+	b.WriteString("<table><tr><th>kind</th><th>effect</th><th>cause</th><th>role</th></tr>")
+	for _, e := range edges {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
+			esc(string(e.Kind)), esc(e.Effect), esc(e.Cause), esc(e.Role))
+	}
+	b.WriteString("</table>")
+	if next >= 0 {
+		fmt.Fprintf(&b, `<p><a href="/provenance/%s/edges?after=%d&limit=%d">next page</a></p>`, esc(runID), next, limit)
+	}
+	s.render(w, "Provenance edges", b.String())
 }
 
 func (s *Server) handleNTriples(w http.ResponseWriter, r *http.Request) {

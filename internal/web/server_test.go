@@ -6,12 +6,15 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/envsource"
 	"repro/internal/fnjv"
 	"repro/internal/geo"
 	"repro/internal/linkeddata"
+	"repro/internal/opm"
+	"repro/internal/provenance"
 	"repro/internal/storage"
 	"repro/internal/taxonomy"
 )
@@ -74,6 +77,88 @@ func TestDashboard(t *testing.T) {
 	}
 	if code, body := get(t, srv.URL+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
 		t.Fatalf("healthz: %d %q", code, body)
+	}
+}
+
+func seedProvRuns(t *testing.T, sys *core.System, ids ...string) {
+	t.Helper()
+	started := time.Date(2013, 11, 12, 19, 58, 9, 0, time.UTC)
+	for _, id := range ids {
+		g := opm.NewGraph()
+		if err := g.Agent("ag:x", "x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Process("p:"+id+"/step", "step"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Artifact("a:in", "input", "v"); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range []opm.Edge{
+			{Kind: opm.Used, Effect: "p:" + id + "/step", Cause: "a:in", Role: "in", Account: id},
+			{Kind: opm.WasControlledBy, Effect: "p:" + id + "/step", Cause: "ag:x", Role: "executor", Account: id},
+		} {
+			if err := g.AddEdge(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		info := provenance.RunInfo{RunID: id, WorkflowID: "wf", WorkflowName: "W",
+			StartedAt: started, FinishedAt: started.Add(time.Second), Status: provenance.RunCompleted}
+		if err := sys.Provenance.Store(info, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDashboardRunPagination(t *testing.T) {
+	srv, wsys, _ := testServer(t)
+	seedProvRuns(t, wsys.Core, "run-a", "run-b", "run-c")
+	code, body := get(t, srv.URL+"/?limit=2")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"/provenance/run-a", "/provenance/run-b", `/?after=run-b&limit=2`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("page 1 missing %q", want)
+		}
+	}
+	if strings.Contains(body, "/provenance/run-c") {
+		t.Error("page 1 leaked run-c")
+	}
+	code, body = get(t, srv.URL+"/?after=run-b&limit=2")
+	if code != 200 || !strings.Contains(body, "/provenance/run-c") {
+		t.Fatalf("page 2: %d", code)
+	}
+	if strings.Contains(body, "next page") {
+		t.Error("last page offers a next page")
+	}
+}
+
+func TestProvenanceEdgesPage(t *testing.T) {
+	srv, wsys, _ := testServer(t)
+	seedProvRuns(t, wsys.Core, "run-a")
+	code, body := get(t, srv.URL+"/provenance/run-a/edges?limit=1")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "p:run-a/step") || !strings.Contains(body, "a:in") {
+		t.Errorf("edge row missing: %s", body)
+	}
+	if !strings.Contains(body, "/provenance/run-a/edges?after=0&limit=1") {
+		t.Error("next-page link missing")
+	}
+	code, body = get(t, srv.URL+"/provenance/run-a/edges?after=0&limit=1")
+	if code != 200 || !strings.Contains(body, "ag:x") {
+		t.Fatalf("page 2: %d", code)
+	}
+	if strings.Contains(body, "next page") {
+		t.Error("exhausted cursor offers a next page")
+	}
+	if code, _ := get(t, srv.URL+"/provenance/run-nope/edges"); code != http.StatusNotFound {
+		t.Fatalf("edges of unknown run: %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/provenance/run-a/edges?after=zzz"); code != http.StatusBadRequest {
+		t.Fatalf("bad cursor: %d", code)
 	}
 }
 
