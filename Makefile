@@ -9,13 +9,16 @@ test:
 	$(GO) test ./...
 
 ## race: race-detector pass over the concurrent subsystems (the parallel
-## workflow engine, the singleflight caching resolver, and the streaming
-## provenance pipeline), plus the core detection stack that drives them
-## end to end.
+## workflow engine, the singleflight caching resolver, the streaming
+## provenance pipeline, the storage layer under it, and the archival
+## store/scrubber), plus the core detection stack that drives them end to
+## end.
 race:
-	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/provenance/... ./internal/core/...
+	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/provenance/... ./internal/storage/... ./internal/archive/... ./internal/core/...
 
-## ci: the full hygiene gate — formatting, vet, and the race-enabled tests.
+## ci: the full hygiene gate — formatting, vet, the race-enabled tests, and
+## a short fuzz smoke over the archival WAV decoder (arbitrary bytes must
+## never panic the archive read path).
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -23,6 +26,7 @@ ci:
 	fi
 	$(GO) vet ./...
 	$(MAKE) race
+	$(GO) test ./internal/audio/ -run='^$$' -fuzz=FuzzReadWAV -fuzztime=10s
 
 ## verify: the gate for engine/concurrency/persistence changes — the ci
 ## hygiene pass (gofmt, vet, race suite) plus the full test suite.

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/fnjv"
+)
+
+// archiveReplicas is the replica count of the experiment's archival store.
+const archiveReplicas = 3
+
+// E12 — archival fault injection: package a slice of the collection (plus a
+// detection run's OPM graph) into the replicated AIP store, then damage it —
+// corrupt one replica of every object, delete a second replica of every 10th
+// object, and destroy every replica of a small tail — and measure what a
+// single scrub pass detects, repairs and quarantines, and how fast.
+func runArchive(e *environment) error {
+	e.build()
+	ctx := context.Background()
+
+	// A detection run first, so archived packages link to real provenance.
+	outcome, err := e.sys.RunDetection(ctx, e.taxa.Checklist, core.RunOptions{Parallel: e.parallel})
+	if err != nil {
+		return err
+	}
+
+	root, err := os.MkdirTemp("", "fnjv-archive-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	vols := make([]string, archiveReplicas)
+	for i := range vols {
+		vols[i] = filepath.Join(root, fmt.Sprintf("vol%d", i))
+	}
+	store, err := archive.OpenStore(vols)
+	if err != nil {
+		return err
+	}
+	pm, err := e.sys.NewPreservationManager(store, core.LevelSimplifiedFormat)
+	if err != nil {
+		return err
+	}
+
+	// Package the run graph and (a slice of) the collection at level 2:
+	// metadata JSON + simplified-format WAV per record.
+	toArchive := e.records
+	if toArchive > 300 {
+		toArchive = 300
+	}
+	start := time.Now()
+	if _, err := pm.ArchiveRunGraph(outcome.RunID); err != nil {
+		return err
+	}
+	archived := 0
+	var scanErr error
+	err = e.sys.Records.Scan(func(rec *fnjv.Record) bool {
+		if archived == toArchive {
+			return false
+		}
+		archived++
+		_, scanErr = pm.Archive(rec, outcome.RunID)
+		return scanErr == nil
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return err
+	}
+	ids, err := store.List()
+	if err != nil {
+		return err
+	}
+	ingestDur := time.Since(start)
+	fmt.Printf("archived %d records at %s -> %d AIPs x %d replicas in %v (%.0f AIP/s, write-one-verify-all)\n",
+		archived, pm.Level, len(ids), archiveReplicas, ingestDur.Round(time.Millisecond),
+		float64(len(ids))/ingestDur.Seconds())
+
+	// Fault injection. The last `lost` objects lose every replica
+	// (unrecoverable); every other object gets one replica corrupted, and
+	// every 10th of those additionally loses a second replica.
+	lost := 3
+	if lost > len(ids)-1 {
+		lost = 0
+	}
+	corrupted, deleted := 0, 0
+	for i, id := range ids {
+		if i >= len(ids)-lost {
+			for _, vol := range vols {
+				if err := archive.CorruptReplica(vol, id, 20); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := archive.CorruptReplica(vols[i%archiveReplicas], id, 20); err != nil {
+			return err
+		}
+		corrupted++
+		if i%10 == 0 {
+			if err := archive.DeleteReplica(vols[(i+1)%archiveReplicas], id); err != nil {
+				return err
+			}
+			deleted++
+		}
+	}
+	fmt.Printf("injected faults: %d corrupted replicas, %d deleted replicas, %d objects with all replicas destroyed\n",
+		corrupted+lost*archiveReplicas, deleted, lost)
+
+	// One scrub pass: detection latency and repair success rate.
+	start = time.Now()
+	rep, err := pm.VerifyArchive(ctx)
+	if err != nil {
+		return err
+	}
+	scrubDur := time.Since(start)
+	repairable := len(ids) - lost
+	fmt.Printf("scrub pass: %d replicas re-hashed (%.1f MB) in %v\n",
+		rep.ReplicasChecked, float64(rep.BytesScanned)/1e6, scrubDur.Round(time.Millisecond))
+	compareLine("damage detected", fmt.Sprintf("%d corrupt + %d missing", corrupted+lost*archiveReplicas, deleted),
+		fmt.Sprintf("%d corrupt + %d missing", rep.CorruptFound, rep.MissingFound))
+	compareLine("detection latency (one pass)", "n/a", fmt.Sprintf("%v (%.1f objects/ms)", scrubDur.Round(time.Millisecond), float64(len(ids))/float64(scrubDur.Milliseconds()+1)))
+	compareLine("repair success rate", "100% of objects with a healthy replica",
+		fmt.Sprintf("%d/%d (%.1f%%)", rep.Repaired, repairable, pct(rep.Repaired, repairable)))
+	compareLine("unrecoverable -> quarantined", fmt.Sprintf("%d", lost), fmt.Sprintf("%d", rep.Unrecoverable))
+	if rep.Repaired != repairable || rep.Unrecoverable != lost {
+		return fmt.Errorf("scrub pass did not fully recover: %+v", rep)
+	}
+
+	// A second pass must be clean: every repairable object is back to full
+	// replication, and quarantined damage is out of the serving path.
+	rep2, err := pm.VerifyArchive(ctx)
+	if err != nil {
+		return err
+	}
+	if !rep2.Clean() {
+		return fmt.Errorf("second scrub pass not clean: %+v", rep2)
+	}
+	fmt.Printf("second scrub pass: clean (%d objects at %d/%d healthy replicas)\n",
+		rep2.Objects, archiveReplicas, archiveReplicas)
+
+	// The audit trail is provenance: "why was this object repaired" is a
+	// lineage query against the same repository as the detection run.
+	audits, err := e.sys.Provenance.Runs(archive.AuditWorkflowID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("audit runs recorded: %d (workflow %s)\n", len(audits), archive.AuditWorkflowID)
+	if len(rep.Damaged) > 0 {
+		aid := rep.Damaged[0].Status.Manifest.ArtifactID()
+		using, err := e.sys.Provenance.RunsUsingArtifact(aid)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lineage of %s: used by runs %v\n", aid, using)
+	}
+
+	fmt.Println("\nscrubber counters:")
+	o := pm.Scrubber.Observation(time.Now())
+	for _, m := range o.Measurements {
+		fmt.Printf("  %-32s %.0f\n", m.Characteristic, m.Number)
+	}
+	var q []string
+	if q, err = store.ListQuarantined(); err != nil {
+		return err
+	}
+	fmt.Printf("quarantined packages preserved for forensics: %d\n", len(q))
+	return nil
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|tableI|tableII|figure2|figure3|listing1|qualityIVC|timing|stage1|stage2] [-records N] [-species N] [-seed N] [-parallel N]
+//	experiments [-run all|tableI|tableII|figure2|figure3|listing1|qualityIVC|timing|stage1|stage2|evolution|retrieval|archive] [-records N] [-species N] [-seed N] [-parallel N]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment to run (all, tableI, tableII, figure2, figure3, listing1, qualityIVC, timing, stage1, stage2)")
+		run     = flag.String("run", "all", "experiment to run (all, tableI, tableII, figure2, figure3, listing1, qualityIVC, timing, stage1, stage2, evolution, retrieval, archive)")
 		records = flag.Int("records", 11898, "collection size (paper: 11898)")
 		species = flag.Int("species", 1929, "distinct species names (paper: 1929)")
 		seed    = flag.Int64("seed", 2014, "master PRNG seed")
@@ -39,8 +39,9 @@ func main() {
 		"stage2":     runStage2,
 		"evolution":  runEvolution,
 		"retrieval":  runRetrieval,
+		"archive":    runArchive,
 	}
-	order := []string{"tableI", "tableII", "listing1", "stage1", "figure2", "figure3", "qualityIVC", "timing", "stage2", "evolution", "retrieval"}
+	order := []string{"tableI", "tableII", "listing1", "stage1", "figure2", "figure3", "qualityIVC", "timing", "stage2", "evolution", "retrieval", "archive"}
 
 	if *run == "all" {
 		for _, name := range order {

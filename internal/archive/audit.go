@@ -1,0 +1,150 @@
+package archive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/opm"
+	"repro/internal/provenance"
+)
+
+// AuditWorkflowID names the synthetic workflow that archive-audit runs are
+// recorded under in the provenance repository.
+const AuditWorkflowID = "wf-archive-audit"
+
+// ProvenanceAuditor records scrub passes as OPM runs in the provenance
+// repository: one process node for the pass, one artifact node per damaged
+// AIP, used edges for every fixity check that found damage, repair processes
+// generating restored artifacts, and quarantine processes for unrecoverable
+// objects. "Why was this object repaired" then answers itself through the
+// repository's lineage indexes: RunsUsingArtifact("aip:<id>") returns the
+// audit runs that touched it.
+type ProvenanceAuditor struct {
+	Repo *provenance.Repository
+	// Agent labels the controlling agent node (default "archive-scrubber").
+	Agent string
+
+	seq atomic.Int64
+}
+
+// RecordAudit implements Auditor.
+func (a *ProvenanceAuditor) RecordAudit(rep ScrubReport) error {
+	agent := a.Agent
+	if agent == "" {
+		agent = "archive-scrubber"
+	}
+	runID := fmt.Sprintf("archive-audit-%s-%04d",
+		rep.StartedAt.UTC().Format("20060102T150405"), a.seq.Add(1))
+
+	g := opm.NewGraph()
+	agentID := "ag:" + agent
+	if err := g.AddNode(opm.Node{ID: agentID, Kind: opm.KindAgent, Label: agent}); err != nil {
+		return err
+	}
+	scrubID := "p:" + runID + "/Scrub"
+	if err := g.AddNode(opm.Node{
+		ID: scrubID, Kind: opm.KindProcess, Label: "Scrub",
+		Annotations: map[string]string{
+			"objects":          fmt.Sprintf("%d", rep.Objects),
+			"replicas_checked": fmt.Sprintf("%d", rep.ReplicasChecked),
+			"corrupt_found":    fmt.Sprintf("%d", rep.CorruptFound),
+			"missing_found":    fmt.Sprintf("%d", rep.MissingFound),
+			"repaired":         fmt.Sprintf("%d", rep.Repaired),
+			"unrecoverable":    fmt.Sprintf("%d", rep.Unrecoverable),
+		},
+	}); err != nil {
+		return err
+	}
+	if err := g.AddEdge(opm.Edge{
+		Kind: opm.WasControlledBy, Effect: scrubID, Cause: agentID,
+		Role: "janitor", Account: runID, Time: rep.StartedAt,
+	}); err != nil {
+		return err
+	}
+
+	for _, f := range rep.Damaged {
+		st := f.Status
+		aid := "aip:" + st.ID
+		ann := map[string]string{"healthy_replicas": fmt.Sprintf("%d", st.Healthy())}
+		if st.Manifest.ID != "" {
+			ann["sha256"] = st.Manifest.SHA256
+			ann["media_type"] = st.Manifest.MediaType
+			if st.Manifest.SourceID != "" {
+				ann["source_id"] = st.Manifest.SourceID
+			}
+		}
+		if err := g.AddNode(opm.Node{
+			ID: aid, Kind: opm.KindArtifact, Label: "aip", Value: st.ID, Annotations: ann,
+		}); err != nil {
+			return err
+		}
+		// The fixity check consumed the package.
+		if err := g.AddEdge(opm.Edge{
+			Kind: opm.Used, Effect: scrubID, Cause: aid,
+			Role: "fixity-check", Account: runID, Time: rep.StartedAt,
+		}); err != nil {
+			return err
+		}
+		switch {
+		case len(f.RepairedVolumes) > 0:
+			pid := "p:" + runID + "/Repair/" + st.ID
+			if err := g.AddNode(opm.Node{
+				ID: pid, Kind: opm.KindProcess, Label: "Repair",
+				Annotations: map[string]string{
+					"volumes": strings.Join(sortedCopy(f.RepairedVolumes), ","),
+				},
+			}); err != nil {
+				return err
+			}
+			restored := aid + "/restored@" + runID
+			if err := g.AddNode(opm.Node{
+				ID: restored, Kind: opm.KindArtifact, Label: "restored-replicas", Value: st.ID,
+			}); err != nil {
+				return err
+			}
+			for _, e := range []opm.Edge{
+				{Kind: opm.WasTriggeredBy, Effect: pid, Cause: scrubID, Account: runID, Time: rep.StartedAt},
+				{Kind: opm.Used, Effect: pid, Cause: aid, Role: "healthy-replica", Account: runID, Time: rep.StartedAt},
+				{Kind: opm.WasGeneratedBy, Effect: restored, Cause: pid, Role: "replica", Account: runID, Time: rep.FinishedAt},
+				{Kind: opm.WasControlledBy, Effect: pid, Cause: agentID, Role: "janitor", Account: runID, Time: rep.StartedAt},
+			} {
+				if err := g.AddEdge(e); err != nil {
+					return err
+				}
+			}
+		case f.Quarantined:
+			pid := "p:" + runID + "/Quarantine/" + st.ID
+			if err := g.AddNode(opm.Node{
+				ID: pid, Kind: opm.KindProcess, Label: "Quarantine",
+			}); err != nil {
+				return err
+			}
+			for _, e := range []opm.Edge{
+				{Kind: opm.WasTriggeredBy, Effect: pid, Cause: scrubID, Account: runID, Time: rep.StartedAt},
+				{Kind: opm.Used, Effect: pid, Cause: aid, Role: "unrecoverable", Account: runID, Time: rep.StartedAt},
+				{Kind: opm.WasControlledBy, Effect: pid, Cause: agentID, Role: "janitor", Account: runID, Time: rep.StartedAt},
+			} {
+				if err := g.AddEdge(e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	return a.Repo.Store(provenance.RunInfo{
+		RunID:        runID,
+		WorkflowID:   AuditWorkflowID,
+		WorkflowName: "Archive Fixity Audit",
+		StartedAt:    rep.StartedAt,
+		FinishedAt:   rep.FinishedAt,
+		Status:       provenance.RunCompleted,
+	}, g)
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}

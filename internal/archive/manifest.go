@@ -1,0 +1,177 @@
+// Package archive implements the long-term archival store the paper's title
+// promises: Archival Information Packages (AIPs) that bundle a preserved
+// object — a WAV clip, an FNJV metadata record, an exported OPM provenance
+// graph — with the manifest that proves its fixity (sha256 digest, size,
+// media type) and links it back to the provenance run that explains it.
+//
+// Every AIP is written to N replica volumes (distinct directories) with the
+// same torn-write discipline as the storage WAL: temp file + fsync + rename,
+// then a read-back verification of every replica (write-one-verify-all). A
+// background Scrubber re-hashes replicas on a cadence, classifies each as
+// healthy, corrupt or missing, repairs damaged replicas from a healthy one,
+// quarantines unrecoverable objects, and records what it did as an OPM
+// archive-audit run — "why was this object repaired" is a lineage query.
+package archive
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Manifest is the fixity record packaged with every archived object.
+type Manifest struct {
+	// ID is the content address of the payload: the first 16 bytes of its
+	// sha256 digest, hex-encoded. It doubles as the replica file name and as
+	// the OPM artifact ID ("aip:<ID>") in audit runs.
+	ID string `json:"id"`
+	// SHA256 is the full hex digest the scrubber re-checks replicas against.
+	SHA256 string `json:"sha256"`
+	// Size is the payload length in bytes.
+	Size int64 `json:"size"`
+	// MediaType describes the payload ("audio/wav", "application/json", ...).
+	MediaType string `json:"media_type"`
+	// SourceID names the collection record the object came from, if any.
+	SourceID string `json:"source_id,omitempty"`
+	// RunID links the package to the provenance run that produced or
+	// assessed the object, if any.
+	RunID string `json:"run_id,omitempty"`
+	// Label is a human-readable description for dashboards.
+	Label string `json:"label,omitempty"`
+	// CreatedAt is when the package was first archived.
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// ArtifactID is the OPM artifact node ID audit runs use for this package.
+func (m Manifest) ArtifactID() string { return "aip:" + m.ID }
+
+// ErrCorrupt marks a replica that failed framing, CRC or fixity checks.
+var ErrCorrupt = errors.New("archive: corrupt replica")
+
+// AIP file framing (one file per replica):
+//
+//	4 bytes magic "AIP1"
+//	4 bytes little-endian manifest JSON length
+//	4 bytes little-endian CRC32 (Castagnoli, shared with the storage WAL)
+//	        of the manifest JSON
+//	manifest JSON
+//	payload (Manifest.Size bytes; integrity = Manifest.SHA256)
+var aipMagic = [4]byte{'A', 'I', 'P', '1'}
+
+const aipHeaderLen = 12
+
+// maxManifestLen bounds the manifest frame so a corrupt length field can
+// never drive a giant allocation.
+const maxManifestLen = 1 << 20
+
+// digest returns the full hex sha256 and the derived content address.
+func digest(payload []byte) (sum string, id string) {
+	h := sha256.Sum256(payload)
+	full := hex.EncodeToString(h[:])
+	return full, full[:32]
+}
+
+// NewManifest builds the manifest for a payload. Meta carries the caller's
+// descriptive fields; digest, size and ID are computed here.
+func NewManifest(payload []byte, meta Meta, at time.Time) Manifest {
+	sum, id := digest(payload)
+	return Manifest{
+		ID:        id,
+		SHA256:    sum,
+		Size:      int64(len(payload)),
+		MediaType: meta.MediaType,
+		SourceID:  meta.SourceID,
+		RunID:     meta.RunID,
+		Label:     meta.Label,
+		CreatedAt: at.UTC(),
+	}
+}
+
+// Meta is the caller-supplied descriptive part of a manifest.
+type Meta struct {
+	MediaType string
+	SourceID  string
+	RunID     string
+	Label     string
+}
+
+// encodeAIP frames manifest + payload into one replica file image.
+func encodeAIP(m Manifest, payload []byte) ([]byte, error) {
+	mj, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("archive: encode manifest: %w", err)
+	}
+	if len(mj) > maxManifestLen {
+		return nil, fmt.Errorf("archive: manifest too large (%d bytes)", len(mj))
+	}
+	blob := make([]byte, 0, aipHeaderLen+len(mj)+len(payload))
+	blob = append(blob, aipMagic[:]...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(mj)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(mj, storage.Castagnoli))
+	blob = append(blob, hdr[:]...)
+	blob = append(blob, mj...)
+	blob = append(blob, payload...)
+	return blob, nil
+}
+
+// decodeManifest reads and CRC-checks the manifest frame, leaving r
+// positioned at the start of the payload.
+func decodeManifest(r io.Reader) (Manifest, error) {
+	var hdr [aipHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Manifest{}, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[0:4], aipMagic[:]) {
+		return Manifest{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	want := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > maxManifestLen {
+		return Manifest{}, fmt.Errorf("%w: manifest length %d", ErrCorrupt, n)
+	}
+	mj := make([]byte, n)
+	if _, err := io.ReadFull(r, mj); err != nil {
+		return Manifest{}, fmt.Errorf("%w: short manifest: %v", ErrCorrupt, err)
+	}
+	if crc32.Checksum(mj, storage.Castagnoli) != want {
+		return Manifest{}, fmt.Errorf("%w: manifest crc mismatch", ErrCorrupt)
+	}
+	var m Manifest
+	if err := json.Unmarshal(mj, &m); err != nil {
+		return Manifest{}, fmt.Errorf("%w: manifest json: %v", ErrCorrupt, err)
+	}
+	if m.ID == "" || m.SHA256 == "" || m.Size < 0 {
+		return Manifest{}, fmt.Errorf("%w: incomplete manifest", ErrCorrupt)
+	}
+	return m, nil
+}
+
+// decodeAIP parses a full replica image and verifies payload fixity against
+// the manifest digest.
+func decodeAIP(blob []byte) (Manifest, []byte, error) {
+	r := bytes.NewReader(blob)
+	m, err := decodeManifest(r)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	payload := blob[len(blob)-r.Len():]
+	if int64(len(payload)) != m.Size {
+		return Manifest{}, nil, fmt.Errorf("%w: payload is %d bytes, manifest says %d",
+			ErrCorrupt, len(payload), m.Size)
+	}
+	sum, id := digest(payload)
+	if sum != m.SHA256 || id != m.ID {
+		return Manifest{}, nil, fmt.Errorf("%w: fixity digest mismatch", ErrCorrupt)
+	}
+	return m, payload, nil
+}

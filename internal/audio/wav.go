@@ -1,6 +1,7 @@
 package audio
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -65,8 +66,8 @@ func ReadWAV(r io.Reader) (Clip, error) {
 		size := binary.LittleEndian.Uint32(ch[4:8])
 		switch id {
 		case "fmt ":
-			body := make([]byte, size)
-			if _, err := io.ReadFull(r, body); err != nil {
+			body, err := readChunk(r, size)
+			if err != nil {
 				return Clip{}, err
 			}
 			if len(body) < 16 {
@@ -87,8 +88,11 @@ func ReadWAV(r io.Reader) (Clip, error) {
 			if !gotFmt {
 				return Clip{}, fmt.Errorf("audio: data before fmt")
 			}
-			body := make([]byte, size)
-			if _, err := io.ReadFull(r, body); err != nil {
+			if sampleRate <= 0 {
+				return Clip{}, fmt.Errorf("audio: sample rate %d", sampleRate)
+			}
+			body, err := readChunk(r, size)
+			if err != nil {
 				return Clip{}, err
 			}
 			samples := make([]float64, len(body)/2)
@@ -104,4 +108,15 @@ func ReadWAV(r io.Reader) (Clip, error) {
 			}
 		}
 	}
+}
+
+// readChunk reads a declared-size chunk body incrementally, so a corrupt
+// header claiming a multi-gigabyte chunk costs only what the input actually
+// contains instead of an up-front make([]byte, size).
+func readChunk(r io.Reader, size uint32) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(size)); err != nil {
+		return nil, fmt.Errorf("audio: truncated chunk: %w", err)
+	}
+	return buf.Bytes(), nil
 }

@@ -490,7 +490,7 @@ func openWALFromFile(f *os.File) (*wal, error) {
 		f:      f,
 		w:      newBufWriter(f),
 		policy: SyncOnClose,
-		crcTab: castagnoliTable(),
+		crcTab: Castagnoli,
 	}, nil
 }
 

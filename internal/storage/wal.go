@@ -27,6 +27,12 @@ const (
 // recovery stops at the first corrupt record and truncates there.
 var ErrCorrupt = errors.New("storage: corrupt wal record")
 
+// Castagnoli is the package's single CRC32-C table, shared by the WAL, the
+// snapshot codec, and external consumers that frame records the same way
+// (the archive AIP codec). crc32.MakeTable memoizes internally, but a single
+// package-level table makes the shared polynomial explicit.
+var Castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // wal record framing:
 //
 //	4 bytes little-endian payload length
@@ -56,7 +62,7 @@ func openWAL(path string, policy SyncPolicy) (*wal, error) {
 		w:      bufio.NewWriterSize(f, 1<<16),
 		policy: policy,
 		size:   st.Size(),
-		crcTab: crc32.MakeTable(crc32.Castagnoli),
+		crcTab: Castagnoli,
 	}, nil
 }
 
@@ -142,8 +148,6 @@ func (l *wal) Close() error {
 
 func newBufWriter(f *os.File) *bufio.Writer { return bufio.NewWriterSize(f, 1<<16) }
 
-func castagnoliTable() *crc32.Table { return crc32.MakeTable(crc32.Castagnoli) }
-
 // replayWAL streams every intact record in the log at path to fn. A trailing
 // torn or corrupt record ends replay silently (it was never acknowledged);
 // replayWAL returns the byte offset of the last intact record boundary so the
@@ -157,7 +161,7 @@ func replayWAL(path string, fn func(payload []byte) error) (int64, error) {
 		return 0, fmt.Errorf("storage: open wal for replay: %w", err)
 	}
 	defer f.Close()
-	tab := crc32.MakeTable(crc32.Castagnoli)
+	tab := Castagnoli
 	r := bufio.NewReaderSize(f, 1<<16)
 	var off int64
 	var hdr [8]byte

@@ -8,6 +8,7 @@ package web
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/curation"
 	"repro/internal/fnjv"
 	"repro/internal/linkeddata"
+	"repro/internal/obs"
 	"repro/internal/opm"
 	"repro/internal/quality"
 	"repro/internal/taxonomy"
@@ -41,6 +43,9 @@ type System struct {
 	// Checklist enables the Linked-Data shadow extraction endpoints; may be
 	// nil.
 	Checklist *taxonomy.Checklist
+	// Preservation enables the /archive fixity views and the scrubber rows
+	// of /metrics; may be nil when no archival store is configured.
+	Preservation *core.PreservationManager
 
 	mu          sync.Mutex
 	lastOutcome *core.DetectionOutcome
@@ -58,6 +63,9 @@ func NewServer(sys *System) *Server {
 	s.mux.HandleFunc("/review/act", s.handleReviewAct)
 	s.mux.HandleFunc("/health", s.handleCollectionHealth)
 	s.mux.HandleFunc("/provenance/", s.handleProvenance)
+	s.mux.HandleFunc("/archive", s.handleArchive)
+	s.mux.HandleFunc("/archive/", s.handleArchiveObject)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/export/ntriples", s.handleNTriples)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -78,7 +86,7 @@ nav a{margin-right:1em}
 .flag{color:#a40000}
 </style></head>
 <body>
-<nav><a href="/">dashboard</a><a href="/detect">detect outdated names</a><a href="/records">search records</a><a href="/quality">quality</a><a href="/export/ntriples">linked data</a></nav>
+<nav><a href="/">dashboard</a><a href="/detect">detect outdated names</a><a href="/records">search records</a><a href="/quality">quality</a><a href="/archive">archive</a><a href="/export/ntriples">linked data</a></nav>
 <h1>{{.Title}}</h1>
 {{.Body}}
 </body></html>`))
@@ -441,6 +449,169 @@ func (s *Server) handleProvenanceEdges(w http.ResponseWriter, r *http.Request, r
 		fmt.Fprintf(&b, `<p><a href="/provenance/%s/edges?after=%d&limit=%d">next page</a></p>`, esc(runID), next, limit)
 	}
 	s.render(w, "Provenance edges", b.String())
+}
+
+// handleArchive renders the archival store's fixity dashboard: every AIP
+// with its per-replica state, the quarantine list, and a scrub trigger
+// (?scrub=1 / POST) that runs one audit pass inline.
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	pm := s.System.Preservation
+	if pm == nil {
+		s.render(w, "Archival store", "<p>No archival store configured.</p>")
+		return
+	}
+	var b strings.Builder
+	if r.Method == http.MethodPost || r.URL.Query().Get("scrub") == "1" {
+		rep, err := pm.VerifyArchive(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(&b, `<p>scrub pass: <b>%d</b> objects, %d replicas re-hashed, %d corrupt, %d missing, <b>%d repaired</b>, %d unrecoverable (%.0f ms)</p>`,
+			rep.Objects, rep.ReplicasChecked, rep.CorruptFound, rep.MissingFound,
+			rep.Repaired, rep.Unrecoverable,
+			float64(rep.FinishedAt.Sub(rep.StartedAt).Microseconds())/1000)
+	} else {
+		b.WriteString(`<p><a href="/archive?scrub=1">Run a scrub pass now</a></p>`)
+	}
+	ids, err := pm.Store.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	limit := parseLimit(r.URL.Query().Get("limit"), 100)
+	fmt.Fprintf(&b, "<p>%d archived objects across %d replica volumes</p>", len(ids), len(pm.Store.Volumes()))
+	b.WriteString("<table><tr><th>package</th><th>label</th><th>media</th><th>size</th><th>replicas</th><th>fixity</th></tr>")
+	shown := 0
+	for _, id := range ids {
+		if shown == limit {
+			fmt.Fprintf(&b, "<tr><td colspan=6>... and %d more</td></tr>", len(ids)-shown)
+			break
+		}
+		shown++
+		st := pm.Store.Stat(id)
+		fixity := "healthy"
+		if st.Damaged() {
+			fixity = fmt.Sprintf(`<span class=flag>%d/%d healthy</span>`, st.Healthy(), len(st.Replicas))
+		}
+		fmt.Fprintf(&b, `<tr><td><a href="/archive/%s">%s</a></td><td>%s</td><td>%s</td><td class=num>%d</td><td class=num>%d</td><td>%s</td></tr>`,
+			esc(id), esc(id[:12]), esc(st.Manifest.Label), esc(st.Manifest.MediaType),
+			st.Manifest.Size, len(st.Replicas), fixity)
+	}
+	b.WriteString("</table>")
+	if q, err := pm.Store.ListQuarantined(); err == nil && len(q) > 0 {
+		fmt.Fprintf(&b, `<h2>quarantined (unrecoverable)</h2><p class=flag>%d objects lost every healthy replica; damaged bytes are preserved for forensics</p><table><tr><th>package</th></tr>`, len(q))
+		for _, id := range q {
+			fmt.Fprintf(&b, `<tr><td><a href="/archive/%s">%s</a></td></tr>`, esc(id), esc(id))
+		}
+		b.WriteString("</table>")
+	}
+	s.render(w, "Archival store", b.String())
+}
+
+// handleArchiveObject renders one AIP: its manifest, provenance links and
+// per-volume replica fixity.
+func (s *Server) handleArchiveObject(w http.ResponseWriter, r *http.Request) {
+	pm := s.System.Preservation
+	if pm == nil {
+		http.NotFound(w, r)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/archive/")
+	st := pm.Store.Stat(id)
+	if st.Healthy() == 0 && !st.Quarantined {
+		found := false
+		for _, rep := range st.Replicas {
+			if rep.State != "missing" {
+				found = true
+			}
+		}
+		if !found {
+			http.NotFound(w, r)
+			return
+		}
+	}
+	var b strings.Builder
+	m := st.Manifest
+	provLink := esc(m.RunID)
+	if m.RunID != "" {
+		provLink = fmt.Sprintf(`<a href="/provenance/%s">%s</a>`, esc(m.RunID), esc(m.RunID))
+	}
+	recLink := esc(m.SourceID)
+	if m.SourceID != "" {
+		recLink = fmt.Sprintf(`<a href="/record/%s">%s</a>`, esc(m.SourceID), esc(m.SourceID))
+	}
+	fmt.Fprintf(&b, `<table>
+<tr><th>label</th><td>%s</td></tr>
+<tr><th>media type</th><td>%s</td></tr>
+<tr><th>size</th><td class=num>%d bytes</td></tr>
+<tr><th>sha256</th><td><code>%s</code></td></tr>
+<tr><th>source record</th><td>%s</td></tr>
+<tr><th>provenance run</th><td>%s</td></tr>
+<tr><th>archived at</th><td>%s</td></tr>
+<tr><th>quarantined</th><td>%v</td></tr>
+</table><h2>replicas</h2><table><tr><th>volume</th><th>state</th><th>detail</th></tr>`,
+		esc(m.Label), esc(m.MediaType), m.Size, esc(m.SHA256),
+		recLink, provLink, m.CreatedAt.Format(time.RFC3339), st.Quarantined)
+	for _, rep := range st.Replicas {
+		cls := ""
+		if rep.State != "healthy" {
+			cls = " class=flag"
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td%s>%s</td><td>%s</td></tr>",
+			esc(rep.Volume), cls, esc(string(rep.State)), esc(rep.Detail))
+	}
+	b.WriteString("</table>")
+	s.render(w, "Archived package "+id[:min(12, len(id))], b.String())
+}
+
+// handleMetrics snapshots the runtime counters of every instrumented
+// subsystem — workflow engine, streaming provenance writer, archive
+// scrubber — as obs.FromRuntimeMetrics observations, serialized as JSON, so
+// audits and load are observable without reading experiment output.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	at := timeNow()
+	subsystems := map[string]map[string]float64{
+		// Idle until a detection run replaces it below: each run executes on
+		// its own engine and reports that engine's snapshot in the outcome.
+		"engine": s.System.Core.Engine.Metrics().Counters(),
+	}
+	s.System.mu.Lock()
+	if o := s.System.lastOutcome; o != nil {
+		subsystems["engine"] = o.EngineMetrics.Counters()
+		subsystems["provenance-writer"] = o.ProvenanceWriter.Counters()
+	}
+	s.System.mu.Unlock()
+	if pm := s.System.Preservation; pm != nil {
+		subsystems["archive-scrubber"] = pm.Scrubber.Counters()
+	}
+	type jsonObs struct {
+		ID           string             `json:"id"`
+		Entity       string             `json:"entity"`
+		At           time.Time          `json:"at"`
+		Protocol     string             `json:"protocol"`
+		Measurements map[string]float64 `json:"measurements"`
+	}
+	names := make([]string, 0, len(subsystems))
+	for name := range subsystems {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]jsonObs, 0, len(names))
+	for _, name := range names {
+		o := obs.FromRuntimeMetrics(name, at, subsystems[name])
+		ms := make(map[string]float64, len(o.Measurements))
+		for _, m := range o.Measurements {
+			ms[m.Characteristic] = m.Number
+		}
+		out = append(out, jsonObs{
+			ID: o.ID, Entity: o.Entity.ID, At: o.At, Protocol: o.Protocol, Measurements: ms,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
 }
 
 func (s *Server) handleNTriples(w http.ResponseWriter, r *http.Request) {

@@ -192,6 +192,18 @@ type MetricsSnapshot struct {
 	PeakInFlight       int64 // high-water mark of concurrent calls
 }
 
+// Counters renders the snapshot as named readings for
+// obs.FromRuntimeMetrics, matching the provenance writer's and archive
+// scrubber's counter surfaces.
+func (m MetricsSnapshot) Counters() map[string]float64 {
+	return map[string]float64{
+		"engine.invocations":         float64(m.Invocations),
+		"engine.elements_dispatched": float64(m.ElementsDispatched),
+		"engine.in_flight":           float64(m.InFlight),
+		"engine.peak_in_flight":      float64(m.PeakInFlight),
+	}
+}
+
 // Metrics returns the engine's cumulative instrumentation counters.
 func (e *Engine) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
