@@ -9,16 +9,19 @@ test:
 	$(GO) test ./...
 
 ## race: race-detector pass over the concurrent subsystems (the parallel
-## workflow engine, the singleflight caching resolver, the streaming
-## provenance pipeline, the storage layer under it, and the archival
-## store/scrubber), plus the core detection stack that drives them end to
-## end.
+## workflow engine, the singleflight caching resolver + resilience guards,
+## the streaming provenance pipeline, the storage layer under it, and the
+## archival store/scrubber), plus the core detection stack — including
+## crash/resume — that drives them end to end.
 race:
-	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/provenance/... ./internal/storage/... ./internal/archive/... ./internal/core/...
+	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/resilience/... ./internal/provenance/... ./internal/storage/... ./internal/archive/... ./internal/core/...
 
-## ci: the full hygiene gate — formatting, vet, the race-enabled tests, and
-## a short fuzz smoke over the archival WAV decoder (arbitrary bytes must
-## never panic the archive read path).
+## ci: the full hygiene gate — formatting, vet, the race-enabled tests, a
+## short fuzz smoke over the archival WAV decoder (arbitrary bytes must
+## never panic the archive read path), and the chaos smoke (randomized
+## kill/resume trials plus degraded-authority assessment runs; the harness
+## exits non-zero if a killed run fails to resume byte-identically or any
+## run hard-fails under 50% authority availability).
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -27,6 +30,7 @@ ci:
 	$(GO) vet ./...
 	$(MAKE) race
 	$(GO) test ./internal/audio/ -run='^$$' -fuzz=FuzzReadWAV -fuzztime=10s
+	$(GO) run ./cmd/experiments -run chaos -short
 
 ## verify: the gate for engine/concurrency/persistence changes — the ci
 ## hygiene pass (gofmt, vet, race suite) plus the full test suite.

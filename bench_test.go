@@ -140,7 +140,7 @@ func BenchmarkFigure2_OutdatedNameDetection(b *testing.B) {
 	var report *curation.DetectReport
 	for i := 0; i < b.N; i++ {
 		var err error
-		report, err = det.Detect(w.store)
+		report, err = det.Detect(context.Background(), w.store)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func BenchmarkFigure2_ManualVsAutomated(b *testing.B) {
 	b.ResetTimer()
 	var names int
 	for i := 0; i < b.N; i++ {
-		report, err := det.Detect(w.store)
+		report, err := det.Detect(context.Background(), w.store)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -367,7 +367,7 @@ func BenchmarkAblation_ProvenanceVsAttribute(b *testing.B) {
 	b.Run("attribute-based", func(b *testing.B) {
 		det := &curation.Detector{Resolver: w.taxa.Checklist}
 		for i := 0; i < b.N; i++ {
-			report, err := det.Detect(w.store)
+			report, err := det.Detect(context.Background(), w.store)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -395,7 +395,7 @@ func BenchmarkAblation_FuzzyVsExact(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			hits := 0
 			for _, n := range dirty {
-				if _, err := w.taxa.Checklist.Resolve(n); err == nil {
+				if _, err := w.taxa.Checklist.Resolve(context.Background(), n); err == nil {
 					hits++
 				}
 			}
@@ -470,19 +470,19 @@ func BenchmarkAblation_CachedVsUncachedResolver(b *testing.B) {
 	b.Run("uncached", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, n := range names {
-				remote.Resolve(n)
+				remote.Resolve(context.Background(), n)
 			}
 		}
 	})
 	b.Run("cached", func(b *testing.B) {
 		cache := taxonomy.NewCachingResolver(remote, 0)
 		for _, n := range names { // warm
-			cache.Resolve(n)
+			cache.Resolve(context.Background(), n)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, n := range names {
-				cache.Resolve(n)
+				cache.Resolve(context.Background(), n)
 			}
 		}
 	})
@@ -497,8 +497,8 @@ func BenchmarkDetectionParallel(b *testing.B) {
 	w := getWorld(b)
 	remote := &slowResolver{inner: w.taxa.Checklist, delay: 200 * time.Microsecond}
 	reg := workflow.NewRegistry()
-	reg.Register("col.resolve", func(_ context.Context, call workflow.Call) (map[string]workflow.Data, error) {
-		res, err := remote.Resolve(call.Input("name").String())
+	reg.Register("col.resolve", func(ctx context.Context, call workflow.Call) (map[string]workflow.Data, error) {
+		res, err := remote.Resolve(ctx, call.Input("name").String())
 		status := "unavailable"
 		if err == nil {
 			status = res.Status.String()
@@ -564,9 +564,9 @@ type slowResolver struct {
 	delay time.Duration
 }
 
-func (s *slowResolver) Resolve(name string) (taxonomy.Resolution, error) {
+func (s *slowResolver) Resolve(ctx context.Context, name string) (taxonomy.Resolution, error) {
 	time.Sleep(s.delay)
-	return s.inner.Resolve(name)
+	return s.inner.Resolve(ctx, name)
 }
 
 // A6 — §II.C retrieval modes: acoustic feature extraction + nearest-

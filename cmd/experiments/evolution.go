@@ -66,7 +66,7 @@ func runEvolution(e *environment) error {
 			n := 0
 			for ; nextName < len(e.taxa.HistoricalNames) && n < perEpoch; nextName++ {
 				name := e.taxa.HistoricalNames[nextName]
-				res, err := e.taxa.Checklist.Resolve(name)
+				res, err := e.taxa.Checklist.Resolve(context.Background(), name)
 				if err != nil || res.Status != taxonomy.StatusAccepted {
 					continue
 				}
@@ -129,7 +129,7 @@ func curatedAccuracy(sys *core.System, resolver taxonomy.Resolver) (healed, tota
 			return false
 		}
 		total++
-		res, rerr := resolver.Resolve(name)
+		res, rerr := resolver.Resolve(context.Background(), name)
 		if rerr == nil && res.Status == taxonomy.StatusAccepted {
 			healed++
 		}

@@ -62,7 +62,7 @@ func runFigure2(e *environment) error {
 	e.build()
 	det := &curation.Detector{Resolver: e.taxa.Checklist}
 	start := time.Now()
-	report, err := det.Detect(e.sys.Records)
+	report, err := det.Detect(context.Background(), e.sys.Records)
 	if err != nil {
 		return err
 	}
@@ -200,7 +200,7 @@ func runTiming(e *environment) error {
 	e.build()
 	det := &curation.Detector{Resolver: e.taxa.Checklist}
 	start := time.Now()
-	report, err := det.Detect(e.sys.Records)
+	report, err := det.Detect(context.Background(), e.sys.Records)
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|tableI|tableII|figure2|figure3|listing1|qualityIVC|timing|stage1|stage2|evolution|retrieval|archive] [-records N] [-species N] [-seed N] [-parallel N]
+//	experiments [-run all|tableI|tableII|figure2|figure3|listing1|qualityIVC|timing|stage1|stage2|evolution|retrieval|archive|chaos] [-records N] [-species N] [-seed N] [-parallel N] [-short]
 package main
 
 import (
@@ -17,16 +17,18 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment to run (all, tableI, tableII, figure2, figure3, listing1, qualityIVC, timing, stage1, stage2, evolution, retrieval, archive)")
+		run     = flag.String("run", "all", "experiment to run (all, tableI, tableII, figure2, figure3, listing1, qualityIVC, timing, stage1, stage2, evolution, retrieval, archive, chaos)")
 		records = flag.Int("records", 11898, "collection size (paper: 11898)")
 		species = flag.Int("species", 1929, "distinct species names (paper: 1929)")
 		seed    = flag.Int64("seed", 2014, "master PRNG seed")
 		par     = flag.Int("parallel", 0, "workflow engine concurrency budget (0 = sequential iteration)")
+		short   = flag.Bool("short", false, "smaller trial counts and substrates (CI smoke)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 
 	env := newEnvironment(*records, *species, *seed, *par)
+	env.short = *short
 	all := map[string]func(*environment) error{
 		"tableI":     runTableI,
 		"tableII":    runTableII,
@@ -40,8 +42,9 @@ func main() {
 		"evolution":  runEvolution,
 		"retrieval":  runRetrieval,
 		"archive":    runArchive,
+		"chaos":      runChaos,
 	}
-	order := []string{"tableI", "tableII", "listing1", "stage1", "figure2", "figure3", "qualityIVC", "timing", "stage2", "evolution", "retrieval", "archive"}
+	order := []string{"tableI", "tableII", "listing1", "stage1", "figure2", "figure3", "qualityIVC", "timing", "stage2", "evolution", "retrieval", "archive", "chaos"}
 
 	if *run == "all" {
 		for _, name := range order {

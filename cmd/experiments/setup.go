@@ -24,6 +24,8 @@ type environment struct {
 	// parallel is the engine's unified concurrency budget for detection
 	// runs (0 keeps the historical sequential iteration).
 	parallel int
+	// short shrinks trial counts and substrates for CI smoke runs (chaos).
+	short bool
 
 	once sync.Once
 	err  error

@@ -9,14 +9,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/envsource"
 	"repro/internal/fnjv"
 	"repro/internal/geo"
+	"repro/internal/resilience"
 	"repro/internal/storage"
 	"repro/internal/taxonomy"
 	"repro/internal/web"
@@ -62,12 +65,39 @@ func main() {
 	}
 
 	var resolver taxonomy.Resolver = taxa.Checklist
+	var resilient *taxonomy.ResilientResolver
 	if *authority != "" {
+		// A remote authority gets the full fault-tolerance stack: cache,
+		// bulkhead, circuit breaker, per-call budget, and last-known-good
+		// fallback marked Degraded. The in-process checklist needs none of it.
 		client := taxonomy.NewClient(*authority)
 		client.Retries = 6
-		resolver = client
+		resilient = taxonomy.NewResilientResolver(client, taxonomy.ResilienceOptions{
+			TTL: time.Hour,
+			Breaker: resilience.BreakerOptions{
+				OnStateChange: func(from, to resilience.State) {
+					log.Printf("authority circuit breaker: %s → %s", from, to)
+				},
+			},
+		})
+		resolver = resilient
 	}
-	srv := web.NewServer(&web.System{Core: sys, Resolver: resolver, Checklist: taxa.Checklist})
+
+	// Startup reconciliation: resume any detection run a previous process
+	// left unfinished, abandon (with a reason) anything unresumable.
+	sweep, err := sys.SweepUnfinishedRuns(context.Background(), resolver, core.RunOptions{})
+	if err != nil {
+		log.Fatalf("sweeping unfinished runs: %v", err)
+	}
+	if sweep.Found > 0 {
+		log.Printf("startup sweep: %d unfinished runs, %d resumed, %d abandoned",
+			sweep.Found, len(sweep.Resumed), len(sweep.Abandoned))
+		for id, reason := range sweep.Abandoned {
+			log.Printf("  abandoned %s: %s", id, reason)
+		}
+	}
+
+	srv := web.NewServer(&web.System{Core: sys, Resolver: resolver, Checklist: taxa.Checklist, Resilient: resilient})
 	log.Printf("FNJV prototype listening on %s (collection: %d records)", *addr, sys.Records.Len())
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

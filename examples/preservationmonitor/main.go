@@ -67,7 +67,7 @@ func main() {
 				if revised == 8 {
 					break
 				}
-				res, err := taxa.Checklist.Resolve(name)
+				res, err := taxa.Checklist.Resolve(context.Background(), name)
 				if err != nil || res.Status != taxonomy.StatusAccepted {
 					continue
 				}

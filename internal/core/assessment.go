@@ -25,10 +25,13 @@ type DetectionOutcome struct {
 	Outdated         int
 	Unknown          int
 	Unavailable      int
-	Renames          map[string]string
-	UpdatesCreated   int
-	Elapsed          time.Duration
-	Assessment       *quality.Assessment
+	// Degraded counts names answered from a stale cache during an authority
+	// outage (taxonomy.ResilientResolver fallback) — resolved, but not fresh.
+	Degraded       int
+	Renames        map[string]string
+	UpdatesCreated int
+	Elapsed        time.Duration
+	Assessment     *quality.Assessment
 	// EngineMetrics snapshots the workflow engine's concurrency counters
 	// for this run (invocations, elements dispatched, peak in-flight).
 	EngineMetrics workflow.MetricsSnapshot
@@ -37,6 +40,9 @@ type DetectionOutcome struct {
 	// ProvenanceWriter.Counters() to obs.FromRuntimeMetrics to persist it
 	// as an ordinary observation.
 	ProvenanceWriter provenance.WriterMetrics
+	// Replayed lists processors whose checkpointed outputs were replayed
+	// instead of re-executed (non-empty only for resumed runs).
+	Replayed []string
 }
 
 // OutdatedFraction is Outdated/DistinctNames (Fig. 2: 7%).
@@ -69,6 +75,12 @@ type RunOptions struct {
 	// Life hundreds of milliseconds away, this is the difference between
 	// n×latency and n×latency/Parallel per detection pass.
 	Parallel int
+	// CrashAfterDeltas > 0 kills the run after that many provenance deltas
+	// have been persisted, leaving the unfinished marker and crash-consistent
+	// prefix a real process death would: the run's context is cancelled and
+	// RunDetection returns a *CrashError carrying the run ID. Chaos-testing
+	// hook; zero in production.
+	CrashAfterDeltas int
 }
 
 func (o *RunOptions) defaults() {
@@ -137,11 +149,27 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 	// the engine returns and failed runs keep their partial provenance,
 	// finalized as failed.
 	writer := s.Provenance.NewBatchWriter(provenance.BatchWriterOptions{})
-	collector.AddSink(writer)
+	runCtx := ctx
+	var crash *provenance.CrashSink
+	if opts.CrashAfterDeltas > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		crash = provenance.NewCrashSink(writer, opts.CrashAfterDeltas, cancel)
+		collector.AddSink(crash)
+	} else {
+		collector.AddSink(writer)
+	}
 	engine := workflow.NewEngine(reg)
 	engine.Parallel = opts.Parallel
-	result, runErr := engine.Run(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, collector)
+	result, runErr := engine.Run(runCtx, def, map[string]workflow.Data{"names": workflow.List(items...)}, collector)
 	werr := writer.Close()
+	if crash != nil && crash.Crashed() {
+		// Even if the engine outran the cancellation and completed, the
+		// finish delta was dropped: the run row still reads running, exactly
+		// like a process death. Report the kill so the caller can resume.
+		return nil, &CrashError{RunID: collector.Info().RunID, Deltas: crash.Forwarded()}
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -149,6 +177,13 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		return nil, fmt.Errorf("core: streaming provenance: %w", werr)
 	}
 
+	return s.finishDetection(result, version, start, opts, engine.Metrics(), writer.Metrics())
+}
+
+// finishDetection turns a completed detection run into a DetectionOutcome:
+// parses the summary datum, persists per-record updates, and assesses
+// quality. Shared by fresh and resumed runs.
+func (s *System) finishDetection(result *workflow.RunResult, version int, start time.Time, opts RunOptions, em workflow.MetricsSnapshot, wm provenance.WriterMetrics) (*DetectionOutcome, error) {
 	// Step 5: parse the summary.
 	var sum detectionSummary
 	if err := json.Unmarshal([]byte(result.Outputs["summary"].String()), &sum); err != nil {
@@ -162,14 +197,16 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		Outdated:         sum.Outdated,
 		Unknown:          sum.Unknown,
 		Unavailable:      sum.Unavailable,
+		Degraded:         sum.Degraded,
 		Renames:          sum.Renames,
-		EngineMetrics:    engine.Metrics(),
-		ProvenanceWriter: writer.Metrics(),
+		EngineMetrics:    em,
+		ProvenanceWriter: wm,
+		Replayed:         result.Replayed,
 	}
 
 	// Persist per-record updates referencing (not modifying) the originals.
 	var updates []*curation.NameUpdate
-	err = s.Records.Scan(func(rec *fnjv.Record) bool {
+	err := s.Records.Scan(func(rec *fnjv.Record) bool {
 		outcome.RecordsProcessed++
 		updated, bad := sum.Renames[rec.Species]
 		if !bad {
@@ -237,6 +274,21 @@ func (s *System) assessDetection(runID string, sum detectionSummary, opts RunOpt
 	}
 	if err := manager.Register(quality.AnnotationMetric("asserted-availability", quality.DimAvailability)); err != nil {
 		return nil, err
+	}
+	if sum.Degraded > 0 {
+		// Degraded-mode visibility: answers served from a stale cache while
+		// the authority was down mark the assessment's availability dimension
+		// down. Registered only when degradation actually happened, so
+		// healthy runs assess exactly as before.
+		if err := manager.Register(quality.RatioMetric(
+			"fresh-resolutions", quality.DimAvailability,
+			"fraction of checked names answered by the live authority rather than a stale cache",
+			func(ctx *quality.Context) (int, int, error) {
+				checked := sum.DistinctNames - sum.Unavailable
+				return checked - sum.Degraded, checked, nil
+			})); err != nil {
+			return nil, err
+		}
 	}
 	ctxValues := map[string]any{}
 	if opts.MeasuredAvailability >= 0 {

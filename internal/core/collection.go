@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"time"
 
@@ -63,7 +64,7 @@ func gatherFacts(store *fnjv.Store, checklist *taxonomy.Checklist) (CollectionFa
 		}
 		// Authority classification agreement.
 		if checklist != nil && r.Species != "" && r.Class != "" {
-			if res, err := checklist.Resolve(r.Species); err == nil && res.Classification.Class != "" {
+			if res, err := checklist.Resolve(context.Background(), r.Species); err == nil && res.Classification.Class != "" {
 				if !strings.EqualFold(res.Classification.Class, r.Class) {
 					f.ClassificationMismatch++
 				}

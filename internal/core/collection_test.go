@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -59,7 +60,7 @@ func TestAssessCollection(t *testing.T) {
 		Checklist: taxa.Checklist,
 		Gazetteer: gaz,
 		EnvSource: env,
-	}).Run(sys.Records); err != nil {
+	}).Run(context.Background(), sys.Records); err != nil {
 		t.Fatal(err)
 	}
 	aAfter, factsAfter, err := sys.AssessCollection(taxa.Checklist, now, now)

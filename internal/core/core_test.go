@@ -266,7 +266,7 @@ func TestKnowledgeEvolutionDegradesQuality(t *testing.T) {
 			t.Fatal(err)
 		}
 		total++
-		res, err := taxa.Checklist.Resolve(name)
+		res, err := taxa.Checklist.Resolve(context.Background(), name)
 		if err == nil && res.Status == taxonomy.StatusAccepted {
 			healed++
 		}
@@ -308,12 +308,12 @@ type countingResolver struct {
 	failEvery int
 }
 
-func (c *countingResolver) Resolve(name string) (taxonomy.Resolution, error) {
+func (c *countingResolver) Resolve(ctx context.Context, name string) (taxonomy.Resolution, error) {
 	c.calls++
 	if c.failEvery > 0 && c.calls%c.failEvery == 0 {
 		return taxonomy.Resolution{Query: name, Status: taxonomy.StatusUnknown}, taxonomy.ErrUnavailable
 	}
-	return c.inner.Resolve(name)
+	return c.inner.Resolve(ctx, name)
 }
 
 func TestDetectionWorkflowIsValidAndSerializable(t *testing.T) {

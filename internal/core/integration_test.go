@@ -53,7 +53,7 @@ func TestPaperScaleEndToEnd(t *testing.T) {
 		Gazetteer: gaz,
 		EnvSource: env,
 		Ledger:    sys.Ledger,
-	}).Run(sys.Records); err != nil {
+	}).Run(context.Background(), sys.Records); err != nil {
 		t.Fatal(err)
 	}
 

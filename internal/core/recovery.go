@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/provenance"
+	"repro/internal/taxonomy"
+	"repro/internal/workflow"
+)
+
+// CrashError reports a detection run killed mid-flight (by the
+// CrashAfterDeltas chaos knob, standing in for a process death). The run's
+// provenance prefix and checkpoints are durable; ResumeDetection picks the
+// run back up by its ID.
+type CrashError struct {
+	// RunID of the interrupted run — the key for ResumeDetection.
+	RunID string
+	// Deltas is how many provenance deltas were persisted before the kill.
+	Deltas int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("core: run %s killed after %d provenance deltas", e.RunID, e.Deltas)
+}
+
+// ErrNotResumable is wrapped by ResumeDetection when the run cannot be
+// resumed: unknown, already finished, or not a detection run.
+var ErrNotResumable = errors.New("core: run not resumable")
+
+// recoveryStats counts recovery activity process-wide (all systems in the
+// process share them; the numbers feed obs/web metrics).
+var recoveryStats struct {
+	resumed   atomic.Int64
+	abandoned atomic.Int64
+	swept     atomic.Int64
+}
+
+// RecoveryCounters reports recovery activity for obs.FromRuntimeMetrics:
+// runs resumed to completion, runs abandoned, and startup sweeps performed.
+func RecoveryCounters() map[string]float64 {
+	return map[string]float64{
+		"recovery.resumed":   float64(recoveryStats.resumed.Load()),
+		"recovery.abandoned": float64(recoveryStats.abandoned.Load()),
+		"recovery.sweeps":    float64(recoveryStats.swept.Load()),
+	}
+}
+
+// ResumeDetection picks up an interrupted detection run: it reloads the
+// crash-consistent provenance prefix and the persisted checkpoints, replays
+// the outputs of processors that completed durably, re-executes only the
+// rest, and finalizes the run under its original ID. The final provenance
+// graph is identical to what an uninterrupted run would have produced.
+//
+// The run must still be marked running (the unfinished marker) and must be a
+// detection-workflow run; anything else fails with ErrNotResumable.
+func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver, runID string, opts RunOptions) (*DetectionOutcome, error) {
+	opts.defaults()
+	start := time.Now()
+
+	info, err := s.Provenance.Run(runID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotResumable, err)
+	}
+	if info.Status != provenance.RunRunning {
+		return nil, fmt.Errorf("%w: run %s is %s", ErrNotResumable, runID, info.Status)
+	}
+	if info.WorkflowID != DetectionWorkflowID {
+		return nil, fmt.Errorf("%w: run %s executed workflow %q", ErrNotResumable, runID, info.WorkflowID)
+	}
+
+	// Rebuild the same instrumented definition the original run executed.
+	// The workflow was already published; resuming must not mint a version.
+	def, err := AnnotatedDetectionWorkflow(opts.Reputation, opts.Availability, opts.Author, start)
+	if err != nil {
+		return nil, err
+	}
+	version, err := s.Workflows.LatestVersion(DetectionWorkflowID)
+	if err != nil {
+		version = 0 // prefix predates publication; resume anyway
+	}
+
+	// The workflow input is recomputed, not recovered: DistinctNames is a
+	// deterministic sorted scan of the collection, and the collection is not
+	// mutated by a detection run.
+	names, err := s.DistinctNames()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]workflow.Data, len(names))
+	for i, n := range names {
+		items[i] = workflow.Scalar(n)
+	}
+
+	completed, err := s.Provenance.Checkpoints(runID)
+	if err != nil {
+		return nil, err
+	}
+	prefix, err := s.Provenance.Graph(runID)
+	if err != nil {
+		return nil, err
+	}
+
+	s.RegisterDetectionServices(resolver)
+	reg, err := s.Probe.Instrument(def, s.Registry)
+	if err != nil {
+		return nil, err
+	}
+	collector := provenance.NewResumeCollector(opts.Agent, prefix, info)
+	writer, err := s.Provenance.NewResumeWriter(runID, provenance.BatchWriterOptions{})
+	if err != nil {
+		return nil, err
+	}
+	collector.AddSink(writer)
+	engine := workflow.NewEngine(reg)
+	engine.Parallel = opts.Parallel
+
+	result, runErr := engine.Resume(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, runID, completed, collector)
+	werr := writer.Close()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("core: streaming provenance: %w", werr)
+	}
+	recoveryStats.resumed.Add(1)
+
+	return s.finishDetection(result, version, start, opts, engine.Metrics(), writer.Metrics())
+}
+
+// SweepReport summarizes one SweepUnfinishedRuns pass.
+type SweepReport struct {
+	// Found is how many unfinished markers the sweep saw.
+	Found int
+	// Resumed lists run IDs carried to completion.
+	Resumed []string
+	// Abandoned maps run IDs finalized as abandoned to the reason.
+	Abandoned map[string]string
+}
+
+// SweepUnfinishedRuns is the startup reconciliation pass: every run the
+// previous process left marked running is either resumed to completion
+// (detection runs, when a resolver is supplied) or finalized as abandoned
+// with a reason — so failed runs never hold their unfinished marker forever.
+// Call it before starting new runs; a live in-flight run would match the
+// marker too.
+func (s *System) SweepUnfinishedRuns(ctx context.Context, resolver taxonomy.Resolver, opts RunOptions) (*SweepReport, error) {
+	unfinished, err := s.Provenance.UnfinishedRuns()
+	if err != nil {
+		return nil, err
+	}
+	recoveryStats.swept.Add(1)
+	report := &SweepReport{Found: len(unfinished), Abandoned: map[string]string{}}
+	abandon := func(runID, reason string) error {
+		if err := s.Provenance.MarkAbandoned(runID, reason, time.Now()); err != nil {
+			if info, ierr := s.Provenance.Run(runID); ierr == nil && info.Status != provenance.RunRunning {
+				// A failed resume already finalized the run (e.g. as failed);
+				// the unfinished marker is gone either way.
+				report.Abandoned[runID] = reason
+				return nil
+			}
+			return err
+		}
+		recoveryStats.abandoned.Add(1)
+		report.Abandoned[runID] = reason
+		return nil
+	}
+	for _, info := range unfinished {
+		switch {
+		case info.WorkflowID != DetectionWorkflowID:
+			if err := abandon(info.RunID, fmt.Sprintf("no resume path for workflow %q", info.WorkflowID)); err != nil {
+				return report, err
+			}
+		case resolver == nil:
+			if err := abandon(info.RunID, "no resolver available at sweep"); err != nil {
+				return report, err
+			}
+		default:
+			if _, rerr := s.ResumeDetection(ctx, resolver, info.RunID, opts); rerr != nil {
+				if err := abandon(info.RunID, fmt.Sprintf("resume failed: %v", rerr)); err != nil {
+					return report, err
+				}
+				continue
+			}
+			report.Resumed = append(report.Resumed, info.RunID)
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/provenance"
+)
+
+// TestCrashResumeEveryCut is the tentpole guarantee at the system level: a
+// detection run killed after ANY number of persisted provenance deltas can be
+// resumed under its original run ID, and the resumed run's final provenance
+// graph is identical (modulo run ID and timings) to an uninterrupted run's.
+// Exercised at both sequential and parallel engine settings; run under -race.
+func TestCrashResumeEveryCut(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		parallel := parallel
+		t.Run(fmt.Sprintf("parallel=%d", parallel), func(t *testing.T) {
+			t.Parallel()
+			sys, taxa, _ := testSystem(t, 60, 12)
+			ctx := context.Background()
+			opts := RunOptions{SkipLedger: true, Parallel: parallel}
+
+			baseline, err := sys.RunDetection(ctx, taxa.Checklist, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseG, err := sys.Provenance.Graph(baseline.RunID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := canonicalGraph(baseG, baseline.RunID)
+			total := int(baseline.ProvenanceWriter.Enqueued)
+			if total < 20 {
+				t.Fatalf("baseline persisted only %d deltas; test is vacuous", total)
+			}
+
+			resumed, failures := 0, 0
+			for cut := 1; cut < total; cut++ {
+				kill := opts
+				kill.CrashAfterDeltas = cut
+				_, err := sys.RunDetection(ctx, taxa.Checklist, kill)
+				var crash *CrashError
+				if !errors.As(err, &crash) {
+					t.Fatalf("cut %d: expected CrashError, got %v", cut, err)
+				}
+				if info, err := sys.Provenance.Run(crash.RunID); err != nil || info.Status != provenance.RunRunning {
+					t.Fatalf("cut %d: killed run not left running: %+v, %v", cut, info, err)
+				}
+
+				outcome, err := sys.ResumeDetection(ctx, taxa.Checklist, crash.RunID, opts)
+				if err != nil {
+					failures++
+					t.Errorf("cut %d: resume failed: %v", cut, err)
+					continue
+				}
+				resumed++
+				if outcome.RunID != crash.RunID {
+					t.Fatalf("cut %d: resumed under new ID %s", cut, outcome.RunID)
+				}
+				if outcome.DistinctNames != baseline.DistinctNames || outcome.Outdated != baseline.Outdated {
+					t.Fatalf("cut %d: summary diverged: %d/%d names, %d/%d outdated",
+						cut, outcome.DistinctNames, baseline.DistinctNames, outcome.Outdated, baseline.Outdated)
+				}
+				g, err := sys.Provenance.Graph(crash.RunID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := canonicalGraph(g, crash.RunID); got != want {
+					t.Fatalf("cut %d: resumed graph differs from baseline\n got %d bytes\nwant %d bytes", cut, len(got), len(want))
+				}
+				info, err := sys.Provenance.Run(crash.RunID)
+				if err != nil || info.Status != provenance.RunCompleted {
+					t.Fatalf("cut %d: resumed run status %+v, %v", cut, info, err)
+				}
+			}
+			if failures > 0 {
+				t.Fatalf("%d/%d cuts failed to resume", failures, resumed+failures)
+			}
+		})
+	}
+}
+
+func TestResumeDetectionGuards(t *testing.T) {
+	sys, taxa, _ := testSystem(t, 40, 10)
+	ctx := context.Background()
+	opts := RunOptions{SkipLedger: true}
+
+	if _, err := sys.ResumeDetection(ctx, taxa.Checklist, "run-does-not-exist", opts); !errors.Is(err, ErrNotResumable) {
+		t.Fatalf("unknown run: %v", err)
+	}
+	outcome, err := sys.RunDetection(ctx, taxa.Checklist, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ResumeDetection(ctx, taxa.Checklist, outcome.RunID, opts); !errors.Is(err, ErrNotResumable) {
+		t.Fatalf("completed run: %v", err)
+	}
+}
+
+// TestSweepUnfinishedRuns verifies the startup reconciliation: interrupted
+// detection runs are resumed to completion when a resolver is available and
+// finalized as abandoned (with a reason) when none is — so no run holds its
+// unfinished marker forever.
+func TestSweepUnfinishedRuns(t *testing.T) {
+	sys, taxa, _ := testSystem(t, 60, 12)
+	ctx := context.Background()
+	opts := RunOptions{SkipLedger: true}
+
+	kill := opts
+	kill.CrashAfterDeltas = 7
+	_, err := sys.RunDetection(ctx, taxa.Checklist, kill)
+	var crash *CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("expected CrashError, got %v", err)
+	}
+
+	report, err := sys.SweepUnfinishedRuns(ctx, taxa.Checklist, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Found != 1 || len(report.Resumed) != 1 || report.Resumed[0] != crash.RunID {
+		t.Fatalf("sweep report = %+v", report)
+	}
+	info, err := sys.Provenance.Run(crash.RunID)
+	if err != nil || info.Status != provenance.RunCompleted {
+		t.Fatalf("swept run status %+v, %v", info, err)
+	}
+
+	// A second crash, swept without a resolver, must be abandoned.
+	_, err = sys.RunDetection(ctx, taxa.Checklist, kill)
+	if !errors.As(err, &crash) {
+		t.Fatalf("expected CrashError, got %v", err)
+	}
+	report, err = sys.SweepUnfinishedRuns(ctx, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Abandoned) != 1 {
+		t.Fatalf("sweep report = %+v", report)
+	}
+	info, err = sys.Provenance.Run(crash.RunID)
+	if err != nil || info.Status != provenance.RunAbandoned {
+		t.Fatalf("abandoned run status %+v, %v", info, err)
+	}
+	if info.Error == "" {
+		t.Fatal("abandoned run lacks a reason")
+	}
+
+	// The sweep converged: nothing unfinished remains.
+	left, err := sys.Provenance.UnfinishedRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("%d unfinished runs survived the sweep", len(left))
+	}
+	if c := RecoveryCounters(); c["recovery.resumed"] < 1 || c["recovery.abandoned"] < 1 {
+		t.Fatalf("recovery counters = %v", c)
+	}
+}

@@ -82,6 +82,9 @@ type resolveResult struct {
 	Status    string `json:"status"` // accepted | synonym | provisionally accepted | unknown | unavailable
 	Accepted  string `json:"accepted,omitempty"`
 	Reference string `json:"reference,omitempty"`
+	// Degraded marks an answer served from a stale cache during an authority
+	// outage (see taxonomy.ResilientResolver) — usable, but visibly not fresh.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // detectionSummary is the JSON datum emitted by the Summarize processor —
@@ -91,6 +94,7 @@ type detectionSummary struct {
 	Outdated      int               `json:"outdated"`
 	Unknown       int               `json:"unknown"`
 	Unavailable   int               `json:"unavailable"`
+	Degraded      int               `json:"degraded,omitempty"`
 	Renames       map[string]string `json:"renames"`
 	References    map[string]string `json:"references,omitempty"`
 }
@@ -98,14 +102,15 @@ type detectionSummary struct {
 // RegisterDetectionServices binds the case-study services to the given
 // taxonomic authority. Call once before running the detection workflow.
 func (s *System) RegisterDetectionServices(resolver taxonomy.Resolver) {
-	s.Registry.Register("col.resolve", func(_ context.Context, call workflow.Call) (map[string]workflow.Data, error) {
+	s.Registry.Register("col.resolve", func(ctx context.Context, call workflow.Call) (map[string]workflow.Data, error) {
 		name := call.Input("name").String()
-		res, err := resolver.Resolve(name)
+		res, err := resolver.Resolve(ctx, name)
 		rr := resolveResult{Name: name}
 		switch {
 		case err == nil:
 			rr.Status = res.Status.String()
 			rr.Accepted = res.AcceptedName
+			rr.Degraded = res.Degraded
 			if len(res.History) > 0 {
 				rr.Reference = res.History[len(res.History)-1].Reference
 			}
@@ -134,6 +139,9 @@ func (s *System) RegisterDetectionServices(resolver taxonomy.Resolver) {
 				return nil, fmt.Errorf("summarize: bad result %q: %w", item.String(), err)
 			}
 			sum.DistinctNames++
+			if rr.Degraded {
+				sum.Degraded++
+			}
 			switch rr.Status {
 			case "synonym":
 				sum.Outdated++

@@ -1,6 +1,7 @@
 package curation
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -125,7 +126,7 @@ func (c *Cleaner) repairName(r *fnjv.Record) (bool, *Issue) {
 		if c.Checklist == nil {
 			return false, nil
 		}
-		if _, err := c.Checklist.Resolve(norm); err == nil {
+		if _, err := c.Checklist.Resolve(context.Background(), norm); err == nil {
 			return false, nil
 		}
 		res, err := c.Checklist.ResolveFuzzy(norm, c.fuzzyBudget())
@@ -154,7 +155,7 @@ func (c *Cleaner) repairName(r *fnjv.Record) (bool, *Issue) {
 	final := norm
 	detail := "normalized case/whitespace"
 	if c.Checklist != nil {
-		if _, err := c.Checklist.Resolve(norm); err != nil {
+		if _, err := c.Checklist.Resolve(context.Background(), norm); err != nil {
 			res, err2 := c.Checklist.ResolveFuzzy(norm, c.fuzzyBudget())
 			if err2 == nil && res.Fuzzy {
 				final = matchedName(res)

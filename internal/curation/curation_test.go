@@ -1,6 +1,7 @@
 package curation
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -240,7 +241,7 @@ func TestDetectOutdatedNames(t *testing.T) {
 		t.Fatal(err)
 	}
 	det := &Detector{Resolver: f.taxa.Checklist, Ledger: f.led}
-	report, err := det.Detect(f.store)
+	report, err := det.Detect(context.Background(), f.store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestDetectOutdatedNames(t *testing.T) {
 		t.Errorf("progress:\n%s", text)
 	}
 	// Detector without resolver fails.
-	if _, err := (&Detector{}).Detect(f.store); err == nil {
+	if _, err := (&Detector{}).Detect(context.Background(), f.store); err == nil {
 		t.Fatal("nil resolver accepted")
 	}
 }
@@ -289,7 +290,7 @@ func TestDetectCountsUnknownAndUnavailable(t *testing.T) {
 	f := newFixture(t, 300)
 	// No cleaning: planted typos stay unknown to the exact resolver.
 	det := &Detector{Resolver: f.taxa.Checklist}
-	report, err := det.Detect(f.store)
+	report, err := det.Detect(context.Background(), f.store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestDetectUsesBatchResolver(t *testing.T) {
 	defer srv.Close()
 	client := taxonomy.NewClient(srv.URL)
 	det := &Detector{Resolver: client}
-	report, err := det.Detect(f.store)
+	report, err := det.Detect(context.Background(), f.store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestDetectUsesBatchResolver(t *testing.T) {
 	client2 := taxonomy.NewClient(srv2.URL)
 	client2.Retries = 1
 	client2.Backoff = 0
-	report2, err := (&Detector{Resolver: client2}).Detect(f.store)
+	report2, err := (&Detector{Resolver: client2}).Detect(context.Background(), f.store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestDetectUsesBatchResolver(t *testing.T) {
 
 type flakyResolver struct{ calls int }
 
-func (f *flakyResolver) Resolve(name string) (taxonomy.Resolution, error) {
+func (f *flakyResolver) Resolve(_ context.Context, name string) (taxonomy.Resolution, error) {
 	f.calls++
 	return taxonomy.Resolution{}, taxonomy.ErrUnavailable
 }
@@ -347,7 +348,7 @@ func (f *flakyResolver) Resolve(name string) (taxonomy.Resolution, error) {
 func TestDetectResolverOutage(t *testing.T) {
 	f := newFixture(t, 300)
 	det := &Detector{Resolver: &flakyResolver{}}
-	report, err := det.Detect(f.store)
+	report, err := det.Detect(context.Background(), f.store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func TestReviewLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	det := &Detector{Resolver: f.taxa.Checklist, Ledger: f.led}
-	dr, err := det.Detect(f.store)
+	dr, err := det.Detect(context.Background(), f.store)
 	if err != nil {
 		t.Fatal(err)
 	}

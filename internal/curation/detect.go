@@ -1,6 +1,7 @@
 package curation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -42,7 +43,7 @@ func (r *DetectReport) OutdatedFraction() float64 {
 // BatchResolver is implemented by authorities that support resolving many
 // names in one round trip (taxonomy.Client does).
 type BatchResolver interface {
-	BatchResolve(names []string) ([]taxonomy.Resolution, error)
+	BatchResolve(ctx context.Context, names []string) ([]taxonomy.Resolution, error)
 }
 
 // Detector runs outdated-name detection against a taxonomic authority.
@@ -57,8 +58,9 @@ type Detector struct {
 // Detect checks every distinct species name in the store against the
 // authority. For each record bearing an outdated name it creates a pending
 // NameUpdate in the separate updates table; original records are not
-// touched. This is the paper's core prototype (Fig. 2 / Fig. 3).
-func (d *Detector) Detect(store *fnjv.Store) (*DetectReport, error) {
+// touched. This is the paper's core prototype (Fig. 2 / Fig. 3). Cancelling
+// ctx aborts in-flight authority calls.
+func (d *Detector) Detect(ctx context.Context, store *fnjv.Store) (*DetectReport, error) {
 	if d.Resolver == nil {
 		return nil, fmt.Errorf("curation: detector needs a resolver")
 	}
@@ -104,7 +106,7 @@ func (d *Detector) Detect(store *fnjv.Store) (*DetectReport, error) {
 	// Use the authority's batch API when available (one round trip for the
 	// whole name set), otherwise resolve name by name.
 	if br, ok := d.Resolver.(BatchResolver); ok {
-		results, err := br.BatchResolve(names)
+		results, err := br.BatchResolve(ctx, names)
 		if err != nil {
 			report.ResolverErrors = len(names)
 		} else {
@@ -118,7 +120,7 @@ func (d *Detector) Detect(store *fnjv.Store) (*DetectReport, error) {
 		}
 	} else {
 		for _, name := range names {
-			res, err := d.Resolver.Resolve(name)
+			res, err := d.Resolver.Resolve(ctx, name)
 			record(name, res, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package curation
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -38,8 +39,9 @@ type PipelineReport struct {
 	Elapsed time.Duration
 }
 
-// Run executes the configured stages in the paper's order.
-func (p *Pipeline) Run(store *fnjv.Store) (*PipelineReport, error) {
+// Run executes the configured stages in the paper's order. ctx governs the
+// detection stage's authority calls.
+func (p *Pipeline) Run(ctx context.Context, store *fnjv.Store) (*PipelineReport, error) {
 	now := time.Now
 	if p.Now != nil {
 		now = p.Now
@@ -66,7 +68,7 @@ func (p *Pipeline) Run(store *fnjv.Store) (*PipelineReport, error) {
 	}
 	if p.Resolver != nil {
 		det := &Detector{Resolver: p.Resolver, Ledger: p.Ledger, Now: p.Now}
-		if report.Detect, err = det.Detect(store); err != nil {
+		if report.Detect, err = det.Detect(ctx, store); err != nil {
 			return nil, fmt.Errorf("curation: detect: %w", err)
 		}
 	}

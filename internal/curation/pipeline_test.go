@@ -1,6 +1,7 @@
 package curation
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func TestPipelineFullRun(t *testing.T) {
 		Spatial:   &geo.OutlierParams{},
 		Reviewer:  "biologist",
 	}
-	report, err := p.Run(f.store)
+	report, err := p.Run(context.Background(), f.store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestPipelineFullRun(t *testing.T) {
 func TestPipelinePartialStages(t *testing.T) {
 	f := newFixture(t, 400)
 	p := &Pipeline{Checklist: f.taxa.Checklist} // clean only
-	report, err := p.Run(f.store)
+	report, err := p.Run(context.Background(), f.store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestPipelineDeterministicClock(t *testing.T) {
 		Curator:   ApproveAll,
 		Now:       func() time.Time { return fixed },
 	}
-	report, err := p.Run(f.store)
+	report, err := p.Run(context.Background(), f.store)
 	if err != nil {
 		t.Fatal(err)
 	}

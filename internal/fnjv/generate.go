@@ -1,6 +1,7 @@
 package fnjv
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -265,7 +266,7 @@ func Generate(spec CollectionSpec, taxa *taxonomy.Generated, gaz *geo.Gazetteer,
 }
 
 func taxonOf(taxa *taxonomy.Generated, canonical string) *taxonomy.Taxon {
-	res, err := taxa.Checklist.Resolve(canonical)
+	res, err := taxa.Checklist.Resolve(context.Background(), canonical)
 	if err != nil {
 		return nil
 	}

@@ -119,6 +119,10 @@ type BatchWriter struct {
 	nodes       map[string]*wnode
 	dirtyOrder  []string
 	edgeSeq     int
+	checkpoints map[string]bool // processors checkpointed so far
+	// resume marks a writer re-opened on an interrupted run (NewResumeWriter):
+	// the run row already exists, so run-started becomes an update.
+	resume bool
 }
 
 // ErrWriterClosed is returned by Emit after Close.
@@ -130,11 +134,12 @@ var ErrWriterClosed = errors.New("provenance: batch writer closed")
 func (r *Repository) NewBatchWriter(opts BatchWriterOptions) *BatchWriter {
 	opts.defaults()
 	w := &BatchWriter{
-		repo:  r,
-		opts:  opts,
-		ch:    make(chan Delta, opts.Queue),
-		done:  make(chan struct{}),
-		nodes: make(map[string]*wnode),
+		repo:        r,
+		opts:        opts,
+		ch:          make(chan Delta, opts.Queue),
+		done:        make(chan struct{}),
+		nodes:       make(map[string]*wnode),
+		checkpoints: make(map[string]bool),
 	}
 	go w.loop()
 	return w
@@ -289,10 +294,23 @@ func (w *BatchWriter) flush(batch []Delta, trigger string) []Delta {
 				w.fail(fmt.Errorf("provenance: run has no ID"))
 				return batch[:0]
 			}
+			if w.resume {
+				if d.Info.RunID != w.runID {
+					w.fail(fmt.Errorf("provenance: resume writer for %q got run %q", w.runID, d.Info.RunID))
+					return batch[:0]
+				}
+				// The row already exists from before the crash; the resumed
+				// execution refreshes it (same identity, still running).
+				ops = append(ops, storage.UpdateOp(runsTable, runRow(d.Info)))
+				break
+			}
 			w.runID = d.Info.RunID
 			w.runInserted = true
 			ops = append(ops, storage.InsertOp(runsTable, runRow(d.Info)))
 		case DeltaAddNode:
+			if _, exists := w.nodes[d.Node.ID]; exists {
+				break // already persisted by the pre-crash prefix
+			}
 			ns := &wnode{node: d.Node, ann: map[string]string{}}
 			w.nodes[d.Node.ID] = ns
 			markDirty(d.Node.ID, ns)
@@ -310,6 +328,21 @@ func (w *BatchWriter) flush(batch []Delta, trigger string) []Delta {
 		case DeltaRunFinished:
 			w.finalized = true
 			finishRow = runRow(d.Info)
+		case DeltaCheckpoint:
+			if d.Checkpoint == nil {
+				w.fail(fmt.Errorf("provenance: checkpoint delta without payload"))
+				return batch[:0]
+			}
+			if w.checkpoints[d.Checkpoint.Processor] {
+				break // persisted before the crash; never duplicated
+			}
+			row, err := checkpointRow(w.runID, *d.Checkpoint)
+			if err != nil {
+				w.fail(err)
+				return batch[:0]
+			}
+			w.checkpoints[d.Checkpoint.Processor] = true
+			ops = append(ops, storage.InsertOp(checkpointsTable, row))
 		default:
 			w.fail(fmt.Errorf("provenance: unknown delta kind %d", d.Kind))
 			return batch[:0]

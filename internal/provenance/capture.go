@@ -35,6 +35,10 @@ const (
 	RunRunning   RunStatus = "running"
 	RunCompleted RunStatus = "completed"
 	RunFailed    RunStatus = "failed"
+	// RunAbandoned marks an unfinished run the startup sweep could not (or
+	// chose not to) resume; the run row's Error records why. Its partial
+	// provenance stays readable.
+	RunAbandoned RunStatus = "abandoned"
 )
 
 // RunInfo summarizes one captured workflow execution.
@@ -67,6 +71,10 @@ type Collector struct {
 	artifactOf map[string]string
 	sinks      []Sink
 	sinkErr    error
+	// resumed marks a collector preloaded with the crash-consistent prefix
+	// of an interrupted run; the next workflow-started event then keeps the
+	// original StartedAt instead of restamping it.
+	resumed bool
 }
 
 const defaultMaxElements = 4096
@@ -81,6 +89,23 @@ func NewCollector(agent string) *Collector {
 		graph:      opm.NewGraph(),
 		artifactOf: make(map[string]string),
 	}
+}
+
+// NewResumeCollector rebuilds a collector around the crash-consistent prefix
+// of an interrupted run: g is the graph recovered from storage (the collector
+// takes ownership) and info its persisted RunInfo. Nodes and edges already in
+// the prefix are transparently deduplicated, so re-executed processors whose
+// provenance was partially persisted re-emit only what is missing, and the
+// resumed stream converges on the graph an uninterrupted run would produce.
+func NewResumeCollector(agent string, g *opm.Graph, info RunInfo) *Collector {
+	c := NewCollector(agent)
+	c.graph = g
+	c.info = info
+	c.resumed = true
+	for _, n := range g.NodesOfKind(opm.KindArtifact) {
+		c.artifactOf[n.ID] = n.Label
+	}
+	return c
 }
 
 // AddSink attaches a delta consumer. Attach sinks before the run starts;
@@ -190,11 +215,15 @@ func (c *Collector) OnEvent(ev workflow.Event) {
 	defer c.mu.Unlock()
 	switch ev.Type {
 	case workflow.EventWorkflowStarted:
+		started := ev.Time
+		if c.resumed && !c.info.StartedAt.IsZero() {
+			started = c.info.StartedAt // the run began before the crash
+		}
 		c.info = RunInfo{
 			RunID:        ev.RunID,
 			WorkflowID:   ev.WorkflowID,
 			WorkflowName: ev.WorkflowName,
-			StartedAt:    ev.Time,
+			StartedAt:    started,
 			Status:       RunRunning,
 		}
 		c.emitLocked(Delta{Kind: DeltaRunStarted, Info: c.info})
@@ -271,6 +300,17 @@ func (c *Collector) OnEvent(ev workflow.Event) {
 					})
 				}
 			}
+		}
+		// The checkpoint closes the burst: once it is persisted, everything
+		// above it is too (sinks see deltas in order), so resume can trust
+		// a stored checkpoint to mean "this processor's provenance is
+		// complete on disk". Failed processors are not checkpointed.
+		if ev.Type == workflow.EventProcessorCompleted {
+			c.emitLocked(Delta{Kind: DeltaCheckpoint, Checkpoint: &workflow.Checkpoint{
+				Processor:  ev.Processor,
+				Iterations: ev.Iterations,
+				Outputs:    ev.Outputs,
+			}})
 		}
 
 	case workflow.EventWorkflowCompleted:

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/opm"
+	"repro/internal/workflow"
 )
 
 // DeltaKind classifies one incremental provenance operation.
@@ -26,6 +27,12 @@ const (
 	// DeltaRunFinished closes a run; Info carries the terminal RunInfo
 	// (Status RunCompleted or RunFailed). It is the last delta of a run.
 	DeltaRunFinished
+	// DeltaCheckpoint records the durable completion of one processor. It
+	// is emitted LAST in a processor's completion burst, so a persisted
+	// checkpoint guarantees (by the stream's prefix property) that all of
+	// that processor's provenance is persisted too — the invariant resume
+	// relies on. Checkpoints are not part of the OPM graph.
+	DeltaCheckpoint
 )
 
 // String names the delta kind.
@@ -41,6 +48,8 @@ func (k DeltaKind) String() string {
 		return "annotate"
 	case DeltaRunFinished:
 		return "run-finished"
+	case DeltaCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("delta(%d)", uint8(k))
 	}
@@ -63,6 +72,8 @@ type Delta struct {
 	NodeID string
 	Key    string
 	Value  string
+	// Checkpoint is set for DeltaCheckpoint.
+	Checkpoint *workflow.Checkpoint
 }
 
 // Sink consumes the delta stream of one run. Emit is called in causal order
@@ -100,6 +111,8 @@ func (s *GraphSink) Emit(d Delta) error {
 		return s.g.AddEdge(d.Edge)
 	case DeltaAnnotate:
 		return s.g.Annotate(d.NodeID, d.Key, d.Value)
+	case DeltaCheckpoint:
+		return nil // execution bookkeeping, not part of the graph
 	default:
 		return fmt.Errorf("provenance: unknown delta kind %d", d.Kind)
 	}

@@ -21,9 +21,10 @@ type Repository struct {
 
 // Table names.
 const (
-	runsTable  = "prov_runs"
-	nodesTable = "prov_nodes"
-	edgesTable = "prov_edges"
+	runsTable        = "prov_runs"
+	nodesTable       = "prov_nodes"
+	edgesTable       = "prov_edges"
+	checkpointsTable = "prov_checkpoints"
 )
 
 var (
@@ -55,6 +56,13 @@ var (
 		storage.Column{Name: "account", Kind: storage.KindString, Nullable: true},
 		storage.Column{Name: "time", Kind: storage.KindTime, Nullable: true},
 	)
+	checkpointsSchema = storage.MustSchema(checkpointsTable,
+		storage.Column{Name: "key", Kind: storage.KindString}, // run/processor
+		storage.Column{Name: "run_id", Kind: storage.KindString},
+		storage.Column{Name: "processor", Kind: storage.KindString},
+		storage.Column{Name: "iterations", Kind: storage.KindInt},
+		storage.Column{Name: "outputs", Kind: storage.KindBytes, Nullable: true}, // JSON port->Data
+	)
 )
 
 // ErrRunNotFound is returned for unknown run IDs.
@@ -83,6 +91,23 @@ func NewRepository(db *storage.DB) (*Repository, error) {
 			if err := db.CreateIndex(edgesTable, col); err != nil {
 				return nil, err
 			}
+		}
+	}
+	// Checkpoint table (added with crash-resume): repositories written by
+	// earlier versions gain it — their old runs simply have no checkpoints.
+	if db.Table(checkpointsTable) == nil {
+		if err := db.Apply(
+			storage.CreateTableOp(checkpointsSchema),
+			storage.CreateIndexOp(checkpointsTable, "run_id"),
+		); err != nil {
+			return nil, err
+		}
+	}
+	// Status index: the startup sweep probes for unfinished runs instead of
+	// scanning the whole run table.
+	if !db.Table(runsTable).HasIndex("status") {
+		if err := db.CreateIndex(runsTable, "status"); err != nil {
+			return nil, err
 		}
 	}
 	return &Repository{db: db}, nil

@@ -1,0 +1,162 @@
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/workflow"
+)
+
+// This file is the repository side of crash recovery: persisting the
+// checkpoint deltas the Collector streams, listing the unfinished runs a
+// crashed process left behind, and re-opening a run's write-behind persistence
+// so a resumed execution appends to the crash-consistent prefix instead of
+// starting over.
+
+func checkpointKey(runID, processor string) string { return runID + "/" + processor }
+
+func checkpointRow(runID string, cp workflow.Checkpoint) (storage.Row, error) {
+	outputs, err := json.Marshal(cp.Outputs)
+	if err != nil {
+		return nil, fmt.Errorf("provenance: encode checkpoint outputs: %w", err)
+	}
+	return storage.Row{
+		storage.S(checkpointKey(runID, cp.Processor)),
+		storage.S(runID),
+		storage.S(cp.Processor),
+		storage.I(int64(cp.Iterations)),
+		storage.Bytes(outputs),
+	}, nil
+}
+
+func rowToCheckpoint(row storage.Row) (workflow.Checkpoint, error) {
+	cp := workflow.Checkpoint{
+		Processor:  row.Get(checkpointsSchema, "processor").Str(),
+		Iterations: int(row.Get(checkpointsSchema, "iterations").Int()),
+	}
+	if raw := row.Get(checkpointsSchema, "outputs").Raw(); len(raw) > 0 {
+		if err := json.Unmarshal(raw, &cp.Outputs); err != nil {
+			return cp, fmt.Errorf("provenance: decode checkpoint outputs for %q: %w", cp.Processor, err)
+		}
+	}
+	return cp, nil
+}
+
+// Checkpoints returns the processor-completion checkpoints persisted for a
+// run — the crash-consistent record of which processors finished durably.
+// The order is unspecified; workflow.Engine.Resume replays by definition
+// order regardless.
+func (r *Repository) Checkpoints(runID string) ([]workflow.Checkpoint, error) {
+	if _, err := r.Run(runID); err != nil {
+		return nil, err
+	}
+	rows, err := r.db.Table(checkpointsTable).Lookup("run_id", storage.S(runID))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]workflow.Checkpoint, 0, len(rows))
+	for _, row := range rows {
+		cp, err := rowToCheckpoint(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cp)
+	}
+	return out, nil
+}
+
+// UnfinishedRuns lists runs whose status still reads RunRunning — the
+// unfinished markers left behind by crashed or killed processes. A live
+// in-flight run also matches, so call this at startup, before new runs begin.
+func (r *Repository) UnfinishedRuns() ([]RunInfo, error) {
+	rows, err := r.db.Table(runsTable).Lookup("status", storage.S(string(RunRunning)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RunInfo, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, rowToInfo(row))
+	}
+	return out, nil
+}
+
+// MarkAbandoned finalizes an unfinished run as RunAbandoned with the given
+// reason, so the startup sweep converges instead of reconsidering the same
+// marker forever. Only runs still marked RunRunning can be abandoned.
+func (r *Repository) MarkAbandoned(runID, reason string, at time.Time) error {
+	info, err := r.Run(runID)
+	if err != nil {
+		return err
+	}
+	if info.Status != RunRunning {
+		return fmt.Errorf("provenance: run %q is %s, not %s", runID, info.Status, RunRunning)
+	}
+	info.Status = RunAbandoned
+	info.Error = reason
+	info.FinishedAt = at
+	if err := r.db.Apply(storage.UpdateOp(runsTable, runRow(info))); err != nil {
+		return err
+	}
+	return r.db.Sync()
+}
+
+// NewResumeWriter re-opens write-behind persistence for an interrupted run:
+// the writer preloads the run's persisted nodes, edge count and checkpoint
+// set, so the resumed delta stream appends exactly what is missing — node
+// re-annotations become updates, edge sequence numbers continue where the
+// prefix stopped, and replayed checkpoints are never duplicated. The
+// run-started delta of the resumed execution updates the existing run row
+// rather than inserting a second one.
+func (r *Repository) NewResumeWriter(runID string, opts BatchWriterOptions) (*BatchWriter, error) {
+	info, err := r.Run(runID)
+	if err != nil {
+		return nil, err
+	}
+	if info.Status != RunRunning {
+		return nil, fmt.Errorf("provenance: run %q is %s, not resumable", runID, info.Status)
+	}
+	opts.defaults()
+	w := &BatchWriter{
+		repo:        r,
+		opts:        opts,
+		ch:          make(chan Delta, opts.Queue),
+		done:        make(chan struct{}),
+		nodes:       make(map[string]*wnode),
+		checkpoints: make(map[string]bool),
+		runID:       runID,
+		runInserted: true,
+		resume:      true,
+	}
+	nodeRows, err := r.db.Table(nodesTable).Lookup("run_id", storage.S(runID))
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range nodeRows {
+		n, err := rowToNode(row)
+		if err != nil {
+			return nil, err
+		}
+		ann := n.Annotations
+		if ann == nil {
+			ann = map[string]string{}
+		}
+		n.Annotations = nil
+		w.nodes[n.ID] = &wnode{node: *n, ann: ann, persisted: true}
+	}
+	edgeRows, err := r.db.Table(edgesTable).Lookup("run_id", storage.S(runID))
+	if err != nil {
+		return nil, err
+	}
+	w.edgeSeq = len(edgeRows)
+	cpRows, err := r.db.Table(checkpointsTable).Lookup("run_id", storage.S(runID))
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range cpRows {
+		w.checkpoints[row.Get(checkpointsSchema, "processor").Str()] = true
+	}
+	go w.loop()
+	return w, nil
+}

@@ -41,7 +41,7 @@ func buildEverything(t *testing.T) (*core.System, *taxonomy.Generated, *core.Det
 		EnvSource: env,
 		Ledger:    sys.Ledger,
 		Spatial:   &geo.OutlierParams{},
-	}).Run(sys.Records)
+	}).Run(context.Background(), sys.Records)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,299 @@
+// Package resilience provides the generic fault-tolerance primitives the
+// preservation system wraps around remote authorities: a circuit breaker
+// (closed / open / half-open with a sliding failure-rate window), a
+// bounded-concurrency bulkhead, and per-call deadline budgets with context
+// propagation. The package is dependency-free and policy-free — what counts
+// as a failure, and what to do when a call is rejected, belongs to callers
+// (see taxonomy.ResilientResolver for the resolution policy).
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State uint8
+
+// Breaker states.
+const (
+	// Closed: calls flow normally; outcomes feed the failure-rate window.
+	Closed State = iota
+	// Open: calls are rejected immediately with ErrOpen until the cooldown
+	// elapses.
+	Open
+	// HalfOpen: a limited number of probe calls are admitted; all probes
+	// succeeding re-closes the breaker, any probe failing re-opens it.
+	HalfOpen
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "state(?)"
+	}
+}
+
+// ErrOpen is returned by Allow/Do while the breaker rejects calls.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerOptions tunes a Breaker. The zero value gets sane defaults.
+type BreakerOptions struct {
+	// Window is the number of most recent call outcomes the failure rate is
+	// computed over (default 20).
+	Window int
+	// MinSamples is the minimum number of outcomes in the window before the
+	// breaker may trip (default Window/2); prevents one early failure from
+	// opening a cold breaker.
+	MinSamples int
+	// FailureThreshold is the failure rate in [0,1] that trips the breaker
+	// (default 0.5).
+	FailureThreshold float64
+	// Cooldown is how long the breaker stays open before probing
+	// (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// breaker again (default 3). Probes run one at a time.
+	HalfOpenProbes int
+	// IsFailure classifies an error as an availability failure. The default
+	// counts every non-nil error; callers should exclude domain errors (an
+	// unknown name is an answer, not an outage).
+	IsFailure func(error) bool
+	// Now is the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+	// OnStateChange, when set, observes every transition. It is called
+	// synchronously under the breaker's lock and must not call back into
+	// the breaker.
+	OnStateChange func(from, to State)
+}
+
+func (o *BreakerOptions) defaults() {
+	if o.Window <= 0 {
+		o.Window = 20
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = o.Window / 2
+		if o.MinSamples < 1 {
+			o.MinSamples = 1
+		}
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 0.5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.HalfOpenProbes <= 0 {
+		o.HalfOpenProbes = 3
+	}
+	if o.IsFailure == nil {
+		o.IsFailure = func(err error) bool { return err != nil }
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// BreakerCounters is a point-in-time reading of a breaker's activity.
+type BreakerCounters struct {
+	State     State
+	Allowed   int64 // calls admitted (closed or as probes)
+	Rejected  int64 // calls refused with ErrOpen
+	Successes int64 // admitted calls that succeeded
+	Failures  int64 // admitted calls that failed (per IsFailure)
+	Opens     int64 // transitions into Open
+	HalfOpens int64 // transitions into HalfOpen
+	Closes    int64 // transitions back into Closed
+}
+
+// Counters renders the reading as named values for obs.FromRuntimeMetrics.
+func (c BreakerCounters) Counters() map[string]float64 {
+	return map[string]float64{
+		"breaker.state":      float64(c.State),
+		"breaker.allowed":    float64(c.Allowed),
+		"breaker.rejected":   float64(c.Rejected),
+		"breaker.successes":  float64(c.Successes),
+		"breaker.failures":   float64(c.Failures),
+		"breaker.opens":      float64(c.Opens),
+		"breaker.half_opens": float64(c.HalfOpens),
+		"breaker.closes":     float64(c.Closes),
+	}
+}
+
+// Breaker is a circuit breaker. Use Do for paired admission/recording, or
+// Allow + Record when the call site needs custom control flow. Safe for
+// concurrent use.
+type Breaker struct {
+	opts BreakerOptions
+
+	mu       sync.Mutex
+	state    State
+	window   []bool // ring of recent outcomes; true = failure
+	widx     int
+	wfill    int
+	wfails   int
+	openedAt time.Time
+	probing  int // probes in flight while half-open
+	probeOK  int // consecutive probe successes
+	counters BreakerCounters
+}
+
+// NewBreaker builds a breaker in the Closed state.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	opts.defaults()
+	return &Breaker{opts: opts, window: make([]bool, opts.Window)}
+}
+
+// State returns the current state (transitioning Open→HalfOpen lazily if the
+// cooldown has elapsed).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeProbeLocked()
+	return b.state
+}
+
+// Snapshot returns the breaker's counters.
+func (b *Breaker) Snapshot() BreakerCounters {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.counters
+	c.State = b.state
+	return c
+}
+
+// Allow asks to admit one call: nil means proceed (and the caller MUST later
+// call Record with the outcome), ErrOpen means the call is rejected.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeProbeLocked()
+	switch b.state {
+	case Closed:
+		b.counters.Allowed++
+		return nil
+	case HalfOpen:
+		if b.probing > 0 {
+			// One probe at a time: concurrent calls during recovery are
+			// rejected rather than stampeding a barely-recovered service.
+			b.counters.Rejected++
+			return ErrOpen
+		}
+		b.probing++
+		b.counters.Allowed++
+		return nil
+	default:
+		b.counters.Rejected++
+		return ErrOpen
+	}
+}
+
+// Record reports the outcome of a call previously admitted by Allow.
+func (b *Breaker) Record(err error) {
+	failed := b.opts.IsFailure(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if failed {
+		b.counters.Failures++
+	} else {
+		b.counters.Successes++
+	}
+	switch b.state {
+	case HalfOpen:
+		if b.probing > 0 {
+			b.probing--
+		}
+		if failed {
+			b.tripLocked()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.opts.HalfOpenProbes {
+			b.transitionLocked(Closed)
+			b.resetWindowLocked()
+		}
+	case Closed:
+		b.pushLocked(failed)
+		if b.wfill >= b.opts.MinSamples &&
+			float64(b.wfails)/float64(b.wfill) >= b.opts.FailureThreshold {
+			b.tripLocked()
+		}
+	default:
+		// Late result from a call admitted before the trip: counted above,
+		// no state effect.
+	}
+}
+
+// Do admits, runs and records fn under the breaker.
+func (b *Breaker) Do(fn func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := fn()
+	b.Record(err)
+	return err
+}
+
+// maybeProbeLocked moves Open→HalfOpen once the cooldown has elapsed.
+func (b *Breaker) maybeProbeLocked() {
+	if b.state == Open && b.opts.Now().Sub(b.openedAt) >= b.opts.Cooldown {
+		b.transitionLocked(HalfOpen)
+		b.probing = 0
+		b.probeOK = 0
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.transitionLocked(Open)
+	b.openedAt = b.opts.Now()
+	b.probing = 0
+	b.probeOK = 0
+}
+
+func (b *Breaker) transitionLocked(to State) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	switch to {
+	case Open:
+		b.counters.Opens++
+	case HalfOpen:
+		b.counters.HalfOpens++
+	case Closed:
+		b.counters.Closes++
+	}
+	if b.opts.OnStateChange != nil {
+		b.opts.OnStateChange(from, to)
+	}
+}
+
+func (b *Breaker) pushLocked(failed bool) {
+	if b.window[b.widx] && b.wfill == len(b.window) {
+		b.wfails--
+	}
+	b.window[b.widx] = failed
+	b.widx = (b.widx + 1) % len(b.window)
+	if b.wfill < len(b.window) {
+		b.wfill++
+	}
+	if failed {
+		b.wfails++
+	}
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.widx, b.wfill, b.wfails = 0, 0, 0
+}

@@ -1,0 +1,26 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Budget is a per-call deadline: Run derives a child context bounded by
+// Timeout, so one slow remote call costs at most the budget instead of the
+// caller's whole deadline — and cancellation still propagates from the
+// parent context (a cancelled run cancels its in-flight resolutions).
+type Budget struct {
+	// Timeout bounds each call; 0 means no per-call bound (the parent
+	// context alone governs).
+	Timeout time.Duration
+}
+
+// Run invokes fn with the budgeted context.
+func (b Budget) Run(ctx context.Context, fn func(context.Context) error) error {
+	if b.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.Timeout)
+		defer cancel()
+	}
+	return fn(ctx)
+}

@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is returned when the bulkhead is full and the caller's
+// admission wait expired.
+var ErrSaturated = errors.New("resilience: bulkhead saturated")
+
+// Bulkhead bounds how many calls may be in flight at once, isolating the
+// rest of the system from a slow dependency: when the compartment floods,
+// excess calls fail fast (or wait a bounded time) instead of accumulating
+// goroutines behind an unresponsive service. Safe for concurrent use.
+type Bulkhead struct {
+	sem     chan struct{}
+	maxWait time.Duration
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewBulkhead builds a bulkhead admitting at most limit concurrent calls
+// (limit < 1 is coerced to 1). maxWait is how long Acquire may wait for a
+// slot when the compartment is full; 0 rejects immediately.
+func NewBulkhead(limit int, maxWait time.Duration) *Bulkhead {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Bulkhead{sem: make(chan struct{}, limit), maxWait: maxWait}
+}
+
+// Acquire takes a slot, waiting at most maxWait (and never past ctx).
+// Callers must Release exactly once per successful Acquire.
+func (b *Bulkhead) Acquire(ctx context.Context) error {
+	select {
+	case b.sem <- struct{}{}:
+		b.admitted.Add(1)
+		return nil
+	default:
+	}
+	if b.maxWait <= 0 {
+		b.rejected.Add(1)
+		return ErrSaturated
+	}
+	t := time.NewTimer(b.maxWait)
+	defer t.Stop()
+	select {
+	case b.sem <- struct{}{}:
+		b.admitted.Add(1)
+		return nil
+	case <-t.C:
+		b.rejected.Add(1)
+		return ErrSaturated
+	case <-ctx.Done():
+		b.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by Acquire.
+func (b *Bulkhead) Release() { <-b.sem }
+
+// Do runs fn inside one slot.
+func (b *Bulkhead) Do(ctx context.Context, fn func() error) error {
+	if err := b.Acquire(ctx); err != nil {
+		return err
+	}
+	defer b.Release()
+	return fn()
+}
+
+// InFlight reports the slots currently held.
+func (b *Bulkhead) InFlight() int { return len(b.sem) }
+
+// Counters renders the bulkhead's activity for obs.FromRuntimeMetrics.
+func (b *Bulkhead) Counters() map[string]float64 {
+	return map[string]float64{
+		"bulkhead.admitted":  float64(b.admitted.Load()),
+		"bulkhead.rejected":  float64(b.rejected.Load()),
+		"bulkhead.in_flight": float64(b.InFlight()),
+		"bulkhead.limit":     float64(cap(b.sem)),
+	}
+}

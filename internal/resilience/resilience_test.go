@@ -1,0 +1,305 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(clk *fakeClock, transitions *[]string) *Breaker {
+	return NewBreaker(BreakerOptions{
+		Window:           10,
+		MinSamples:       4,
+		FailureThreshold: 0.5,
+		Cooldown:         time.Minute,
+		HalfOpenProbes:   2,
+		Now:              clk.Now,
+		OnStateChange: func(from, to State) {
+			if transitions != nil {
+				*transitions = append(*transitions, fmt.Sprintf("%s->%s", from, to))
+			}
+		},
+	})
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	var trans []string
+	b := newTestBreaker(clk, &trans)
+
+	for i := 0; i < 3; i++ {
+		if err := b.Do(func() error { return errBoom }); !errors.Is(err, errBoom) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if b.State() != Closed {
+		t.Fatalf("tripped below MinSamples: %s", b.State())
+	}
+	if err := b.Do(func() error { return errBoom }); !errors.Is(err, errBoom) {
+		t.Fatal(err)
+	}
+	if b.State() != Open {
+		t.Fatalf("state after 4/4 failures = %s", b.State())
+	}
+	if err := b.Do(func() error { t.Error("called while open"); return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+	s := b.Snapshot()
+	if s.Opens != 1 || s.Rejected != 1 || s.Failures != 4 {
+		t.Fatalf("counters = %+v", s)
+	}
+	if len(trans) != 1 || trans[0] != "closed->open" {
+		t.Fatalf("transitions = %v", trans)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	var trans []string
+	b := newTestBreaker(clk, &trans)
+	for i := 0; i < 4; i++ {
+		b.Do(func() error { return errBoom })
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %s", b.State())
+	}
+
+	clk.Advance(time.Minute)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %s", b.State())
+	}
+	// Probe 1 succeeds; the breaker stays half-open until HalfOpenProbes
+	// consecutive successes.
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state after 1 probe = %s", b.State())
+	}
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after %d probes = %s", 2, b.State())
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if fmt.Sprint(trans) != fmt.Sprint(want) {
+		t.Fatalf("transitions = %v", trans)
+	}
+	// A fresh window: the pre-trip failures must not instantly re-trip.
+	b.Do(func() error { return errBoom })
+	if b.State() != Closed {
+		t.Fatal("window not reset after close")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 4; i++ {
+		b.Do(func() error { return errBoom })
+	}
+	clk.Advance(time.Minute)
+	if err := b.Do(func() error { return errBoom }); !errors.Is(err, errBoom) {
+		t.Fatal(err)
+	}
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %s", b.State())
+	}
+	// And the cooldown restarts from the failed probe.
+	clk.Advance(30 * time.Second)
+	if b.State() != Open {
+		t.Fatal("cooldown did not restart")
+	}
+}
+
+func TestBreakerSingleProbeAtATime(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 4; i++ {
+		b.Do(func() error { return errBoom })
+	}
+	clk.Advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	// While the first probe is in flight, further calls are rejected.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+	b.Record(nil)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("next probe after success: %v", err)
+	}
+}
+
+func TestBreakerIsFailureClassifier(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	domain := errors.New("unknown name")
+	b := NewBreaker(BreakerOptions{
+		Window: 4, MinSamples: 2, FailureThreshold: 0.5,
+		Now:       clk.Now,
+		IsFailure: func(err error) bool { return err != nil && !errors.Is(err, domain) },
+	})
+	for i := 0; i < 8; i++ {
+		b.Do(func() error { return domain })
+	}
+	if b.State() != Closed {
+		t.Fatalf("domain errors tripped the breaker: %s", b.State())
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerOptions{Window: 16, Cooldown: time.Millisecond, Now: time.Now})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				b.Do(func() error {
+					if (i+j)%3 == 0 {
+						return errBoom
+					}
+					return nil
+				})
+				b.State()
+				b.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	_ = clk
+	s := b.Snapshot()
+	if s.Allowed != s.Successes+s.Failures {
+		t.Fatalf("outcome accounting off: %+v", s)
+	}
+}
+
+func TestBulkheadLimitsConcurrency(t *testing.T) {
+	b := NewBulkhead(2, 0)
+	ctx := context.Background()
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third acquire = %v", err)
+	}
+	b.Release()
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	c := b.Counters()
+	if c["bulkhead.rejected"] != 1 || c["bulkhead.in_flight"] != 2 || c["bulkhead.limit"] != 2 {
+		t.Fatalf("counters = %v", c)
+	}
+}
+
+func TestBulkheadWaitsThenRejects(t *testing.T) {
+	b := NewBulkhead(1, 10*time.Millisecond)
+	ctx := context.Background()
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := b.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("acquire = %v", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("did not wait for a slot")
+	}
+	// Context cancellation preempts the wait.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := b.Acquire(cctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v", err)
+	}
+}
+
+func TestBulkheadDoConcurrent(t *testing.T) {
+	b := NewBulkhead(3, time.Second)
+	var wg sync.WaitGroup
+	var peak, cur, mu = 0, 0, sync.Mutex{}
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Do(context.Background(), func() error {
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if peak > 3 {
+		t.Fatalf("peak concurrency %d exceeded bulkhead limit", peak)
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	bgt := Budget{Timeout: 10 * time.Millisecond}
+	err := bgt.Run(context.Background(), func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Second):
+			return nil
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("budget did not bound the call: %v", err)
+	}
+	// Parent cancellation propagates through the budgeted context.
+	pctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = Budget{Timeout: time.Hour}.Run(pctx, func(ctx context.Context) error { return ctx.Err() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parent cancellation lost: %v", err)
+	}
+	// Zero budget leaves the context unbounded.
+	if err := (Budget{}).Run(context.Background(), func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			return errors.New("unexpected deadline")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package taxonomy
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -94,7 +95,7 @@ func (c *CachingResolver) lookup(key string, now func() time.Time) (cacheEntry, 
 }
 
 // Resolve implements Resolver.
-func (c *CachingResolver) Resolve(name string) (Resolution, error) {
+func (c *CachingResolver) Resolve(ctx context.Context, name string) (Resolution, error) {
 	now := c.clock()
 	key := c.key(name)
 	if e, ok := c.lookup(key, now); ok {
@@ -123,7 +124,7 @@ func (c *CachingResolver) Resolve(name string) (Resolution, error) {
 	if e, ok := c.lookup(key, now); ok {
 		f.res, f.err = e.res, e.err
 	} else {
-		f.res, f.err = c.Inner.Resolve(name)
+		f.res, f.err = c.Inner.Resolve(ctx, name)
 		// Never cache transient authority failures: the next attempt may
 		// succeed, and caching an outage would freeze it in place.
 		if f.err == nil || !errors.Is(f.err, ErrUnavailable) {
@@ -141,6 +142,24 @@ func (c *CachingResolver) Resolve(name string) (Resolution, error) {
 	c.flightMu.Unlock()
 	close(f.done)
 	return f.res, f.err
+}
+
+// Stale returns the last-known-good resolution for name, ignoring the TTL.
+// Only error-free entries qualify — a cached "unknown name" is an answer we
+// can degrade to, but it carries err != nil, so it is excluded along with
+// everything else that was not a clean resolution. Because transient
+// ErrUnavailable results are never cached, whatever Stale returns was once a
+// genuine authority answer; the resilience layer serves it, marked Degraded,
+// while the authority is unreachable.
+func (c *CachingResolver) Stale(name string) (Resolution, bool) {
+	key := c.key(name)
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if !ok || e.err != nil {
+		return Resolution{}, false
+	}
+	return e.res, true
 }
 
 // Stats reports cache hits and misses since construction. Coalesced waiters

@@ -1,6 +1,7 @@
 package taxonomy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,7 +16,7 @@ type countResolver struct {
 	fail  bool
 }
 
-func (c *countResolver) Resolve(name string) (Resolution, error) {
+func (c *countResolver) Resolve(ctx context.Context, name string) (Resolution, error) {
 	c.mu.Lock()
 	c.calls++
 	fail := c.fail
@@ -23,7 +24,7 @@ func (c *countResolver) Resolve(name string) (Resolution, error) {
 	if fail {
 		return Resolution{Query: name, Status: StatusUnknown}, fmt.Errorf("wrapped: %w", ErrUnavailable)
 	}
-	return c.inner.Resolve(name)
+	return c.inner.Resolve(ctx, name)
 }
 
 func (c *countResolver) Calls() int {
@@ -37,7 +38,7 @@ func TestCachingResolverMemoizes(t *testing.T) {
 	inner := &countResolver{inner: cl}
 	cache := NewCachingResolver(inner, 0)
 	for i := 0; i < 5; i++ {
-		res, err := cache.Resolve("Hyla faber")
+		res, err := cache.Resolve(context.Background(), "Hyla faber")
 		if err != nil || res.Status != StatusAccepted {
 			t.Fatalf("resolve %d: %+v, %v", i, res, err)
 		}
@@ -50,7 +51,7 @@ func TestCachingResolverMemoizes(t *testing.T) {
 		t.Fatalf("stats = %d hits %d misses", hits, misses)
 	}
 	// Normalized variants share an entry.
-	if _, err := cache.Resolve("  hyla   FABER "); err != nil {
+	if _, err := cache.Resolve(context.Background(), "  hyla   FABER "); err != nil {
 		t.Fatal(err)
 	}
 	if inner.Calls() != 1 {
@@ -63,7 +64,7 @@ func TestCachingResolverNegativeCaching(t *testing.T) {
 	inner := &countResolver{inner: cl}
 	cache := NewCachingResolver(inner, 0)
 	for i := 0; i < 3; i++ {
-		if _, err := cache.Resolve("Missing species"); !errors.Is(err, ErrUnknownName) {
+		if _, err := cache.Resolve(context.Background(), "Missing species"); !errors.Is(err, ErrUnknownName) {
 			t.Fatalf("unknown resolve %d: %v", i, err)
 		}
 	}
@@ -76,14 +77,14 @@ func TestCachingResolverDoesNotCacheOutages(t *testing.T) {
 	cl := demoChecklist(t)
 	inner := &countResolver{inner: cl, fail: true}
 	cache := NewCachingResolver(inner, 0)
-	if _, err := cache.Resolve("Hyla faber"); !errors.Is(err, ErrUnavailable) {
+	if _, err := cache.Resolve(context.Background(), "Hyla faber"); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("outage: %v", err)
 	}
 	// The authority recovers: the next call must reach it.
 	inner.mu.Lock()
 	inner.fail = false
 	inner.mu.Unlock()
-	res, err := cache.Resolve("Hyla faber")
+	res, err := cache.Resolve(context.Background(), "Hyla faber")
 	if err != nil || res.Status != StatusAccepted {
 		t.Fatalf("post-recovery: %+v, %v", res, err)
 	}
@@ -98,14 +99,14 @@ func TestCachingResolverTTL(t *testing.T) {
 	cache := NewCachingResolver(inner, time.Hour)
 	now := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
 	cache.Now = func() time.Time { return now }
-	cache.Resolve("Hyla faber")
-	cache.Resolve("Hyla faber")
+	cache.Resolve(context.Background(), "Hyla faber")
+	cache.Resolve(context.Background(), "Hyla faber")
 	if inner.Calls() != 1 {
 		t.Fatalf("calls = %d", inner.Calls())
 	}
 	// Advance beyond the TTL: refetch.
 	now = now.Add(2 * time.Hour)
-	cache.Resolve("Hyla faber")
+	cache.Resolve(context.Background(), "Hyla faber")
 	if inner.Calls() != 2 {
 		t.Fatalf("TTL not honored: %d calls", inner.Calls())
 	}
@@ -115,16 +116,16 @@ func TestCachingResolverInvalidateAndFlush(t *testing.T) {
 	cl := demoChecklist(t)
 	inner := &countResolver{inner: cl}
 	cache := NewCachingResolver(inner, 0)
-	cache.Resolve("Hyla faber")
-	cache.Resolve("Scinax fuscomarginatus")
+	cache.Resolve(context.Background(), "Hyla faber")
+	cache.Resolve(context.Background(), "Scinax fuscomarginatus")
 	cache.Invalidate("hyla faber")
-	cache.Resolve("Hyla faber")
+	cache.Resolve(context.Background(), "Hyla faber")
 	if inner.Calls() != 3 {
 		t.Fatalf("invalidate did not evict: %d calls", inner.Calls())
 	}
 	cache.Flush()
-	cache.Resolve("Hyla faber")
-	cache.Resolve("Scinax fuscomarginatus")
+	cache.Resolve(context.Background(), "Hyla faber")
+	cache.Resolve(context.Background(), "Scinax fuscomarginatus")
 	if inner.Calls() != 5 {
 		t.Fatalf("flush did not evict: %d calls", inner.Calls())
 	}
@@ -139,13 +140,13 @@ type blockingResolver struct {
 	fail    bool
 }
 
-func (b *blockingResolver) Resolve(name string) (Resolution, error) {
+func (b *blockingResolver) Resolve(ctx context.Context, name string) (Resolution, error) {
 	b.entered <- struct{}{}
 	<-b.release
 	if b.fail {
 		return Resolution{Query: name, Status: StatusUnknown}, fmt.Errorf("wrapped: %w", ErrUnavailable)
 	}
-	return b.inner.Resolve(name)
+	return b.inner.Resolve(ctx, name)
 }
 
 // waitCoalesced blocks until n lookups have joined an in-flight request.
@@ -170,7 +171,7 @@ func TestCachingResolverSingleflight(t *testing.T) {
 	results := make(chan error, waiters)
 	for i := 0; i < waiters; i++ {
 		go func() {
-			res, err := cache.Resolve("Hyla faber")
+			res, err := cache.Resolve(context.Background(), "Hyla faber")
 			if err == nil && res.Status != StatusAccepted {
 				err = fmt.Errorf("status %v", res.Status)
 			}
@@ -203,7 +204,7 @@ func TestCachingResolverSingleflight(t *testing.T) {
 		t.Fatalf("stats = %d hits %d misses", hits, misses)
 	}
 	// The leader populated the cache: later lookups are plain hits.
-	if _, err := cache.Resolve("Hyla faber"); err != nil {
+	if _, err := cache.Resolve(context.Background(), "Hyla faber"); err != nil {
 		t.Fatal(err)
 	}
 	if inner.Calls() != 1 {
@@ -221,7 +222,7 @@ func TestCachingResolverSingleflightSharesOutage(t *testing.T) {
 	results := make(chan error, waiters)
 	for i := 0; i < waiters; i++ {
 		go func() {
-			_, err := cache.Resolve("Hyla faber")
+			_, err := cache.Resolve(context.Background(), "Hyla faber")
 			results <- err
 		}()
 	}
@@ -242,7 +243,7 @@ func TestCachingResolverSingleflightSharesOutage(t *testing.T) {
 	}
 	// ...but the outage is not cached: a later lookup retries upstream.
 	block.fail = false
-	res, err := cache.Resolve("Hyla faber")
+	res, err := cache.Resolve(context.Background(), "Hyla faber")
 	if err != nil || res.Status != StatusAccepted {
 		t.Fatalf("post-recovery: %+v, %v", res, err)
 	}
@@ -260,8 +261,8 @@ func TestCachingResolverConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 200; j++ {
-				cache.Resolve("Hyla faber")
-				cache.Resolve("Elachistocleis ovalis")
+				cache.Resolve(context.Background(), "Hyla faber")
+				cache.Resolve(context.Background(), "Elachistocleis ovalis")
 				cache.Invalidate("Hyla faber")
 			}
 		}()

@@ -1,6 +1,7 @@
 package taxonomy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -81,6 +82,12 @@ type Resolution struct {
 	Distance int
 	// History of the matched name (for curation audit trails).
 	History []NomenclaturalEvent
+	// Degraded marks an answer served from a stale cache while the authority
+	// was unreachable (circuit open or every attempt failed). It is set by
+	// the client-side resilience layer, never by the authority, and makes
+	// degraded-mode assessments visible in provenance instead of silently
+	// passing stale data off as fresh.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Outdated reports whether the queried name should be repaired: it resolved,
@@ -90,9 +97,11 @@ func (r Resolution) Outdated() bool {
 }
 
 // Resolver answers name-resolution queries. Implementations include the
-// in-process Checklist and the HTTP Client.
+// in-process Checklist, the HTTP Client, and the caching/resilient wrappers.
+// The context carries the caller's cancellation and deadline — a cancelled
+// assessment run aborts its in-flight resolutions instead of leaking them.
 type Resolver interface {
-	Resolve(name string) (Resolution, error)
+	Resolve(ctx context.Context, name string) (Resolution, error)
 }
 
 // Checklist is the authority database: every taxon, indexed by canonical
@@ -160,9 +169,10 @@ func (c *Checklist) Names() []string {
 	return append([]string(nil), c.names...)
 }
 
-// Resolve implements Resolver with exact matching only. See ResolveFuzzy for
+// Resolve implements Resolver with exact matching only; the in-process
+// checklist never blocks, so the context goes unused. See ResolveFuzzy for
 // the approximate-matching variant used by the curation pipeline.
-func (c *Checklist) Resolve(name string) (Resolution, error) {
+func (c *Checklist) Resolve(_ context.Context, name string) (Resolution, error) {
 	canon := Normalize(name)
 	if canon == "" {
 		return Resolution{Query: name, Status: StatusUnknown}, fmt.Errorf("%w: %q is not parseable", ErrUnknownName, name)

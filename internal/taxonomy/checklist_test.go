@@ -1,6 +1,7 @@
 package taxonomy
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func demoChecklist(t *testing.T) *Checklist {
 
 func TestChecklistResolveAccepted(t *testing.T) {
 	cl := demoChecklist(t)
-	res, err := cl.Resolve("Scinax fuscomarginatus")
+	res, err := cl.Resolve(context.Background(), "Scinax fuscomarginatus")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestChecklistResolveAccepted(t *testing.T) {
 		t.Fatalf("Resolve accepted = %+v", res)
 	}
 	// Case/whitespace robustness.
-	res, err = cl.Resolve("  scinax  FUSCOMARGINATUS ")
+	res, err = cl.Resolve(context.Background(), "  scinax  FUSCOMARGINATUS ")
 	if err != nil || res.Status != StatusAccepted {
 		t.Fatalf("normalized resolve = %+v, %v", res, err)
 	}
@@ -58,7 +59,7 @@ func TestChecklistDeprecate(t *testing.T) {
 	if err := cl.Deprecate("Elachistocleis ovalis", repl, when, "Caramaschi (2010)"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Resolve("Elachistocleis ovalis")
+	res, err := cl.Resolve(context.Background(), "Elachistocleis ovalis")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestChecklistDeprecate(t *testing.T) {
 		t.Fatalf("history = %+v", res.History)
 	}
 	// The replacement itself resolves as accepted.
-	res, err = cl.Resolve("Elachistocleis cesarii")
+	res, err = cl.Resolve(context.Background(), "Elachistocleis cesarii")
 	if err != nil || res.Status != StatusAccepted {
 		t.Fatalf("replacement resolve = %+v, %v", res, err)
 	}
@@ -88,7 +89,7 @@ func TestChecklistProvisional(t *testing.T) {
 	if err := cl.MarkProvisional("Hyla faber", when, "ref"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Resolve("Hyla faber")
+	res, err := cl.Resolve(context.Background(), "Hyla faber")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,14 +100,14 @@ func TestChecklistProvisional(t *testing.T) {
 
 func TestChecklistUnknown(t *testing.T) {
 	cl := demoChecklist(t)
-	res, err := cl.Resolve("Boana albopunctata")
+	res, err := cl.Resolve(context.Background(), "Boana albopunctata")
 	if !errors.Is(err, ErrUnknownName) {
 		t.Fatalf("Resolve unknown: %v", err)
 	}
 	if res.Status != StatusUnknown {
 		t.Fatalf("status = %v", res.Status)
 	}
-	if _, err := cl.Resolve("notabinomial"); !errors.Is(err, ErrUnknownName) {
+	if _, err := cl.Resolve(context.Background(), "notabinomial"); !errors.Is(err, ErrUnknownName) {
 		t.Fatalf("unparseable: %v", err)
 	}
 }
@@ -174,7 +175,7 @@ func TestGenerateCalibration(t *testing.T) {
 	// Every outdated name must actually resolve as outdated; every other
 	// historical name as accepted.
 	for _, n := range gen.HistoricalNames {
-		res, err := gen.Checklist.Resolve(n)
+		res, err := gen.Checklist.Resolve(context.Background(), n)
 		if err != nil {
 			t.Fatalf("Resolve(%q): %v", n, err)
 		}

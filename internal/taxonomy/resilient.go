@@ -1,0 +1,165 @@
+package taxonomy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// ResilienceOptions tunes a ResilientResolver. The zero value gets defaults
+// suitable for an authority that answers in tens of milliseconds.
+type ResilienceOptions struct {
+	// TTL for the embedded cache (0 = cache forever).
+	TTL time.Duration
+	// CallTimeout bounds each upstream call (default 2s). This is the budget
+	// that keeps one hung authority request from consuming a whole run's
+	// deadline.
+	CallTimeout time.Duration
+	// MaxConcurrent bounds in-flight upstream calls (default 8).
+	MaxConcurrent int
+	// MaxWait is how long a call may wait for a bulkhead slot (default
+	// CallTimeout; 0 after defaulting means reject immediately).
+	MaxWait time.Duration
+	// Breaker tunes the circuit breaker. IsFailure is always overridden:
+	// only availability failures (ErrUnavailable, timeouts) count, a
+	// cleanly-answered unknown name does not.
+	Breaker resilience.BreakerOptions
+}
+
+func (o *ResilienceOptions) defaults() {
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 2 * time.Second
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 8
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = o.CallTimeout
+	}
+}
+
+// ResilientResolver wraps a Resolver (typically the HTTP Client) in the full
+// fault-tolerance stack, outermost first:
+//
+//	cache  → singleflight CachingResolver; hits never touch the guards
+//	guards → bulkhead (bounded concurrency) → circuit breaker → call budget
+//	fallback → when the guarded call reports the authority unreachable, the
+//	           last-known-good cache entry is served with Degraded set
+//
+// Degraded answers are real past answers, visibly marked, so an assessment
+// completed during an outage records lower Q(availability) instead of either
+// failing hard or silently passing stale data off as fresh. Only when no
+// stale entry exists does the caller see ErrUnavailable.
+type ResilientResolver struct {
+	cache   *CachingResolver
+	guarded *guardedResolver
+
+	degraded atomic.Int64 // answers served stale during an outage
+	hardMiss atomic.Int64 // outages with no stale entry to fall back on
+}
+
+// guardedResolver is the cache's Inner: every cache miss pays the
+// bulkhead/breaker/budget toll before reaching the real resolver.
+type guardedResolver struct {
+	inner    Resolver
+	breaker  *resilience.Breaker
+	bulkhead *resilience.Bulkhead
+	budget   resilience.Budget
+}
+
+func (g *guardedResolver) Resolve(ctx context.Context, name string) (res Resolution, err error) {
+	err = g.bulkhead.Do(ctx, func() error {
+		return g.breaker.Do(func() error {
+			return g.budget.Run(ctx, func(ctx context.Context) error {
+				var rerr error
+				res, rerr = g.inner.Resolve(ctx, name)
+				return rerr
+			})
+		})
+	})
+	if err != nil && (errors.Is(err, resilience.ErrOpen) || errors.Is(err, resilience.ErrSaturated)) {
+		// Guard rejections are availability failures to callers — and
+		// wrapping them in ErrUnavailable keeps them out of the cache.
+		err = fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return res, err
+}
+
+// isAvailabilityFailure classifies errors for both the breaker and the
+// stale-fallback decision: outages and timeouts are failures, a resolved
+// "unknown name" is an answer.
+func isAvailabilityFailure(err error) bool {
+	if err == nil || errors.Is(err, ErrUnknownName) {
+		return false
+	}
+	return errors.Is(err, ErrUnavailable) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, resilience.ErrOpen) ||
+		errors.Is(err, resilience.ErrSaturated)
+}
+
+// NewResilientResolver wraps inner in the cache + guard stack.
+func NewResilientResolver(inner Resolver, opts ResilienceOptions) *ResilientResolver {
+	opts.defaults()
+	opts.Breaker.IsFailure = isAvailabilityFailure
+	g := &guardedResolver{
+		inner:    inner,
+		breaker:  resilience.NewBreaker(opts.Breaker),
+		bulkhead: resilience.NewBulkhead(opts.MaxConcurrent, opts.MaxWait),
+		budget:   resilience.Budget{Timeout: opts.CallTimeout},
+	}
+	return &ResilientResolver{
+		cache:   NewCachingResolver(g, opts.TTL),
+		guarded: g,
+	}
+}
+
+// Resolve implements Resolver: cached answer, fresh guarded answer, or
+// last-known-good answer marked Degraded — in that order. ErrUnavailable
+// escapes only when the authority is unreachable AND the name has never been
+// resolved before.
+func (r *ResilientResolver) Resolve(ctx context.Context, name string) (Resolution, error) {
+	res, err := r.cache.Resolve(ctx, name)
+	if err == nil || !isAvailabilityFailure(err) {
+		return res, err
+	}
+	if stale, ok := r.cache.Stale(name); ok {
+		stale.Degraded = true
+		r.degraded.Add(1)
+		return stale, nil
+	}
+	r.hardMiss.Add(1)
+	return res, err
+}
+
+// Cache exposes the embedded cache (for Invalidate/Flush on taxonomy
+// evolution).
+func (r *ResilientResolver) Cache() *CachingResolver { return r.cache }
+
+// BreakerState reports the circuit breaker's current state.
+func (r *ResilientResolver) BreakerState() resilience.State {
+	return r.guarded.breaker.State()
+}
+
+// Degraded reports how many answers were served stale during outages.
+func (r *ResilientResolver) Degraded() int64 { return r.degraded.Load() }
+
+// Counters merges breaker, bulkhead, cache and fallback activity into one
+// reading for obs.FromRuntimeMetrics.
+func (r *ResilientResolver) Counters() map[string]float64 {
+	m := r.guarded.breaker.Snapshot().Counters()
+	for k, v := range r.guarded.bulkhead.Counters() {
+		m[k] = v
+	}
+	hits, misses := r.cache.Stats()
+	m["cache.hits"] = float64(hits)
+	m["cache.misses"] = float64(misses)
+	m["cache.coalesced"] = float64(r.cache.Coalesced())
+	m["fallback.degraded"] = float64(r.degraded.Load())
+	m["fallback.hard_miss"] = float64(r.hardMiss.Load())
+	return m
+}

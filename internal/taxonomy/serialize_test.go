@@ -2,6 +2,7 @@ package taxonomy
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -26,8 +27,8 @@ func TestChecklistJSONRoundTrip(t *testing.T) {
 	}
 	// Every historical name resolves identically in both checklists.
 	for _, name := range gen.HistoricalNames {
-		a, errA := gen.Checklist.Resolve(name)
-		b, errB := got.Resolve(name)
+		a, errA := gen.Checklist.Resolve(context.Background(), name)
+		b, errB := got.Resolve(context.Background(), name)
 		if (errA == nil) != (errB == nil) {
 			t.Fatalf("name %q: error mismatch %v vs %v", name, errA, errB)
 		}
@@ -91,7 +92,7 @@ func TestChecklistJSONPreservesHistoryDates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := got.Resolve("Elachistocleis ovalis")
+	res, err := got.Resolve(context.Background(), "Elachistocleis ovalis")
 	if err != nil {
 		t.Fatal(err)
 	}

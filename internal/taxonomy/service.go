@@ -2,6 +2,7 @@ package taxonomy
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,6 +52,23 @@ func WithLatency(d time.Duration) ServiceOption {
 // WithFuzzy enables server-side fuzzy matching within maxDist edits.
 func WithFuzzy(maxDist int) ServiceOption {
 	return func(s *Service) { s.maxDist = maxDist }
+}
+
+// SetAvailability changes the probability a request succeeds at runtime —
+// the chaos harness degrades a live authority mid-run instead of restarting
+// it. The fault injector's RNG (and hence its deterministic draw sequence)
+// is left untouched.
+func (s *Service) SetAvailability(p float64) {
+	s.mu.Lock()
+	s.availability = p
+	s.mu.Unlock()
+}
+
+// SetLatency changes the per-request artificial latency at runtime.
+func (s *Service) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latency = d
+	s.mu.Unlock()
 }
 
 // NewService wraps a checklist in an HTTP authority.
@@ -175,9 +193,10 @@ func (s *Service) handleResolve(w http.ResponseWriter, r *http.Request) {
 	if drop {
 		s.refused++
 	}
+	latency := s.latency
 	s.mu.Unlock()
-	if s.latency > 0 {
-		time.Sleep(s.latency)
+	if latency > 0 {
+		time.Sleep(latency)
 	}
 	if drop {
 		http.Error(w, "authority temporarily unavailable", http.StatusServiceUnavailable)
@@ -193,7 +212,7 @@ func (s *Service) handleResolve(w http.ResponseWriter, r *http.Request) {
 	if s.maxDist > 0 {
 		res, err = s.checklist.ResolveFuzzy(name, s.maxDist)
 	} else {
-		res, err = s.checklist.Resolve(name)
+		res, err = s.checklist.Resolve(r.Context(), name)
 	}
 	if err != nil {
 		if errors.Is(err, ErrUnknownName) {
@@ -235,9 +254,10 @@ func (s *Service) handleResolveBatch(w http.ResponseWriter, r *http.Request) {
 	if drop {
 		s.refused++
 	}
+	latency := s.latency
 	s.mu.Unlock()
-	if s.latency > 0 {
-		time.Sleep(s.latency)
+	if latency > 0 {
+		time.Sleep(latency)
 	}
 	if drop {
 		http.Error(w, "authority temporarily unavailable", http.StatusServiceUnavailable)
@@ -259,7 +279,7 @@ func (s *Service) handleResolveBatch(w http.ResponseWriter, r *http.Request) {
 		if s.maxDist > 0 {
 			res, err = s.checklist.ResolveFuzzy(name, s.maxDist)
 		} else {
-			res, err = s.checklist.Resolve(name)
+			res, err = s.checklist.Resolve(r.Context(), name)
 		}
 		if err != nil {
 			// Unknown names are data in a batch, flagged by status.
@@ -318,17 +338,37 @@ func (c *Client) Attempts() int64 {
 // ErrUnavailable is returned when the authority refused every attempt.
 var ErrUnavailable = errors.New("taxonomy: authority unavailable")
 
-// Resolve implements Resolver over HTTP.
-func (c *Client) Resolve(name string) (Resolution, error) {
+// backoff sleeps the retry delay for attempt, or returns false if ctx died
+// first — a cancelled run must not spend its remaining deadline sleeping.
+func (c *Client) backoff(ctx context.Context, attempt int) bool {
+	if attempt == 0 || c.Backoff <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(c.Backoff * time.Duration(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Resolve implements Resolver over HTTP. Cancellation and deadlines on ctx
+// abort in-flight requests and cut the retry loop short; exhaustion either
+// way is reported as ErrUnavailable so callers have one failure mode to
+// classify.
+func (c *Client) Resolve(ctx context.Context, name string) (Resolution, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
-		if attempt > 0 && c.Backoff > 0 {
-			time.Sleep(c.Backoff * time.Duration(attempt))
+		if !c.backoff(ctx, attempt) {
+			lastErr = ctx.Err()
+			break
 		}
 		c.mu.Lock()
 		c.attempts++
 		c.mu.Unlock()
-		res, retryable, err := c.once(name)
+		res, retryable, err := c.once(ctx, name)
 		if err == nil || !retryable {
 			return res, err
 		}
@@ -343,16 +383,17 @@ func (c *Client) Resolve(name string) (Resolution, error) {
 // BatchResolve resolves many names in one request (with the same retry
 // policy as Resolve). Results align with names; unknown names come back with
 // StatusUnknown rather than an error.
-func (c *Client) BatchResolve(names []string) ([]Resolution, error) {
+func (c *Client) BatchResolve(ctx context.Context, names []string) ([]Resolution, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
-		if attempt > 0 && c.Backoff > 0 {
-			time.Sleep(c.Backoff * time.Duration(attempt))
+		if !c.backoff(ctx, attempt) {
+			lastErr = ctx.Err()
+			break
 		}
 		c.mu.Lock()
 		c.attempts++
 		c.mu.Unlock()
-		out, retryable, err := c.batchOnce(names)
+		out, retryable, err := c.batchOnce(ctx, names)
 		if err == nil || !retryable {
 			return out, err
 		}
@@ -364,12 +405,17 @@ func (c *Client) BatchResolve(names []string) ([]Resolution, error) {
 	return nil, fmt.Errorf("%w after %d attempts: %v", ErrUnavailable, c.Retries+1, lastErr)
 }
 
-func (c *Client) batchOnce(names []string) ([]Resolution, bool, error) {
+func (c *Client) batchOnce(ctx context.Context, names []string) ([]Resolution, bool, error) {
 	body, err := json.Marshal(batchRequest{Names: names})
 	if err != nil {
 		return nil, false, err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/resolve_batch", "application/json", bytesReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/resolve_batch", bytesReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, true, err
 	}
@@ -395,9 +441,13 @@ func (c *Client) batchOnce(names []string) ([]Resolution, bool, error) {
 	}
 }
 
-func (c *Client) once(name string) (Resolution, bool, error) {
+func (c *Client) once(ctx context.Context, name string) (Resolution, bool, error) {
 	u := c.BaseURL + "/resolve?name=" + url.QueryEscape(name)
-	resp, err := c.HTTP.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Resolution{}, false, err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return Resolution{}, true, err
 	}

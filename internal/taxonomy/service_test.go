@@ -1,6 +1,7 @@
 package taxonomy
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -20,7 +21,7 @@ func TestServiceResolveHTTP(t *testing.T) {
 	defer srv.Close()
 	client := NewClient(srv.URL)
 
-	res, err := client.Resolve("Elachistocleis ovalis")
+	res, err := client.Resolve(context.Background(), "Elachistocleis ovalis")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestServiceResolveHTTP(t *testing.T) {
 		t.Fatalf("history date = %v, want %v", res.History[0].Date, when)
 	}
 
-	res, err = client.Resolve("Scinax fuscomarginatus")
+	res, err = client.Resolve(context.Background(), "Scinax fuscomarginatus")
 	if err != nil || res.Status != StatusAccepted {
 		t.Fatalf("accepted over wire = %+v, %v", res, err)
 	}
@@ -42,7 +43,7 @@ func TestServiceResolveHTTP(t *testing.T) {
 		t.Fatalf("classification lost: %+v", res.Classification)
 	}
 
-	if _, err := client.Resolve("Missing species"); !errors.Is(err, ErrUnknownName) {
+	if _, err := client.Resolve(context.Background(), "Missing species"); !errors.Is(err, ErrUnknownName) {
 		t.Fatalf("unknown over wire: %v", err)
 	}
 	if client.ObservedAvailability() != 1.0 {
@@ -55,7 +56,7 @@ func TestServiceFuzzyHTTP(t *testing.T) {
 	srv := httptest.NewServer(NewService(cl, WithFuzzy(2)))
 	defer srv.Close()
 	client := NewClient(srv.URL)
-	res, err := client.Resolve("Scinax fuscomarginatis")
+	res, err := client.Resolve(context.Background(), "Scinax fuscomarginatis")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestServiceAvailabilityInjection(t *testing.T) {
 
 	succ := 0
 	for i := 0; i < 200; i++ {
-		if _, err := client.Resolve("Hyla faber"); err == nil {
+		if _, err := client.Resolve(context.Background(), "Hyla faber"); err == nil {
 			succ++
 		}
 	}
@@ -101,7 +102,7 @@ func TestServiceTotalOutage(t *testing.T) {
 	client := NewClient(srv.URL)
 	client.Retries = 2
 	client.Backoff = 0
-	_, err := client.Resolve("Hyla faber")
+	_, err := client.Resolve(context.Background(), "Hyla faber")
 	if !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("outage error = %v, want ErrUnavailable", err)
 	}
@@ -149,7 +150,7 @@ func TestBatchResolve(t *testing.T) {
 	client := NewClient(srv.URL)
 
 	names := []string{"Elachistocleis ovalis", "Hyla faber", "Unknown species"}
-	results, err := client.BatchResolve(names)
+	results, err := client.BatchResolve(context.Background(), names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestBatchResolveRetriesOnOutage(t *testing.T) {
 	client.Retries = 10
 	client.Backoff = 0
 	for i := 0; i < 20; i++ {
-		if _, err := client.BatchResolve([]string{"Hyla faber"}); err != nil {
+		if _, err := client.BatchResolve(context.Background(), []string{"Hyla faber"}); err != nil {
 			t.Fatalf("batch %d failed despite retries: %v", i, err)
 		}
 	}
@@ -185,7 +186,7 @@ func TestBatchResolveRetriesOnOutage(t *testing.T) {
 	client2 := NewClient(srv2.URL)
 	client2.Retries = 1
 	client2.Backoff = 0
-	if _, err := client2.BatchResolve([]string{"Hyla faber"}); !errors.Is(err, ErrUnavailable) {
+	if _, err := client2.BatchResolve(context.Background(), []string{"Hyla faber"}); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("outage: %v", err)
 	}
 }

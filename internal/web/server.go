@@ -46,6 +46,9 @@ type System struct {
 	// Preservation enables the /archive fixity views and the scrubber rows
 	// of /metrics; may be nil when no archival store is configured.
 	Preservation *core.PreservationManager
+	// Resilient, when the Resolver is a taxonomy.ResilientResolver, exposes
+	// its breaker/bulkhead/fallback counters on /metrics; may be nil.
+	Resilient *taxonomy.ResilientResolver
 
 	mu          sync.Mutex
 	lastOutcome *core.DetectionOutcome
@@ -187,13 +190,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 <tr><th>species names detected as outdated</th><td class=num>%d (%.0f%%)</td></tr>
 <tr><th>names unknown to the authority</th><td class=num>%d</td></tr>
 <tr><th>authority unavailable for</th><td class=num>%d</td></tr>
+<tr><th>answered from stale cache (degraded)</th><td class=num>%d</td></tr>
 <tr><th>per-record updates flagged for biologists</th><td class="num flag">%d</td></tr>
 </table>
 <h2>updated species names</h2>
 <table><tr><th>outdated name</th><th>current name</th></tr>`,
 		outcome.DistinctNames, outcome.RecordsProcessed, outcome.Outdated,
 		100*outcome.OutdatedFraction(), outcome.Unknown, outcome.Unavailable,
-		outcome.UpdatesCreated)
+		outcome.Degraded, outcome.UpdatesCreated)
 	names := make([]string, 0, len(outcome.Renames))
 	for n := range outcome.Renames {
 		names = append(names, n)
@@ -575,6 +579,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// Idle until a detection run replaces it below: each run executes on
 		// its own engine and reports that engine's snapshot in the outcome.
 		"engine": s.System.Core.Engine.Metrics().Counters(),
+		// Crash-recovery activity: runs resumed, runs abandoned, sweeps.
+		"recovery": core.RecoveryCounters(),
 	}
 	s.System.mu.Lock()
 	if o := s.System.lastOutcome; o != nil {
@@ -584,6 +590,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.System.mu.Unlock()
 	if pm := s.System.Preservation; pm != nil {
 		subsystems["archive-scrubber"] = pm.Scrubber.Counters()
+	}
+	if rr := s.System.Resilient; rr != nil {
+		subsystems["resolution-resilience"] = rr.Counters()
 	}
 	type jsonObs struct {
 		ID           string             `json:"id"`

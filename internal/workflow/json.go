@@ -1,0 +1,39 @@
+package workflow
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// MarshalJSON encodes a Data unambiguously: scalars as JSON strings, lists as
+// JSON arrays (recursively). This is the wire format checkpoints use to
+// persist processor outputs, so it must round-trip exactly through
+// UnmarshalJSON.
+func (d Data) MarshalJSON() ([]byte, error) {
+	if !d.isList {
+		return json.Marshal(d.scalar)
+	}
+	if d.list == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(d.list)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form: a JSON string becomes a scalar,
+// a JSON array becomes a list.
+func (d *Data) UnmarshalJSON(b []byte) error {
+	if t := bytes.TrimLeft(b, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+		items := []Data{}
+		if err := json.Unmarshal(b, &items); err != nil {
+			return err
+		}
+		*d = Data{list: items, isList: true}
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	*d = Data{scalar: s}
+	return nil
+}

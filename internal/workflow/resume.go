@@ -1,0 +1,31 @@
+package workflow
+
+import "context"
+
+// Checkpoint records the durable completion of one processor: the outputs it
+// produced and how many service invocations produced them. The provenance
+// layer streams one checkpoint per completed processor into the run's delta
+// stream; after a crash, the checkpoints recovered from the crash-consistent
+// prefix tell Resume which processors can be replayed instead of re-executed.
+type Checkpoint struct {
+	Processor  string
+	Iterations int
+	Outputs    map[string]Data
+}
+
+// Resume re-executes def under an existing run identity, skipping the
+// processors named in completed: their recorded outputs are delivered to
+// downstream ports exactly as if they had just finished, but no service is
+// invoked and no processor events are emitted for them. Only the remainder
+// of the dataflow runs. Listeners observe a fresh workflow-started event
+// (carrying the original runID) followed by events for the re-executed
+// processors, so a provenance collector preloaded with the crash-consistent
+// prefix converges on the same graph an uninterrupted run produces.
+//
+// The checkpoints must form a causally closed set — every upstream of a
+// checkpointed processor checkpointed too. Checkpoints streamed in delta
+// order guarantee this: a processor's checkpoint is always persisted after
+// its upstreams' (the engine only starts a processor once its inputs exist).
+func (e *Engine) Resume(ctx context.Context, def *Definition, inputs map[string]Data, runID string, completed []Checkpoint, listeners ...Listener) (*RunResult, error) {
+	return e.run(ctx, def, inputs, runID, completed, listeners)
+}

@@ -1,0 +1,116 @@
+package workflow
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestDataJSONRoundTrip(t *testing.T) {
+	cases := []Data{
+		Scalar(""),
+		Scalar("Vanellus chilensis"),
+		List(),
+		List(Scalar("a"), Scalar("b")),
+		List(List(Scalar("x")), List(), Scalar("y")),
+	}
+	for _, in := range cases {
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", in, err)
+		}
+		var out Data
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if out.String() != in.String() || out.IsList() != in.IsList() || out.Depth() != in.Depth() {
+			t.Fatalf("round trip %v -> %s -> %v", in, b, out)
+		}
+	}
+	var m map[string]Data
+	if err := json.Unmarshal([]byte(`{"y": ["a", ["b"]]}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["y"].String() != "[a, [b]]" {
+		t.Fatalf("map decode: %v", m["y"])
+	}
+}
+
+func TestEngineResumeReplaysCheckpoints(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	reg := upperReg()
+	// If the replayed processor is ever invoked, fail loudly.
+	reg.Register("upper", func(_ context.Context, c Call) (map[string]Data, error) {
+		t.Error("checkpointed processor A was re-invoked")
+		return map[string]Data{"y": Scalar("WRONG")}, nil
+	})
+	eng := NewEngine(reg)
+
+	var events []EventType
+	listener := ListenerFunc(func(ev Event) { events = append(events, ev.Type) })
+	cp := []Checkpoint{{Processor: "A", Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO")}}}
+	res, err := eng.Resume(context.Background(), d, map[string]Data{"in": Scalar("hello")}, "run-resumed", cp, listener)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunID != "run-resumed" {
+		t.Fatalf("run ID not reused: %q", res.RunID)
+	}
+	if got := res.Outputs["out"].String(); got != "HELLO!" {
+		t.Fatalf("out = %q", got)
+	}
+	if res.Invocations["A"] != 0 || res.Invocations["B"] != 1 {
+		t.Fatalf("invocations = %v", res.Invocations)
+	}
+	if !reflect.DeepEqual(res.Replayed, []string{"A"}) {
+		t.Fatalf("replayed = %v", res.Replayed)
+	}
+	for _, ev := range events {
+		if ev == EventProcessorStarted || ev == EventProcessorCompleted {
+			// Only B may appear; A is replayed silently.
+		}
+	}
+	want := []EventType{EventWorkflowStarted, EventProcessorStarted, EventProcessorCompleted, EventWorkflowCompleted}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestEngineResumeAllCheckpointed(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	eng := NewEngine(upperReg())
+	cps := []Checkpoint{
+		{Processor: "A", Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO")}},
+		{Processor: "B", Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO!")}},
+	}
+	res, err := eng.Resume(context.Background(), d, map[string]Data{"in": Scalar("hello")}, "run-full", cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs["out"].String(); got != "HELLO!" {
+		t.Fatalf("out = %q", got)
+	}
+	if len(res.Invocations) != 0 {
+		t.Fatalf("no services should run, got %v", res.Invocations)
+	}
+}
+
+func TestEngineResumeRejectsBadCheckpoints(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	eng := NewEngine(upperReg())
+	in := map[string]Data{"in": Scalar("x")}
+	if _, err := eng.Resume(context.Background(), d, in, "r", []Checkpoint{{Processor: "nope"}}); err == nil {
+		t.Fatal("unknown processor accepted")
+	}
+	bad := []Checkpoint{{Processor: "A", Outputs: map[string]Data{}}}
+	if _, err := eng.Resume(context.Background(), d, in, "r", bad); err == nil {
+		t.Fatal("checkpoint missing a linked output accepted")
+	}
+}
