@@ -18,10 +18,12 @@ race:
 
 ## ci: the full hygiene gate — formatting, vet, the race-enabled tests, a
 ## short fuzz smoke over the archival WAV decoder (arbitrary bytes must
-## never panic the archive read path), and the chaos smoke (randomized
+## never panic the archive read path), the chaos smoke (randomized
 ## kill/resume trials plus degraded-authority assessment runs; the harness
 ## exits non-zero if a killed run fails to resume byte-identically or any
-## run hard-fails under 50% authority availability).
+## run hard-fails under 50% authority availability), the /api/v1 contract
+## smoke, and the tracing-overhead guard (traced detection within 5% of
+## untraced).
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -31,6 +33,8 @@ ci:
 	$(MAKE) race
 	$(GO) test ./internal/audio/ -run='^$$' -fuzz=FuzzReadWAV -fuzztime=10s
 	$(GO) run ./cmd/experiments -run chaos -short
+	$(GO) test ./internal/web/ -run 'TestAPI'
+	$(GO) test -run TestTracingOverhead .
 
 ## verify: the gate for engine/concurrency/persistence changes — the ci
 ## hygiene pass (gofmt, vet, race suite) plus the full test suite.

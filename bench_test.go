@@ -27,6 +27,7 @@ import (
 	"repro/internal/quality"
 	"repro/internal/storage"
 	"repro/internal/taxonomy"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -49,7 +50,7 @@ var (
 	world     *benchWorld
 )
 
-func getWorld(b *testing.B) *benchWorld {
+func getWorld(b testing.TB) *benchWorld {
 	b.Helper()
 	worldOnce.Do(func() {
 		taxa, err := taxonomy.Generate(taxonomy.GeneratorSpec{
@@ -557,6 +558,23 @@ func BenchmarkDetectionParallel(b *testing.B) {
 			b.ReportMetric(float64(len(names))*float64(b.N)/b.Elapsed().Seconds(), "names/s")
 		})
 	}
+
+	// The tracing-on variant: same workload with a span tracer in context,
+	// recording one span per element plus workflow/processor spans. Compare
+	// names/s against workers=4 for the observability layer's hot-path cost
+	// (TestTracingOverhead guards the 5% budget in ci).
+	b.Run("workers=4-traced", func(b *testing.B) {
+		eng := workflow.NewEngine(reg)
+		eng.Parallel = 4
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := telemetry.WithTracer(context.Background(), telemetry.NewTracer(0))
+			if _, err := eng.Run(ctx, def, in); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(names))*float64(b.N)/b.Elapsed().Seconds(), "names/s")
+	})
 }
 
 type slowResolver struct {

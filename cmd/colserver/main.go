@@ -17,6 +17,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on -pprof
 	"os"
 
 	"repro/internal/taxonomy"
@@ -33,6 +34,7 @@ func main() {
 		seed         = flag.Int64("seed", 2014, "checklist PRNG seed")
 		load         = flag.String("load", "", "load the checklist from a JSON dump instead of generating")
 		dump         = flag.String("dump", "", "write the generated checklist to a JSON dump and exit")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -82,6 +84,12 @@ func main() {
 	}
 	if *fuzzy > 0 {
 		opts = append(opts, taxonomy.WithFuzzy(*fuzzy))
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 	svc := taxonomy.NewService(checklist, opts...)
 	log.Printf("catalogue of life simulator: %d name records (%d non-accepted), availability %.2f, listening on %s",

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on -pprof
 	"time"
 
 	"repro/internal/core"
@@ -33,6 +34,7 @@ func main() {
 		species   = flag.Int("species", 1929, "distinct species names")
 		authority = flag.String("authority", "", "URL of a colserver (empty = in-process checklist)")
 		seed      = flag.Int64("seed", 2014, "PRNG seed")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -95,6 +97,15 @@ func main() {
 		for id, reason := range sweep.Abandoned {
 			log.Printf("  abandoned %s: %s", id, reason)
 		}
+	}
+
+	// Profiling lives on its own listener so the public mux never exposes
+	// it; the flag keeps it off entirely by default.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	srv := web.NewServer(&web.System{Core: sys, Resolver: resolver, Checklist: taxa.Checklist, Resilient: resilient})

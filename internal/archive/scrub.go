@@ -2,11 +2,13 @@ package archive
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // ScrubReport is the outcome of one full scrub pass over the volumes.
@@ -72,6 +74,8 @@ type Scrubber struct {
 	unrecoverable atomic.Int64
 	bytesScanned  atomic.Int64
 	lastPassUS    atomic.Int64
+
+	passHist telemetry.Histogram // whole-pass latency distribution
 }
 
 // ScrubOnce runs one full pass: classify every replica of every object,
@@ -79,9 +83,12 @@ type Scrubber struct {
 func (s *Scrubber) ScrubOnce(ctx context.Context) (ScrubReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ctx, sp := telemetry.StartSpan(ctx, "scrub-pass", "archive-scrubber")
+	defer sp.Finish()
 	rep := ScrubReport{StartedAt: time.Now()}
 	ids, err := s.Store.List()
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return rep, err
 	}
 	var interval time.Duration
@@ -116,6 +123,13 @@ func (s *Scrubber) ScrubOnce(ctx context.Context) (ScrubReport, error) {
 	s.unrecoverable.Add(int64(rep.Unrecoverable))
 	s.bytesScanned.Add(rep.BytesScanned)
 	s.lastPassUS.Store(rep.FinishedAt.Sub(rep.StartedAt).Microseconds())
+	s.passHist.Observe(rep.FinishedAt.Sub(rep.StartedAt))
+	if sp != nil {
+		sp.SetAttr("objects", strconv.Itoa(rep.Objects))
+		sp.SetAttr("replicas_checked", strconv.Itoa(rep.ReplicasChecked))
+		sp.SetAttr("repaired", strconv.Itoa(rep.Repaired))
+		sp.SetAttr("unrecoverable", strconv.Itoa(rep.Unrecoverable))
+	}
 
 	if s.Auditor != nil && !rep.Clean() {
 		if err := s.Auditor.RecordAudit(rep); err != nil {
@@ -201,7 +215,7 @@ func (s *Scrubber) Run(ctx context.Context) error {
 // obs.FromRuntimeMetrics, mirroring the engine and provenance-writer
 // counters.
 func (s *Scrubber) Counters() map[string]float64 {
-	return map[string]float64{
+	c := map[string]float64{
 		"archive.scrub.passes":           float64(s.passes.Load()),
 		"archive.scrub.objects":          float64(s.objects.Load()),
 		"archive.scrub.replicas_checked": float64(s.replicas.Load()),
@@ -212,6 +226,7 @@ func (s *Scrubber) Counters() map[string]float64 {
 		"archive.scrub.bytes_scanned":    float64(s.bytesScanned.Load()),
 		"archive.scrub.last_pass_us":     float64(s.lastPassUS.Load()),
 	}
+	return telemetry.MergeCounters(c, s.passHist.Snapshot().Counters("archive.scrub.pass"))
 }
 
 // Observation snapshots the counters as a runtime self-monitoring

@@ -11,6 +11,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/quality"
 	"repro/internal/taxonomy"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -81,6 +82,10 @@ type RunOptions struct {
 	// RunDetection returns a *CrashError carrying the run ID. Chaos-testing
 	// hook; zero in production.
 	CrashAfterDeltas int
+	// Untraced disables span collection for this run (the tracing-overhead
+	// baseline). Latency histograms still record; only the span tree is
+	// skipped. A tracer already present on the context is honored regardless.
+	Untraced bool
 }
 
 func (o *RunOptions) defaults() {
@@ -116,6 +121,20 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 	opts.defaults()
 	start := time.Now()
 
+	// Trace context: reuse a tracer minted upstream (API boundary), else mint
+	// one here — this is the trace root for CLI and experiment runs. The run
+	// ID does not exist yet, so spans are stamped with it after the run.
+	tracer := telemetry.TracerFrom(ctx)
+	if tracer == nil && !opts.Untraced {
+		tracer = telemetry.NewTracer(0)
+		ctx = telemetry.WithTracer(ctx, tracer)
+	}
+	mark := 0
+	if tracer != nil {
+		mark = tracer.Len()
+	}
+	ctx, rootSpan := telemetry.StartSpan(ctx, "run-detection", "core")
+
 	// Step 1: instrument the specification.
 	def, err := AnnotatedDetectionWorkflow(opts.Reputation, opts.Availability, opts.Author, start)
 	if err != nil {
@@ -148,7 +167,7 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 	// group-committed batches), so completed runs are already persisted when
 	// the engine returns and failed runs keep their partial provenance,
 	// finalized as failed.
-	writer := s.Provenance.NewBatchWriter(provenance.BatchWriterOptions{})
+	writer := s.Provenance.NewBatchWriter(provenance.BatchWriterOptions{Trace: ctx})
 	runCtx := ctx
 	var crash *provenance.CrashSink
 	if opts.CrashAfterDeltas > 0 {
@@ -164,20 +183,36 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 	engine.Parallel = opts.Parallel
 	result, runErr := engine.Run(runCtx, def, map[string]workflow.Data{"names": workflow.List(items...)}, collector)
 	werr := writer.Close()
+	runID := collector.Info().RunID
+	rootSpan.SetAttr("run_id", runID)
 	if crash != nil && crash.Crashed() {
 		// Even if the engine outran the cancellation and completed, the
 		// finish delta was dropped: the run row still reads running, exactly
 		// like a process death. Report the kill so the caller can resume.
-		return nil, &CrashError{RunID: collector.Info().RunID, Deltas: crash.Forwarded()}
+		// Spans are deliberately NOT persisted — a real process death loses
+		// its in-memory trace; the resume session records the run's tree.
+		return nil, &CrashError{RunID: runID, Deltas: crash.Forwarded()}
 	}
 	if runErr != nil {
+		rootSpan.SetAttr("error", runErr.Error())
+		rootSpan.Finish()
+		if tracer != nil {
+			_ = s.saveTrace(runID, tracer.Since(mark))
+		}
 		return nil, runErr
 	}
 	if werr != nil {
 		return nil, fmt.Errorf("core: streaming provenance: %w", werr)
 	}
 
-	return s.finishDetection(result, version, start, opts, engine.Metrics(), writer.Metrics())
+	outcome, err := s.finishDetection(result, version, start, opts, engine.Metrics(), writer.Metrics())
+	rootSpan.Finish()
+	if err == nil && tracer != nil {
+		if terr := s.saveTrace(runID, tracer.Since(mark)); terr != nil {
+			return nil, fmt.Errorf("core: persisting trace: %w", terr)
+		}
+	}
+	return outcome, err
 }
 
 // finishDetection turns a completed detection run into a DetectionOutcome:

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/provenance"
 	"repro/internal/taxonomy"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -61,6 +62,22 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 	opts.defaults()
 	start := time.Now()
 
+	// The resume session records the run's span tree under the original run
+	// ID: the crashed process took its in-memory spans with it, so this
+	// session's trace IS the run's persisted trace (appended after any spans
+	// an earlier session already stored).
+	tracer := telemetry.TracerFrom(ctx)
+	if tracer == nil && !opts.Untraced {
+		tracer = telemetry.NewTracer(0)
+		ctx = telemetry.WithTracer(ctx, tracer)
+	}
+	mark := 0
+	if tracer != nil {
+		mark = tracer.Len()
+	}
+	ctx, rootSpan := telemetry.StartSpan(ctx, "resume-detection", "core")
+	rootSpan.SetAttr("run_id", runID)
+
 	info, err := s.Provenance.Run(runID)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotResumable, err)
@@ -110,7 +127,7 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 		return nil, err
 	}
 	collector := provenance.NewResumeCollector(opts.Agent, prefix, info)
-	writer, err := s.Provenance.NewResumeWriter(runID, provenance.BatchWriterOptions{})
+	writer, err := s.Provenance.NewResumeWriter(runID, provenance.BatchWriterOptions{Trace: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +138,11 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 	result, runErr := engine.Resume(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, runID, completed, collector)
 	werr := writer.Close()
 	if runErr != nil {
+		rootSpan.SetAttr("error", runErr.Error())
+		rootSpan.Finish()
+		if tracer != nil {
+			_ = s.saveTrace(runID, tracer.Since(mark))
+		}
 		return nil, runErr
 	}
 	if werr != nil {
@@ -128,7 +150,14 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 	}
 	recoveryStats.resumed.Add(1)
 
-	return s.finishDetection(result, version, start, opts, engine.Metrics(), writer.Metrics())
+	outcome, err := s.finishDetection(result, version, start, opts, engine.Metrics(), writer.Metrics())
+	rootSpan.Finish()
+	if err == nil && tracer != nil {
+		if terr := s.saveTrace(runID, tracer.Since(mark)); terr != nil {
+			return nil, fmt.Errorf("core: persisting trace: %w", terr)
+		}
+	}
+	return outcome, err
 }
 
 // SweepReport summarizes one SweepUnfinishedRuns pass.

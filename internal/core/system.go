@@ -15,6 +15,7 @@ import (
 	"repro/internal/quality"
 	"repro/internal/storage"
 	"repro/internal/taxonomy"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -33,6 +34,13 @@ type System struct {
 	// Probe observes service executions (the Workflow Adapter's measured
 	// quality byproducts).
 	Probe *adapter.Probe
+	// Traces is the persisted per-run span table: every finished detection
+	// run's span tree lands here, keyed by run ID, queryable forever next to
+	// the run's OPM graph.
+	Traces *telemetry.SpanStore
+	// TraceRing holds the most recent finished spans process-wide — the
+	// "what just happened" view the web layer serves.
+	TraceRing *telemetry.Ring
 }
 
 // Options configures Open.
@@ -64,9 +72,31 @@ func Open(dir string, opts Options) (*System, error) {
 		db.Close()
 		return nil, err
 	}
+	if s.Traces, err = telemetry.NewSpanStore(db); err != nil {
+		db.Close()
+		return nil, err
+	}
+	s.TraceRing = telemetry.NewRing(0)
 	s.Engine = workflow.NewEngine(s.Registry)
 	s.Quality = quality.NewManager()
 	return s, nil
+}
+
+// saveTrace stamps, persists, and mirrors the spans of one run. Resumed runs
+// append after any spans the crashed session persisted.
+func (s *System) saveTrace(runID string, spans []telemetry.Span) error {
+	if runID == "" || len(spans) == 0 {
+		return nil
+	}
+	telemetry.StampTrace(spans, runID)
+	telemetry.DetachExternalParents(spans)
+	if s.TraceRing != nil {
+		s.TraceRing.Add(spans...)
+	}
+	if s.Traces == nil {
+		return nil
+	}
+	return s.Traces.Append(runID, spans)
 }
 
 // Close flushes and closes the backing database.

@@ -1,13 +1,16 @@
 package provenance
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/opm"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // BatchWriterOptions tunes the write-behind persistence sink.
@@ -22,6 +25,11 @@ type BatchWriterOptions struct {
 	// When the queue is full, Emit blocks — backpressure propagates to the
 	// workflow engine's event delivery instead of growing memory unboundedly.
 	Queue int
+	// Trace, when set, is the context whose tracer (and current span) the
+	// writer's flush and fsync spans attach to. The writer runs its own
+	// goroutine, so the run's context must be handed over explicitly for the
+	// spans to join the run's tree instead of being orphaned.
+	Trace context.Context
 }
 
 func (o *BatchWriterOptions) defaults() {
@@ -49,6 +57,8 @@ type WriterMetrics struct {
 	BlockedEmits    int64 // Emit calls that hit backpressure
 	FlushTotal      time.Duration
 	FlushMax        time.Duration
+	// Flush is the flush-latency distribution (p50/p95/p99 via Counters).
+	Flush telemetry.HistogramSnapshot
 }
 
 // AvgBatch is the mean group-commit size in deltas.
@@ -63,7 +73,7 @@ func (m WriterMetrics) AvgBatch() float64 {
 // obs.FromRuntimeMetrics, so writer telemetry (queue depth, batch size,
 // flush latency) is stored and queried like any other observation.
 func (m WriterMetrics) Counters() map[string]float64 {
-	return map[string]float64{
+	c := map[string]float64{
 		"provenance.writer.enqueued":         float64(m.Enqueued),
 		"provenance.writer.flushed":          float64(m.Flushed),
 		"provenance.writer.batches":          float64(m.Batches),
@@ -77,6 +87,7 @@ func (m WriterMetrics) Counters() map[string]float64 {
 		"provenance.writer.flush_total_us":   float64(m.FlushTotal.Microseconds()),
 		"provenance.writer.flush_max_us":     float64(m.FlushMax.Microseconds()),
 	}
+	return telemetry.MergeCounters(c, m.Flush.Counters("provenance.writer.flush"))
 }
 
 // wnode is the writer's materialized view of one node: the immutable node
@@ -112,6 +123,11 @@ type BatchWriter struct {
 	err    error
 	m      WriterMetrics
 
+	flushHist telemetry.Histogram
+	// trace is the run's context: flush/fsync spans started from it join the
+	// run's span tree even though they are recorded on the writer goroutine.
+	trace context.Context
+
 	// Writer-goroutine state (single goroutine, no locking needed).
 	runID       string
 	runInserted bool
@@ -140,6 +156,10 @@ func (r *Repository) NewBatchWriter(opts BatchWriterOptions) *BatchWriter {
 		done:        make(chan struct{}),
 		nodes:       make(map[string]*wnode),
 		checkpoints: make(map[string]bool),
+		trace:       opts.Trace,
+	}
+	if w.trace == nil {
+		w.trace = context.Background()
 	}
 	go w.loop()
 	return w
@@ -198,8 +218,10 @@ func (w *BatchWriter) Err() error {
 // Metrics snapshots the writer's counters.
 func (w *BatchWriter) Metrics() WriterMetrics {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.m
+	m := w.m
+	w.mu.Unlock()
+	m.Flush = w.flushHist.Snapshot()
+	return m
 }
 
 // QueueDepth reports the number of deltas currently queued.
@@ -257,7 +279,10 @@ func (w *BatchWriter) syncWAL() {
 	if w.Err() != nil || !w.runInserted {
 		return
 	}
-	if err := w.repo.db.Sync(); err != nil {
+	_, sp := telemetry.StartSpan(w.trace, "fsync", "provenance-writer")
+	err := w.repo.db.Sync()
+	sp.Finish()
+	if err != nil {
 		w.fail(err)
 	}
 }
@@ -367,9 +392,20 @@ func (w *BatchWriter) flush(batch []Delta, trigger string) []Delta {
 	if finishRow != nil {
 		ops = append(ops, storage.UpdateOp(runsTable, finishRow))
 	}
+	_, sp := telemetry.StartSpan(w.trace, "flush", "provenance-writer")
 	start := time.Now()
 	err := w.repo.db.Apply(ops...)
 	lat := time.Since(start)
+	if sp != nil {
+		sp.SetAttr("deltas", strconv.Itoa(len(batch)))
+		sp.SetAttr("ops", strconv.Itoa(len(ops)))
+		sp.SetAttr("trigger", trigger)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+	}
+	sp.Finish()
+	w.flushHist.Observe(lat)
 
 	w.mu.Lock()
 	w.m.Flushed += int64(len(batch))

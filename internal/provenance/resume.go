@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -128,6 +129,10 @@ func (r *Repository) NewResumeWriter(runID string, opts BatchWriterOptions) (*Ba
 		runID:       runID,
 		runInserted: true,
 		resume:      true,
+		trace:       opts.Trace,
+	}
+	if w.trace == nil {
+		w.trace = context.Background()
 	}
 	nodeRows, err := r.db.Table(nodesTable).Lookup("run_id", storage.S(runID))
 	if err != nil {

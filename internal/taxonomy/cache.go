@@ -96,11 +96,19 @@ func (c *CachingResolver) lookup(key string, now func() time.Time) (cacheEntry, 
 
 // Resolve implements Resolver.
 func (c *CachingResolver) Resolve(ctx context.Context, name string) (Resolution, error) {
+	res, _, err := c.ResolveHit(ctx, name)
+	return res, err
+}
+
+// ResolveHit resolves name and additionally reports whether the answer came
+// from the fresh cache (hit == true). Coalesced waiters and upstream calls
+// report hit == false — they paid (or shared) a round trip.
+func (c *CachingResolver) ResolveHit(ctx context.Context, name string) (Resolution, bool, error) {
 	now := c.clock()
 	key := c.key(name)
 	if e, ok := c.lookup(key, now); ok {
 		c.hits.Add(1)
-		return e.res, e.err
+		return e.res, true, e.err
 	}
 	c.misses.Add(1)
 
@@ -112,7 +120,7 @@ func (c *CachingResolver) Resolve(ctx context.Context, name string) (Resolution,
 		c.flightMu.Unlock()
 		c.coalesced.Add(1)
 		<-f.done
-		return f.res, f.err
+		return f.res, false, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
@@ -141,7 +149,7 @@ func (c *CachingResolver) Resolve(ctx context.Context, name string) (Resolution,
 	delete(c.flights, key)
 	c.flightMu.Unlock()
 	close(f.done)
-	return f.res, f.err
+	return f.res, false, f.err
 }
 
 // Stale returns the last-known-good resolution for name, ignoring the TTL.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 )
 
 // ResilienceOptions tunes a ResilientResolver. The zero value gets defaults
@@ -60,6 +61,8 @@ type ResilientResolver struct {
 
 	degraded atomic.Int64 // answers served stale during an outage
 	hardMiss atomic.Int64 // outages with no stale entry to fall back on
+
+	resolveHist telemetry.Histogram // end-to-end Resolve latency
 }
 
 // guardedResolver is the cache's Inner: every cache miss pays the
@@ -123,13 +126,33 @@ func NewResilientResolver(inner Resolver, opts ResilienceOptions) *ResilientReso
 // escapes only when the authority is unreachable AND the name has never been
 // resolved before.
 func (r *ResilientResolver) Resolve(ctx context.Context, name string) (Resolution, error) {
-	res, err := r.cache.Resolve(ctx, name)
+	ctx, sp := telemetry.StartSpan(ctx, "resolve", "taxonomy")
+	start := time.Now()
+	res, err := r.resolve(ctx, name, sp)
+	r.resolveHist.Observe(time.Since(start))
+	if sp != nil {
+		sp.SetAttr("name", name)
+		sp.SetAttr("breaker_state", r.BreakerState().String())
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+	}
+	sp.Finish()
+	return res, err
+}
+
+func (r *ResilientResolver) resolve(ctx context.Context, name string, sp *telemetry.Span) (Resolution, error) {
+	res, hit, err := r.cache.ResolveHit(ctx, name)
+	if hit {
+		sp.SetAttr("cache_hit", "true")
+	}
 	if err == nil || !isAvailabilityFailure(err) {
 		return res, err
 	}
 	if stale, ok := r.cache.Stale(name); ok {
 		stale.Degraded = true
 		r.degraded.Add(1)
+		sp.SetAttr("degraded", "true")
 		return stale, nil
 	}
 	r.hardMiss.Add(1)
@@ -161,5 +184,5 @@ func (r *ResilientResolver) Counters() map[string]float64 {
 	m["cache.coalesced"] = float64(r.cache.Coalesced())
 	m["fallback.degraded"] = float64(r.degraded.Load())
 	m["fallback.hard_miss"] = float64(r.hardMiss.Load())
-	return m
+	return telemetry.MergeCounters(m, r.resolveHist.Snapshot().Counters("resolve"))
 }

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of fixed log₂ buckets in a Histogram. Bucket 0
+// holds sub-microsecond observations; bucket i (i ≥ 1) holds durations in
+// [2^(i-1), 2^i) microseconds. The top bucket is open-ended (≈ 36 minutes
+// and beyond), which covers every latency this system can produce.
+const HistBuckets = 32
+
+// Histogram is a fixed-log-bucket latency histogram. Observe is lock-free
+// (one atomic add per bucket plus the aggregates), so it can sit on hot
+// paths — service invocations, flushes, resolutions — without serializing
+// them. Quantiles are estimated from the bucket counts with linear
+// interpolation inside the crossing bucket.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	count  atomic.Int64
+	sumUS  atomic.Int64
+	maxUS  atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(us)) // us in [2^(idx-1), 2^idx)
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// Snapshot captures a point-in-time reading. Buckets are read without a
+// global lock, so a snapshot taken during heavy traffic may be off by the
+// few samples in flight — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumUS = h.sumUS.Load()
+	s.MaxUS = h.maxUS.Load()
+	return s
+}
+
+// HistogramSnapshot is an immutable reading of a Histogram.
+type HistogramSnapshot struct {
+	Buckets [HistBuckets]int64
+	Count   int64
+	SumUS   int64
+	MaxUS   int64
+}
+
+// bucketBounds returns the [lower, upper) bounds of bucket i in microseconds.
+func bucketBounds(i int) (lower, upper float64) {
+	if i <= 0 {
+		return 0, 1
+	}
+	return float64(int64(1) << (i - 1)), float64(int64(1) << i)
+}
+
+// Quantile estimates the q-th latency quantile (0 < q ≤ 1) in microseconds,
+// interpolating linearly within the crossing bucket and clamping to the
+// observed maximum. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lower, upper := bucketBounds(i)
+			frac := (target - cum) / float64(c)
+			est := lower + frac*(upper-lower)
+			if est > float64(s.MaxUS) && s.MaxUS > 0 {
+				est = float64(s.MaxUS)
+			}
+			return est
+		}
+		cum = next
+	}
+	return float64(s.MaxUS)
+}
+
+// MeanUS is the mean observed latency in microseconds.
+func (s HistogramSnapshot) MeanUS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumUS) / float64(s.Count)
+}
+
+// Counters renders the snapshot as named readings — count, mean, max, and
+// the p50/p95/p99 estimates — under the given prefix, matching the counter
+// surfaces fed to obs.FromRuntimeMetrics.
+func (s HistogramSnapshot) Counters(prefix string) map[string]float64 {
+	return map[string]float64{
+		prefix + ".count":   float64(s.Count),
+		prefix + ".mean_us": s.MeanUS(),
+		prefix + ".max_us":  float64(s.MaxUS),
+		prefix + ".p50_us":  s.Quantile(0.50),
+		prefix + ".p95_us":  s.Quantile(0.95),
+		prefix + ".p99_us":  s.Quantile(0.99),
+	}
+}
+
+// MergeCounters copies src readings into dst (helper for subsystems that
+// combine several histograms and flat counters into one surface).
+func MergeCounters(dst map[string]float64, src map[string]float64) map[string]float64 {
+	if dst == nil {
+		dst = make(map[string]float64, len(src))
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}

@@ -9,11 +9,11 @@ package web
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -22,17 +22,17 @@ import (
 	"repro/internal/curation"
 	"repro/internal/fnjv"
 	"repro/internal/linkeddata"
-	"repro/internal/obs"
-	"repro/internal/opm"
 	"repro/internal/quality"
 	"repro/internal/taxonomy"
 )
 
 func timeNow() time.Time { return time.Now() }
 
-// Server serves the FNJV prototype UI and APIs.
+// Server serves the FNJV prototype UI and APIs. The HTML handlers and the
+// /api/v1 JSON handlers are both thin renderers over the same Service.
 type Server struct {
 	System *System
+	svc    *Service
 	mux    *http.ServeMux
 }
 
@@ -56,7 +56,7 @@ type System struct {
 
 // NewServer builds the HTTP server.
 func NewServer(sys *System) *Server {
-	s := &Server{System: sys, mux: http.NewServeMux()}
+	s := &Server{System: sys, svc: NewService(sys), mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleDashboard)
 	s.mux.HandleFunc("/detect", s.handleDetect)
 	s.mux.HandleFunc("/records", s.handleRecords)
@@ -73,6 +73,7 @@ func NewServer(sys *System) *Server {
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.registerAPI()
 	return s
 }
 
@@ -131,8 +132,12 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	// Runs are paged through the repository's cursor API: at production
 	// scale the dashboard must not materialize every run ever captured.
 	after := r.URL.Query().Get("after")
-	limit := parseLimit(r.URL.Query().Get("limit"), 25)
-	runs, next, err := s.System.Core.Provenance.RunsPage(after, limit)
+	limit, err := parsePageLimit(r.URL.Query().Get("limit"), 25)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	runs, next, err := s.svc.RunsPage(after, limit)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -149,34 +154,16 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	s.render(w, "Collection dashboard", b.String())
 }
 
-func parseLimit(s string, def int) int {
-	if s == "" {
-		return def
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n <= 0 || n > 1000 {
-		return def
-	}
-	return n
-}
-
 // handleDetect runs the detection workflow (GET shows the last result;
 // POST or ?run=1 triggers a new run) and renders the Fig. 2 progress block.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
-	sys := s.System
 	if r.Method == http.MethodPost || r.URL.Query().Get("run") == "1" {
-		outcome, err := sys.Core.RunDetection(context.Background(), sys.Resolver, core.RunOptions{})
-		if err != nil {
+		if _, err := s.svc.Detect(context.Background()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		sys.mu.Lock()
-		sys.lastOutcome = outcome
-		sys.mu.Unlock()
 	}
-	sys.mu.Lock()
-	outcome := sys.lastOutcome
-	sys.mu.Unlock()
+	outcome := s.svc.LastOutcome()
 	if outcome == nil {
 		s.render(w, "Detection of outdated species names",
 			`<p>No run yet. <a href="/detect?run=1">Run detection now</a>.</p>`)
@@ -212,24 +199,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	var preds []fnjv.Predicate
-	if v := q.Get("species"); v != "" {
-		preds = append(preds, fnjv.BySpeciesName(v))
-	}
-	if v := q.Get("state"); v != "" {
-		preds = append(preds, fnjv.ByState(v))
-	}
-	if v := q.Get("taxon"); v != "" {
-		preds = append(preds, fnjv.ByTaxon(v))
-	}
 	var b strings.Builder
 	b.WriteString(`<form method="get">
 species <input name="species" value="` + esc(q.Get("species")) + `">
 state <input name="state" value="` + esc(q.Get("state")) + `">
 taxon <input name="taxon" value="` + esc(q.Get("taxon")) + `">
 <button>search</button></form>`)
-	if len(preds) > 0 {
-		recs, err := s.System.Core.Records.Query(fnjv.And(preds...), fnjv.QueryOptions{Limit: 200, OrderBy: "species"})
+	if q.Get("species") != "" || q.Get("state") != "" || q.Get("taxon") != "" {
+		recs, err := s.svc.SearchRecords(q.Get("species"), q.Get("state"), q.Get("taxon"), 200)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -250,16 +227,16 @@ taxon <input name="taxon" value="` + esc(q.Get("taxon")) + `">
 
 func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/record/")
-	rec, err := s.System.Core.Records.Get(id)
-	if err != nil {
+	d, err := s.svc.Record(id)
+	if errors.Is(err, errNotFound) {
 		http.NotFound(w, r)
 		return
 	}
-	curated, err := curation.CuratedName(s.System.Core.Ledger, rec.ID, rec.Species)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	rec, curated := d.Record, d.Curated
 	var b strings.Builder
 	fmt.Fprintf(&b, `<table>
 <tr><th>stored (historical) name</th><td><i>%s</i></td></tr>
@@ -276,8 +253,7 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 		esc(rec.RecordingDevice), esc(rec.MicrophoneModel), esc(rec.SoundFileFormat),
 		rec.FrequencyKHz, rec.DurationSec)
 
-	updates, err := s.System.Core.Ledger.UpdatesForRecord(rec.ID)
-	if err == nil && len(updates) > 0 {
+	if updates := d.Updates; len(updates) > 0 {
 		b.WriteString("<h2>name updates (original record unchanged)</h2><table><tr><th>original</th><th>updated</th><th>status</th><th>review</th></tr>")
 		for _, u := range updates {
 			fmt.Fprintf(&b, "<tr><td><i>%s</i></td><td><i>%s</i></td><td>%s</td><td>%s</td></tr>",
@@ -285,8 +261,7 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 		}
 		b.WriteString("</table>")
 	}
-	hist, err := s.System.Core.Ledger.History(rec.ID)
-	if err == nil && len(hist) > 0 {
+	if hist := d.History; len(hist) > 0 {
 		b.WriteString("<h2>curation history</h2><table><tr><th>field</th><th>old</th><th>new</th><th>reason</th><th>actor</th></tr>")
 		for _, h := range hist {
 			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
@@ -298,9 +273,7 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
-	s.System.mu.Lock()
-	outcome := s.System.lastOutcome
-	s.System.mu.Unlock()
+	outcome := s.svc.LastOutcome()
 	if outcome == nil {
 		s.render(w, "Quality assessment", `<p>No assessment yet — <a href="/detect?run=1">run detection first</a>.</p>`)
 		return
@@ -404,12 +377,11 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 		s.handleProvenanceEdges(w, r, runID)
 		return
 	}
-	g, err := s.System.Core.Provenance.Graph(rest)
-	if err != nil {
+	blob, _, err := s.svc.RunGraphXML(rest)
+	if errors.Is(err, errNotFound) {
 		http.NotFound(w, r)
 		return
 	}
-	blob, err := opm.MarshalXML(g)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -422,21 +394,21 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 // the repository's cursor API — large runs (per-element derivations) never
 // load whole into a response.
 func (s *Server) handleProvenanceEdges(w http.ResponseWriter, r *http.Request, runID string) {
-	if _, err := s.System.Core.Provenance.Run(runID); err != nil {
+	after, err := parseSeqCursor(r.URL.Query().Get("after"))
+	if err != nil {
+		http.Error(w, "bad after cursor", http.StatusBadRequest)
+		return
+	}
+	limit, err := parsePageLimit(r.URL.Query().Get("limit"), 100)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	edges, next, err := s.svc.RunEdgesPage(runID, after, limit)
+	if errors.Is(err, errNotFound) {
 		http.NotFound(w, r)
 		return
 	}
-	after := -1
-	if v := r.URL.Query().Get("after"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			http.Error(w, "bad after cursor", http.StatusBadRequest)
-			return
-		}
-		after = n
-	}
-	limit := parseLimit(r.URL.Query().Get("limit"), 100)
-	edges, next, err := s.System.Core.Provenance.EdgesPage(runID, after, limit)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -459,14 +431,13 @@ func (s *Server) handleProvenanceEdges(w http.ResponseWriter, r *http.Request, r
 // with its per-replica state, the quarantine list, and a scrub trigger
 // (?scrub=1 / POST) that runs one audit pass inline.
 func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
-	pm := s.System.Preservation
-	if pm == nil {
-		s.render(w, "Archival store", "<p>No archival store configured.</p>")
-		return
-	}
 	var b strings.Builder
 	if r.Method == http.MethodPost || r.URL.Query().Get("scrub") == "1" {
-		rep, err := pm.VerifyArchive(r.Context())
+		rep, err := s.svc.Scrub(r.Context())
+		if errors.Is(err, errNotFound) {
+			s.render(w, "Archival store", "<p>No archival store configured.</p>")
+			return
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -478,34 +449,38 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 	} else {
 		b.WriteString(`<p><a href="/archive?scrub=1">Run a scrub pass now</a></p>`)
 	}
-	ids, err := pm.Store.List()
+	limit, err := parsePageLimit(r.URL.Query().Get("limit"), 100)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ov, err := s.svc.ArchiveOverview(limit)
+	if errors.Is(err, errNotFound) {
+		s.render(w, "Archival store", "<p>No archival store configured.</p>")
+		return
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	limit := parseLimit(r.URL.Query().Get("limit"), 100)
-	fmt.Fprintf(&b, "<p>%d archived objects across %d replica volumes</p>", len(ids), len(pm.Store.Volumes()))
+	fmt.Fprintf(&b, "<p>%d archived objects across %d replica volumes</p>", ov.Total, ov.Volumes)
 	b.WriteString("<table><tr><th>package</th><th>label</th><th>media</th><th>size</th><th>replicas</th><th>fixity</th></tr>")
-	shown := 0
-	for _, id := range ids {
-		if shown == limit {
-			fmt.Fprintf(&b, "<tr><td colspan=6>... and %d more</td></tr>", len(ids)-shown)
-			break
-		}
-		shown++
-		st := pm.Store.Stat(id)
+	for _, st := range ov.Objects {
 		fixity := "healthy"
 		if st.Damaged() {
 			fixity = fmt.Sprintf(`<span class=flag>%d/%d healthy</span>`, st.Healthy(), len(st.Replicas))
 		}
 		fmt.Fprintf(&b, `<tr><td><a href="/archive/%s">%s</a></td><td>%s</td><td>%s</td><td class=num>%d</td><td class=num>%d</td><td>%s</td></tr>`,
-			esc(id), esc(id[:12]), esc(st.Manifest.Label), esc(st.Manifest.MediaType),
+			esc(st.ID), esc(st.ID[:12]), esc(st.Manifest.Label), esc(st.Manifest.MediaType),
 			st.Manifest.Size, len(st.Replicas), fixity)
 	}
+	if ov.Truncated > 0 {
+		fmt.Fprintf(&b, "<tr><td colspan=6>... and %d more</td></tr>", ov.Truncated)
+	}
 	b.WriteString("</table>")
-	if q, err := pm.Store.ListQuarantined(); err == nil && len(q) > 0 {
-		fmt.Fprintf(&b, `<h2>quarantined (unrecoverable)</h2><p class=flag>%d objects lost every healthy replica; damaged bytes are preserved for forensics</p><table><tr><th>package</th></tr>`, len(q))
-		for _, id := range q {
+	if len(ov.Quarantined) > 0 {
+		fmt.Fprintf(&b, `<h2>quarantined (unrecoverable)</h2><p class=flag>%d objects lost every healthy replica; damaged bytes are preserved for forensics</p><table><tr><th>package</th></tr>`, len(ov.Quarantined))
+		for _, id := range ov.Quarantined {
 			fmt.Fprintf(&b, `<tr><td><a href="/archive/%s">%s</a></td></tr>`, esc(id), esc(id))
 		}
 		b.WriteString("</table>")
@@ -516,24 +491,11 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 // handleArchiveObject renders one AIP: its manifest, provenance links and
 // per-volume replica fixity.
 func (s *Server) handleArchiveObject(w http.ResponseWriter, r *http.Request) {
-	pm := s.System.Preservation
-	if pm == nil {
+	id := strings.TrimPrefix(r.URL.Path, "/archive/")
+	st, err := s.svc.ArchiveObject(id)
+	if err != nil {
 		http.NotFound(w, r)
 		return
-	}
-	id := strings.TrimPrefix(r.URL.Path, "/archive/")
-	st := pm.Store.Stat(id)
-	if st.Healthy() == 0 && !st.Quarantined {
-		found := false
-		for _, rep := range st.Replicas {
-			if rep.State != "missing" {
-				found = true
-			}
-		}
-		if !found {
-			http.NotFound(w, r)
-			return
-		}
 	}
 	var b strings.Builder
 	m := st.Manifest
@@ -570,57 +532,15 @@ func (s *Server) handleArchiveObject(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics snapshots the runtime counters of every instrumented
-// subsystem — workflow engine, streaming provenance writer, archive
-// scrubber — as obs.FromRuntimeMetrics observations, serialized as JSON, so
-// audits and load are observable without reading experiment output.
+// subsystem — workflow engine (with queue-wait/exec latency quantiles),
+// streaming provenance writer, archive scrubber — as obs.FromRuntimeMetrics
+// observations, serialized as JSON, so audits and load are observable
+// without reading experiment output.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	at := timeNow()
-	subsystems := map[string]map[string]float64{
-		// Idle until a detection run replaces it below: each run executes on
-		// its own engine and reports that engine's snapshot in the outcome.
-		"engine": s.System.Core.Engine.Metrics().Counters(),
-		// Crash-recovery activity: runs resumed, runs abandoned, sweeps.
-		"recovery": core.RecoveryCounters(),
-	}
-	s.System.mu.Lock()
-	if o := s.System.lastOutcome; o != nil {
-		subsystems["engine"] = o.EngineMetrics.Counters()
-		subsystems["provenance-writer"] = o.ProvenanceWriter.Counters()
-	}
-	s.System.mu.Unlock()
-	if pm := s.System.Preservation; pm != nil {
-		subsystems["archive-scrubber"] = pm.Scrubber.Counters()
-	}
-	if rr := s.System.Resilient; rr != nil {
-		subsystems["resolution-resilience"] = rr.Counters()
-	}
-	type jsonObs struct {
-		ID           string             `json:"id"`
-		Entity       string             `json:"entity"`
-		At           time.Time          `json:"at"`
-		Protocol     string             `json:"protocol"`
-		Measurements map[string]float64 `json:"measurements"`
-	}
-	names := make([]string, 0, len(subsystems))
-	for name := range subsystems {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	out := make([]jsonObs, 0, len(names))
-	for _, name := range names {
-		o := obs.FromRuntimeMetrics(name, at, subsystems[name])
-		ms := make(map[string]float64, len(o.Measurements))
-		for _, m := range o.Measurements {
-			ms[m.Characteristic] = m.Number
-		}
-		out = append(out, jsonObs{
-			ID: o.ID, Entity: o.Entity.ID, At: o.At, Protocol: o.Protocol, Measurements: ms,
-		})
-	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(out)
+	enc.Encode(s.svc.Metrics(timeNow()))
 }
 
 func (s *Server) handleNTriples(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,316 @@
+package web
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/curation"
+	"repro/internal/fnjv"
+	"repro/internal/obs"
+	"repro/internal/opm"
+	"repro/internal/provenance"
+	"repro/internal/telemetry"
+)
+
+// errNotFound marks a lookup miss; HTML handlers map it to http.NotFound and
+// the JSON API to a not_found envelope.
+var errNotFound = errors.New("web: not found")
+
+// Service is the read/command layer both front ends consume: the HTML pages
+// and the /api/v1 JSON handlers are thin renderers over these methods, so
+// the two can never drift apart on what a "run", "trace" or "holding" is.
+type Service struct {
+	sys *System
+}
+
+// NewService wraps the shared system state.
+func NewService(sys *System) *Service { return &Service{sys: sys} }
+
+// Detect executes the detection workflow and caches the outcome for the
+// quality and detect views. The supplied context carries any request-minted
+// tracer, so API-triggered runs trace from the HTTP boundary down.
+func (v *Service) Detect(ctx context.Context) (*core.DetectionOutcome, error) {
+	outcome, err := v.sys.Core.RunDetection(ctx, v.sys.Resolver, core.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	v.sys.mu.Lock()
+	v.sys.lastOutcome = outcome
+	v.sys.mu.Unlock()
+	return outcome, nil
+}
+
+// LastOutcome returns the most recent detection outcome, nil before any run.
+func (v *Service) LastOutcome() *core.DetectionOutcome {
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	return v.sys.lastOutcome
+}
+
+// RunsPage pages provenance runs through the repository cursor.
+func (v *Service) RunsPage(after string, limit int) ([]provenance.RunInfo, string, error) {
+	return v.sys.Core.Provenance.RunsPage(after, limit)
+}
+
+// Run loads one run's info; errNotFound when the ID is unknown.
+func (v *Service) Run(runID string) (provenance.RunInfo, error) {
+	info, err := v.sys.Core.Provenance.Run(runID)
+	if err != nil {
+		return provenance.RunInfo{}, fmt.Errorf("%w: run %q", errNotFound, runID)
+	}
+	return info, nil
+}
+
+// RunFinished reports whether the run can no longer change: completed,
+// failed, or abandoned runs have immutable provenance and traces, which is
+// what makes their API representations ETag-cacheable.
+func RunFinished(info provenance.RunInfo) bool {
+	return info.Status != provenance.RunRunning
+}
+
+// RunGraphXML serializes the run's OPM graph, returning the run info so the
+// caller can decide cacheability.
+func (v *Service) RunGraphXML(runID string) ([]byte, provenance.RunInfo, error) {
+	info, err := v.Run(runID)
+	if err != nil {
+		return nil, info, err
+	}
+	g, err := v.sys.Core.Provenance.Graph(runID)
+	if err != nil {
+		return nil, info, fmt.Errorf("%w: graph of run %q", errNotFound, runID)
+	}
+	blob, err := opm.MarshalXML(g)
+	return blob, info, err
+}
+
+// RunNodesPage pages the run's provenance nodes.
+func (v *Service) RunNodesPage(runID, after string, limit int) ([]*opm.Node, string, error) {
+	if _, err := v.Run(runID); err != nil {
+		return nil, "", err
+	}
+	return v.sys.Core.Provenance.NodesPage(runID, after, limit)
+}
+
+// RunEdgesPage pages the run's dependency edges.
+func (v *Service) RunEdgesPage(runID string, after, limit int) ([]opm.Edge, int, error) {
+	if _, err := v.Run(runID); err != nil {
+		return nil, -1, err
+	}
+	return v.sys.Core.Provenance.EdgesPage(runID, after, limit)
+}
+
+// Trace is a run's persisted span tree plus the facts the API reports about
+// it: how many spans, and whether they form one connected tree.
+type Trace struct {
+	Info     provenance.RunInfo
+	Spans    []telemetry.Span
+	Roots    []*telemetry.TraceNode
+	Complete bool
+}
+
+// RunTrace loads the run's full persisted trace. errNotFound covers both an
+// unknown run and a run that recorded no spans (untraced or crashed).
+func (v *Service) RunTrace(runID string) (*Trace, error) {
+	info, err := v.Run(runID)
+	if err != nil {
+		return nil, err
+	}
+	spans, err := v.sys.Core.Traces.Spans(runID)
+	if errors.Is(err, telemetry.ErrTraceNotFound) {
+		return nil, fmt.Errorf("%w: no trace recorded for run %q", errNotFound, runID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	roots, _ := telemetry.BuildTree(spans)
+	return &Trace{
+		Info:     info,
+		Spans:    spans,
+		Roots:    roots,
+		Complete: telemetry.TreeComplete(spans) == nil,
+	}, nil
+}
+
+// RunSpansPage pages the run's flat span list by sequence cursor.
+func (v *Service) RunSpansPage(runID string, after, limit int) ([]telemetry.Span, int, error) {
+	if _, err := v.Run(runID); err != nil {
+		return nil, -1, err
+	}
+	spans, next, err := v.sys.Core.Traces.SpansPage(runID, after, limit)
+	if err != nil {
+		return nil, -1, err
+	}
+	if after < 0 && len(spans) == 0 {
+		return nil, -1, fmt.Errorf("%w: no trace recorded for run %q", errNotFound, runID)
+	}
+	return spans, next, nil
+}
+
+// SearchRecords queries the collection by the dashboard's filter fields.
+// Empty filters match everything (the limit still applies).
+func (v *Service) SearchRecords(species, state, taxon string, limit int) ([]*fnjv.Record, error) {
+	var preds []fnjv.Predicate
+	if species != "" {
+		preds = append(preds, fnjv.BySpeciesName(species))
+	}
+	if state != "" {
+		preds = append(preds, fnjv.ByState(state))
+	}
+	if taxon != "" {
+		preds = append(preds, fnjv.ByTaxon(taxon))
+	}
+	return v.sys.Core.Records.Query(fnjv.And(preds...), fnjv.QueryOptions{Limit: limit, OrderBy: "species"})
+}
+
+// RecordDetail is one record with its curation state.
+type RecordDetail struct {
+	Record  *fnjv.Record
+	Curated string
+	Updates []*curation.NameUpdate
+	History []curation.HistoryEntry
+}
+
+// Record loads one record plus its curated name, pending/resolved updates
+// and curation history.
+func (v *Service) Record(id string) (*RecordDetail, error) {
+	rec, err := v.sys.Core.Records.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: record %q", errNotFound, id)
+	}
+	curated, err := curation.CuratedName(v.sys.Core.Ledger, rec.ID, rec.Species)
+	if err != nil {
+		return nil, err
+	}
+	d := &RecordDetail{Record: rec, Curated: curated}
+	if ups, err := v.sys.Core.Ledger.UpdatesForRecord(rec.ID); err == nil {
+		d.Updates = ups
+	}
+	if hist, err := v.sys.Core.Ledger.History(rec.ID); err == nil {
+		d.History = hist
+	}
+	return d, nil
+}
+
+// ArchiveOverview is the holdings-and-fixity view of the archival store.
+type ArchiveOverview struct {
+	Volumes     int
+	Total       int
+	Objects     []archive.ObjectStatus
+	Quarantined []string
+	// Truncated is how many holdings the limit cut off.
+	Truncated int
+}
+
+// ArchiveOverview stats up to limit holdings. errNotFound when no archival
+// store is configured.
+func (v *Service) ArchiveOverview(limit int) (*ArchiveOverview, error) {
+	pm := v.sys.Preservation
+	if pm == nil {
+		return nil, fmt.Errorf("%w: no archival store configured", errNotFound)
+	}
+	ids, err := pm.Store.List()
+	if err != nil {
+		return nil, err
+	}
+	ov := &ArchiveOverview{Volumes: len(pm.Store.Volumes()), Total: len(ids)}
+	for _, id := range ids {
+		if limit > 0 && len(ov.Objects) == limit {
+			ov.Truncated = len(ids) - limit
+			break
+		}
+		ov.Objects = append(ov.Objects, pm.Store.Stat(id))
+	}
+	if q, err := pm.Store.ListQuarantined(); err == nil {
+		ov.Quarantined = q
+	}
+	return ov, nil
+}
+
+// ArchiveObject stats one AIP across all replica volumes. errNotFound when
+// no store is configured or no volume holds any trace of the ID.
+func (v *Service) ArchiveObject(id string) (archive.ObjectStatus, error) {
+	pm := v.sys.Preservation
+	if pm == nil {
+		return archive.ObjectStatus{}, fmt.Errorf("%w: no archival store configured", errNotFound)
+	}
+	st := pm.Store.Stat(id)
+	if st.Healthy() == 0 && !st.Quarantined {
+		found := false
+		for _, rep := range st.Replicas {
+			if rep.State != archive.ReplicaMissing {
+				found = true
+			}
+		}
+		if !found {
+			return archive.ObjectStatus{}, fmt.Errorf("%w: package %q", errNotFound, id)
+		}
+	}
+	return st, nil
+}
+
+// Scrub runs one fixity audit pass inline.
+func (v *Service) Scrub(ctx context.Context) (archive.ScrubReport, error) {
+	pm := v.sys.Preservation
+	if pm == nil {
+		return archive.ScrubReport{}, fmt.Errorf("%w: no archival store configured", errNotFound)
+	}
+	return pm.VerifyArchive(ctx)
+}
+
+// MetricsEntry is one subsystem's runtime counters as an observation — the
+// shape both /metrics and /api/v1/metrics serve.
+type MetricsEntry struct {
+	ID           string             `json:"id"`
+	Entity       string             `json:"entity"`
+	At           time.Time          `json:"at"`
+	Protocol     string             `json:"protocol"`
+	Measurements map[string]float64 `json:"measurements"`
+}
+
+// Metrics snapshots every instrumented subsystem — workflow engine (with its
+// queue-wait/exec latency quantiles), crash recovery, streaming provenance
+// writer, archive scrubber, resolution resilience — as observations, sorted
+// by subsystem name.
+func (v *Service) Metrics(at time.Time) []MetricsEntry {
+	subsystems := map[string]map[string]float64{
+		// Idle until a detection run replaces it below: each run executes on
+		// its own engine and reports that engine's snapshot in the outcome.
+		"engine": v.sys.Core.Engine.Metrics().Counters(),
+		// Crash-recovery activity: runs resumed, runs abandoned, sweeps.
+		"recovery": core.RecoveryCounters(),
+	}
+	v.sys.mu.Lock()
+	if o := v.sys.lastOutcome; o != nil {
+		subsystems["engine"] = o.EngineMetrics.Counters()
+		subsystems["provenance-writer"] = o.ProvenanceWriter.Counters()
+	}
+	v.sys.mu.Unlock()
+	if pm := v.sys.Preservation; pm != nil {
+		subsystems["archive-scrubber"] = pm.Scrubber.Counters()
+	}
+	if rr := v.sys.Resilient; rr != nil {
+		subsystems["resolution-resilience"] = rr.Counters()
+	}
+	names := make([]string, 0, len(subsystems))
+	for name := range subsystems {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]MetricsEntry, 0, len(names))
+	for _, name := range names {
+		o := obs.FromRuntimeMetrics(name, at, subsystems[name])
+		ms := make(map[string]float64, len(o.Measurements))
+		for _, m := range o.Measurements {
+			ms[m.Characteristic] = m.Number
+		}
+		out = append(out, MetricsEntry{
+			ID: o.ID, Entity: o.Entity.ID, At: o.At, Protocol: o.Protocol, Measurements: ms,
+		})
+	}
+	return out
+}

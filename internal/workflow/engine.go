@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Call is one service invocation: the bound inputs plus the processor's
@@ -185,6 +188,12 @@ type engineMetrics struct {
 	elementsCoalesced  atomic.Int64 // reserved: elements served from upstream coalescing
 	inFlight           atomic.Int64 // service calls currently executing
 	peakInFlight       atomic.Int64 // high-water mark of inFlight
+
+	// Latency distributions, split at the budget gate: queueWait is time a
+	// call spent blocked on a Parallel slot, exec is the service call itself
+	// (including per-processor retries).
+	queueWait telemetry.Histogram
+	exec      telemetry.Histogram
 }
 
 // MetricsSnapshot is a point-in-time reading of the engine's counters,
@@ -194,18 +203,25 @@ type MetricsSnapshot struct {
 	ElementsDispatched int64 // iteration elements dispatched to workers
 	InFlight           int64 // service calls executing right now
 	PeakInFlight       int64 // high-water mark of concurrent calls
+	// QueueWait and Exec are the latency distributions of the budget gate
+	// and the service calls themselves (p50/p95/p99 via Counters).
+	QueueWait telemetry.HistogramSnapshot
+	Exec      telemetry.HistogramSnapshot
 }
 
 // Counters renders the snapshot as named readings for
 // obs.FromRuntimeMetrics, matching the provenance writer's and archive
-// scrubber's counter surfaces.
+// scrubber's counter surfaces. Histogram quantiles appear under
+// engine.exec.* and engine.queue_wait.*.
 func (m MetricsSnapshot) Counters() map[string]float64 {
-	return map[string]float64{
+	c := map[string]float64{
 		"engine.invocations":         float64(m.Invocations),
 		"engine.elements_dispatched": float64(m.ElementsDispatched),
 		"engine.in_flight":           float64(m.InFlight),
 		"engine.peak_in_flight":      float64(m.PeakInFlight),
 	}
+	c = telemetry.MergeCounters(c, m.Exec.Counters("engine.exec"))
+	return telemetry.MergeCounters(c, m.QueueWait.Counters("engine.queue_wait"))
 }
 
 // Metrics returns the engine's cumulative instrumentation counters.
@@ -215,6 +231,8 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		ElementsDispatched: e.metrics.elementsDispatched.Load(),
 		InFlight:           e.metrics.inFlight.Load(),
 		PeakInFlight:       e.metrics.peakInFlight.Load(),
+		QueueWait:          e.metrics.queueWait.Snapshot(),
+		Exec:               e.metrics.exec.Snapshot(),
 	}
 }
 
@@ -277,6 +295,18 @@ func (e *Engine) run(ctx context.Context, def *Definition, inputs map[string]Dat
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	st.cancel = cancel
+
+	// The workflow span roots every processor and element span of this run.
+	// The engine mints run IDs after callers start tracing, so the span
+	// carries the run ID as an attribute; callers stamp TraceID afterwards.
+	ctx, wfSpan := telemetry.StartSpan(ctx, "workflow:"+def.Name, "engine")
+	defer wfSpan.Finish()
+	wfSpan.SetAttr("run_id", runID)
+	wfSpan.SetAttr("workflow_id", def.ID)
+	wfSpan.SetAttr("processors", strconv.Itoa(len(def.Processors)))
+	if len(replay) > 0 {
+		wfSpan.SetAttr("replayed", strconv.Itoa(len(replay)))
+	}
 
 	st.emit(Event{Type: EventWorkflowStarted, RunID: runID, WorkflowID: def.ID,
 		WorkflowName: def.Name, Annotations: def.Annotations, Inputs: inputs, Time: time.Now()})
@@ -350,6 +380,7 @@ func (e *Engine) run(ctx context.Context, def *Definition, inputs map[string]Dat
 	defer st.mu.Unlock()
 	st.result.FinishedAt = time.Now()
 	if st.err != nil {
+		wfSpan.SetAttr("error", st.err.Error())
 		st.emit(Event{Type: EventWorkflowFailed, RunID: runID, WorkflowID: def.ID,
 			WorkflowName: def.Name, Err: st.err.Error(), Time: time.Now()})
 		return st.result, st.err
@@ -423,13 +454,21 @@ func (st *runState) release() {
 // tracks the in-flight gauge, and invokes the service with retry. This is
 // the ONLY place execution holds a budget slot, which is what makes the
 // unified budget deadlock-free: nothing waits on other work while holding
-// a slot.
-func (st *runState) call(ctx context.Context, fn ServiceFunc, p *Processor, c Call) (map[string]Data, error) {
+// a slot. Each call records its queue-wait (slot acquisition) and execute
+// time separately — into the engine histograms always, and onto a span
+// named name when the run is traced.
+func (st *runState) call(ctx context.Context, name string, fn ServiceFunc, p *Processor, c Call) (map[string]Data, error) {
+	ctx, sp := telemetry.StartSpan(ctx, name, "engine")
+	defer sp.Finish()
+	m := &st.engine.metrics
+	waitStart := time.Now()
 	if err := st.acquire(ctx); err != nil {
+		sp.SetAttr("error", err.Error())
 		return nil, err
 	}
 	defer st.release()
-	m := &st.engine.metrics
+	wait := time.Since(waitStart)
+	m.queueWait.Observe(wait)
 	m.invocations.Add(1)
 	cur := m.inFlight.Add(1)
 	for {
@@ -439,7 +478,19 @@ func (st *runState) call(ctx context.Context, fn ServiceFunc, p *Processor, c Ca
 		}
 	}
 	defer m.inFlight.Add(-1)
-	return callWithRetry(ctx, fn, p, c)
+	execStart := time.Now()
+	out, err := callWithRetry(ctx, fn, p, c)
+	exec := time.Since(execStart)
+	m.exec.Observe(exec)
+	if sp != nil {
+		sp.SetAttr("service", p.Service)
+		sp.SetAttr("queue_wait_us", strconv.FormatInt(wait.Microseconds(), 10))
+		sp.SetAttr("exec_us", strconv.FormatInt(exec.Microseconds(), 10))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+	}
+	return out, err
 }
 
 // deliverLocked binds a datum to a link target, returning any processors
@@ -485,16 +536,25 @@ func (st *runState) runProcessor(ctx context.Context, p *Processor) {
 	}
 	st.mu.Unlock()
 
+	// The processor span parents this processor's invocation and element
+	// spans. Downstream launches reuse the incoming ctx so sibling processors
+	// all parent to the workflow span, not to whichever processor fired last.
+	pctx, psp := telemetry.StartSpan(ctx, "processor:"+p.Name, "engine")
+	psp.SetAttr("service", p.Service)
+
 	st.emit(Event{Type: EventProcessorStarted, RunID: st.runID, WorkflowID: st.def.ID,
 		WorkflowName: st.def.Name, Processor: p.Name, Service: p.Service,
 		Annotations: p.Annotations, Inputs: inputs, Time: time.Now()})
 
 	fn, _ := st.engine.registry.Lookup(p.Service)
 	start := time.Now()
-	outputs, iterations, elements, err := st.invoke(ctx, fn, p, inputs)
+	outputs, iterations, elements, err := st.invoke(pctx, fn, p, inputs)
 	elapsed := time.Since(start)
+	psp.SetAttr("iterations", strconv.Itoa(iterations))
 
 	if err != nil {
+		psp.SetAttr("error", err.Error())
+		psp.Finish()
 		st.emit(Event{Type: EventProcessorFailed, RunID: st.runID, WorkflowID: st.def.ID,
 			WorkflowName: st.def.Name, Processor: p.Name, Service: p.Service,
 			Annotations: p.Annotations, Inputs: inputs, Iterations: iterations,
@@ -507,6 +567,7 @@ func (st *runState) runProcessor(ctx context.Context, p *Processor) {
 		st.mu.Unlock()
 		return
 	}
+	psp.Finish()
 
 	st.emit(Event{Type: EventProcessorCompleted, RunID: st.runID, WorkflowID: st.def.ID,
 		WorkflowName: st.def.Name, Processor: p.Name, Service: p.Service,

@@ -55,7 +55,7 @@ func (st *runState) invoke(ctx context.Context, fn ServiceFunc, p *Processor, in
 		return nil, 0, nil, err
 	}
 	if !iterating {
-		out, err := st.call(ctx, fn, p, Call{Inputs: inputs, Config: p.Config})
+		out, err := st.call(ctx, "invoke:"+p.Name, fn, p, Call{Inputs: inputs, Config: p.Config})
 		if err != nil {
 			return nil, 1, nil, err
 		}
@@ -68,6 +68,11 @@ func (st *runState) invoke(ctx context.Context, fn ServiceFunc, p *Processor, in
 		return st.iterateSequential(ctx, fn, p, inputs, n)
 	}
 	return st.iterateParallel(ctx, fn, p, inputs, n)
+}
+
+// elementSpanName names the span of one implicit-iteration element.
+func elementSpanName(p *Processor, i int) string {
+	return fmt.Sprintf("element:%s[%d]", p.Name, i)
 }
 
 // elementInputs binds the i-th element of every iterated input, broadcasting
@@ -108,7 +113,7 @@ func (st *runState) iterateSequential(ctx context.Context, fn ServiceFunc, p *Pr
 		}
 		callIn := elementInputs(p, inputs, i)
 		st.engine.metrics.elementsDispatched.Add(1)
-		out, err := st.call(ctx, fn, p, Call{Inputs: callIn, Config: p.Config})
+		out, err := st.call(ctx, elementSpanName(p, i), fn, p, Call{Inputs: callIn, Config: p.Config})
 		if err != nil {
 			return nil, i + 1, nil, fmt.Errorf("iteration %d: %w", i, err)
 		}
@@ -186,7 +191,7 @@ func (st *runState) iterateParallel(ctx context.Context, fn ServiceFunc, p *Proc
 				}
 				callIn := elementInputs(p, inputs, i)
 				st.engine.metrics.elementsDispatched.Add(1)
-				out, err := st.call(elemCtx, fn, p, Call{Inputs: callIn, Config: p.Config})
+				out, err := st.call(elemCtx, elementSpanName(p, i), fn, p, Call{Inputs: callIn, Config: p.Config})
 				if err == nil {
 					err = checkOutputs(p, out)
 				}

@@ -1,0 +1,82 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/workflow"
+)
+
+// TestTracingOverhead is the ci guard on the observability layer's hot-path
+// cost: the parallel detection workload with a span tracer in context must
+// finish within 5% of the identical untraced run. The workload is
+// service-latency dominated (a 1ms simulated authority call per name, the
+// regime the tracer is built for) and both sides take the minimum of several
+// interleaved rounds, so scheduler noise cancels instead of failing the
+// build.
+func TestTracingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard; skipped under -short")
+	}
+	w := getWorld(t)
+	reg := workflow.NewRegistry()
+	reg.Register("col.resolve", func(ctx context.Context, call workflow.Call) (map[string]workflow.Data, error) {
+		time.Sleep(time.Millisecond) // simulated remote authority latency
+		res, err := w.taxa.Checklist.Resolve(ctx, call.Input("name").String())
+		status := "unavailable"
+		if err == nil {
+			status = res.Status.String()
+		}
+		return map[string]workflow.Data{"result": workflow.Scalar(status)}, nil
+	})
+	reg.Register("detect.summarize", func(_ context.Context, call workflow.Call) (map[string]workflow.Data, error) {
+		n := len(call.Input("results").Items())
+		return map[string]workflow.Data{"summary": workflow.Scalar(fmt.Sprintf("%d", n))}, nil
+	})
+	def := core.DetectionWorkflow()
+	names := w.taxa.HistoricalNames[:100]
+	items := make([]workflow.Data, len(names))
+	for i, n := range names {
+		items[i] = workflow.Scalar(n)
+	}
+	in := map[string]workflow.Data{"names": workflow.List(items...)}
+
+	run := func(traced bool) time.Duration {
+		eng := workflow.NewEngine(reg)
+		eng.Parallel = 4
+		ctx := context.Background()
+		if traced {
+			ctx = telemetry.WithTracer(ctx, telemetry.NewTracer(0))
+		}
+		start := time.Now()
+		if _, err := eng.Run(ctx, def, in); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Warm both paths (first-run allocation, scheduler ramp-up).
+	run(false)
+	run(true)
+
+	const rounds = 7
+	base, traced := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < rounds; i++ {
+		if d := run(false); d < base {
+			base = d
+		}
+		if d := run(true); d < traced {
+			traced = d
+		}
+	}
+	overhead := float64(traced)/float64(base) - 1
+	t.Logf("untraced min %v, traced min %v (%+.2f%% overhead)", base, traced, 100*overhead)
+	if traced > base+base/20 {
+		t.Fatalf("tracing overhead %.2f%% exceeds the 5%% budget (untraced %v, traced %v)",
+			100*overhead, base, traced)
+	}
+}
