@@ -22,8 +22,11 @@ race:
 ## kill/resume trials plus degraded-authority assessment runs; the harness
 ## exits non-zero if a killed run fails to resume byte-identically or any
 ## run hard-fails under 50% authority availability), the /api/v1 contract
-## smoke, and the tracing-overhead guard (traced detection within 5% of
-## untraced).
+## smoke, the tracing-overhead guard (traced detection within 5% of
+## untraced), the zero-allocation guards over the provenance/telemetry/
+## storage hot paths, and a 1-iteration bench-harness smoke proving every
+## tracked benchmark still runs (numbers land in the gitignored
+## BENCH_smoke.json, not the committed trajectory).
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -35,14 +38,20 @@ ci:
 	$(GO) run ./cmd/experiments -run chaos -short
 	$(GO) test ./internal/web/ -run 'TestAPI'
 	$(GO) test -run TestTracingOverhead .
+	$(GO) test -run 'Allocs' ./internal/storage/ ./internal/telemetry/ ./internal/provenance/
+	$(GO) run ./cmd/bench -smoke
 
 ## verify: the gate for engine/concurrency/persistence changes — the ci
 ## hygiene pass (gofmt, vet, race suite) plus the full test suite.
 verify: ci
 	$(GO) test ./...
 
+## bench: the paper-reproduction benchmarks at the repo root, then the
+## hot-path suites via the bench harness, recording the perf trajectory to
+## BENCH_6.json (schema bench.v1, documented in EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/bench -out BENCH_6.json
 
 experiments:
 	$(GO) run ./cmd/experiments

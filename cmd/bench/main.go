@@ -1,0 +1,208 @@
+// Command bench runs the repository's hot-path benchmark suites and records
+// the results as a machine-readable BENCH_*.json at the repo root — the
+// performance trajectory file that lets successive PRs prove they did not
+// regress the paths the paper's workload leans on (resolution round trips,
+// provenance delta encoding, span capture, storage reads under write load).
+//
+// Usage:
+//
+//	go run ./cmd/bench                 # full run -> BENCH_6.json
+//	go run ./cmd/bench -smoke          # 1-iteration smoke -> BENCH_smoke.json
+//	go run ./cmd/bench -out FILE -benchtime 2s -count 3
+//
+// The schema ("bench.v1") is documented in EXPERIMENTS.md.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suite is one `go test -bench` invocation.
+type suite struct {
+	Package string // Go package path
+	Bench   string // -bench regex
+}
+
+// suites lists the hot paths the perf campaign tracks. Keep entries stable
+// across PRs: the trajectory is only comparable if names persist.
+var suites = []suite{
+	{Package: "./internal/taxonomy", Bench: "BenchmarkResolveBatch"},
+	{Package: "./internal/provenance", Bench: "BenchmarkDeltaEncode|BenchmarkEdgeRowEncode|BenchmarkStoreStreaming$"},
+	{Package: "./internal/storage", Bench: "BenchmarkReadUnderWrite|BenchmarkEncodeRow|BenchmarkEncodeKey"},
+	{Package: "./internal/telemetry", Bench: "BenchmarkSpanStamp|BenchmarkHistogramObserve|BenchmarkStartSpanFinish"},
+}
+
+// benchResult is one benchmark line, parsed.
+type benchResult struct {
+	Package     string             `json:"package"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+}
+
+type benchFile struct {
+	Schema     string            `json:"schema"`
+	PR         int               `json:"pr"`
+	Generated  time.Time         `json:"generated"`
+	Go         string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Settings   map[string]string `json:"settings"`
+	Benchmarks []benchResult     `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default BENCH_6.json, or BENCH_smoke.json with -smoke)")
+	smoke := flag.Bool("smoke", false, "1-iteration smoke run: proves every benchmark still executes, records no stable numbers")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (default 1s, or 1x with -smoke)")
+	count := flag.Int("count", 1, "go test -count value")
+	flag.Parse()
+
+	bt := *benchtime
+	if bt == "" {
+		if *smoke {
+			bt = "1x"
+		} else {
+			bt = "1s"
+		}
+	}
+	path := *out
+	if path == "" {
+		if *smoke {
+			path = "BENCH_smoke.json"
+		} else {
+			path = "BENCH_6.json"
+		}
+	}
+
+	file := benchFile{
+		Schema:    "bench.v1",
+		PR:        6,
+		Generated: time.Now().UTC(),
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Settings:  map[string]string{"benchtime": bt, "count": strconv.Itoa(*count)},
+	}
+
+	for _, s := range suites {
+		results, err := runSuite(s, bt, *count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", s.Package, err)
+			os.Exit(1)
+		}
+		file.Benchmarks = append(file.Benchmarks, results...)
+	}
+
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench: %d benchmarks -> %s\n", len(file.Benchmarks), path)
+}
+
+func runSuite(s suite, benchtime string, count int) ([]benchResult, error) {
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", s.Bench,
+		"-benchmem",
+		"-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
+		s.Package,
+	}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %w\n%s", err, buf.String())
+	}
+	results := parseBenchOutput(s.Package, buf.String())
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q\n%s", s.Bench, buf.String())
+	}
+	return results, nil
+}
+
+// parseBenchOutput extracts benchmark lines of the form
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   1 allocs/op   42.5 widgets/s
+//
+// Custom b.ReportMetric units land in Metrics.
+func parseBenchOutput(pkg, out string) []benchResult {
+	var results []benchResult
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := benchResult{Package: pkg, Name: name, Procs: procs, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// splitProcs separates the trailing -N GOMAXPROCS suffix from a benchmark
+// name ("BenchmarkFoo/bar-8" -> "BenchmarkFoo/bar", 8).
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return name, 1
+	}
+	return name[:i], procs
+}

@@ -132,6 +132,11 @@ type detectionSummary struct {
 // RegisterDetectionServices binds the case-study services to the given
 // taxonomic authority. Call once before running the detection workflow.
 func (s *System) RegisterDetectionServices(resolver taxonomy.Resolver) {
+	// Coalesce concurrent per-element resolutions into shared authority
+	// round trips: Parallel workers each resolve one name, and without this
+	// every worker pays its own round trip. A resolver with no batch
+	// capability comes back unchanged.
+	resolver = taxonomy.Coalesce(resolver, taxonomy.CoalescerOptions{})
 	s.Registry.Register("col.resolve", func(ctx context.Context, call workflow.Call) (map[string]workflow.Data, error) {
 		name := call.Input("name").String()
 		res, err := resolver.Resolve(ctx, name)

@@ -345,6 +345,54 @@ func (f *flakyResolver) Resolve(_ context.Context, name string) (taxonomy.Resolu
 	return taxonomy.Resolution{}, taxonomy.ErrUnavailable
 }
 
+// TestDetectBatchesThroughResilientStack is the regression test for the bug
+// where wrapping the HTTP client in the caching/resilient decorators hid its
+// batch capability from Detect's probe, silently degrading detection to one
+// round trip per name. The full production stack must still batch — and must
+// produce the same report the bare checklist does.
+func TestDetectBatchesThroughResilientStack(t *testing.T) {
+	f := newFixture(t, 800)
+	if _, err := (&Cleaner{Checklist: f.taxa.Checklist}).Clean(f.store); err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&Detector{Resolver: f.taxa.Checklist}).Detect(context.Background(), f.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(taxonomy.NewService(f.taxa.Checklist))
+	defer srv.Close()
+	client := taxonomy.NewClient(srv.URL)
+	stack := taxonomy.Coalesce(
+		taxonomy.NewResilientResolver(client, taxonomy.ResilienceOptions{}),
+		taxonomy.CoalescerOptions{},
+	)
+	report, err := (&Detector{Resolver: stack}).Detect(context.Background(), f.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if client.Attempts() != 1 {
+		t.Fatalf("decorated stack made %d authority requests, want 1 (batched)", client.Attempts())
+	}
+	if report.DistinctNames != want.DistinctNames ||
+		report.OutdatedNames != want.OutdatedNames ||
+		report.UnknownNames != want.UnknownNames ||
+		report.ResolverErrors != want.ResolverErrors {
+		t.Fatalf("stack report (distinct %d, outdated %d, unknown %d, errors %d) != checklist report (distinct %d, outdated %d, unknown %d, errors %d)",
+			report.DistinctNames, report.OutdatedNames, report.UnknownNames, report.ResolverErrors,
+			want.DistinctNames, want.OutdatedNames, want.UnknownNames, want.ResolverErrors)
+	}
+	if len(report.Renames) != len(want.Renames) {
+		t.Fatalf("stack found %d renames, checklist %d", len(report.Renames), len(want.Renames))
+	}
+	for name, to := range want.Renames {
+		if report.Renames[name] != to {
+			t.Errorf("rename %q: stack %q, checklist %q", name, report.Renames[name], to)
+		}
+	}
+}
+
 func TestDetectResolverOutage(t *testing.T) {
 	f := newFixture(t, 300)
 	det := &Detector{Resolver: &flakyResolver{}}

@@ -41,9 +41,18 @@ func (r *DetectReport) OutdatedFraction() float64 {
 }
 
 // BatchResolver is implemented by authorities that support resolving many
-// names in one round trip (taxonomy.Client does).
+// names in one round trip (taxonomy.Client and the caching/resilient
+// wrappers all do).
 type BatchResolver interface {
 	BatchResolve(ctx context.Context, names []string) ([]taxonomy.Resolution, error)
+}
+
+// DetailedBatchResolver additionally reports per-name errors, letting batch
+// detection keep the exact ResolverErrors/UnknownNames split of the
+// sequential loop (BatchResolve collapses outages into one all-or-nothing
+// error). The resilient taxonomy stack implements it.
+type DetailedBatchResolver interface {
+	BatchResolveDetail(ctx context.Context, names []string) []taxonomy.BatchResult
 }
 
 // Detector runs outdated-name detection against a taxonomic authority.
@@ -104,8 +113,14 @@ func (d *Detector) Detect(ctx context.Context, store *fnjv.Store) (*DetectReport
 		}
 	}
 	// Use the authority's batch API when available (one round trip for the
-	// whole name set), otherwise resolve name by name.
-	if br, ok := d.Resolver.(BatchResolver); ok {
+	// whole name set), otherwise resolve name by name. The detailed form is
+	// preferred: its per-name errors preserve the sequential loop's exact
+	// accounting even when only part of the batch failed.
+	if dbr, ok := d.Resolver.(DetailedBatchResolver); ok {
+		for i, r := range dbr.BatchResolveDetail(ctx, names) {
+			record(names[i], r.Resolution, r.Err)
+		}
+	} else if br, ok := d.Resolver.(BatchResolver); ok {
 		results, err := br.BatchResolve(ctx, names)
 		if err != nil {
 			report.ResolverErrors = len(names)

@@ -139,6 +139,15 @@ type BatchWriter struct {
 	// resume marks a writer re-opened on an interrupted run (NewResumeWriter):
 	// the run row already exists, so run-started becomes an update.
 	resume bool
+
+	// Flush scratch, reused across group commits so the steady-state write
+	// path stops allocating: the op list, a value arena the rows are carved
+	// from, and the annotation-blob encoder. All safe to reuse because Apply
+	// never retains caller memory — the WAL buffers the payload and the
+	// applied rows are decode copies.
+	ops    []storage.Op
+	vals   []storage.Value
+	annEnc annEncoder
 }
 
 // ErrWriterClosed is returned by Emit after Close.
@@ -296,15 +305,25 @@ func (w *BatchWriter) flush(batch []Delta, trigger string) []Delta {
 	if len(batch) == 0 {
 		return batch
 	}
+	ops := w.ops[:0]
+	w.vals = w.vals[:0]
+	w.annEnc.Reset()
 	defer func() {
 		for i := range batch {
 			batch[i] = Delta{}
 		}
+		for i := range ops {
+			ops[i] = storage.Op{} // drop row references; the arena is reused next flush
+		}
+		w.ops = ops[:0]
 	}()
 	if w.Err() != nil {
 		return batch[:0] // sticky failure: drain and discard
 	}
-	var ops []storage.Op
+	// arenaRow seals the values appended to the arena since start as one row.
+	arenaRow := func(start int) storage.Row {
+		return storage.Row(w.vals[start:len(w.vals):len(w.vals)])
+	}
 	var finishRow storage.Row
 	markDirty := func(id string, ns *wnode) {
 		if !ns.dirty {
@@ -326,12 +345,16 @@ func (w *BatchWriter) flush(batch []Delta, trigger string) []Delta {
 				}
 				// The row already exists from before the crash; the resumed
 				// execution refreshes it (same identity, still running).
-				ops = append(ops, storage.UpdateOp(runsTable, runRow(d.Info)))
+				start := len(w.vals)
+				w.vals = appendRunRow(w.vals, d.Info)
+				ops = append(ops, storage.UpdateOp(runsTable, arenaRow(start)))
 				break
 			}
 			w.runID = d.Info.RunID
 			w.runInserted = true
-			ops = append(ops, storage.InsertOp(runsTable, runRow(d.Info)))
+			start := len(w.vals)
+			w.vals = appendRunRow(w.vals, d.Info)
+			ops = append(ops, storage.InsertOp(runsTable, arenaRow(start)))
 		case DeltaAddNode:
 			if _, exists := w.nodes[d.Node.ID]; exists {
 				break // already persisted by the pre-crash prefix
@@ -348,11 +371,15 @@ func (w *BatchWriter) flush(batch []Delta, trigger string) []Delta {
 			ns.ann[d.Key] = d.Value
 			markDirty(d.NodeID, ns)
 		case DeltaAddEdge:
-			ops = append(ops, storage.InsertOp(edgesTable, edgeRow(w.runID, w.edgeSeq, d.Edge)))
+			start := len(w.vals)
+			w.vals = appendEdgeRow(w.vals, w.runID, w.edgeSeq, d.Edge)
+			ops = append(ops, storage.InsertOp(edgesTable, arenaRow(start)))
 			w.edgeSeq++
 		case DeltaRunFinished:
 			w.finalized = true
-			finishRow = runRow(d.Info)
+			start := len(w.vals)
+			w.vals = appendRunRow(w.vals, d.Info)
+			finishRow = arenaRow(start)
 		case DeltaCheckpoint:
 			if d.Checkpoint == nil {
 				w.fail(fmt.Errorf("provenance: checkpoint delta without payload"))
@@ -375,11 +402,10 @@ func (w *BatchWriter) flush(batch []Delta, trigger string) []Delta {
 	}
 	for _, id := range w.dirtyOrder {
 		ns := w.nodes[id]
-		row, err := nodeRow(w.runID, ns.node, ns.ann)
-		if err != nil {
-			w.fail(err)
-			return batch[:0]
-		}
+		ann := w.annEnc.Encode(ns.ann)
+		start := len(w.vals)
+		w.vals = appendNodeRow(w.vals, w.runID, ns.node, ann)
+		row := arenaRow(start)
 		if ns.persisted {
 			ops = append(ops, storage.UpdateOp(nodesTable, row))
 		} else {

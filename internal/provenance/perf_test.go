@@ -1,0 +1,163 @@
+package provenance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/opm"
+	"repro/internal/storage"
+)
+
+func perfNode() opm.Node {
+	return opm.Node{
+		ID:    "proc-extract",
+		Kind:  opm.KindProcess,
+		Label: "extract",
+		Value: "csv",
+	}
+}
+
+func perfEdge() opm.Edge {
+	return opm.Edge{
+		Kind:   opm.Used,
+		Effect: "proc-extract",
+		Cause:  "art-input",
+		Role:   "in",
+		Time:   time.Unix(1700000000, 0),
+	}
+}
+
+func perfAnnotations() map[string]string {
+	return map[string]string{
+		"rows":     "1024",
+		"checksum": "sha256:deadbeef",
+		"format":   "csv",
+	}
+}
+
+// TestDeltaEncodeAllocs guards the streaming flush hot path: with the
+// writer's scratch buffers warm, encoding one node delta — annotation blob
+// plus row bytes — must not allocate. This is the steady-state cost of every
+// dirty node per flush.
+func TestDeltaEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	n := perfNode()
+	ann := perfAnnotations()
+	var enc annEncoder
+	vals := make([]storage.Value, 0, 16)
+	var rowBuf []byte
+	// Warm every buffer once so steady state is measured.
+	enc.Reset()
+	vals = appendNodeRow(vals[:0], "run-000001", n, enc.Encode(ann))
+	rowBuf = storage.EncodeRow(rowBuf[:0], storage.Row(vals))
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		enc.Reset()
+		blob := enc.Encode(ann)
+		vals = appendNodeRow(vals[:0], "run-000001", n, blob)
+		rowBuf = storage.EncodeRow(rowBuf[:0], storage.Row(vals))
+	}); allocs > 1 {
+		// One allocation is permitted: the node-key string itself
+		// (runID + "/" + nodeID), which must escape into the row.
+		t.Fatalf("node delta encode allocates %.1f/op, want <= 1", allocs)
+	}
+}
+
+// TestRowEncodeAllocs pins the codec itself at zero: re-encoding a prebuilt
+// row into a warm buffer performs no allocation at all.
+func TestRowEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	row := runRow(RunInfo{
+		RunID: "run-000001", WorkflowID: "wf-1", WorkflowName: "perf",
+		StartedAt: time.Unix(1700000000, 0), Status: RunRunning,
+	})
+	buf := storage.EncodeRow(nil, row)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = storage.EncodeRow(buf[:0], row)
+	}); allocs != 0 {
+		t.Fatalf("EncodeRow allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEdgeKeyFormat pins the cheap edge-key renderer to fmt's "%s/%06d".
+func TestEdgeKeyFormat(t *testing.T) {
+	cases := map[int]string{
+		0:       "r1/000000",
+		7:       "r1/000007",
+		123456:  "r1/123456",
+		999999:  "r1/999999",
+		1000000: "r1/1000000",
+		-3:      "r1/-00003",
+	}
+	for seq, want := range cases {
+		if got, viaFmt := edgeKey("r1", seq), fmt.Sprintf("r1/%06d", seq); got != viaFmt || got != want {
+			t.Errorf("edgeKey(r1, %d) = %q, want %q (fmt renders %q)", seq, got, want, viaFmt)
+		}
+	}
+}
+
+// TestAnnEncoderMatchesEncodeAnnotations proves the pooled encoder is
+// byte-identical to the monolithic path's encoder for every shape of map,
+// including reuse across differently-sized maps.
+func TestAnnEncoderMatchesEncodeAnnotations(t *testing.T) {
+	var enc annEncoder
+	maps := []map[string]string{
+		nil,
+		{},
+		{"a": "1"},
+		perfAnnotations(),
+		{"z": "last", "a": "first", "m": "mid"},
+	}
+	for round := 0; round < 2; round++ { // second round exercises buffer reuse
+		enc.Reset()
+		for i, m := range maps {
+			want, err := encodeAnnotations(m)
+			if err != nil {
+				t.Fatalf("encodeAnnotations(%d): %v", i, err)
+			}
+			if got := enc.Encode(m); !bytes.Equal(got, want) {
+				t.Errorf("round %d map %d: annEncoder %x, encodeAnnotations %x", round, i, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkDeltaEncode measures the full per-node delta cost on the
+// streaming flush path: annotation blob, arena row, encoded bytes.
+func BenchmarkDeltaEncode(b *testing.B) {
+	n := perfNode()
+	ann := perfAnnotations()
+	var enc annEncoder
+	vals := make([]storage.Value, 0, 16)
+	var rowBuf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		blob := enc.Encode(ann)
+		vals = appendNodeRow(vals[:0], "run-000001", n, blob)
+		rowBuf = storage.EncodeRow(rowBuf[:0], storage.Row(vals))
+	}
+	_ = rowBuf
+}
+
+// BenchmarkEdgeRowEncode measures the per-edge delta cost (key render, arena
+// row, encoded bytes).
+func BenchmarkEdgeRowEncode(b *testing.B) {
+	e := perfEdge()
+	vals := make([]storage.Value, 0, 16)
+	var rowBuf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals = appendEdgeRow(vals[:0], "run-000001", i&0xffff, e)
+		rowBuf = storage.EncodeRow(rowBuf[:0], storage.Row(vals))
+	}
+	_ = rowBuf
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package provenance
+
+const raceEnabled = false

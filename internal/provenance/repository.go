@@ -17,6 +17,10 @@ import (
 // paths produce identical rows.
 type Repository struct {
 	db *storage.DB
+	// src is the read side: the live db for a primary repository, or an
+	// immutable storage.View for repositories produced by View(). All query
+	// methods go through src; writes always go through db.
+	src storage.TableSource
 }
 
 // Table names.
@@ -110,14 +114,26 @@ func NewRepository(db *storage.DB) (*Repository, error) {
 			return nil, err
 		}
 	}
-	return &Repository{db: db}, nil
+	return &Repository{db: db, src: db}, nil
+}
+
+// View returns a repository whose reads run against an immutable
+// point-in-time snapshot of the database: queries scan without touching the
+// writer lock, so graph reconstruction and paging never stall (or get
+// stalled by) an active run's provenance stream. Acquisition is O(tables).
+// Writes through the returned repository still reach the live database, but
+// a view is meant for reads — its queries will not see them.
+func (r *Repository) View() *Repository {
+	return &Repository{db: r.db, src: r.db.View()}
 }
 
 // --- row builders, shared by Store and the BatchWriter so both persistence
-// paths produce byte-identical rows ---
+// paths produce byte-identical rows. The append variants write into a caller
+// value arena so the streaming writer's steady state allocates no row slices;
+// the plain variants wrap them for the monolithic path. ---
 
-func runRow(info RunInfo) storage.Row {
-	return storage.Row{
+func appendRunRow(dst []storage.Value, info RunInfo) []storage.Value {
+	return append(dst,
 		storage.S(info.RunID),
 		storage.S(info.WorkflowID),
 		storage.S(info.WorkflowName),
@@ -125,17 +141,17 @@ func runRow(info RunInfo) storage.Row {
 		timeOrNull(info.FinishedAt),
 		storage.S(string(info.Status)),
 		storage.S(info.Error),
-	}
+	)
+}
+
+func runRow(info RunInfo) storage.Row {
+	return storage.Row(appendRunRow(make([]storage.Value, 0, 7), info))
 }
 
 func nodeKey(runID, nodeID string) string { return runID + "/" + nodeID }
 
-func nodeRow(runID string, n opm.Node, annotations map[string]string) (storage.Row, error) {
-	ann, err := encodeAnnotations(annotations)
-	if err != nil {
-		return nil, err
-	}
-	return storage.Row{
+func appendNodeRow(dst []storage.Value, runID string, n opm.Node, ann []byte) []storage.Value {
+	return append(dst,
 		storage.S(nodeKey(runID, n.ID)),
 		storage.S(runID),
 		storage.S(n.ID),
@@ -143,13 +159,36 @@ func nodeRow(runID string, n opm.Node, annotations map[string]string) (storage.R
 		storage.S(n.Label),
 		storage.S(n.Value),
 		storage.Bytes(ann),
-	}, nil
+	)
 }
 
-func edgeKey(runID string, seq int) string { return fmt.Sprintf("%s/%06d", runID, seq) }
+func nodeRow(runID string, n opm.Node, annotations map[string]string) (storage.Row, error) {
+	ann, err := encodeAnnotations(annotations)
+	if err != nil {
+		return nil, err
+	}
+	return storage.Row(appendNodeRow(make([]storage.Value, 0, 7), runID, n, ann)), nil
+}
 
-func edgeRow(runID string, seq int, e opm.Edge) storage.Row {
-	return storage.Row{
+// edgeKey renders "runID/seq" with the sequence zero-padded to six digits —
+// the persisted key format, so the rendering must never change. The manual
+// formatting keeps the per-edge cost at the single string allocation.
+func edgeKey(runID string, seq int) string {
+	if seq < 0 || seq > 999999 {
+		return fmt.Sprintf("%s/%06d", runID, seq) // out-of-range: defer to fmt's widening
+	}
+	var d [7]byte
+	d[0] = '/'
+	v := seq
+	for i := 6; i >= 1; i-- {
+		d[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return runID + string(d[:])
+}
+
+func appendEdgeRow(dst []storage.Value, runID string, seq int, e opm.Edge) []storage.Value {
+	return append(dst,
 		storage.S(edgeKey(runID, seq)),
 		storage.S(runID),
 		storage.I(int64(e.Kind)),
@@ -158,7 +197,11 @@ func edgeRow(runID string, seq int, e opm.Edge) storage.Row {
 		storage.S(e.Role),
 		storage.S(e.Account),
 		timeOrNull(e.Time),
-	}
+	)
+}
+
+func edgeRow(runID string, seq int, e opm.Edge) storage.Row {
+	return storage.Row(appendEdgeRow(make([]storage.Value, 0, 8), runID, seq, e))
 }
 
 // Store persists a captured run and its graph atomically — the legacy
@@ -191,7 +234,7 @@ func timeOrNull(t time.Time) storage.Value {
 
 // Run loads the summary of one run.
 func (r *Repository) Run(runID string) (RunInfo, error) {
-	row, err := r.db.Table(runsTable).Get(storage.S(runID))
+	row, err := r.src.Table(runsTable).Get(storage.S(runID))
 	if err != nil {
 		if errors.Is(err, storage.ErrNotFound) {
 			return RunInfo{}, fmt.Errorf("%w: %q", ErrRunNotFound, runID)
@@ -218,7 +261,7 @@ func rowToInfo(row storage.Row) RunInfo {
 
 // Runs lists every run of a workflow, ordered by run ID.
 func (r *Repository) Runs(workflowID string) ([]RunInfo, error) {
-	rows, err := r.db.Table(runsTable).Lookup("workflow_id", storage.S(workflowID))
+	rows, err := r.src.Table(runsTable).Lookup("workflow_id", storage.S(workflowID))
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +275,7 @@ func (r *Repository) Runs(workflowID string) ([]RunInfo, error) {
 // AllRuns lists every stored run in run-ID order.
 func (r *Repository) AllRuns() []RunInfo {
 	var out []RunInfo
-	r.db.Table(runsTable).Scan(func(row storage.Row) bool {
+	r.src.Table(runsTable).Scan(func(row storage.Row) bool {
 		out = append(out, rowToInfo(row))
 		return true
 	})
@@ -249,7 +292,7 @@ func (r *Repository) RunsPage(after string, limit int) ([]RunInfo, string, error
 	}
 	out := make([]RunInfo, 0, limit)
 	more := false
-	r.db.Table(runsTable).ScanFrom(storage.S(after), func(row storage.Row) bool {
+	r.src.Table(runsTable).ScanFrom(storage.S(after), func(row storage.Row) bool {
 		info := rowToInfo(row)
 		if info.RunID == after {
 			return true // ScanFrom is inclusive; pagination resumes after
@@ -281,7 +324,7 @@ func (r *Repository) NodesPage(runID, after string, limit int) ([]*opm.Node, str
 	out := make([]*opm.Node, 0, limit)
 	more := false
 	var scanErr error
-	r.db.Table(nodesTable).ScanFrom(storage.S(nodeKey(runID, after)), func(row storage.Row) bool {
+	r.src.Table(nodesTable).ScanFrom(storage.S(nodeKey(runID, after)), func(row storage.Row) bool {
 		if row.Get(nodesSchema, "run_id").Str() != runID {
 			return false // walked past the run's key range
 		}
@@ -323,7 +366,7 @@ func (r *Repository) EdgesPage(runID string, after, limit int) ([]opm.Edge, int,
 	out := make([]opm.Edge, 0, limit)
 	next := -1
 	seq := after
-	r.db.Table(edgesTable).ScanFrom(storage.S(edgeKey(runID, after+1)), func(row storage.Row) bool {
+	r.src.Table(edgesTable).ScanFrom(storage.S(edgeKey(runID, after+1)), func(row storage.Row) bool {
 		if row.Get(edgesSchema, "run_id").Str() != runID {
 			return false
 		}
@@ -372,7 +415,7 @@ func (r *Repository) Graph(runID string) (*opm.Graph, error) {
 		return nil, err
 	}
 	g := opm.NewGraph()
-	nodeRows, err := r.db.Table(nodesTable).Lookup("run_id", storage.S(runID))
+	nodeRows, err := r.src.Table(nodesTable).Lookup("run_id", storage.S(runID))
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +428,7 @@ func (r *Repository) Graph(runID string) (*opm.Graph, error) {
 			return nil, err
 		}
 	}
-	edgeRows, err := r.db.Table(edgesTable).Lookup("run_id", storage.S(runID))
+	edgeRows, err := r.src.Table(edgesTable).Lookup("run_id", storage.S(runID))
 	if err != nil {
 		return nil, err
 	}
@@ -402,7 +445,7 @@ func (r *Repository) Graph(runID string) (*opm.Graph, error) {
 // directly instead of reconstructing the run's whole graph.
 func (r *Repository) QualityOfProcess(runID, processor string) (map[string]string, error) {
 	nid := "p:" + runID + "/" + processor
-	row, err := r.db.Table(nodesTable).Get(storage.S(nodeKey(runID, nid)))
+	row, err := r.src.Table(nodesTable).Get(storage.S(nodeKey(runID, nid)))
 	if err != nil {
 		if !errors.Is(err, storage.ErrNotFound) {
 			return nil, err
@@ -447,7 +490,7 @@ func (r *Repository) UnionGraph(runIDs ...string) (*opm.Graph, error) {
 // runsWithEdge resolves run IDs via the secondary index on the given edge
 // column, keeping only edges of the wanted kind.
 func (r *Repository) runsWithEdge(column, nodeID string, kind opm.EdgeKind) ([]string, error) {
-	rows, err := r.db.Table(edgesTable).Lookup(column, storage.S(nodeID))
+	rows, err := r.src.Table(edgesTable).Lookup(column, storage.S(nodeID))
 	if err != nil {
 		return nil, err
 	}
@@ -477,6 +520,33 @@ func (r *Repository) RunsUsingArtifact(artifactID string) ([]string, error) {
 // given artifact, via an index probe on edge effect.
 func (r *Repository) RunsGeneratingArtifact(artifactID string) ([]string, error) {
 	return r.runsWithEdge("effect", artifactID, opm.WasGeneratedBy)
+}
+
+// annEncoder reuses the sort and row scratch needed to build annotation
+// blobs. Encode carves each blob out of an internal arena that stays valid
+// until the next Reset, so a flush encoding many dirty nodes allocates
+// nothing once warm. Output is byte-identical to encodeAnnotations.
+type annEncoder struct {
+	keys []string
+	row  storage.Row
+	buf  []byte
+}
+
+func (e *annEncoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *annEncoder) Encode(m map[string]string) []byte {
+	e.keys = e.keys[:0]
+	for k := range m {
+		e.keys = append(e.keys, k)
+	}
+	sort.Strings(e.keys)
+	e.row = e.row[:0]
+	for _, k := range e.keys {
+		e.row = append(e.row, storage.S(k), storage.S(m[k]))
+	}
+	start := len(e.buf)
+	e.buf = storage.EncodeRow(e.buf, e.row)
+	return e.buf[start:len(e.buf):len(e.buf)]
 }
 
 // annotation encoding: simple length-prefixed key/value pairs via the row

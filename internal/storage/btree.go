@@ -2,24 +2,73 @@ package storage
 
 import "bytes"
 
+// cowCtx is a copy-on-write ownership token. A node whose cow field points at
+// a tree's current context may be mutated in place by that tree; any other
+// node must be copied (adopting the context) before mutation. Cloning a tree
+// hands BOTH trees fresh contexts, so whichever side writes a shared node
+// first copies it and the other side never observes the change.
+type cowCtx struct{ _ byte } // non-empty: distinct allocations must compare unequal
+
 // btree is an in-memory B-tree keyed by []byte with arbitrary values. It is
-// not safe for concurrent mutation; Table serializes access.
+// not safe for concurrent mutation; Table serializes access. clone gives a
+// point-in-time copy in O(1) via structural sharing — the basis of DB.View's
+// lock-free read snapshots.
 type btree struct {
 	root   *btreeNode
 	degree int // minimum degree t: nodes hold t-1..2t-1 keys (root may hold fewer)
 	size   int
+	cow    *cowCtx
 }
 
 type btreeNode struct {
 	keys     [][]byte
 	vals     []any
 	children []*btreeNode // nil for leaves
+	cow      *cowCtx
 }
 
 const defaultBTreeDegree = 32
 
 func newBTree() *btree {
-	return &btree{degree: defaultBTreeDegree, root: &btreeNode{}}
+	cow := new(cowCtx)
+	return &btree{degree: defaultBTreeDegree, root: &btreeNode{cow: cow}, cow: cow}
+}
+
+// clone returns a point-in-time copy sharing every current node. Both trees
+// get fresh ownership contexts, so each copies shared nodes on first write.
+// The caller must hold the tree's writer lock for the clone call itself;
+// afterwards reads of the clone need no coordination with writes to the
+// original (writers never mutate a node a snapshot can reach).
+func (t *btree) clone() *btree {
+	out := *t
+	t.cow = new(cowCtx)
+	out.cow = new(cowCtx)
+	return &out
+}
+
+// mutableFor returns a node the cow context owns: n itself when already
+// owned, else a copy with fresh backing arrays (key slices and child
+// pointers are shared — keys are never mutated in place, children are
+// copied on their own first write). The caller links the copy into place.
+func (n *btreeNode) mutableFor(cow *cowCtx) *btreeNode {
+	if n.cow == cow {
+		return n
+	}
+	out := &btreeNode{cow: cow}
+	out.keys = append(make([][]byte, 0, cap(n.keys)), n.keys...)
+	out.vals = append(make([]any, 0, cap(n.vals)), n.vals...)
+	if len(n.children) > 0 {
+		out.children = append(make([]*btreeNode, 0, cap(n.children)), n.children...)
+	}
+	return out
+}
+
+// mutableChild makes children[i] writable under n's context and re-links it.
+// n itself must already be owned.
+func (n *btreeNode) mutableChild(i int) *btreeNode {
+	c := n.children[i].mutableFor(n.cow)
+	n.children[i] = c
+	return c
 }
 
 func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
@@ -63,10 +112,11 @@ func (t *btree) Len() int { return t.size }
 // Set inserts or replaces the value under key. It reports whether the key
 // was newly inserted.
 func (t *btree) Set(key []byte, val any) bool {
+	t.root = t.root.mutableFor(t.cow)
 	max := 2*t.degree - 1
 	if len(t.root.keys) == max {
 		old := t.root
-		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root = &btreeNode{children: []*btreeNode{old}, cow: t.cow}
 		t.root.splitChild(0, t.degree)
 	}
 	inserted := t.root.insertNonFull(key, val, t.degree)
@@ -77,9 +127,10 @@ func (t *btree) Set(key []byte, val any) bool {
 }
 
 func (n *btreeNode) splitChild(i, degree int) {
-	child := n.children[i]
+	child := n.mutableChild(i)
 	mid := degree - 1
 	right := &btreeNode{
+		cow:  n.cow,
 		keys: append([][]byte(nil), child.keys[mid+1:]...),
 		vals: append([]any(nil), child.vals[mid+1:]...),
 	}
@@ -102,6 +153,8 @@ func (n *btreeNode) splitChild(i, degree int) {
 	n.children[i+1] = right
 }
 
+// insertNonFull descends from an owned node, making each visited child
+// writable before stepping into it.
 func (n *btreeNode) insertNonFull(key []byte, val any, degree int) bool {
 	for {
 		i, ok := n.find(key)
@@ -127,22 +180,26 @@ func (n *btreeNode) insertNonFull(key []byte, val any, degree int) bool {
 				i++
 			}
 		}
-		n = n.children[i]
+		n = n.mutableChild(i)
 	}
 }
 
 // Delete removes key from the tree, reporting whether it was present.
 func (t *btree) Delete(key []byte) bool {
-	if !t.root.delete(key, t.degree) {
+	root := t.root.mutableFor(t.cow)
+	t.root = root
+	if !root.delete(key, t.degree) {
 		return false
 	}
-	if len(t.root.keys) == 0 && !t.root.leaf() {
-		t.root = t.root.children[0]
+	if len(root.keys) == 0 && !root.leaf() {
+		t.root = root.children[0]
 	}
 	t.size--
 	return true
 }
 
+// delete runs on an owned node; every child it mutates or descends into is
+// made writable first.
 func (n *btreeNode) delete(key []byte, degree int) bool {
 	i, ok := n.find(key)
 	if n.leaf() {
@@ -156,14 +213,16 @@ func (n *btreeNode) delete(key []byte, degree int) bool {
 	if ok {
 		// Replace with predecessor or successor, or merge.
 		if len(n.children[i].keys) >= degree {
-			pk, pv := n.children[i].max()
+			child := n.mutableChild(i)
+			pk, pv := child.max()
 			n.keys[i], n.vals[i] = pk, pv
-			return n.children[i].delete(pk, degree)
+			return child.delete(pk, degree)
 		}
 		if len(n.children[i+1].keys) >= degree {
-			sk, sv := n.children[i+1].min()
+			child := n.mutableChild(i + 1)
+			sk, sv := child.min()
 			n.keys[i], n.vals[i] = sk, sv
-			return n.children[i+1].delete(sk, degree)
+			return child.delete(sk, degree)
 		}
 		n.merge(i)
 		return n.children[i].delete(key, degree)
@@ -172,7 +231,7 @@ func (n *btreeNode) delete(key []byte, degree int) bool {
 	if len(n.children[i].keys) < degree {
 		i = n.fill(i, degree)
 	}
-	return n.children[i].delete(key, degree)
+	return n.mutableChild(i).delete(key, degree)
 }
 
 // fill ensures children[i] has at least degree keys, borrowing or merging.
@@ -193,7 +252,7 @@ func (n *btreeNode) fill(i, degree int) int {
 }
 
 func (n *btreeNode) borrowFromLeft(i int) {
-	child, left := n.children[i], n.children[i-1]
+	child, left := n.mutableChild(i), n.mutableChild(i-1)
 	child.keys = append([][]byte{n.keys[i-1]}, child.keys...)
 	child.vals = append([]any{n.vals[i-1]}, child.vals...)
 	n.keys[i-1] = left.keys[len(left.keys)-1]
@@ -207,7 +266,7 @@ func (n *btreeNode) borrowFromLeft(i int) {
 }
 
 func (n *btreeNode) borrowFromRight(i int) {
-	child, right := n.children[i], n.children[i+1]
+	child, right := n.mutableChild(i), n.mutableChild(i+1)
 	child.keys = append(child.keys, n.keys[i])
 	child.vals = append(child.vals, n.vals[i])
 	n.keys[i] = right.keys[0]
@@ -222,7 +281,8 @@ func (n *btreeNode) borrowFromRight(i int) {
 
 // merge folds children[i+1] and keys[i] into children[i].
 func (n *btreeNode) merge(i int) {
-	child, right := n.children[i], n.children[i+1]
+	child := n.mutableChild(i)
+	right := n.children[i+1] // read-only: its contents are copied into child
 	child.keys = append(child.keys, n.keys[i])
 	child.vals = append(child.vals, n.vals[i])
 	child.keys = append(child.keys, right.keys...)

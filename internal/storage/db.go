@@ -30,6 +30,12 @@ type DB struct {
 	log    *wal
 	tables map[string]*Table
 	closed bool
+
+	// encBuf is the reusable Apply payload buffer. Guarded by mu (held
+	// exclusively for the whole Apply); safe to reuse because the WAL copies
+	// the payload into its write buffer and applyPayload's decode copies
+	// every string and byte slice into the stored rows.
+	encBuf []byte
 }
 
 const (
@@ -351,7 +357,7 @@ func (db *DB) Apply(ops ...Op) error {
 	if err := db.validateOps(ops); err != nil {
 		return err
 	}
-	payload := binary.AppendUvarint(nil, uint64(len(ops)))
+	payload := binary.AppendUvarint(db.encBuf[:0], uint64(len(ops)))
 	var err error
 	for _, op := range ops {
 		payload, err = encodeOp(payload, op)
@@ -359,6 +365,7 @@ func (db *DB) Apply(ops ...Op) error {
 			return err
 		}
 	}
+	db.encBuf = payload
 	if err := db.log.Append(payload); err != nil {
 		return err
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package storage
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count guards skip under -race: instrumentation changes the
+// allocation profile, so the counts only hold in plain builds.
+const raceEnabled = true

@@ -9,6 +9,15 @@ import (
 // ErrNotFound is returned when a key or record does not exist.
 var ErrNotFound = errors.New("storage: not found")
 
+// keyBufs pools scratch buffers for EncodeKey on read and index-maintenance
+// paths, so steady-state point lookups and row application do not allocate a
+// fresh key per call. Safe because the B-tree copies keys on insert and
+// lookups never retain the probe key.
+var keyBufs = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
+func getKeyBuf() *[]byte  { return keyBufs.Get().(*[]byte) }
+func putKeyBuf(b *[]byte) { keyBufs.Put(b) }
+
 // ErrDuplicate is returned when inserting a primary key that already exists.
 var ErrDuplicate = errors.New("storage: duplicate key")
 
@@ -55,7 +64,10 @@ func (t *Table) Get(pk Value) (Row, error) {
 }
 
 func (t *Table) getLocked(pk Value) (Row, error) {
-	v, ok := t.primary.Get(EncodeKey(nil, pk))
+	kb := getKeyBuf()
+	*kb = EncodeKey((*kb)[:0], pk)
+	v, ok := t.primary.Get(*kb)
+	putKeyBuf(kb)
 	if !ok {
 		return nil, fmt.Errorf("%w: table %q pk %s", ErrNotFound, t.schema.Table, pk)
 	}
@@ -65,38 +77,44 @@ func (t *Table) getLocked(pk Value) (Row, error) {
 // Has reports whether a row with the given primary key exists.
 func (t *Table) Has(pk Value) bool {
 	defer t.rlock()()
-	_, ok := t.primary.Get(EncodeKey(nil, pk))
-	return ok
+	return t.hasLocked(pk)
 }
 
 // hasLocked is Has without locking, for use under the DB write lock.
 func (t *Table) hasLocked(pk Value) bool {
-	_, ok := t.primary.Get(EncodeKey(nil, pk))
+	kb := getKeyBuf()
+	*kb = EncodeKey((*kb)[:0], pk)
+	_, ok := t.primary.Get(*kb)
+	putKeyBuf(kb)
 	return ok
 }
 
-// secondaryKey builds the composite (value, pk) key used in secondary trees
+// secondaryKey appends the composite (value, pk) key used in secondary trees
 // so that duplicate column values coexist.
-func secondaryKey(val, pk Value) []byte {
-	k := EncodeKey(nil, val)
-	return EncodeKey(k, pk)
+func secondaryKey(dst []byte, val, pk Value) []byte {
+	return EncodeKey(EncodeKey(dst, val), pk)
 }
 
 func (t *Table) applyInsert(row Row) error {
-	pkKey := EncodeKey(nil, row[0])
+	kb := getKeyBuf()
+	defer putKeyBuf(kb)
+	pkKey := EncodeKey((*kb)[:0], row[0])
 	if _, exists := t.primary.Get(pkKey); exists {
 		return fmt.Errorf("%w: table %q pk %s", ErrDuplicate, t.schema.Table, row[0])
 	}
 	t.primary.Set(pkKey, row)
+	// pkKey was copied by Set; the buffer is free for the index keys.
 	for col, idx := range t.secondary {
 		ci := t.schema.Index(col)
-		idx.Set(secondaryKey(row[ci], row[0]), row[0])
+		idx.Set(secondaryKey((*kb)[:0], row[ci], row[0]), row[0])
 	}
 	return nil
 }
 
 func (t *Table) applyUpdate(row Row) error {
-	pkKey := EncodeKey(nil, row[0])
+	kb := getKeyBuf()
+	defer putKeyBuf(kb)
+	pkKey := EncodeKey((*kb)[:0], row[0])
 	oldAny, exists := t.primary.Get(pkKey)
 	if !exists {
 		return fmt.Errorf("%w: table %q pk %s", ErrNotFound, t.schema.Table, row[0])
@@ -106,15 +124,17 @@ func (t *Table) applyUpdate(row Row) error {
 	for col, idx := range t.secondary {
 		ci := t.schema.Index(col)
 		if !old[ci].Equal(row[ci]) {
-			idx.Delete(secondaryKey(old[ci], row[0]))
-			idx.Set(secondaryKey(row[ci], row[0]), row[0])
+			idx.Delete(secondaryKey((*kb)[:0], old[ci], row[0]))
+			idx.Set(secondaryKey((*kb)[:0], row[ci], row[0]), row[0])
 		}
 	}
 	return nil
 }
 
 func (t *Table) applyDelete(pk Value) error {
-	pkKey := EncodeKey(nil, pk)
+	kb := getKeyBuf()
+	defer putKeyBuf(kb)
+	pkKey := EncodeKey((*kb)[:0], pk)
 	oldAny, exists := t.primary.Get(pkKey)
 	if !exists {
 		return fmt.Errorf("%w: table %q pk %s", ErrNotFound, t.schema.Table, pk)
@@ -123,7 +143,7 @@ func (t *Table) applyDelete(pk Value) error {
 	t.primary.Delete(pkKey)
 	for col, idx := range t.secondary {
 		ci := t.schema.Index(col)
-		idx.Delete(secondaryKey(old[ci], pk))
+		idx.Delete(secondaryKey((*kb)[:0], old[ci], pk))
 	}
 	return nil
 }
@@ -137,9 +157,11 @@ func (t *Table) applyCreateIndex(col string) error {
 		return nil // idempotent: replay may re-create
 	}
 	idx := newBTree()
+	kb := getKeyBuf()
+	defer putKeyBuf(kb)
 	t.primary.Ascend(nil, nil, func(_ []byte, v any) bool {
 		row := v.(Row)
-		idx.Set(secondaryKey(row[ci], row[0]), row[0])
+		idx.Set(secondaryKey((*kb)[:0], row[ci], row[0]), row[0])
 		return true
 	})
 	t.secondary[col] = idx
@@ -167,7 +189,9 @@ func (t *Table) Scan(fn func(Row) bool) {
 // re-walking the prefix. The same locking rules as Scan apply.
 func (t *Table) ScanFrom(from Value, fn func(Row) bool) {
 	defer t.rlock()()
-	t.primary.Ascend(EncodeKey(nil, from), nil, func(_ []byte, v any) bool {
+	kb := getKeyBuf()
+	defer putKeyBuf(kb)
+	t.primary.Ascend(EncodeKey((*kb)[:0], from), nil, func(_ []byte, v any) bool {
 		return fn(v.(Row))
 	})
 }
@@ -198,8 +222,11 @@ func (t *Table) Lookup(col string, val Value) ([]Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: table %q has no index on %q", ErrNotFound, t.schema.Table, col)
 	}
-	from := EncodeKey(nil, val)
-	to := append(append([]byte(nil), from...), 0xFF)
+	kb, kb2 := getKeyBuf(), getKeyBuf()
+	defer putKeyBuf(kb)
+	defer putKeyBuf(kb2)
+	from := EncodeKey((*kb)[:0], val)
+	to := append(append((*kb2)[:0], from...), 0xFF)
 	var out []Row
 	idx.Ascend(from, to, func(_ []byte, pkAny any) bool {
 		row, err := t.getLocked(pkAny.(Value))
@@ -223,8 +250,11 @@ func (t *Table) LookupRange(col string, lo, hi Value) ([]Row, error) {
 	if lo.IsNull() || hi.IsNull() {
 		return nil, fmt.Errorf("storage: LookupRange bounds must be non-null")
 	}
-	from := EncodeKey(nil, lo)
-	to := append(EncodeKey(nil, hi), 0xFF) // include all pk suffixes of hi
+	kb, kb2 := getKeyBuf(), getKeyBuf()
+	defer putKeyBuf(kb)
+	defer putKeyBuf(kb2)
+	from := EncodeKey((*kb)[:0], lo)
+	to := append(EncodeKey((*kb2)[:0], hi), 0xFF) // include all pk suffixes of hi
 	var out []Row
 	idx.Ascend(from, to, func(_ []byte, pkAny any) bool {
 		row, err := t.getLocked(pkAny.(Value))

@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBTreeCloneIsolation hammers a tree and its clone with divergent edits
+// and checks neither side observes the other's writes.
+func TestBTreeCloneIsolation(t *testing.T) {
+	orig := newBTree()
+	for i := 0; i < 5000; i++ {
+		orig.Set([]byte(fmt.Sprintf("k%05d", i)), i)
+	}
+	snap := orig.clone()
+
+	// Diverge: delete evens and rewrite odds in the original, leave the clone.
+	for i := 0; i < 5000; i += 2 {
+		orig.Delete([]byte(fmt.Sprintf("k%05d", i)))
+	}
+	for i := 1; i < 5000; i += 2 {
+		orig.Set([]byte(fmt.Sprintf("k%05d", i)), -i)
+	}
+	// Insert fresh keys into the clone; the original must not see them.
+	for i := 5000; i < 5200; i++ {
+		snap.Set([]byte(fmt.Sprintf("k%05d", i)), i)
+	}
+
+	if snap.Len() != 5200 {
+		t.Fatalf("clone Len = %d, want 5200", snap.Len())
+	}
+	if orig.Len() != 2500 {
+		t.Fatalf("original Len = %d, want 2500", orig.Len())
+	}
+	for i := 0; i < 5000; i++ {
+		k := []byte(fmt.Sprintf("k%05d", i))
+		v, ok := snap.Get(k)
+		if !ok || v.(int) != i {
+			t.Fatalf("clone Get(%s) = %v,%v; want pre-divergence %d", k, v, ok, i)
+		}
+		ov, ook := orig.Get(k)
+		if i%2 == 0 {
+			if ook {
+				t.Fatalf("original still has deleted key %s", k)
+			}
+		} else if !ook || ov.(int) != -i {
+			t.Fatalf("original Get(%s) = %v,%v; want %d", k, ov, ook, -i)
+		}
+	}
+	if _, ok := orig.Get([]byte("k05100")); ok {
+		t.Fatal("original sees key inserted into the clone")
+	}
+}
+
+// TestBTreeCloneRandomized replays random divergent op sequences against map
+// references for both sides.
+func TestBTreeCloneRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bt := newBTree()
+	ref := map[string]int{}
+	for op := 0; op < 4000; op++ {
+		k := fmt.Sprintf("%04d", rng.Intn(800))
+		bt.Set([]byte(k), op)
+		ref[k] = op
+	}
+	snap := bt.clone()
+	snapRef := make(map[string]int, len(ref))
+	for k, v := range ref {
+		snapRef[k] = v
+	}
+	for op := 0; op < 8000; op++ {
+		k := fmt.Sprintf("%04d", rng.Intn(1000))
+		if rng.Intn(3) == 0 {
+			bt.Delete([]byte(k))
+			delete(ref, k)
+		} else {
+			bt.Set([]byte(k), -op)
+			ref[k] = -op
+		}
+		// Occasionally mutate the snapshot too: clones are full trees.
+		if op%5 == 0 {
+			k2 := fmt.Sprintf("%04d", rng.Intn(1000))
+			snap.Set([]byte(k2), op)
+			snapRef[k2] = op
+		}
+	}
+	check := func(name string, tr *btree, want map[string]int) {
+		if tr.Len() != len(want) {
+			t.Fatalf("%s Len = %d, want %d", name, tr.Len(), len(want))
+		}
+		for k, v := range want {
+			got, ok := tr.Get([]byte(k))
+			if !ok || got.(int) != v {
+				t.Fatalf("%s Get(%s) = %v,%v; want %d", name, k, got, ok, v)
+			}
+		}
+	}
+	check("original", bt, ref)
+	check("clone", snap, snapRef)
+}
+
+// TestDBViewSnapshotIsolation verifies a View is frozen at acquisition time
+// while the live DB keeps changing, including secondary-index reads.
+func TestDBViewSnapshotIsolation(t *testing.T) {
+	db := openTestDB(t, Options{Sync: SyncNever})
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("recordings", "species"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		row := Row{S(fmt.Sprintf("r%03d", i)), S("sp-a"), I(int64(i)), Null()}
+		if err := db.Insert("recordings", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := db.View()
+
+	// Mutate the live DB after the view: delete half, retag the rest.
+	for i := 0; i < 100; i += 2 {
+		if err := db.Delete("recordings", S(fmt.Sprintf("r%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 100; i += 2 {
+		row := Row{S(fmt.Sprintf("r%03d", i)), S("sp-b"), I(int64(i)), Null()}
+		if err := db.Update("recordings", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	vt := view.Table("recordings")
+	if vt.Len() != 100 {
+		t.Fatalf("view Len = %d, want 100", vt.Len())
+	}
+	rows, err := vt.Lookup("species", S("sp-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("view index Lookup(sp-a) = %d rows, want 100", len(rows))
+	}
+	if got, err := vt.Get(S("r000")); err != nil || got[1].Str() != "sp-a" {
+		t.Fatalf("view Get(r000) = %v, %v; want sp-a row", got, err)
+	}
+	// Live side reflects the mutations.
+	if n := db.Table("recordings").Len(); n != 50 {
+		t.Fatalf("live Len = %d, want 50", n)
+	}
+	liveRows, err := db.Table("recordings").Lookup("species", S("sp-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveRows) != 50 {
+		t.Fatalf("live index Lookup(sp-b) = %d rows, want 50", len(liveRows))
+	}
+	// A table created after the view is invisible through it.
+	s2, err := NewSchema("later", Column{Name: "id", Kind: KindString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(s2); err != nil {
+		t.Fatal(err)
+	}
+	if view.Table("later") != nil {
+		t.Fatal("view sees table created after acquisition")
+	}
+	if len(view.Tables()) != 1 {
+		t.Fatalf("view.Tables() = %v, want [recordings]", view.Tables())
+	}
+}
+
+// TestDBViewConcurrentWithWriter scans views from many goroutines while a
+// writer keeps committing — under -race this proves snapshot reads need no
+// lock, and every scan must observe a consistent (full-batch) state.
+func TestDBViewConcurrentWithWriter(t *testing.T) {
+	db := openTestDB(t, Options{Sync: SyncNever})
+	if err := db.CreateTable(testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 200
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("recordings", Row{S(fmt.Sprintf("r%03d", i)), Null(), I(0), Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var writerErr error
+	var writerWG, wg sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for gen := int64(1); ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// One atomic batch rewrites every row to the same generation.
+			ops := make([]Op, 0, rows)
+			for i := 0; i < rows; i++ {
+				ops = append(ops, UpdateOp("recordings", Row{S(fmt.Sprintf("r%03d", i)), Null(), I(gen), Null()}))
+			}
+			if err := db.Apply(ops...); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				v := db.View().Table("recordings")
+				seen := map[int64]int{}
+				n := 0
+				v.Scan(func(r Row) bool {
+					seen[r[2].Int()]++
+					n++
+					return true
+				})
+				if n != rows {
+					t.Errorf("snapshot scan saw %d rows, want %d", n, rows)
+					return
+				}
+				if len(seen) != 1 {
+					t.Errorf("snapshot scan saw torn generations: %v", seen)
+					return
+				}
+			}
+		}()
+	}
+	// Let readers finish, then stop the writer.
+	wg.Wait()
+	close(stop)
+	writerWG.Wait()
+	if writerErr != nil {
+		t.Fatalf("writer failed: %v", writerErr)
+	}
+}

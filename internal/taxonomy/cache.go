@@ -2,7 +2,6 @@ package taxonomy
 
 import (
 	"context"
-	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,24 +130,13 @@ func (c *CachingResolver) ResolveHit(ctx context.Context, name string) (Resoluti
 	// upstream round trip.
 	if e, ok := c.lookup(key, now); ok {
 		f.res, f.err = e.res, e.err
+		c.finishFlight(key, f)
 	} else {
-		f.res, f.err = c.Inner.Resolve(ctx, name)
-		// Never cache transient authority failures: the next attempt may
-		// succeed, and caching an outage would freeze it in place.
-		if f.err == nil || !errors.Is(f.err, ErrUnavailable) {
-			c.mu.Lock()
-			if c.entries == nil {
-				c.entries = make(map[string]cacheEntry)
-			}
-			c.entries[key] = cacheEntry{res: f.res, err: f.err, added: now()}
-			c.mu.Unlock()
-		}
+		res, err := c.Inner.Resolve(ctx, name)
+		// settle never caches transient authority failures: the next attempt
+		// may succeed, and caching an outage would freeze it in place.
+		c.settle(key, f, res, err, now)
 	}
-
-	c.flightMu.Lock()
-	delete(c.flights, key)
-	c.flightMu.Unlock()
-	close(f.done)
 	return f.res, false, f.err
 }
 

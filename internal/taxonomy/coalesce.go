@@ -1,0 +1,213 @@
+package taxonomy
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CoalescerOptions tunes a CoalescingResolver. The zero value gets defaults.
+type CoalescerOptions struct {
+	// MaxBatch dispatches immediately once this many calls are queued
+	// (default 64).
+	MaxBatch int
+	// MaxDelay bounds how long a queued call waits for companions before the
+	// batch is dispatched anyway (default 2ms).
+	MaxDelay time.Duration
+}
+
+func (o *CoalescerOptions) defaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+}
+
+// Coalesce wraps a batch-capable resolver so concurrent single-name Resolve
+// calls — the workflow engine's Parallel workers each resolving their own
+// iteration element — share upstream round trips instead of issuing one
+// each. A resolver with no batch capability is returned unchanged: there is
+// nothing to share.
+func Coalesce(inner Resolver, opts CoalescerOptions) Resolver {
+	dbr, ok := inner.(DetailedBatchResolver)
+	if !ok {
+		br, ok2 := inner.(BatchResolver)
+		if !ok2 {
+			return inner
+		}
+		dbr = detailFromBatch{br}
+	}
+	opts.defaults()
+	return &CoalescingResolver{inner: inner, detail: dbr, opts: opts}
+}
+
+// CoalescingResolver queues concurrent Resolve calls into shared batches.
+//
+// Dispatch policy: a call arriving while nothing is in flight leads its
+// batch immediately in its own goroutine — an idle resolver adds zero
+// latency. Calls arriving while a batch is in flight queue up; the in-flight
+// dispatcher drains them as its next batch when it returns, a MaxDelay timer
+// flushes a queue that never got a dispatcher, and a queue reaching MaxBatch
+// flushes without waiting for either.
+type CoalescingResolver struct {
+	inner  Resolver
+	detail DetailedBatchResolver
+	opts   CoalescerOptions
+
+	mu       sync.Mutex
+	pending  []*coalesceCall
+	inFlight bool
+	timer    *time.Timer
+
+	batches  atomic.Int64
+	names    atomic.Int64
+	maxBatch atomic.Int64
+}
+
+type coalesceCall struct {
+	ctx  context.Context
+	name string
+	done chan struct{}
+	res  BatchResult
+}
+
+// Resolve implements Resolver by joining (or leading) a shared batch. The
+// caller's context governs only its own wait: the dispatched batch runs on a
+// detached context, because it serves other callers too and is already
+// time-bounded by the resilience layer's batch budget. An abandoned call's
+// result still lands in the cache for the next tick.
+func (c *CoalescingResolver) Resolve(ctx context.Context, name string) (Resolution, error) {
+	call := &coalesceCall{ctx: ctx, name: name, done: make(chan struct{})}
+	c.mu.Lock()
+	c.pending = append(c.pending, call)
+	switch {
+	case !c.inFlight:
+		batch := c.takeLocked()
+		c.inFlight = true
+		c.mu.Unlock()
+		// Idle resolver: dispatch immediately (no delay-timer wait). The
+		// dispatch still runs in its own goroutine so this caller's ctx can
+		// cut its wait short even while it leads the batch.
+		go c.dispatch(batch)
+	case len(c.pending) >= c.opts.MaxBatch:
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		go c.dispatchOnce(batch) // full batch: flush alongside the in-flight one
+	default:
+		if c.timer == nil {
+			c.timer = time.AfterFunc(c.opts.MaxDelay, c.flushAfterDelay)
+		}
+		c.mu.Unlock()
+	}
+	select {
+	case <-call.done:
+		return call.res.Resolution, call.res.Err
+	case <-ctx.Done():
+		return Resolution{Query: name, Status: StatusUnknown}, ctx.Err()
+	}
+}
+
+// takeLocked claims the queued calls and disarms the flush timer. Caller
+// holds c.mu.
+func (c *CoalescingResolver) takeLocked() []*coalesceCall {
+	batch := c.pending
+	c.pending = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch
+}
+
+// dispatch runs batches until the queue is empty, then clears inFlight. The
+// loop (rather than recursion) means calls that queued during a round trip
+// become exactly one follow-up batch.
+func (c *CoalescingResolver) dispatch(batch []*coalesceCall) {
+	for {
+		c.resolveBatch(batch)
+		c.mu.Lock()
+		if len(c.pending) == 0 {
+			c.inFlight = false
+			c.mu.Unlock()
+			return
+		}
+		batch = c.takeLocked()
+		c.mu.Unlock()
+	}
+}
+
+// dispatchOnce serves one already-claimed batch without touching the
+// inFlight dispatcher loop (used for MaxBatch overflow flushes).
+func (c *CoalescingResolver) dispatchOnce(batch []*coalesceCall) {
+	c.resolveBatch(batch)
+}
+
+// flushAfterDelay is the MaxDelay timer: calls that queued behind an
+// in-flight batch are normally drained when it returns, but if the
+// dispatcher exited in between, the queue would wait forever — the timer is
+// that backstop.
+func (c *CoalescingResolver) flushAfterDelay() {
+	c.mu.Lock()
+	c.timer = nil
+	if len(c.pending) == 0 || c.inFlight {
+		c.mu.Unlock() // empty, or an in-flight dispatcher will drain it
+		return
+	}
+	batch := c.takeLocked()
+	c.inFlight = true
+	c.mu.Unlock()
+	c.dispatch(batch)
+}
+
+func (c *CoalescingResolver) resolveBatch(batch []*coalesceCall) {
+	names := make([]string, len(batch))
+	for i, call := range batch {
+		names[i] = call.name
+	}
+	c.batches.Add(1)
+	c.names.Add(int64(len(names)))
+	for {
+		cur := c.maxBatch.Load()
+		if int64(len(names)) <= cur || c.maxBatch.CompareAndSwap(cur, int64(len(names))) {
+			break
+		}
+	}
+	// The batch runs on the leading call's context minus its cancellation:
+	// the batch serves other callers too and is already time-bounded by the
+	// resilience layer's batch budget, but the context's values — notably
+	// the run's tracer — must flow through so resolution spans stay in the
+	// run's trace tree.
+	results := c.detail.BatchResolveDetail(context.WithoutCancel(batch[0].ctx), names)
+	for i, call := range batch {
+		if i < len(results) {
+			call.res = results[i]
+		} else {
+			call.res = BatchResult{
+				Resolution: Resolution{Query: call.name, Status: StatusUnknown},
+				Err:        unknownNameErr(call.name),
+			}
+		}
+		close(call.done)
+	}
+}
+
+// BatchResolve passes explicit batches straight through — they are already
+// shaped; only single calls need coalescing.
+func (c *CoalescingResolver) BatchResolve(ctx context.Context, names []string) ([]Resolution, error) {
+	return resolutionsFromDetail(names, c.detail.BatchResolveDetail(ctx, names))
+}
+
+// BatchResolveDetail passes through, keeping the capability visible to
+// curation.Detect's probe through this wrapper too.
+func (c *CoalescingResolver) BatchResolveDetail(ctx context.Context, names []string) []BatchResult {
+	return c.detail.BatchResolveDetail(ctx, names)
+}
+
+// Stats reports dispatched batches, total names carried, and the largest
+// batch observed.
+func (c *CoalescingResolver) Stats() (batches, names, maxBatch int64) {
+	return c.batches.Load(), c.names.Load(), c.maxBatch.Load()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,10 @@ type ResilienceOptions struct {
 	// MaxWait is how long a call may wait for a bulkhead slot (default
 	// CallTimeout; 0 after defaulting means reject immediately).
 	MaxWait time.Duration
+	// BatchTimeout bounds one upstream batch call (default 4×CallTimeout —
+	// a batch is one connection doing many names' work, so it earns a
+	// proportionally larger budget while still being bounded).
+	BatchTimeout time.Duration
 	// Breaker tunes the circuit breaker. IsFailure is always overridden:
 	// only availability failures (ErrUnavailable, timeouts) count, a
 	// cleanly-answered unknown name does not.
@@ -40,6 +45,9 @@ func (o *ResilienceOptions) defaults() {
 	}
 	if o.MaxWait <= 0 {
 		o.MaxWait = o.CallTimeout
+	}
+	if o.BatchTimeout <= 0 {
+		o.BatchTimeout = 4 * o.CallTimeout
 	}
 }
 
@@ -62,16 +70,20 @@ type ResilientResolver struct {
 	degraded atomic.Int64 // answers served stale during an outage
 	hardMiss atomic.Int64 // outages with no stale entry to fall back on
 
+	batchCalls atomic.Int64 // batch round trips through the stack
+	batchNames atomic.Int64 // names carried by those batches
+
 	resolveHist telemetry.Histogram // end-to-end Resolve latency
 }
 
 // guardedResolver is the cache's Inner: every cache miss pays the
 // bulkhead/breaker/budget toll before reaching the real resolver.
 type guardedResolver struct {
-	inner    Resolver
-	breaker  *resilience.Breaker
-	bulkhead *resilience.Bulkhead
-	budget   resilience.Budget
+	inner       Resolver
+	breaker     *resilience.Breaker
+	bulkhead    *resilience.Bulkhead
+	budget      resilience.Budget
+	batchBudget resilience.Budget
 }
 
 func (g *guardedResolver) Resolve(ctx context.Context, name string) (res Resolution, err error) {
@@ -92,6 +104,43 @@ func (g *guardedResolver) Resolve(ctx context.Context, name string) (res Resolut
 	return res, err
 }
 
+// BatchResolve pays the bulkhead/breaker/budget toll ONCE for the whole
+// batch — a batch is one authority connection, so it is one admission
+// decision, one breaker sample and one (larger) timeout, not N of each.
+func (g *guardedResolver) BatchResolve(ctx context.Context, names []string) (out []Resolution, err error) {
+	err = g.bulkhead.Do(ctx, func() error {
+		return g.breaker.Do(func() error {
+			return g.batchBudget.Run(ctx, func(ctx context.Context) error {
+				var rerr error
+				out, rerr = g.batchInner(ctx, names)
+				return rerr
+			})
+		})
+	})
+	if err != nil && (errors.Is(err, resilience.ErrOpen) || errors.Is(err, resilience.ErrSaturated)) {
+		err = fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return out, err
+}
+
+// batchInner prefers the inner resolver's native batch call; a single-only
+// inner is looped under the already-held admission, preserving BatchResolve's
+// contract (unknowns are data, availability failures abort the batch).
+func (g *guardedResolver) batchInner(ctx context.Context, names []string) ([]Resolution, error) {
+	if br, ok := g.inner.(BatchResolver); ok {
+		return br.BatchResolve(ctx, names)
+	}
+	out := make([]Resolution, len(names))
+	for i, name := range names {
+		res, err := g.inner.Resolve(ctx, name)
+		if err != nil && !errors.Is(err, ErrUnknownName) {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // isAvailabilityFailure classifies errors for both the breaker and the
 // stale-fallback decision: outages and timeouts are failures, a resolved
 // "unknown name" is an answer.
@@ -110,10 +159,11 @@ func NewResilientResolver(inner Resolver, opts ResilienceOptions) *ResilientReso
 	opts.defaults()
 	opts.Breaker.IsFailure = isAvailabilityFailure
 	g := &guardedResolver{
-		inner:    inner,
-		breaker:  resilience.NewBreaker(opts.Breaker),
-		bulkhead: resilience.NewBulkhead(opts.MaxConcurrent, opts.MaxWait),
-		budget:   resilience.Budget{Timeout: opts.CallTimeout},
+		inner:       inner,
+		breaker:     resilience.NewBreaker(opts.Breaker),
+		bulkhead:    resilience.NewBulkhead(opts.MaxConcurrent, opts.MaxWait),
+		budget:      resilience.Budget{Timeout: opts.CallTimeout},
+		batchBudget: resilience.Budget{Timeout: opts.BatchTimeout},
 	}
 	return &ResilientResolver{
 		cache:   NewCachingResolver(g, opts.TTL),
@@ -159,6 +209,48 @@ func (r *ResilientResolver) resolve(ctx context.Context, name string, sp *teleme
 	return res, err
 }
 
+// BatchResolve implements BatchResolver: see BatchResolveDetail.
+func (r *ResilientResolver) BatchResolve(ctx context.Context, names []string) ([]Resolution, error) {
+	return resolutionsFromDetail(names, r.BatchResolveDetail(ctx, names))
+}
+
+// BatchResolveDetail resolves the whole batch through the cache's coalescing
+// fast path — one span, one histogram sample and (on misses) one guard
+// admission for the lot — then applies the same per-name degraded fallback
+// the single path uses: an availability failure with a last-known-good entry
+// becomes that stale answer, visibly marked Degraded.
+func (r *ResilientResolver) BatchResolveDetail(ctx context.Context, names []string) []BatchResult {
+	ctx, sp := telemetry.StartSpan(ctx, "resolve-batch", "taxonomy")
+	start := time.Now()
+	r.batchCalls.Add(1)
+	r.batchNames.Add(int64(len(names)))
+	out := r.cache.BatchResolveDetail(ctx, names)
+	degraded := 0
+	for i := range out {
+		if out[i].Err == nil || !isAvailabilityFailure(out[i].Err) {
+			continue
+		}
+		if stale, ok := r.cache.Stale(names[i]); ok {
+			stale.Degraded = true
+			r.degraded.Add(1)
+			degraded++
+			out[i] = BatchResult{Resolution: stale}
+			continue
+		}
+		r.hardMiss.Add(1)
+	}
+	r.resolveHist.Observe(time.Since(start))
+	if sp != nil {
+		sp.SetAttr("batch", strconv.Itoa(len(names)))
+		sp.SetAttr("breaker_state", r.BreakerState().String())
+		if degraded > 0 {
+			sp.SetAttr("degraded", strconv.Itoa(degraded))
+		}
+	}
+	sp.Finish()
+	return out
+}
+
 // Cache exposes the embedded cache (for Invalidate/Flush on taxonomy
 // evolution).
 func (r *ResilientResolver) Cache() *CachingResolver { return r.cache }
@@ -184,5 +276,7 @@ func (r *ResilientResolver) Counters() map[string]float64 {
 	m["cache.coalesced"] = float64(r.cache.Coalesced())
 	m["fallback.degraded"] = float64(r.degraded.Load())
 	m["fallback.hard_miss"] = float64(r.hardMiss.Load())
+	m["batch.calls"] = float64(r.batchCalls.Load())
+	m["batch.names"] = float64(r.batchNames.Load())
 	return telemetry.MergeCounters(m, r.resolveHist.Snapshot().Counters("resolve"))
 }

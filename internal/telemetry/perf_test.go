@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSpanStampAllocs guards the save-trace hot path: stamping a run ID onto
+// a captured span slice must not allocate — it is one string assignment per
+// span.
+func TestSpanStampAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	spans := make([]Span, 256)
+	for i := range spans {
+		spans[i] = Span{SpanID: spanID(int64(i)), Name: "op", Kind: "engine"}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		StampTrace(spans, "run-000042")
+	}); allocs != 0 {
+		t.Fatalf("StampTrace allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestHistogramObserveAllocs guards latency recording: Observe is a handful
+// of atomic ops and must never allocate, since it sits inside service
+// invocation, flush, and resolution paths.
+func TestHistogramObserveAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	var h Histogram
+	if allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(1500 * time.Microsecond)
+	}); allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestSpanIDFormat pins the cheap span-ID renderer to fmt's "s-%06d".
+func TestSpanIDFormat(t *testing.T) {
+	cases := map[int64]string{
+		1:       "s-000001",
+		42:      "s-000042",
+		99999:   "s-099999",
+		123456:  "s-123456",
+		999999:  "s-999999",
+		1000000: "s-1000000",
+	}
+	for seq, want := range cases {
+		if got := spanID(seq); got != want {
+			t.Errorf("spanID(%d) = %q, want %q", seq, got, want)
+		}
+	}
+}
+
+// TestSpanKeyFormat pins the cheap span-key renderer to fmt's "%s/%08d".
+func TestSpanKeyFormat(t *testing.T) {
+	cases := map[int]string{
+		0:         "r1/00000000",
+		7:         "r1/00000007",
+		12345678:  "r1/12345678",
+		99999999:  "r1/99999999",
+		100000000: "r1/100000000",
+	}
+	for seq, want := range cases {
+		if got := spanKeyOf("r1", seq); got != want {
+			t.Errorf("spanKeyOf(r1, %d) = %q, want %q", seq, got, want)
+		}
+	}
+}
+
+func BenchmarkSpanStamp(b *testing.B) {
+	spans := make([]Span, 256)
+	for i := range spans {
+		spans[i] = Span{SpanID: spanID(int64(i)), Name: "op", Kind: "engine"}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StampTrace(spans, "run-000042")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(1500 * time.Microsecond)
+		}
+	})
+}
+
+// BenchmarkStartSpanFinish measures minting and recording one traced span —
+// the fixed per-operation tracing tax.
+func BenchmarkStartSpanFinish(b *testing.B) {
+	tr := NewTracer(1 << 20)
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "op", "bench")
+		sp.Finish()
+	}
+}

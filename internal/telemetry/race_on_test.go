@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count guards skip under -race.
+const raceEnabled = true

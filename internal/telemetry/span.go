@@ -14,7 +14,7 @@ package telemetry
 
 import (
 	"context"
-	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,7 +73,7 @@ func NewTracer(max int) *Tracer {
 // to record it.
 func (t *Tracer) StartSpan(ctx context.Context, name, kind string) (context.Context, *Span) {
 	sp := &Span{
-		SpanID: fmt.Sprintf("s-%06d", t.seq.Add(1)),
+		SpanID: spanID(t.seq.Add(1)),
 		Name:   name,
 		Kind:   kind,
 		Start:  time.Now(),
@@ -83,6 +83,20 @@ func (t *Tracer) StartSpan(ctx context.Context, name, kind string) (context.Cont
 		sp.ParentID = parent.SpanID
 	}
 	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// spanID renders "s-%06d" without fmt: one string allocation instead of the
+// Sprintf machinery, since StartSpan sits on every traced hot path.
+func spanID(seq int64) string {
+	var b [16]byte
+	buf := append(b[:0], 's', '-')
+	if seq >= 0 {
+		for div := int64(100000); div >= 10 && seq < div; div /= 10 {
+			buf = append(buf, '0')
+		}
+	}
+	buf = strconv.AppendInt(buf, seq, 10)
+	return string(buf)
 }
 
 // record stores one finished span.

@@ -16,6 +16,9 @@ import (
 // continue after the crash-session prefix.
 type SpanStore struct {
 	db *storage.DB
+	// src is the read side: the live db, or an immutable storage.View for
+	// stores produced by View(). Queries go through src; Append through db.
+	src storage.TableSource
 }
 
 const spansTable = "trace_spans"
@@ -45,14 +48,34 @@ func NewSpanStore(db *storage.DB) (*SpanStore, error) {
 			return nil, err
 		}
 	}
-	return &SpanStore{db: db}, nil
+	return &SpanStore{db: db, src: db}, nil
 }
 
-func spanKeyOf(runID string, seq int) string { return fmt.Sprintf("%s/%08d", runID, seq) }
+// View returns a span store reading from an immutable point-in-time snapshot
+// of the database, so trace pages never contend with a run's span appends.
+func (s *SpanStore) View() *SpanStore {
+	return &SpanStore{db: s.db, src: s.db.View()}
+}
+
+// spanKeyOf renders "runID/seq" with the sequence zero-padded to eight
+// digits — the persisted key format, so the rendering must never change.
+func spanKeyOf(runID string, seq int) string {
+	if seq < 0 || seq > 99999999 {
+		return fmt.Sprintf("%s/%08d", runID, seq) // out-of-range: defer to fmt's widening
+	}
+	var d [9]byte
+	d[0] = '/'
+	v := seq
+	for i := 8; i >= 1; i-- {
+		d[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return runID + string(d[:])
+}
 
 // Count reports how many spans are persisted for the run.
 func (s *SpanStore) Count(runID string) (int, error) {
-	rows, err := s.db.Table(spansTable).Lookup("run_id", storage.S(runID))
+	rows, err := s.src.Table(spansTable).Lookup("run_id", storage.S(runID))
 	if err != nil {
 		return 0, err
 	}
@@ -143,7 +166,7 @@ func (s *SpanStore) SpansPage(runID string, after, limit int) ([]Span, int, erro
 	next := -1
 	seq := after
 	var scanErr error
-	s.db.Table(spansTable).ScanFrom(storage.S(spanKeyOf(runID, after+1)), func(row storage.Row) bool {
+	s.src.Table(spansTable).ScanFrom(storage.S(spanKeyOf(runID, after+1)), func(row storage.Row) bool {
 		if row.Get(spansSchema, "run_id").Str() != runID {
 			return false // walked past the run's key range
 		}

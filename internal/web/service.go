@@ -52,14 +52,24 @@ func (v *Service) LastOutcome() *core.DetectionOutcome {
 	return v.sys.lastOutcome
 }
 
+// API reads run against immutable point-in-time snapshots
+// (provenance.Repository.View / telemetry.SpanStore.View): dashboard scans
+// never hold the storage read lock against a live run's provenance flushes,
+// and multi-part responses (info + graph) are internally consistent because
+// they come from one snapshot.
+
 // RunsPage pages provenance runs through the repository cursor.
 func (v *Service) RunsPage(after string, limit int) ([]provenance.RunInfo, string, error) {
-	return v.sys.Core.Provenance.RunsPage(after, limit)
+	return v.sys.Core.Provenance.View().RunsPage(after, limit)
 }
 
 // Run loads one run's info; errNotFound when the ID is unknown.
 func (v *Service) Run(runID string) (provenance.RunInfo, error) {
-	info, err := v.sys.Core.Provenance.Run(runID)
+	return runInfoFrom(v.sys.Core.Provenance.View(), runID)
+}
+
+func runInfoFrom(repo *provenance.Repository, runID string) (provenance.RunInfo, error) {
+	info, err := repo.Run(runID)
 	if err != nil {
 		return provenance.RunInfo{}, fmt.Errorf("%w: run %q", errNotFound, runID)
 	}
@@ -76,11 +86,12 @@ func RunFinished(info provenance.RunInfo) bool {
 // RunGraphXML serializes the run's OPM graph, returning the run info so the
 // caller can decide cacheability.
 func (v *Service) RunGraphXML(runID string) ([]byte, provenance.RunInfo, error) {
-	info, err := v.Run(runID)
+	repo := v.sys.Core.Provenance.View() // one snapshot: info and graph agree
+	info, err := runInfoFrom(repo, runID)
 	if err != nil {
 		return nil, info, err
 	}
-	g, err := v.sys.Core.Provenance.Graph(runID)
+	g, err := repo.Graph(runID)
 	if err != nil {
 		return nil, info, fmt.Errorf("%w: graph of run %q", errNotFound, runID)
 	}
@@ -90,18 +101,20 @@ func (v *Service) RunGraphXML(runID string) ([]byte, provenance.RunInfo, error) 
 
 // RunNodesPage pages the run's provenance nodes.
 func (v *Service) RunNodesPage(runID, after string, limit int) ([]*opm.Node, string, error) {
-	if _, err := v.Run(runID); err != nil {
+	repo := v.sys.Core.Provenance.View()
+	if _, err := runInfoFrom(repo, runID); err != nil {
 		return nil, "", err
 	}
-	return v.sys.Core.Provenance.NodesPage(runID, after, limit)
+	return repo.NodesPage(runID, after, limit)
 }
 
 // RunEdgesPage pages the run's dependency edges.
 func (v *Service) RunEdgesPage(runID string, after, limit int) ([]opm.Edge, int, error) {
-	if _, err := v.Run(runID); err != nil {
+	repo := v.sys.Core.Provenance.View()
+	if _, err := runInfoFrom(repo, runID); err != nil {
 		return nil, -1, err
 	}
-	return v.sys.Core.Provenance.EdgesPage(runID, after, limit)
+	return repo.EdgesPage(runID, after, limit)
 }
 
 // Trace is a run's persisted span tree plus the facts the API reports about
@@ -120,7 +133,7 @@ func (v *Service) RunTrace(runID string) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	spans, err := v.sys.Core.Traces.Spans(runID)
+	spans, err := v.sys.Core.Traces.View().Spans(runID)
 	if errors.Is(err, telemetry.ErrTraceNotFound) {
 		return nil, fmt.Errorf("%w: no trace recorded for run %q", errNotFound, runID)
 	}
@@ -141,7 +154,7 @@ func (v *Service) RunSpansPage(runID string, after, limit int) ([]telemetry.Span
 	if _, err := v.Run(runID); err != nil {
 		return nil, -1, err
 	}
-	spans, next, err := v.sys.Core.Traces.SpansPage(runID, after, limit)
+	spans, next, err := v.sys.Core.Traces.View().SpansPage(runID, after, limit)
 	if err != nil {
 		return nil, -1, err
 	}
