@@ -48,10 +48,10 @@ verify: ci
 
 ## bench: the paper-reproduction benchmarks at the repo root, then the
 ## hot-path suites via the bench harness, recording the perf trajectory to
-## BENCH_6.json (schema bench.v1, documented in EXPERIMENTS.md).
+## BENCH_7.json (schema bench.v1, documented in EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) run ./cmd/bench -out BENCH_6.json
+	$(GO) run ./cmd/bench -out BENCH_7.json
 
 experiments:
 	$(GO) run ./cmd/experiments

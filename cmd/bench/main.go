@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # full run -> BENCH_6.json
+//	go run ./cmd/bench                 # full run -> BENCH_7.json
 //	go run ./cmd/bench -smoke          # 1-iteration smoke -> BENCH_smoke.json
 //	go run ./cmd/bench -out FILE -benchtime 2s -count 3
 //
@@ -37,6 +37,7 @@ type suite struct {
 // across PRs: the trajectory is only comparable if names persist.
 var suites = []suite{
 	{Package: "./internal/taxonomy", Bench: "BenchmarkResolveBatch"},
+	{Package: "./internal/workflow", Bench: "BenchmarkQueueDispatch|BenchmarkHistoryAppend"},
 	{Package: "./internal/provenance", Bench: "BenchmarkDeltaEncode|BenchmarkEdgeRowEncode|BenchmarkStoreStreaming$"},
 	{Package: "./internal/storage", Bench: "BenchmarkReadUnderWrite|BenchmarkEncodeRow|BenchmarkEncodeKey"},
 	{Package: "./internal/telemetry", Bench: "BenchmarkSpanStamp|BenchmarkHistogramObserve|BenchmarkStartSpanFinish"},
@@ -66,7 +67,7 @@ type benchFile struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output file (default BENCH_6.json, or BENCH_smoke.json with -smoke)")
+	out := flag.String("out", "", "output file (default BENCH_7.json, or BENCH_smoke.json with -smoke)")
 	smoke := flag.Bool("smoke", false, "1-iteration smoke run: proves every benchmark still executes, records no stable numbers")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (default 1s, or 1x with -smoke)")
 	count := flag.Int("count", 1, "go test -count value")
@@ -85,13 +86,13 @@ func main() {
 		if *smoke {
 			path = "BENCH_smoke.json"
 		} else {
-			path = "BENCH_6.json"
+			path = "BENCH_7.json"
 		}
 	}
 
 	file := benchFile{
 		Schema:    "bench.v1",
-		PR:        6,
+		PR:        7,
 		Generated: time.Now().UTC(),
 		Go:        runtime.Version(),
 		GOOS:      runtime.GOOS,

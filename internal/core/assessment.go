@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/curation"
@@ -41,8 +42,8 @@ type DetectionOutcome struct {
 	// ProvenanceWriter.Counters() to obs.FromRuntimeMetrics to persist it
 	// as an ordinary observation.
 	ProvenanceWriter provenance.WriterMetrics
-	// Replayed lists processors whose checkpointed outputs were replayed
-	// instead of re-executed (non-empty only for resumed runs).
+	// Replayed lists processors whose outputs were replayed from persisted
+	// history instead of re-executed (non-empty only for resumed runs).
 	Replayed []string
 }
 
@@ -69,12 +70,12 @@ type RunOptions struct {
 	MeasuredAvailability float64
 	// SkipLedger skips persisting per-record updates (benchmarks).
 	SkipLedger bool
-	// Parallel is the workflow engine's concurrency budget for the run:
-	// the maximum number of service invocations in flight, shared by
-	// processors and implicit-iteration elements (workflow.Engine.Parallel).
-	// 0 keeps the historical sequential iteration. With the Catalogue of
-	// Life hundreds of milliseconds away, this is the difference between
-	// n×latency and n×latency/Parallel per detection pass.
+	// Parallel is the event engine's worker-pool size for the run: that many
+	// worker goroutines pull activity tasks off the run's dispatch queue, so
+	// at most Parallel service invocations are in flight at once. 0 or 1
+	// keeps a single worker (the historical sequential behaviour). With the
+	// Catalogue of Life hundreds of milliseconds away, this is the
+	// difference between n×latency and n×latency/Parallel per pass.
 	Parallel int
 	// CrashAfterDeltas > 0 kills the run after that many provenance deltas
 	// have been persisted, leaving the unfinished marker and crash-consistent
@@ -82,6 +83,12 @@ type RunOptions struct {
 	// RunDetection returns a *CrashError carrying the run ID. Chaos-testing
 	// hook; zero in production.
 	CrashAfterDeltas int
+	// WorkerKills > 0 asks up to that many workers of the run's pool to die
+	// right after dequeuing a task (the task is returned to the queue and
+	// redelivered). Unlike CrashAfterDeltas the run itself survives: the
+	// engine keeps at least one worker alive and the remaining workers drain
+	// the queue. Chaos-testing hook; zero in production.
+	WorkerKills int
 	// Untraced disables span collection for this run (the tracing-overhead
 	// baseline). Latency histograms still record; only the span tree is
 	// skipped. A tracer already present on the context is honored regardless.
@@ -179,9 +186,8 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 	} else {
 		collector.AddSink(writer)
 	}
-	engine := workflow.NewEngine(reg)
-	engine.Parallel = opts.Parallel
-	result, runErr := engine.Run(runCtx, def, map[string]workflow.Data{"names": workflow.List(items...)}, collector)
+	engine := s.detectionEngine(reg, opts)
+	result, runErr := engine.Run(runCtx, def, map[string]workflow.Data{"names": workflow.List(items...)}, provenance.NewHistoryCapture(collector))
 	werr := writer.Close()
 	runID := collector.Info().RunID
 	rootSpan.SetAttr("run_id", runID)
@@ -213,6 +219,26 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		}
 	}
 	return outcome, err
+}
+
+// detectionEngine builds the event-sourced engine for one detection run:
+// worker-pool size from opts.Parallel, worker stats into the system-wide
+// registry, and the worker-kill chaos hook when requested.
+func (s *System) detectionEngine(reg *workflow.Registry, opts RunOptions) *workflow.EventEngine {
+	engine := workflow.NewEventEngine(reg)
+	engine.Workers = opts.Parallel
+	if engine.Workers < 1 {
+		engine.Workers = 1
+	}
+	engine.Stats = s.Workers
+	if opts.WorkerKills > 0 {
+		var killed atomic.Int64
+		kills := int64(opts.WorkerKills)
+		engine.KillWorker = func(string, int) bool {
+			return killed.Add(1) <= kills
+		}
+	}
+	return engine
 }
 
 // finishDetection turns a completed detection run into a DetectionOutcome:

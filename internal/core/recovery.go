@@ -15,8 +15,8 @@ import (
 
 // CrashError reports a detection run killed mid-flight (by the
 // CrashAfterDeltas chaos knob, standing in for a process death). The run's
-// provenance prefix and checkpoints are durable; ResumeDetection picks the
-// run back up by its ID.
+// provenance prefix and history stream are durable; ResumeDetection picks
+// the run back up by its ID.
 type CrashError struct {
 	// RunID of the interrupted run — the key for ResumeDetection.
 	RunID string
@@ -51,10 +51,12 @@ func RecoveryCounters() map[string]float64 {
 }
 
 // ResumeDetection picks up an interrupted detection run: it reloads the
-// crash-consistent provenance prefix and the persisted checkpoints, replays
-// the outputs of processors that completed durably, re-executes only the
-// rest, and finalizes the run under its original ID. The final provenance
-// graph is identical to what an uninterrupted run would have produced.
+// crash-consistent provenance prefix and the persisted history stream,
+// replays the history prefix through the event engine (completed activities
+// are never re-invoked; unfinished iteration elements are re-enqueued), and
+// finalizes the run under its original ID. Resume IS replay — there is no
+// separate recovery path. The final provenance graph is identical to what an
+// uninterrupted run would have produced.
 //
 // The run must still be marked running (the unfinished marker) and must be a
 // detection-workflow run; anything else fails with ErrNotResumable.
@@ -112,7 +114,7 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 		items[i] = workflow.Scalar(n)
 	}
 
-	completed, err := s.Provenance.Checkpoints(runID)
+	history, err := s.Provenance.History(runID)
 	if err != nil {
 		return nil, err
 	}
@@ -132,10 +134,9 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 		return nil, err
 	}
 	collector.AddSink(writer)
-	engine := workflow.NewEngine(reg)
-	engine.Parallel = opts.Parallel
+	engine := s.detectionEngine(reg, opts)
 
-	result, runErr := engine.Resume(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, runID, completed, collector)
+	result, runErr := engine.Resume(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, runID, history, provenance.NewHistoryCapture(collector))
 	werr := writer.Close()
 	if runErr != nil {
 		rootSpan.SetAttr("error", runErr.Error())

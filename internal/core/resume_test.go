@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/provenance"
@@ -80,6 +81,67 @@ func TestCrashResumeEveryCut(t *testing.T) {
 				t.Fatalf("%d/%d cuts failed to resume", failures, resumed+failures)
 			}
 		})
+	}
+}
+
+// TestReplayDeterminismAcrossWorkerCounts is the property test behind the
+// event-sourced refactor: at every worker-pool size, with workers killed
+// mid-run AND the process crashed at a random history cut, resuming by pure
+// history replay converges on a provenance graph byte-identical (canonically)
+// to a clean single-worker run. Run under -race.
+func TestReplayDeterminismAcrossWorkerCounts(t *testing.T) {
+	sys, taxa, _ := testSystem(t, 60, 12)
+	ctx := context.Background()
+
+	base, err := sys.RunDetection(ctx, taxa.Checklist, RunOptions{SkipLedger: true, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseG, err := sys.Provenance.Graph(base.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalGraph(baseG, base.RunID)
+	total := int(base.ProvenanceWriter.Enqueued)
+	if total < 20 {
+		t.Fatalf("baseline persisted only %d deltas; test is vacuous", total)
+	}
+
+	rng := rand.New(rand.NewSource(7)) // deterministic cuts, reproducible failures
+	for _, workers := range []int{1, 4, 16} {
+		kills := workers / 2
+		for trial := 0; trial < 4; trial++ {
+			cut := 1 + rng.Intn(total-1)
+			opts := RunOptions{SkipLedger: true, Parallel: workers, WorkerKills: kills}
+			killRun := opts
+			killRun.CrashAfterDeltas = cut
+			_, err := sys.RunDetection(ctx, taxa.Checklist, killRun)
+			var crash *CrashError
+			if !errors.As(err, &crash) {
+				t.Fatalf("workers=%d cut=%d: expected CrashError, got %v", workers, cut, err)
+			}
+			outcome, err := sys.ResumeDetection(ctx, taxa.Checklist, crash.RunID, opts)
+			if err != nil {
+				t.Fatalf("workers=%d cut=%d: resume: %v", workers, cut, err)
+			}
+			if outcome.RunID != crash.RunID {
+				t.Fatalf("workers=%d cut=%d: resumed under new ID %s", workers, cut, outcome.RunID)
+			}
+			if outcome.DistinctNames != base.DistinctNames || outcome.Outdated != base.Outdated {
+				t.Fatalf("workers=%d cut=%d: summary diverged: %d/%d names, %d/%d outdated", workers, cut,
+					outcome.DistinctNames, base.DistinctNames, outcome.Outdated, base.Outdated)
+			}
+			g, err := sys.Provenance.Graph(crash.RunID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := canonicalGraph(g, crash.RunID); got != want {
+				t.Fatalf("workers=%d cut=%d: resumed graph diverges from single-worker baseline", workers, cut)
+			}
+		}
+	}
+	if c := sys.Workers.Counters(); c["workers.killed"] < 1 {
+		t.Fatalf("chaos hook never killed a worker: %v", c)
 	}
 }
 

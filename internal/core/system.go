@@ -23,11 +23,14 @@ import (
 // the collection store, the workflow repository and engine, the provenance
 // manager and repository, the curation ledger and the quality manager.
 type System struct {
-	DB         *storage.DB
-	Records    *fnjv.Store
-	Workflows  *workflow.Repository
-	Registry   *workflow.Registry
-	Engine     *workflow.Engine
+	DB        *storage.DB
+	Records   *fnjv.Store
+	Workflows *workflow.Repository
+	Registry  *workflow.Registry
+	Engine    *workflow.Engine
+	// Workers aggregates worker liveness and queue gauges across every
+	// event-engine run of this system; the web layer serves it live.
+	Workers    *workflow.WorkerRegistry
 	Provenance *provenance.Repository
 	Ledger     *curation.Ledger
 	Quality    *quality.Manager
@@ -78,6 +81,7 @@ func Open(dir string, opts Options) (*System, error) {
 	}
 	s.TraceRing = telemetry.NewRing(0)
 	s.Engine = workflow.NewEngine(s.Registry)
+	s.Workers = workflow.NewWorkerRegistry()
 	s.Quality = quality.NewManager()
 	return s, nil
 }

@@ -135,7 +135,7 @@ type BatchWriter struct {
 	nodes       map[string]*wnode
 	dirtyOrder  []string
 	edgeSeq     int
-	checkpoints map[string]bool // processors checkpointed so far
+	historySeq  int // highest history event seq already persisted (-1 none)
 	// resume marks a writer re-opened on an interrupted run (NewResumeWriter):
 	// the run row already exists, so run-started becomes an update.
 	resume bool
@@ -159,13 +159,13 @@ var ErrWriterClosed = errors.New("provenance: batch writer closed")
 func (r *Repository) NewBatchWriter(opts BatchWriterOptions) *BatchWriter {
 	opts.defaults()
 	w := &BatchWriter{
-		repo:        r,
-		opts:        opts,
-		ch:          make(chan Delta, opts.Queue),
-		done:        make(chan struct{}),
-		nodes:       make(map[string]*wnode),
-		checkpoints: make(map[string]bool),
-		trace:       opts.Trace,
+		repo:       r,
+		opts:       opts,
+		ch:         make(chan Delta, opts.Queue),
+		done:       make(chan struct{}),
+		nodes:      make(map[string]*wnode),
+		historySeq: -1,
+		trace:      opts.Trace,
 	}
 	if w.trace == nil {
 		w.trace = context.Background()
@@ -380,21 +380,21 @@ func (w *BatchWriter) flush(batch []Delta, trigger string) []Delta {
 			start := len(w.vals)
 			w.vals = appendRunRow(w.vals, d.Info)
 			finishRow = arenaRow(start)
-		case DeltaCheckpoint:
-			if d.Checkpoint == nil {
-				w.fail(fmt.Errorf("provenance: checkpoint delta without payload"))
+		case DeltaHistory:
+			if d.History == nil {
+				w.fail(fmt.Errorf("provenance: history delta without payload"))
 				return batch[:0]
 			}
-			if w.checkpoints[d.Checkpoint.Processor] {
+			if d.History.Seq <= w.historySeq {
 				break // persisted before the crash; never duplicated
 			}
-			row, err := checkpointRow(w.runID, *d.Checkpoint)
+			row, err := historyRow(w.runID, d.History)
 			if err != nil {
 				w.fail(err)
 				return batch[:0]
 			}
-			w.checkpoints[d.Checkpoint.Processor] = true
-			ops = append(ops, storage.InsertOp(checkpointsTable, row))
+			w.historySeq = d.History.Seq
+			ops = append(ops, storage.InsertOp(historyTable, row))
 		default:
 			w.fail(fmt.Errorf("provenance: unknown delta kind %d", d.Kind))
 			return batch[:0]

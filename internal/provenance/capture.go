@@ -301,18 +301,6 @@ func (c *Collector) OnEvent(ev workflow.Event) {
 				}
 			}
 		}
-		// The checkpoint closes the burst: once it is persisted, everything
-		// above it is too (sinks see deltas in order), so resume can trust
-		// a stored checkpoint to mean "this processor's provenance is
-		// complete on disk". Failed processors are not checkpointed.
-		if ev.Type == workflow.EventProcessorCompleted {
-			c.emitLocked(Delta{Kind: DeltaCheckpoint, Checkpoint: &workflow.Checkpoint{
-				Processor:  ev.Processor,
-				Iterations: ev.Iterations,
-				Outputs:    ev.Outputs,
-			}})
-		}
-
 	case workflow.EventWorkflowCompleted:
 		c.info.FinishedAt = ev.Time
 		c.info.Status = RunCompleted

@@ -27,12 +27,15 @@ const (
 	// DeltaRunFinished closes a run; Info carries the terminal RunInfo
 	// (Status RunCompleted or RunFailed). It is the last delta of a run.
 	DeltaRunFinished
-	// DeltaCheckpoint records the durable completion of one processor. It
-	// is emitted LAST in a processor's completion burst, so a persisted
-	// checkpoint guarantees (by the stream's prefix property) that all of
-	// that processor's provenance is persisted too — the invariant resume
-	// relies on. Checkpoints are not part of the OPM graph.
-	DeltaCheckpoint
+	// DeltaHistory carries one engine history event. It is emitted AFTER
+	// the graph deltas its projection produced, so a persisted history
+	// event guarantees (by the stream's prefix property) that all of the
+	// provenance it implies is persisted too — the invariant resume-as-
+	// replay relies on. The sole exception is the terminal run-finished
+	// event, which goes out BEFORE its projection so DeltaRunFinished stays
+	// the stream's last delta (see HistoryCapture.OnHistoryEvent). History
+	// events are not part of the OPM graph.
+	DeltaHistory
 )
 
 // String names the delta kind.
@@ -48,8 +51,8 @@ func (k DeltaKind) String() string {
 		return "annotate"
 	case DeltaRunFinished:
 		return "run-finished"
-	case DeltaCheckpoint:
-		return "checkpoint"
+	case DeltaHistory:
+		return "history"
 	default:
 		return fmt.Sprintf("delta(%d)", uint8(k))
 	}
@@ -72,8 +75,8 @@ type Delta struct {
 	NodeID string
 	Key    string
 	Value  string
-	// Checkpoint is set for DeltaCheckpoint.
-	Checkpoint *workflow.Checkpoint
+	// History is set for DeltaHistory.
+	History *workflow.HistoryEvent
 }
 
 // Sink consumes the delta stream of one run. Emit is called in causal order
@@ -111,7 +114,7 @@ func (s *GraphSink) Emit(d Delta) error {
 		return s.g.AddEdge(d.Edge)
 	case DeltaAnnotate:
 		return s.g.Annotate(d.NodeID, d.Key, d.Value)
-	case DeltaCheckpoint:
+	case DeltaHistory:
 		return nil // execution bookkeeping, not part of the graph
 	default:
 		return fmt.Errorf("provenance: unknown delta kind %d", d.Kind)

@@ -1,0 +1,81 @@
+package provenance
+
+import (
+	"repro/internal/workflow"
+)
+
+// EmitHistory streams one engine history event onto the delta stream. The
+// caller (HistoryCapture) emits it AFTER the graph deltas of the event's
+// projection, so the stream keeps the prefix property resume relies on: a
+// persisted history event proves its projected provenance is persisted too.
+func (c *Collector) EmitHistory(ev *workflow.HistoryEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.emitLocked(Delta{Kind: DeltaHistory, History: ev})
+}
+
+// HistoryCapture adapts a Collector to the event-sourced engine: it consumes
+// the run's history stream, projects each event to the legacy execution
+// event (workflow.Projector — the deterministic bridge), feeds the projection
+// to the Collector, and then rides the raw history event onto the same delta
+// stream for persistence.
+//
+// Ordering is the whole point. For every history event the sinks see
+//
+//	[projected graph deltas...] [DeltaHistory]
+//
+// so any crash-consistent prefix of the stream that contains a history event
+// also contains everything that event implies. Resuming from the stored
+// history is therefore always safe: replaying the prefix re-derives exactly
+// the graph state already on disk (deduplicated by the resume collector and
+// writer), and execution continues from the first missing event.
+type HistoryCapture struct {
+	c    *Collector
+	proj workflow.Projector
+}
+
+// NewHistoryCapture wraps a collector for use as an EventEngine listener.
+func NewHistoryCapture(c *Collector) *HistoryCapture {
+	return &HistoryCapture{c: c}
+}
+
+// Collector returns the wrapped collector.
+func (h *HistoryCapture) Collector() *Collector { return h.c }
+
+// OnHistoryEvent implements workflow.HistoryListener. It is called from the
+// engine's single orchestrator goroutine, so projector state needs no lock;
+// the Collector locks internally.
+//
+// The terminal event inverts the order: its history delta goes out BEFORE its
+// projection, so DeltaRunFinished stays the very last delta of the stream and
+// a crash-consistent prefix can never show a finalized run record while the
+// history still reads unfinished. The cost is that a cut between the two
+// leaves a finished history with an un-finalized run record — exactly the
+// state resume's finalize path repairs by replaying the terminal event, whose
+// projection (completion inference, the terminal run record) is idempotent.
+func (h *HistoryCapture) OnHistoryEvent(ev workflow.HistoryEvent) {
+	legacy, ok := h.proj.Apply(ev)
+	if ev.Type == workflow.HistoryRunFinished {
+		h.c.EmitHistory(&ev)
+		if ok {
+			h.c.OnEvent(legacy)
+		}
+		return
+	}
+	if ok {
+		h.c.OnEvent(legacy)
+	}
+	h.c.EmitHistory(&ev)
+}
+
+// OnHistoryPrefix implements workflow.HistoryPrefixer: a resumed run's
+// replayed prefix folds into the projector WITHOUT re-emitting anything —
+// the prefix property guarantees its projection is already persisted, and
+// the resume collector was preloaded with that graph state. Folding restores
+// the projector's buffered context (scheduled inputs, iteration elements) so
+// fresh completion events after the prefix project with full fidelity.
+func (h *HistoryCapture) OnHistoryPrefix(prefix []workflow.HistoryEvent) {
+	for _, ev := range prefix {
+		h.proj.Apply(ev)
+	}
+}

@@ -25,10 +25,10 @@ type Repository struct {
 
 // Table names.
 const (
-	runsTable        = "prov_runs"
-	nodesTable       = "prov_nodes"
-	edgesTable       = "prov_edges"
-	checkpointsTable = "prov_checkpoints"
+	runsTable    = "prov_runs"
+	nodesTable   = "prov_nodes"
+	edgesTable   = "prov_edges"
+	historyTable = "prov_history"
 )
 
 var (
@@ -60,12 +60,11 @@ var (
 		storage.Column{Name: "account", Kind: storage.KindString, Nullable: true},
 		storage.Column{Name: "time", Kind: storage.KindTime, Nullable: true},
 	)
-	checkpointsSchema = storage.MustSchema(checkpointsTable,
-		storage.Column{Name: "key", Kind: storage.KindString}, // run/processor
+	historySchema = storage.MustSchema(historyTable,
+		storage.Column{Name: "key", Kind: storage.KindString}, // run/seq
 		storage.Column{Name: "run_id", Kind: storage.KindString},
-		storage.Column{Name: "processor", Kind: storage.KindString},
-		storage.Column{Name: "iterations", Kind: storage.KindInt},
-		storage.Column{Name: "outputs", Kind: storage.KindBytes, Nullable: true}, // JSON port->Data
+		storage.Column{Name: "seq", Kind: storage.KindInt},
+		storage.Column{Name: "payload", Kind: storage.KindBytes}, // JSON workflow.HistoryEvent
 	)
 )
 
@@ -97,12 +96,13 @@ func NewRepository(db *storage.DB) (*Repository, error) {
 			}
 		}
 	}
-	// Checkpoint table (added with crash-resume): repositories written by
-	// earlier versions gain it — their old runs simply have no checkpoints.
-	if db.Table(checkpointsTable) == nil {
+	// History table (added with the event-sourced engine): repositories
+	// written by earlier versions gain it — their old runs simply have no
+	// history and are not resumable by replay.
+	if db.Table(historyTable) == nil {
 		if err := db.Apply(
-			storage.CreateTableOp(checkpointsSchema),
-			storage.CreateIndexOp(checkpointsTable, "run_id"),
+			storage.CreateTableOp(historySchema),
+			storage.CreateIndexOp(historyTable, "run_id"),
 		); err != nil {
 			return nil, err
 		}

@@ -4,67 +4,68 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/storage"
 	"repro/internal/workflow"
 )
 
-// This file is the repository side of crash recovery: persisting the
-// checkpoint deltas the Collector streams, listing the unfinished runs a
-// crashed process left behind, and re-opening a run's write-behind persistence
-// so a resumed execution appends to the crash-consistent prefix instead of
+// This file is the repository side of crash recovery: persisting the engine
+// history deltas the Collector streams, listing the unfinished runs a crashed
+// process left behind, and re-opening a run's write-behind persistence so a
+// resumed execution appends to the crash-consistent prefix instead of
 // starting over.
 
-func checkpointKey(runID, processor string) string { return runID + "/" + processor }
+// historyKey renders "runID/seq" with the sequence zero-padded to eight
+// digits, so a primary-key range scan yields a run's history in seq order.
+func historyKey(runID string, seq int) string {
+	return fmt.Sprintf("%s/%08d", runID, seq)
+}
 
-func checkpointRow(runID string, cp workflow.Checkpoint) (storage.Row, error) {
-	outputs, err := json.Marshal(cp.Outputs)
+func historyRow(runID string, ev *workflow.HistoryEvent) (storage.Row, error) {
+	payload, err := json.Marshal(ev)
 	if err != nil {
-		return nil, fmt.Errorf("provenance: encode checkpoint outputs: %w", err)
+		return nil, fmt.Errorf("provenance: encode history event %d: %w", ev.Seq, err)
 	}
 	return storage.Row{
-		storage.S(checkpointKey(runID, cp.Processor)),
+		storage.S(historyKey(runID, ev.Seq)),
 		storage.S(runID),
-		storage.S(cp.Processor),
-		storage.I(int64(cp.Iterations)),
-		storage.Bytes(outputs),
+		storage.I(int64(ev.Seq)),
+		storage.Bytes(payload),
 	}, nil
 }
 
-func rowToCheckpoint(row storage.Row) (workflow.Checkpoint, error) {
-	cp := workflow.Checkpoint{
-		Processor:  row.Get(checkpointsSchema, "processor").Str(),
-		Iterations: int(row.Get(checkpointsSchema, "iterations").Int()),
+func rowToHistoryEvent(row storage.Row) (workflow.HistoryEvent, error) {
+	var ev workflow.HistoryEvent
+	if err := json.Unmarshal(row.Get(historySchema, "payload").Raw(), &ev); err != nil {
+		return ev, fmt.Errorf("provenance: decode history event %q: %w",
+			row.Get(historySchema, "key").Str(), err)
 	}
-	if raw := row.Get(checkpointsSchema, "outputs").Raw(); len(raw) > 0 {
-		if err := json.Unmarshal(raw, &cp.Outputs); err != nil {
-			return cp, fmt.Errorf("provenance: decode checkpoint outputs for %q: %w", cp.Processor, err)
-		}
-	}
-	return cp, nil
+	return ev, nil
 }
 
-// Checkpoints returns the processor-completion checkpoints persisted for a
-// run — the crash-consistent record of which processors finished durably.
-// The order is unspecified; workflow.Engine.Resume replays by definition
-// order regardless.
-func (r *Repository) Checkpoints(runID string) ([]workflow.Checkpoint, error) {
+// History returns the persisted history prefix of a run in sequence order —
+// the crash-consistent record resume-as-replay feeds back into the event
+// engine. An unfinished run's history simply stops at the last event that
+// reached storage before the crash.
+func (r *Repository) History(runID string) ([]workflow.HistoryEvent, error) {
 	if _, err := r.Run(runID); err != nil {
 		return nil, err
 	}
-	rows, err := r.db.Table(checkpointsTable).Lookup("run_id", storage.S(runID))
+	rows, err := r.db.Table(historyTable).Lookup("run_id", storage.S(runID))
 	if err != nil {
 		return nil, err
 	}
-	out := make([]workflow.Checkpoint, 0, len(rows))
+	out := make([]workflow.HistoryEvent, 0, len(rows))
 	for _, row := range rows {
-		cp, err := rowToCheckpoint(row)
+		ev, err := rowToHistoryEvent(row)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, cp)
+		out = append(out, ev)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out, nil
 }
 
@@ -104,12 +105,12 @@ func (r *Repository) MarkAbandoned(runID, reason string, at time.Time) error {
 }
 
 // NewResumeWriter re-opens write-behind persistence for an interrupted run:
-// the writer preloads the run's persisted nodes, edge count and checkpoint
-// set, so the resumed delta stream appends exactly what is missing — node
-// re-annotations become updates, edge sequence numbers continue where the
-// prefix stopped, and replayed checkpoints are never duplicated. The
-// run-started delta of the resumed execution updates the existing run row
-// rather than inserting a second one.
+// the writer preloads the run's persisted nodes, edge count and history
+// high-water mark, so the resumed delta stream appends exactly what is
+// missing — node re-annotations become updates, edge sequence numbers
+// continue where the prefix stopped, and replayed history events are never
+// duplicated. The run-started delta of a resumed execution (if one arrives at
+// all) updates the existing run row rather than inserting a second one.
 func (r *Repository) NewResumeWriter(runID string, opts BatchWriterOptions) (*BatchWriter, error) {
 	info, err := r.Run(runID)
 	if err != nil {
@@ -125,7 +126,7 @@ func (r *Repository) NewResumeWriter(runID string, opts BatchWriterOptions) (*Ba
 		ch:          make(chan Delta, opts.Queue),
 		done:        make(chan struct{}),
 		nodes:       make(map[string]*wnode),
-		checkpoints: make(map[string]bool),
+		historySeq:  -1,
 		runID:       runID,
 		runInserted: true,
 		resume:      true,
@@ -155,12 +156,14 @@ func (r *Repository) NewResumeWriter(runID string, opts BatchWriterOptions) (*Ba
 		return nil, err
 	}
 	w.edgeSeq = len(edgeRows)
-	cpRows, err := r.db.Table(checkpointsTable).Lookup("run_id", storage.S(runID))
+	histRows, err := r.db.Table(historyTable).Lookup("run_id", storage.S(runID))
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range cpRows {
-		w.checkpoints[row.Get(checkpointsSchema, "processor").Str()] = true
+	for _, row := range histRows {
+		if seq := int(row.Get(historySchema, "seq").Int()); seq > w.historySeq {
+			w.historySeq = seq
+		}
 	}
 	go w.loop()
 	return w, nil

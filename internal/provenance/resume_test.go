@@ -48,39 +48,68 @@ func detectionInputs() map[string]workflow.Data {
 	)}
 }
 
-func TestCheckpointsPersistAndReload(t *testing.T) {
+func TestHistoryPersistsAndReloads(t *testing.T) {
 	repo, _ := openRepo(t)
 	col := NewCollector("curator")
 	w := repo.NewBatchWriter(BatchWriterOptions{})
 	col.AddSink(w)
-	res, err := workflow.NewEngine(detectionRegistry()).Run(
-		context.Background(), detectionDef(), detectionInputs(), col)
+	eng := workflow.NewEventEngine(detectionRegistry())
+	eng.Workers = 4
+	res, err := eng.Run(context.Background(), detectionDef(), detectionInputs(), NewHistoryCapture(col))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	cps, err := repo.Checkpoints(res.RunID)
+	history, err := repo.History(res.RunID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	byProc := map[string]workflow.Checkpoint{}
-	for _, cp := range cps {
-		byProc[cp.Processor] = cp
+	if len(history) == 0 {
+		t.Fatal("no history persisted")
 	}
-	if len(byProc) != 2 {
-		t.Fatalf("checkpoints = %+v", cps)
+	for i, ev := range history {
+		if ev.Seq != i {
+			t.Fatalf("history seq gap at %d: %+v", i, ev)
+		}
 	}
-	norm, ok := byProc["Normalize"]
-	if !ok || norm.Iterations != 3 || !norm.Outputs["clean"].IsList() {
-		t.Fatalf("Normalize checkpoint = %+v", norm)
+	if history[0].Type != workflow.HistoryRunStarted {
+		t.Fatalf("first event = %+v", history[0])
 	}
-	col2 := NewCollector("curator")
-	if _, err := workflow.NewEngine(detectionRegistry()).Resume(
-		context.Background(), detectionDef(), detectionInputs(),
-		res.RunID, cps, col2); err != nil {
-		t.Fatalf("resume from reloaded checkpoints: %v", err)
+	last := history[len(history)-1]
+	if last.Type != workflow.HistoryRunFinished || last.Status != "completed" {
+		t.Fatalf("last event = %+v", last)
+	}
+	var normDone, elements int
+	for _, ev := range history {
+		if ev.Activity == "Normalize" {
+			switch ev.Type {
+			case workflow.HistoryActivityCompleted:
+				normDone++
+				if ev.Iterations != 3 || !ev.Outputs["clean"].IsList() {
+					t.Fatalf("Normalize completion = %+v", ev)
+				}
+			case workflow.HistoryIterationElement:
+				elements++
+			}
+		}
+	}
+	if normDone != 1 || elements != 3 {
+		t.Fatalf("Normalize events: %d completions, %d elements", normDone, elements)
+	}
+	// The reloaded history resumes the (already-finished) run verbatim: no
+	// service re-runs, both processors replay, outputs rebuild from history.
+	res2, err := workflow.NewEventEngine(detectionRegistry()).Resume(
+		context.Background(), detectionDef(), detectionInputs(), res.RunID, history)
+	if err != nil {
+		t.Fatalf("resume from reloaded history: %v", err)
+	}
+	if len(res2.Invocations) != 0 || len(res2.Replayed) != 2 {
+		t.Fatalf("resume re-ran services: %v %v", res2.Invocations, res2.Replayed)
+	}
+	if res2.Outputs["summary"].String() != res.Outputs["summary"].String() {
+		t.Fatalf("outputs diverged: %q vs %q", res2.Outputs["summary"], res.Outputs["summary"])
 	}
 }
 
@@ -131,17 +160,18 @@ func TestUnfinishedRunsAndMarkAbandoned(t *testing.T) {
 }
 
 // TestCrashResumeConvergesAtEveryCut is the provenance-layer half of the
-// kill-at-every-checkpoint contract: cut the delta stream after every prefix
-// length 1..N-1, resume from what was persisted, and require the final graph
-// to be canonically identical to an uninterrupted baseline.
+// kill-at-every-cut contract: cut the delta stream after every prefix length
+// 1..N-1, resume by replaying the persisted history through the event
+// engine, and require the final graph to be canonically identical to an
+// uninterrupted baseline.
 func TestCrashResumeConvergesAtEveryCut(t *testing.T) {
 	// Baseline: uninterrupted run through a batch writer.
 	baseRepo, _ := openRepo(t)
 	baseCol := NewCollector("curator")
 	baseW := baseRepo.NewBatchWriter(BatchWriterOptions{})
 	baseCol.AddSink(baseW)
-	baseRes, err := workflow.NewEngine(detectionRegistry()).Run(
-		context.Background(), detectionDef(), detectionInputs(), baseCol)
+	baseRes, err := workflow.NewEventEngine(detectionRegistry()).Run(
+		context.Background(), detectionDef(), detectionInputs(), NewHistoryCapture(baseCol))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,8 +197,8 @@ func TestCrashResumeConvergesAtEveryCut(t *testing.T) {
 			defer cancel()
 			crash := NewCrashSink(w, cut, cancel)
 			col.AddSink(crash)
-			_, runErr := workflow.NewEngine(detectionRegistry()).Run(
-				ctx, detectionDef(), detectionInputs(), col)
+			_, runErr := workflow.NewEventEngine(detectionRegistry()).Run(
+				ctx, detectionDef(), detectionInputs(), NewHistoryCapture(col))
 			if err := w.Close(); err != nil {
 				t.Fatal(err)
 			}
@@ -186,8 +216,8 @@ func TestCrashResumeConvergesAtEveryCut(t *testing.T) {
 				t.Fatalf("crashed run (engine err %v) has status %q", runErr, info.Status)
 			}
 
-			// Resume from the persisted prefix.
-			cps, err := repo.Checkpoints(runID)
+			// Resume is replay: feed the persisted history prefix back in.
+			history, err := repo.History(runID)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -201,8 +231,8 @@ func TestCrashResumeConvergesAtEveryCut(t *testing.T) {
 				t.Fatal(err)
 			}
 			rcol.AddSink(rw)
-			if _, err := workflow.NewEngine(detectionRegistry()).Resume(
-				context.Background(), detectionDef(), detectionInputs(), runID, cps, rcol); err != nil {
+			if _, err := workflow.NewEventEngine(detectionRegistry()).Resume(
+				context.Background(), detectionDef(), detectionInputs(), runID, history, NewHistoryCapture(rcol)); err != nil {
 				t.Fatalf("resume after cut %d: %v", cut, err)
 			}
 			if err := rw.Close(); err != nil {

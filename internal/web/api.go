@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/provenance"
 	"repro/internal/telemetry"
+	"repro/internal/workflow"
 )
 
 // maxPageLimit is the hard page-size ceiling of every paged endpoint.
@@ -160,6 +161,7 @@ func (s *Server) registerAPI() {
 		"/api/v1/archive/": s.requireGet(s.apiArchiveObject),
 		"/api/v1/quality":  s.requireGet(s.apiQuality),
 		"/api/v1/metrics":  s.requireGet(s.apiMetrics),
+		"/api/v1/workers":  s.requireGet(s.apiWorkers),
 		"/api/v1/detect":   s.apiDetect,
 		"/api/v1/": func(w http.ResponseWriter, r *http.Request) {
 			writeAPIError(w, http.StatusNotFound, "not_found", "no such API resource: "+r.URL.Path)
@@ -659,4 +661,19 @@ func (s *Server) apiQuality(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) apiMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.svc.Metrics(timeNow()))
+}
+
+// apiWorkers serves the event engine's live worker-pool view: queue-depth and
+// in-flight gauges plus per-worker liveness, task counts, and kill marks.
+// Unlike most of the API this is not a snapshot of a finished run — it reads
+// the live registry, so a poll during an active run shows workers mid-task.
+func (s *Server) apiWorkers(w http.ResponseWriter, r *http.Request) {
+	workers, counters := s.svc.Workers()
+	if workers == nil {
+		workers = []workflow.WorkerInfo{}
+	}
+	writeJSON(w, struct {
+		Counters map[string]float64    `json:"counters"`
+		Workers  []workflow.WorkerInfo `json:"workers"`
+	}{counters, workers})
 }

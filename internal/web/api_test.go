@@ -385,6 +385,74 @@ func TestAPIQualityAndMetrics(t *testing.T) {
 	}
 }
 
+// TestAPIWorkers covers the worker-pool view: before any run the pool is
+// empty but well-formed; after a detection run the registry reports the
+// run's workers (exited, not killed) and the queue gauges read drained.
+func TestAPIWorkers(t *testing.T) {
+	srv, _, _ := testServer(t)
+
+	var pool struct {
+		Counters map[string]float64 `json:"counters"`
+		Workers  []struct {
+			ID     string `json:"id"`
+			RunID  string `json:"run_id"`
+			Tasks  int    `json:"tasks"`
+			Alive  bool   `json:"alive"`
+			Killed bool   `json:"killed"`
+		} `json:"workers"`
+	}
+	decodeJSON(t, getResp(t, srv.URL+"/api/v1/workers", nil), 200, &pool)
+	if len(pool.Workers) != 0 || pool.Counters["workers.started"] != 0 {
+		t.Fatalf("pool before any run: %+v", pool)
+	}
+
+	resp, err := http.Post(srv.URL+"/api/v1/detect", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, 200, nil)
+
+	decodeJSON(t, getResp(t, srv.URL+"/api/v1/workers", nil), 200, &pool)
+	if pool.Counters["workers.started"] < 1 || pool.Counters["workers.exited"] < 1 {
+		t.Fatalf("pool counters after run: %v", pool.Counters)
+	}
+	if pool.Counters["queue.depth"] != 0 || pool.Counters["queue.in_flight"] != 0 {
+		t.Fatalf("queue not drained: %v", pool.Counters)
+	}
+	if len(pool.Workers) == 0 {
+		t.Fatal("no workers recorded")
+	}
+	tasks := 0
+	for _, wk := range pool.Workers {
+		if wk.ID == "" || wk.RunID == "" {
+			t.Fatalf("malformed worker: %+v", wk)
+		}
+		if wk.Alive || wk.Killed {
+			t.Fatalf("worker not cleanly exited: %+v", wk)
+		}
+		tasks += wk.Tasks
+	}
+	if tasks == 0 {
+		t.Fatal("workers report zero tasks for a completed run")
+	}
+
+	// The same gauges flow through /api/v1/metrics as a subsystem.
+	var ms []MetricsEntry
+	decodeJSON(t, getResp(t, srv.URL+"/api/v1/metrics", nil), 200, &ms)
+	found := false
+	for _, m := range ms {
+		if m.Entity == "subsystem:workers" {
+			found = true
+			if m.Measurements["workers.tasks_total"] < 1 {
+				t.Fatalf("workers subsystem measurements: %v", m.Measurements)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no workers subsystem in /api/v1/metrics")
+	}
+}
+
 func TestAPIArchive(t *testing.T) {
 	srv, wsys, _ := testServer(t)
 

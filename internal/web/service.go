@@ -15,6 +15,7 @@ import (
 	"repro/internal/opm"
 	"repro/internal/provenance"
 	"repro/internal/telemetry"
+	"repro/internal/workflow"
 )
 
 // errNotFound marks a lookup miss; HTML handlers map it to http.NotFound and
@@ -50,6 +51,13 @@ func (v *Service) LastOutcome() *core.DetectionOutcome {
 	v.sys.mu.Lock()
 	defer v.sys.mu.Unlock()
 	return v.sys.lastOutcome
+}
+
+// Workers returns the live worker-pool view: per-worker liveness (sorted by
+// worker ID) plus the pool's counters and dispatch-queue gauges.
+func (v *Service) Workers() ([]workflow.WorkerInfo, map[string]float64) {
+	reg := v.sys.Core.Workers
+	return reg.Snapshot(), reg.Counters()
 }
 
 // API reads run against immutable point-in-time snapshots
@@ -296,6 +304,8 @@ func (v *Service) Metrics(at time.Time) []MetricsEntry {
 		"engine": v.sys.Core.Engine.Metrics().Counters(),
 		// Crash-recovery activity: runs resumed, runs abandoned, sweeps.
 		"recovery": core.RecoveryCounters(),
+		// Worker-pool liveness and dispatch-queue gauges, live across runs.
+		"workers": v.sys.Core.Workers.Counters(),
 	}
 	v.sys.mu.Lock()
 	if o := v.sys.lastOutcome; o != nil {

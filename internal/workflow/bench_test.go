@@ -1,0 +1,109 @@
+package workflow
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// benchTask builds a representative dispatch task.
+func benchTask(i int) Task {
+	return Task{
+		ID:       TaskID("bench-run", "Resolve", i),
+		RunID:    "bench-run",
+		Activity: "Resolve",
+		Element:  i,
+	}
+}
+
+// BenchmarkQueueDispatch measures one full dispatch cycle — Enqueue, Dequeue,
+// Ack — through each TaskQueue backend. This is the per-task overhead the
+// worker pool adds on top of the service call itself.
+func BenchmarkQueueDispatch(b *testing.B) {
+	b.Run("memory", func(b *testing.B) {
+		q := NewMemoryQueue()
+		defer q.Close()
+		benchDispatch(b, q)
+	})
+	b.Run("storage", func(b *testing.B) {
+		db, err := storage.Open(b.TempDir(), storage.Options{Sync: storage.SyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		q, err := NewStorageQueue(db, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer q.Close()
+		benchDispatch(b, q)
+	})
+}
+
+func benchDispatch(b *testing.B, q TaskQueue) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := benchTask(i)
+		if err := q.Enqueue(t); err != nil {
+			b.Fatal(err)
+		}
+		got, err := q.Dequeue(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := q.Ack(got.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchHistoryEvent is a representative mid-run event: an iteration element
+// completing with a scalar output, the most common event in a detection run.
+func benchHistoryEvent(i int) HistoryEvent {
+	return HistoryEvent{
+		Type:     HistoryIterationElement,
+		Activity: "Resolve",
+		Service:  "Catalog_of_life",
+		Element:  i,
+		Outputs:  map[string]Data{"resolved": Scalar(fmt.Sprintf("Hyla faber %d", i))},
+	}
+}
+
+// BenchmarkHistoryAppend measures the two costs of the history stream: the
+// orchestrator's append (stamp sequence/time/run identity, fan out to
+// listeners) and the JSON encoding the provenance layer pays to persist each
+// event.
+func BenchmarkHistoryAppend(b *testing.B) {
+	b.Run("stamp-fanout", func(b *testing.B) {
+		var last HistoryEvent
+		r := &eventRun{
+			def:       &Definition{ID: "wf-bench", Name: "Bench"},
+			runID:     "bench-run",
+			listeners: []HistoryListener{HistoryListenerFunc(func(ev HistoryEvent) { last = ev })},
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.append(benchHistoryEvent(i))
+		}
+		if last.Seq != b.N-1 {
+			b.Fatalf("listener saw seq %d, want %d", last.Seq, b.N-1)
+		}
+	})
+	b.Run("json-encode", func(b *testing.B) {
+		ev := benchHistoryEvent(0)
+		ev.Seq, ev.RunID, ev.WorkflowID, ev.WorkflowName = 7, "bench-run", "wf-bench", "Bench"
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(&ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

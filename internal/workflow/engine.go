@@ -149,11 +149,11 @@ type RunResult struct {
 	StartedAt  time.Time
 	FinishedAt time.Time
 	// Invocations counts service calls per processor (iteration elements
-	// count individually). Processors replayed from checkpoints do not
-	// appear here — no service ran for them in this execution.
+	// count individually). Processors fully replayed from a history prefix
+	// do not appear here — no service ran for them in this execution.
 	Invocations map[string]int
 	// Replayed lists the processors whose outputs a resumed run replayed
-	// from checkpoints instead of re-executing (definition order).
+	// from its history prefix instead of re-executing (definition order).
 	Replayed []string
 }
 
@@ -245,13 +245,13 @@ var ErrMissingInput = errors.New("workflow: missing workflow input")
 // every listener of each execution event. It returns when the run completes
 // or fails; on failure the partial result carries whatever completed.
 func (e *Engine) Run(ctx context.Context, def *Definition, inputs map[string]Data, listeners ...Listener) (*RunResult, error) {
-	return e.run(ctx, def, inputs, "", nil, listeners)
+	return e.run(ctx, def, inputs, "", listeners)
 }
 
-// run is the shared execution path behind Run and Resume. A non-empty runID
-// reuses an existing run identity instead of minting one, and completed lists
-// processors whose recorded outputs are replayed instead of re-executed.
-func (e *Engine) run(ctx context.Context, def *Definition, inputs map[string]Data, runID string, completed []Checkpoint, listeners []Listener) (*RunResult, error) {
+// run executes def. A non-empty runID reuses an existing run identity
+// instead of minting one. Crash recovery lives in the event-sourced engine
+// (EventEngine.Resume) — this legacy path always executes from scratch.
+func (e *Engine) run(ctx context.Context, def *Definition, inputs map[string]Data, runID string, listeners []Listener) (*RunResult, error) {
 	if err := Validate(def); err != nil {
 		return nil, err
 	}
@@ -265,15 +265,6 @@ func (e *Engine) run(ctx context.Context, def *Definition, inputs map[string]Dat
 			return nil, fmt.Errorf("workflow: processor %q needs unregistered service %q", p.Name, p.Service)
 		}
 	}
-	replay := make(map[string]*Checkpoint, len(completed))
-	for i := range completed {
-		cp := &completed[i]
-		if _, ok := def.Processor(cp.Processor); !ok {
-			return nil, fmt.Errorf("workflow: checkpoint for unknown processor %q", cp.Processor)
-		}
-		replay[cp.Processor] = cp
-	}
-
 	if runID == "" {
 		runID = fmt.Sprintf("run-%06d", atomic.AddInt64(&runCounter, 1))
 	}
@@ -284,7 +275,6 @@ func (e *Engine) run(ctx context.Context, def *Definition, inputs map[string]Dat
 		listeners: listeners,
 		values:    map[string]Data{},
 		remaining: map[string]int{},
-		skip:      replay,
 		result: &RunResult{
 			RunID:       runID,
 			Outputs:     map[string]Data{},
@@ -304,9 +294,6 @@ func (e *Engine) run(ctx context.Context, def *Definition, inputs map[string]Dat
 	wfSpan.SetAttr("run_id", runID)
 	wfSpan.SetAttr("workflow_id", def.ID)
 	wfSpan.SetAttr("processors", strconv.Itoa(len(def.Processors)))
-	if len(replay) > 0 {
-		wfSpan.SetAttr("replayed", strconv.Itoa(len(replay)))
-	}
 
 	st.emit(Event{Type: EventWorkflowStarted, RunID: runID, WorkflowID: def.ID,
 		WorkflowName: def.Name, Annotations: def.Annotations, Inputs: inputs, Time: time.Now()})
@@ -333,36 +320,6 @@ func (e *Engine) run(ctx context.Context, def *Definition, inputs map[string]Dat
 				ready = append(ready, procs...)
 			}
 		}
-	}
-	// Replay checkpointed processors: deliver their recorded outputs along
-	// the definition's links (definition order keeps this deterministic)
-	// without invoking services or emitting processor events.
-	for _, p := range def.Processors {
-		cp, ok := replay[p.Name]
-		if !ok {
-			continue
-		}
-		st.result.Replayed = append(st.result.Replayed, p.Name)
-		for _, l := range def.Links {
-			if l.Source.Processor != p.Name {
-				continue
-			}
-			d, ok := cp.Outputs[l.Source.Port]
-			if !ok {
-				st.mu.Unlock()
-				return nil, fmt.Errorf("workflow: checkpoint for %q lacks output %q", p.Name, l.Source.Port)
-			}
-			ready = append(ready, st.deliverLocked(l, d)...)
-		}
-	}
-	if len(replay) > 0 {
-		live := ready[:0]
-		for _, p := range ready {
-			if _, done := replay[p.Name]; !done {
-				live = append(live, p)
-			}
-		}
-		ready = live
 	}
 	st.mu.Unlock()
 
@@ -410,10 +367,6 @@ type runState struct {
 	// sem is the engine-wide slot budget (nil = unlimited). Slots are
 	// acquired around individual service calls only — see Engine.Parallel.
 	sem chan struct{}
-
-	// skip maps processors whose outputs were replayed from checkpoints;
-	// they must never be launched even if late deliveries make them ready.
-	skip map[string]*Checkpoint
 
 	mu        sync.Mutex
 	values    map[string]Data // endpoint -> datum
@@ -506,9 +459,6 @@ func (st *runState) deliverLocked(l Link, d Data) []*Processor {
 	}
 	st.remaining[l.Target.Processor]--
 	if st.remaining[l.Target.Processor] == 0 {
-		if _, done := st.skip[l.Target.Processor]; done {
-			return nil // replayed from a checkpoint, never re-launched
-		}
 		if p, ok := st.def.Processor(l.Target.Processor); ok {
 			return []*Processor{p}
 		}

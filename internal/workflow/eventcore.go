@@ -1,0 +1,812 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// EventEngine is the event-sourced successor of Engine: every run appends an
+// ordered history of typed events (history.go) from a single orchestrator
+// goroutine, while N workers pull activity tasks from a TaskQueue and report
+// results back. Provenance, telemetry, and crash recovery are projections of
+// the history stream; resuming a killed run is Resume — replay the persisted
+// prefix, re-enqueue only the missing tasks, append after it.
+type EventEngine struct {
+	registry *Registry
+	// Workers is the worker-pool size (minimum 1). With the in-memory queue
+	// this bounds concurrent service invocations exactly as Engine.Parallel
+	// bounds them in the legacy engine.
+	Workers int
+	// NewQueue supplies the dispatch backend per run; nil means an in-memory
+	// FIFO (NewMemoryQueue).
+	NewQueue func(runID string) TaskQueue
+	// Stats, when set, receives worker liveness and queue gauges for the
+	// /metrics bridge. All WorkerRegistry methods are nil-safe.
+	Stats *WorkerRegistry
+	// KillWorker is the chaos hook: called after each dequeue with the
+	// worker's ID and completed-task count; returning true makes the worker
+	// Nack the task and exit (the last live worker always survives so the
+	// run can finish).
+	KillWorker func(workerID string, tasksDone int) bool
+
+	metrics engineMetrics
+}
+
+// NewEventEngine builds an event-sourced engine over the given registry.
+func NewEventEngine(reg *Registry) *EventEngine { return &EventEngine{registry: reg} }
+
+// Metrics returns the engine's cumulative instrumentation counters.
+func (e *EventEngine) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		Invocations:        e.metrics.invocations.Load(),
+		ElementsDispatched: e.metrics.elementsDispatched.Load(),
+		InFlight:           e.metrics.inFlight.Load(),
+		PeakInFlight:       e.metrics.peakInFlight.Load(),
+		QueueWait:          e.metrics.queueWait.Snapshot(),
+		Exec:               e.metrics.exec.Snapshot(),
+	}
+}
+
+// Run validates and executes def, streaming history events to the listeners.
+func (e *EventEngine) Run(ctx context.Context, def *Definition, inputs map[string]Data, listeners ...HistoryListener) (*RunResult, error) {
+	return e.execute(ctx, def, inputs, "", nil, listeners)
+}
+
+// Resume re-executes a run from its persisted history prefix under the
+// original run ID: completed activities replay their recorded outputs,
+// partially-complete iterations re-enqueue only the elements with no
+// iteration-element event, and new events append after the prefix. An empty
+// prefix is a full re-execution under the original identity.
+func (e *EventEngine) Resume(ctx context.Context, def *Definition, inputs map[string]Data, runID string, history []HistoryEvent, listeners ...HistoryListener) (*RunResult, error) {
+	return e.execute(ctx, def, inputs, runID, history, listeners)
+}
+
+// foldedActivity is the per-processor digest of a history prefix.
+type foldedActivity struct {
+	scheduled  bool
+	done       bool
+	inputs     map[string]Data
+	outputs    map[string]Data
+	iterations int
+	elements   map[int]ElementTrace
+}
+
+// foldedRun is the digest of a whole prefix.
+type foldedRun struct {
+	hasStart bool
+	acts     map[string]*foldedActivity
+	// finished is the prefix's run-finished event when the run already
+	// completed durably before the crash; resume degenerates to replaying it.
+	finished *HistoryEvent
+}
+
+func (f *foldedRun) act(name string) *foldedActivity {
+	a := f.acts[name]
+	if a == nil {
+		a = &foldedActivity{}
+		f.acts[name] = a
+	}
+	return a
+}
+
+// foldHistory digests a persisted prefix into resumable state, returning the
+// prefix in Seq order. An activity-failed event in the prefix un-does the
+// activity (it will re-execute, reusing any surviving elements); a
+// run-finished event means the run completed durably and resume degenerates
+// to replaying that terminal event.
+func foldHistory(def *Definition, history []HistoryEvent) ([]HistoryEvent, *foldedRun, error) {
+	f := &foldedRun{acts: map[string]*foldedActivity{}}
+	if len(history) == 0 {
+		return nil, f, nil
+	}
+	evs := append([]HistoryEvent(nil), history...)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	for _, ev := range evs {
+		if f.finished != nil {
+			return nil, nil, fmt.Errorf("workflow: run %q history continues past run-finished", ev.RunID)
+		}
+		if ev.Activity != "" {
+			if _, ok := def.Processor(ev.Activity); !ok {
+				return nil, nil, fmt.Errorf("workflow: history for unknown processor %q", ev.Activity)
+			}
+		}
+		switch ev.Type {
+		case HistoryRunStarted:
+			f.hasStart = true
+		case HistoryActivityScheduled:
+			a := f.act(ev.Activity)
+			a.scheduled = true
+			a.inputs = ev.Inputs
+		case HistoryIterationElement:
+			a := f.act(ev.Activity)
+			if a.elements == nil {
+				a.elements = map[int]ElementTrace{}
+			}
+			a.elements[ev.Element] = ElementTrace{Index: ev.Element, Inputs: ev.Inputs, Outputs: ev.Outputs}
+		case HistoryActivityCompleted:
+			a := f.act(ev.Activity)
+			a.done = true
+			a.outputs = ev.Outputs
+			a.iterations = ev.Iterations
+		case HistoryActivityFailed:
+			f.act(ev.Activity).done = false
+		case HistoryRunFinished:
+			ev := ev
+			f.finished = &ev
+		}
+	}
+	return evs, f, nil
+}
+
+// finalizeFromHistory resumes a run whose history already holds run-finished:
+// the run completed durably before the crash, so nothing re-executes. The
+// terminal event is replayed through OnHistoryEvent (not folded silently like
+// the rest of the prefix) so projections repair whatever finalization the
+// crash cut off — completion-rule inference, the run record's terminal status
+// — all of it idempotent against state already persisted.
+func finalizeFromHistory(def *Definition, runID string, prefix []HistoryEvent, folded *foldedRun, listeners []HistoryListener) (*RunResult, error) {
+	fin := folded.finished
+	for _, l := range listeners {
+		if pf, ok := l.(HistoryPrefixer); ok {
+			pf.OnHistoryPrefix(prefix[:len(prefix)-1])
+		}
+	}
+	for _, l := range listeners {
+		l.OnHistoryEvent(*fin)
+	}
+	if fin.Status == "failed" {
+		return nil, fmt.Errorf("workflow: run %q already failed: %s", runID, fin.Err)
+	}
+	now := time.Now()
+	res := &RunResult{
+		RunID: runID, Outputs: map[string]Data{},
+		StartedAt: now, FinishedAt: now,
+		Invocations: map[string]int{},
+	}
+	for _, out := range def.Outputs {
+		d, ok := fin.Outputs[out.Name]
+		if !ok {
+			return nil, fmt.Errorf("workflow: finished history for run %q lacks output %q", runID, out.Name)
+		}
+		res.Outputs[out.Name] = d
+	}
+	for _, p := range def.Processors {
+		if a := folded.acts[p.Name]; a != nil && a.done {
+			res.Replayed = append(res.Replayed, p.Name)
+		}
+	}
+	return res, nil
+}
+
+// workerMsg is one worker->orchestrator report.
+type workerMsg struct {
+	retry   bool // retry-backoff notification, not a completion
+	task    Task
+	worker  string
+	attempt int
+	callIn  map[string]Data
+	out     map[string]Data
+	err     error
+}
+
+// activity is the orchestrator's live state for one scheduled processor.
+// Fields set before task enqueue (p, fn, inputs, iterating, ctx) are
+// read-only afterwards and safe for workers to read; everything else is
+// orchestrator-only.
+type activity struct {
+	p         *Processor
+	fn        ServiceFunc
+	inputs    map[string]Data
+	iterating bool
+	n         int // element count when iterating
+	ctx       context.Context
+	cancelAct context.CancelFunc
+	span      *telemetry.Span
+	start     time.Time
+
+	collected map[string][]Data
+	seen      []bool
+	expected  int // fresh tasks enqueued this execution
+	reported  int
+	fresh     int // fresh service invocations (for RunResult.Invocations)
+	started   bool
+	outputs   map[string]Data // staged non-iterating result
+
+	realIdx, cancelIdx int
+	realErr, cancelErr error
+}
+
+// eventRun is the mutable state of one event-sourced execution. The
+// orchestrator goroutine owns every field; workers only read the acts map
+// (guarded by mu) and the immutable activity fields noted above.
+type eventRun struct {
+	e         *EventEngine
+	def       *Definition
+	runID     string
+	listeners []HistoryListener
+	q         TaskQueue
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	folded    *foldedRun
+
+	mu   sync.RWMutex
+	acts map[string]*activity
+
+	nextSeq   int
+	values    map[string]Data
+	remaining map[string]int
+	active    int // activities scheduled but not settled
+	failErr   error
+	result    *RunResult
+	msgs      chan workerMsg
+}
+
+func (r *eventRun) activity(name string) *activity {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.acts[name]
+}
+
+func (r *eventRun) setActivity(name string, a *activity) {
+	r.mu.Lock()
+	r.acts[name] = a
+	r.mu.Unlock()
+}
+
+// append stamps and emits one history event. Only the orchestrator calls it,
+// so listeners observe a totally ordered stream.
+func (r *eventRun) append(ev HistoryEvent) {
+	ev.Seq = r.nextSeq
+	r.nextSeq++
+	ev.Time = time.Now()
+	ev.RunID = r.runID
+	ev.WorkflowID = r.def.ID
+	ev.WorkflowName = r.def.Name
+	for _, l := range r.listeners {
+		l.OnHistoryEvent(ev)
+	}
+}
+
+func (e *EventEngine) execute(ctx context.Context, def *Definition, inputs map[string]Data, runID string, history []HistoryEvent, listeners []HistoryListener) (*RunResult, error) {
+	if err := Validate(def); err != nil {
+		return nil, err
+	}
+	for _, in := range def.Inputs {
+		if _, ok := inputs[in.Name]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrMissingInput, in.Name)
+		}
+	}
+	for _, p := range def.Processors {
+		if _, ok := e.registry.Lookup(p.Service); !ok {
+			return nil, fmt.Errorf("workflow: processor %q needs unregistered service %q", p.Name, p.Service)
+		}
+	}
+	prefix, folded, err := foldHistory(def, history)
+	if err != nil {
+		return nil, err
+	}
+	if runID == "" {
+		runID = fmt.Sprintf("run-%06d", atomic.AddInt64(&runCounter, 1))
+	}
+	if folded.finished != nil {
+		return finalizeFromHistory(def, runID, prefix, folded, listeners)
+	}
+
+	var q TaskQueue
+	if e.NewQueue != nil {
+		q = e.NewQueue(runID)
+	} else {
+		q = NewMemoryQueue()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	runCtx, wfSpan := telemetry.StartSpan(runCtx, "workflow:"+def.Name, "engine")
+	defer wfSpan.Finish()
+	wfSpan.SetAttr("run_id", runID)
+	wfSpan.SetAttr("workflow_id", def.ID)
+	wfSpan.SetAttr("processors", strconv.Itoa(len(def.Processors)))
+
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	r := &eventRun{
+		e: e, def: def, runID: runID, listeners: listeners, q: q,
+		runCtx: runCtx, cancelRun: cancel, folded: folded,
+		acts:      map[string]*activity{},
+		values:    map[string]Data{},
+		remaining: map[string]int{},
+		msgs:      make(chan workerMsg, workers*2+4),
+		result: &RunResult{
+			RunID:       runID,
+			Outputs:     map[string]Data{},
+			StartedAt:   time.Now(),
+			Invocations: map[string]int{},
+		},
+	}
+
+	// Hand the replayed prefix to projections before any new event, then
+	// continue the sequence after it. A prefix always carries run-started
+	// (it is the first event appended), so only fresh runs re-open.
+	if len(prefix) > 0 {
+		for _, l := range listeners {
+			if pf, ok := l.(HistoryPrefixer); ok {
+				pf.OnHistoryPrefix(prefix)
+			}
+		}
+		r.nextSeq = prefix[len(prefix)-1].Seq + 1
+	}
+	if !folded.hasStart {
+		r.append(HistoryEvent{Type: HistoryRunStarted, Inputs: inputs, Annotations: def.Annotations})
+	}
+
+	// Seed the dataflow: workflow inputs, zero-input processors, and the
+	// recorded outputs of prefix-completed activities (definition order
+	// keeps replay deterministic).
+	for name, d := range inputs {
+		r.values[Endpoint{Port: name}.String()] = d
+	}
+	for _, p := range def.Processors {
+		r.remaining[p.Name] = len(p.Inputs)
+	}
+	var ready []*Processor
+	for _, p := range def.Processors {
+		if len(p.Inputs) == 0 {
+			ready = append(ready, p)
+		}
+	}
+	for _, l := range def.Links {
+		if l.Source.Processor == "" {
+			ready = append(ready, r.deliver(l, inputs[l.Source.Port])...)
+		}
+	}
+	replayed := 0
+	for _, p := range def.Processors {
+		fa := folded.acts[p.Name]
+		if fa == nil || !fa.done {
+			continue
+		}
+		r.result.Replayed = append(r.result.Replayed, p.Name)
+		replayed++
+		for _, l := range def.Links {
+			if l.Source.Processor != p.Name {
+				continue
+			}
+			d, ok := fa.outputs[l.Source.Port]
+			if !ok {
+				return nil, fmt.Errorf("workflow: history for %q lacks output %q", p.Name, l.Source.Port)
+			}
+			ready = append(ready, r.deliver(l, d)...)
+		}
+	}
+	if replayed > 0 {
+		wfSpan.SetAttr("replayed", strconv.Itoa(replayed))
+		live := ready[:0]
+		for _, p := range ready {
+			if fa := folded.acts[p.Name]; fa == nil || !fa.done {
+				live = append(live, p)
+			}
+		}
+		ready = live
+	}
+
+	// Start the worker pool, then schedule the ready frontier and run the
+	// orchestration loop until every scheduled activity settles.
+	var wg sync.WaitGroup
+	var alive atomic.Int64
+	alive.Store(int64(workers))
+	for i := 0; i < workers; i++ {
+		id := e.Stats.Register(runID)
+		if id == "" {
+			id = fmt.Sprintf("w%d", i+1)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.worker(id, &alive)
+		}()
+	}
+	for _, p := range ready {
+		r.schedule(p)
+	}
+	for r.active > 0 {
+		r.handle(<-r.msgs)
+	}
+
+	if r.failErr == nil {
+		for _, out := range def.Outputs {
+			v, ok := r.values[Endpoint{Port: out.Name}.String()]
+			if !ok {
+				r.failErr = fmt.Errorf("workflow: output %q was never produced", out.Name)
+				break
+			}
+			r.result.Outputs[out.Name] = v
+		}
+	}
+	if r.failErr != nil {
+		wfSpan.SetAttr("error", r.failErr.Error())
+		r.append(HistoryEvent{Type: HistoryRunFinished, Status: "failed", Err: r.failErr.Error()})
+	} else {
+		r.append(HistoryEvent{Type: HistoryRunFinished, Status: "completed", Outputs: r.result.Outputs})
+	}
+	q.Close()
+	wg.Wait() // all worker spans recorded before the run returns
+	r.result.FinishedAt = time.Now()
+	return r.result, r.failErr
+}
+
+// schedule binds a processor's inputs, appends its scheduled event, and
+// enqueues its tasks — only the elements the prefix does not already record.
+func (r *eventRun) schedule(p *Processor) {
+	if r.failErr != nil {
+		return // parity with the legacy engine: no events after a failure
+	}
+	fa := r.folded.acts[p.Name]
+	inputs := map[string]Data{}
+	if fa != nil && fa.scheduled && fa.inputs != nil {
+		inputs = fa.inputs // event-sourced: the recorded binding is the truth
+	} else {
+		for _, in := range p.Inputs {
+			inputs[in.Name] = r.values[Endpoint{Processor: p.Name, Port: in.Name}.String()]
+		}
+	}
+	fn, _ := r.e.registry.Lookup(p.Service)
+	sctx, span := telemetry.StartSpan(r.runCtx, "processor:"+p.Name, "engine")
+	span.SetAttr("service", p.Service)
+	actx, acancel := context.WithCancel(sctx)
+	a := &activity{
+		p: p, fn: fn, inputs: inputs, ctx: actx, cancelAct: acancel,
+		span: span, start: time.Now(), realIdx: -1, cancelIdx: -1,
+	}
+	r.setActivity(p.Name, a)
+	r.active++
+
+	iterating, n, shapeErr := iterationShape(p, inputs)
+	if fa == nil || !fa.scheduled {
+		ev := HistoryEvent{
+			Type: HistoryActivityScheduled, Activity: p.Name, Service: p.Service,
+			Inputs: inputs, Annotations: p.Annotations, Elements: -1,
+		}
+		if shapeErr == nil && iterating {
+			ev.Elements = n
+		}
+		r.append(ev)
+		if IsNestedService(p.Service) {
+			r.append(HistoryEvent{Type: HistorySubWorkflow, Activity: p.Name, Service: p.Service})
+		}
+	}
+	if shapeErr != nil {
+		r.failActivity(a, 0, shapeErr)
+		return
+	}
+	a.iterating, a.n = iterating, n
+	if !iterating {
+		a.expected = 1
+		r.enqueue(Task{ID: TaskID(r.runID, p.Name, -1), RunID: r.runID, Activity: p.Name, Element: -1})
+		return
+	}
+	a.collected = map[string][]Data{}
+	for _, port := range p.Outputs {
+		a.collected[port.Name] = make([]Data, n)
+	}
+	a.seen = make([]bool, n)
+	if fa != nil {
+		for i, el := range fa.elements {
+			if i < 0 || i >= n {
+				continue
+			}
+			a.seen[i] = true
+			for _, port := range p.Outputs {
+				a.collected[port.Name][i] = el.Outputs[port.Name]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if a.seen[i] {
+			continue
+		}
+		a.expected++
+		r.enqueue(Task{ID: TaskID(r.runID, p.Name, i), RunID: r.runID, Activity: p.Name, Element: i})
+	}
+	if a.expected == 0 {
+		r.settle(a) // every element replayed from the prefix (or n == 0)
+	}
+}
+
+func (r *eventRun) enqueue(t Task) {
+	t.EnqueuedAt = time.Now()
+	if err := r.q.Enqueue(t); err != nil {
+		if r.failErr == nil {
+			r.failErr = fmt.Errorf("workflow: enqueue %q: %w", t.ID, err)
+			r.cancelRun()
+		}
+		return
+	}
+	r.e.Stats.TasksEnqueued(1)
+}
+
+// handle folds one worker report into the owning activity.
+func (r *eventRun) handle(msg workerMsg) {
+	a := r.activity(msg.task.Activity)
+	if a == nil {
+		return
+	}
+	if !a.started {
+		a.started = true
+		r.append(HistoryEvent{
+			Type: HistoryActivityStarted, Activity: a.p.Name,
+			Service: a.p.Service, Worker: msg.worker, Element: -1,
+		})
+	}
+	if msg.retry {
+		r.append(HistoryEvent{
+			Type: HistoryRetryBackoff, Activity: a.p.Name, Worker: msg.worker,
+			Element: msg.task.Element, Attempt: msg.attempt,
+		})
+		return
+	}
+	a.reported++
+	switch {
+	case msg.err != nil:
+		i := msg.task.Element
+		if i < 0 {
+			i = 0
+		}
+		if errors.Is(msg.err, context.Canceled) || errors.Is(msg.err, context.DeadlineExceeded) {
+			if a.cancelIdx == -1 || i < a.cancelIdx {
+				a.cancelIdx, a.cancelErr = i, msg.err
+			}
+		} else if a.realIdx == -1 || i < a.realIdx {
+			a.realIdx, a.realErr = i, msg.err
+		}
+		a.cancelAct()
+	case msg.task.Element >= 0:
+		r.append(HistoryEvent{
+			Type: HistoryIterationElement, Activity: a.p.Name, Worker: msg.worker,
+			Element: msg.task.Element, Inputs: msg.callIn, Outputs: msg.out,
+		})
+		for _, port := range a.p.Outputs {
+			a.collected[port.Name][msg.task.Element] = msg.out[port.Name]
+		}
+		a.seen[msg.task.Element] = true
+		a.fresh++
+	default:
+		a.outputs = msg.out
+		a.fresh++
+	}
+	if a.reported == a.expected {
+		r.settle(a)
+	}
+}
+
+// settle closes an activity: failure precedence mirrors iterateParallel
+// (lowest real error index, then a bare run-cancellation, then the lowest
+// cancellation fallout), success collects outputs, appends the completed
+// event, and delivers downstream.
+func (r *eventRun) settle(a *activity) {
+	if a.iterating {
+		switch {
+		case a.realIdx >= 0:
+			r.failActivity(a, a.realIdx+1, fmt.Errorf("iteration %d: %w", a.realIdx, a.realErr))
+			return
+		case r.runCtx.Err() != nil:
+			done := a.cancelIdx
+			if done < 0 {
+				done = 0
+			}
+			r.failActivity(a, done, r.runCtx.Err())
+			return
+		case a.cancelIdx >= 0:
+			r.failActivity(a, a.cancelIdx+1, fmt.Errorf("iteration %d: %w", a.cancelIdx, a.cancelErr))
+			return
+		}
+	} else if a.realIdx >= 0 {
+		r.failActivity(a, 1, a.realErr)
+		return
+	} else if a.cancelIdx >= 0 {
+		r.failActivity(a, 1, a.cancelErr)
+		return
+	}
+
+	iterations := 1
+	outputs := a.outputs
+	if a.iterating {
+		iterations = a.n
+		outputs = collectOutputs(a.collected)
+	}
+	a.span.SetAttr("iterations", strconv.Itoa(iterations))
+	a.span.Finish()
+	a.cancelAct()
+	r.append(HistoryEvent{
+		Type: HistoryActivityCompleted, Activity: a.p.Name, Outputs: outputs,
+		Iterations: iterations, Duration: time.Since(a.start),
+	})
+	r.result.Invocations[a.p.Name] += a.fresh
+	var ready []*Processor
+	for _, l := range r.def.Links {
+		if l.Source.Processor != a.p.Name {
+			continue
+		}
+		d, ok := outputs[l.Source.Port]
+		if !ok {
+			if r.failErr == nil {
+				r.failErr = fmt.Errorf("workflow: processor %q did not produce output %q", a.p.Name, l.Source.Port)
+				r.cancelRun()
+			}
+			r.active--
+			return
+		}
+		ready = append(ready, r.deliver(l, d)...)
+	}
+	r.active--
+	if r.failErr != nil {
+		return
+	}
+	for _, p := range ready {
+		r.schedule(p)
+	}
+}
+
+// failActivity closes an activity with an error and fails the run (first
+// failure wins, exactly like the legacy engine).
+func (r *eventRun) failActivity(a *activity, iterations int, err error) {
+	a.span.SetAttr("iterations", strconv.Itoa(iterations))
+	a.span.SetAttr("error", err.Error())
+	a.span.Finish()
+	a.cancelAct()
+	r.append(HistoryEvent{
+		Type: HistoryActivityFailed, Activity: a.p.Name, Iterations: iterations,
+		Duration: time.Since(a.start), Err: err.Error(),
+	})
+	if r.failErr == nil {
+		r.failErr = fmt.Errorf("workflow: processor %q: %w", a.p.Name, err)
+		r.cancelRun()
+	}
+	r.active--
+}
+
+// deliver binds a datum to a link target, returning processors that became
+// ready. Prefix-completed activities are never re-scheduled.
+func (r *eventRun) deliver(l Link, d Data) []*Processor {
+	key := l.Target.String()
+	if _, dup := r.values[key]; dup {
+		return nil
+	}
+	r.values[key] = d
+	if l.Target.Processor == "" {
+		return nil
+	}
+	r.remaining[l.Target.Processor]--
+	if r.remaining[l.Target.Processor] == 0 {
+		if fa := r.folded.acts[l.Target.Processor]; fa != nil && fa.done {
+			return nil
+		}
+		if p, ok := r.def.Processor(l.Target.Processor); ok {
+			return []*Processor{p}
+		}
+	}
+	return nil
+}
+
+// worker is one pool goroutine: dequeue, (maybe die — chaos), drain or
+// invoke, ack, report. Every dequeued task produces exactly one eventual
+// done-report: a killed worker Nacks its task, so the queue redelivers it to
+// a surviving worker.
+func (r *eventRun) worker(id string, alive *atomic.Int64) {
+	stats := r.e.Stats
+	tasksDone := 0
+	for {
+		t, err := r.q.Dequeue(context.Background())
+		if err != nil {
+			stats.Exited(id, false)
+			return
+		}
+		stats.TaskStarted(id)
+		if kill := r.e.KillWorker; kill != nil && kill(id, tasksDone) {
+			if alive.Add(-1) >= 1 {
+				r.q.Nack(t.ID)
+				stats.TaskRequeued(id)
+				stats.Exited(id, true)
+				return
+			}
+			alive.Add(1) // the last live worker shrugs the kill off
+		}
+		a := r.activity(t.Activity)
+		if err := a.ctx.Err(); err != nil {
+			// Drained without a span or a service call, like the legacy
+			// parallel iterator after cancellation.
+			r.q.Ack(t.ID)
+			stats.TaskDone(id)
+			r.msgs <- workerMsg{task: t, worker: id, err: err}
+			tasksDone++
+			continue
+		}
+		var callIn map[string]Data
+		var name string
+		if t.Element >= 0 {
+			callIn = elementInputs(a.p, a.inputs, t.Element)
+			name = elementSpanName(a.p, t.Element)
+			r.e.metrics.elementsDispatched.Add(1)
+		} else {
+			callIn = a.inputs
+			name = "invoke:" + a.p.Name
+		}
+		cctx, sp := telemetry.StartSpan(a.ctx, name, "engine")
+		m := &r.e.metrics
+		wait := time.Since(t.EnqueuedAt)
+		m.queueWait.Observe(wait)
+		m.invocations.Add(1)
+		cur := m.inFlight.Add(1)
+		for {
+			peak := m.peakInFlight.Load()
+			if cur <= peak || m.peakInFlight.CompareAndSwap(peak, cur) {
+				break
+			}
+		}
+		execStart := time.Now()
+		out, err := callWithRetryNotify(cctx, a.fn, a.p, Call{Inputs: callIn, Config: a.p.Config}, func(attempt int) {
+			r.msgs <- workerMsg{retry: true, task: t, worker: id, attempt: attempt}
+		})
+		if err == nil {
+			err = checkOutputs(a.p, out)
+		}
+		exec := time.Since(execStart)
+		m.exec.Observe(exec)
+		m.inFlight.Add(-1)
+		if sp != nil {
+			sp.SetAttr("service", a.p.Service)
+			sp.SetAttr("queue_wait_us", strconv.FormatInt(wait.Microseconds(), 10))
+			sp.SetAttr("exec_us", strconv.FormatInt(exec.Microseconds(), 10))
+			sp.SetAttr("worker", id)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+		}
+		sp.Finish()
+		r.q.Ack(t.ID)
+		stats.TaskDone(id)
+		r.msgs <- workerMsg{task: t, worker: id, callIn: callIn, out: out, err: err}
+		tasksDone++
+	}
+}
+
+// callWithRetryNotify is callWithRetry with a pre-backoff callback so the
+// orchestrator can append retry-backoff events. Semantics and error text are
+// identical to callWithRetry.
+func callWithRetryNotify(ctx context.Context, fn ServiceFunc, p *Processor, call Call, notify func(attempt int)) (map[string]Data, error) {
+	var lastErr error
+	for attempt := 0; attempt <= p.Retries; attempt++ {
+		if attempt > 0 {
+			if notify != nil {
+				notify(attempt)
+			}
+			if err := sleepBackoff(ctx, backoffDelay(p, attempt)); err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out, err := fn(ctx, call)
+		if err == nil {
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if p.Retries > 0 {
+		return nil, fmt.Errorf("after %d attempts: %w", p.Retries+1, lastErr)
+	}
+	return nil, lastErr
+}

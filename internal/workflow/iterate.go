@@ -33,23 +33,9 @@ import (
 // inputs broadcast. Outputs of iterated invocations are collected into
 // lists, as in Taverna.
 func (st *runState) invoke(ctx context.Context, fn ServiceFunc, p *Processor, inputs map[string]Data) (map[string]Data, int, []ElementTrace, error) {
-	iterating := false
-	n := -1
-	for _, port := range p.Inputs {
-		d := inputs[port.Name]
-		switch d.Depth() {
-		case port.Depth:
-			// exact match: broadcast if others iterate
-		case port.Depth + 1:
-			iterating = true
-			if n == -1 {
-				n = len(d.Items())
-			} else if n != len(d.Items()) {
-				return nil, 0, nil, fmt.Errorf("iteration length mismatch on port %q: %d vs %d", port.Name, len(d.Items()), n)
-			}
-		default:
-			return nil, 0, nil, fmt.Errorf("port %q expects depth %d, got depth %d", port.Name, port.Depth, d.Depth())
-		}
+	iterating, n, err := iterationShape(p, inputs)
+	if err != nil {
+		return nil, 0, nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, 0, nil, err
@@ -68,6 +54,34 @@ func (st *runState) invoke(ctx context.Context, fn ServiceFunc, p *Processor, in
 		return st.iterateSequential(ctx, fn, p, inputs, n)
 	}
 	return st.iterateParallel(ctx, fn, p, inputs, n)
+}
+
+// iterationShape decides whether p's bound inputs drive implicit iteration
+// and, if so, over how many elements: any input whose actual depth exceeds
+// the declared port depth by one iterates, all iterated inputs must agree on
+// length, and anything else is a shape error. Both engines share this, so a
+// scheduled activity's planned element count always matches what the legacy
+// engine would have executed.
+func iterationShape(p *Processor, inputs map[string]Data) (bool, int, error) {
+	iterating := false
+	n := -1
+	for _, port := range p.Inputs {
+		d := inputs[port.Name]
+		switch d.Depth() {
+		case port.Depth:
+			// exact match: broadcast if others iterate
+		case port.Depth + 1:
+			iterating = true
+			if n == -1 {
+				n = len(d.Items())
+			} else if n != len(d.Items()) {
+				return false, 0, fmt.Errorf("iteration length mismatch on port %q: %d vs %d", port.Name, len(d.Items()), n)
+			}
+		default:
+			return false, 0, fmt.Errorf("port %q expects depth %d, got depth %d", port.Name, port.Depth, d.Depth())
+		}
+	}
+	return iterating, n, nil
 }
 
 // elementSpanName names the span of one implicit-iteration element.

@@ -1,0 +1,169 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQueueClosed is returned by Enqueue after Close, and by Dequeue once the
+// queue is closed AND drained (remaining ready tasks are still handed out
+// after Close so in-flight runs can finish their tail).
+var ErrQueueClosed = errors.New("workflow: task queue closed")
+
+// Task is one unit of activity work pulled by a worker: a single invocation
+// of a processor's service — either one iteration element (Element >= 0) or
+// the whole non-iterating call (Element == -1).
+type Task struct {
+	ID       string // stable across redeliveries: runID/activity#element
+	RunID    string
+	Activity string
+	Element  int // iteration index, or -1 for a single non-iterating call
+	// Attempt counts deliveries of this task (0 on first enqueue); a Nack
+	// re-enqueues the same ID with Attempt+1.
+	Attempt    int
+	EnqueuedAt time.Time
+}
+
+// TaskID builds the stable task identifier for an activity element.
+func TaskID(runID, activity string, element int) string {
+	return fmt.Sprintf("%s/%s#%d", runID, activity, element)
+}
+
+// TaskQueue is the pluggable dispatch backend of the event-sourced engine.
+// Both implementations (MemoryQueue, StorageQueue) satisfy one contract,
+// pinned by RunQueueContract in queue_contract_test.go:
+//
+//   - Enqueue appends to the tail; order of delivery is FIFO.
+//   - Dequeue blocks until a task is ready, the ctx is done, or the queue is
+//     closed and drained. A dequeued task is leased (counted by InFlight)
+//     until Ack or Nack.
+//   - Ack removes a leased task permanently; Nack returns it to the tail
+//     with Attempt+1 under the same ID.
+//   - Depth counts ready (not yet dequeued) tasks; InFlight counts leased.
+//   - Close stops new enqueues immediately but lets Dequeue drain what is
+//     already ready.
+type TaskQueue interface {
+	Enqueue(t Task) error
+	Dequeue(ctx context.Context) (Task, error)
+	Ack(id string) error
+	Nack(id string) error
+	Depth() int
+	InFlight() int
+	Close() error
+}
+
+// MemoryQueue is the in-process TaskQueue: a mutex-guarded FIFO with a
+// broadcast wake channel. It is the default backend of EventEngine.
+type MemoryQueue struct {
+	mu     sync.Mutex
+	ready  []Task
+	leased map[string]Task
+	closed bool
+	wake   chan struct{} // closed-and-replaced to broadcast state changes
+}
+
+// NewMemoryQueue returns an empty in-memory task queue.
+func NewMemoryQueue() *MemoryQueue {
+	return &MemoryQueue{leased: make(map[string]Task), wake: make(chan struct{})}
+}
+
+// broadcastLocked wakes every blocked Dequeue. Callers hold q.mu.
+func (q *MemoryQueue) broadcastLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// Enqueue implements TaskQueue.
+func (q *MemoryQueue) Enqueue(t Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if t.EnqueuedAt.IsZero() {
+		t.EnqueuedAt = time.Now()
+	}
+	q.ready = append(q.ready, t)
+	q.broadcastLocked()
+	return nil
+}
+
+// Dequeue implements TaskQueue.
+func (q *MemoryQueue) Dequeue(ctx context.Context) (Task, error) {
+	for {
+		q.mu.Lock()
+		if len(q.ready) > 0 {
+			t := q.ready[0]
+			q.ready = q.ready[1:]
+			q.leased[t.ID] = t
+			q.mu.Unlock()
+			return t, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return Task{}, ErrQueueClosed
+		}
+		wake := q.wake
+		q.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Task{}, ctx.Err()
+		case <-wake:
+		}
+	}
+}
+
+// Ack implements TaskQueue.
+func (q *MemoryQueue) Ack(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.leased[id]; !ok {
+		return fmt.Errorf("workflow: ack of unleased task %q", id)
+	}
+	delete(q.leased, id)
+	return nil
+}
+
+// Nack implements TaskQueue.
+func (q *MemoryQueue) Nack(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.leased[id]
+	if !ok {
+		return fmt.Errorf("workflow: nack of unleased task %q", id)
+	}
+	delete(q.leased, id)
+	t.Attempt++
+	t.EnqueuedAt = time.Now()
+	q.ready = append(q.ready, t)
+	q.broadcastLocked()
+	return nil
+}
+
+// Depth implements TaskQueue.
+func (q *MemoryQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ready)
+}
+
+// InFlight implements TaskQueue.
+func (q *MemoryQueue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.leased)
+}
+
+// Close implements TaskQueue.
+func (q *MemoryQueue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		q.broadcastLocked()
+	}
+	return nil
+}

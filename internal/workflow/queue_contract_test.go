@@ -1,0 +1,306 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// queueBackends enumerates the TaskQueue implementations under the shared
+// contract. Every behavioural guarantee the engine relies on is pinned here
+// once and asserted against both.
+func queueBackends(t *testing.T) map[string]func(t *testing.T) TaskQueue {
+	return map[string]func(t *testing.T) TaskQueue{
+		"memory": func(t *testing.T) TaskQueue { return NewMemoryQueue() },
+		"storage": func(t *testing.T) TaskQueue {
+			db, err := storage.Open(t.TempDir(), storage.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			q, err := NewStorageQueue(db, "contract")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
+	}
+}
+
+func task(i int) Task {
+	return Task{ID: TaskID("run-q", "P", i), RunID: "run-q", Activity: "P", Element: i, EnqueuedAt: time.Now()}
+}
+
+func TestQueueContractFIFO(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			for i := 0; i < 5; i++ {
+				if err := q.Enqueue(task(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := q.Depth(); d != 5 {
+				t.Fatalf("depth = %d, want 5", d)
+			}
+			for i := 0; i < 5; i++ {
+				got, err := q.Dequeue(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Element != i {
+					t.Fatalf("dequeue %d: element %d, FIFO broken", i, got.Element)
+				}
+				if err := q.Ack(got.ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if q.Depth() != 0 || q.InFlight() != 0 {
+				t.Fatalf("drained queue: depth=%d inflight=%d", q.Depth(), q.InFlight())
+			}
+		})
+	}
+}
+
+func TestQueueContractLeaseAccounting(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			q.Enqueue(task(0))
+			q.Enqueue(task(1))
+			got, err := q.Dequeue(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Depth() != 1 || q.InFlight() != 1 {
+				t.Fatalf("after dequeue: depth=%d inflight=%d", q.Depth(), q.InFlight())
+			}
+			if err := q.Ack(got.ID); err != nil {
+				t.Fatal(err)
+			}
+			if q.InFlight() != 0 {
+				t.Fatalf("after ack: inflight=%d", q.InFlight())
+			}
+			if err := q.Ack(got.ID); err == nil {
+				t.Fatal("double ack accepted")
+			}
+		})
+	}
+}
+
+func TestQueueContractNackRedelivers(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			q.Enqueue(task(0))
+			q.Enqueue(task(1))
+			first, err := q.Dequeue(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Nack(first.ID); err != nil {
+				t.Fatal(err)
+			}
+			// The nacked task moves to the tail with a bumped attempt.
+			second, _ := q.Dequeue(context.Background())
+			if second.Element != 1 {
+				t.Fatalf("nacked task did not yield the head: got element %d", second.Element)
+			}
+			redelivered, _ := q.Dequeue(context.Background())
+			if redelivered.ID != first.ID {
+				t.Fatalf("redelivered ID %q, want %q", redelivered.ID, first.ID)
+			}
+			if redelivered.Attempt != first.Attempt+1 {
+				t.Fatalf("redelivered attempt = %d, want %d", redelivered.Attempt, first.Attempt+1)
+			}
+		})
+	}
+}
+
+func TestQueueContractBlockingDequeue(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			got := make(chan Task, 1)
+			go func() {
+				tk, err := q.Dequeue(context.Background())
+				if err == nil {
+					got <- tk
+				}
+			}()
+			time.Sleep(20 * time.Millisecond) // let the dequeuer block
+			if err := q.Enqueue(task(7)); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case tk := <-got:
+				if tk.Element != 7 {
+					t.Fatalf("woken dequeue got element %d", tk.Element)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("enqueue did not wake the blocked dequeue")
+			}
+		})
+	}
+}
+
+func TestQueueContractDequeueHonoursContext(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			if _, err := q.Dequeue(ctx); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want deadline exceeded", err)
+			}
+		})
+	}
+}
+
+func TestQueueContractCloseDrains(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			q.Enqueue(task(0))
+			if err := q.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Enqueue(task(1)); !errors.Is(err, ErrQueueClosed) {
+				t.Fatalf("enqueue after close: %v", err)
+			}
+			// Already-ready work still drains...
+			tk, err := q.Dequeue(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Ack(tk.ID); err != nil {
+				t.Fatal(err)
+			}
+			// ...then dequeue reports closure.
+			if _, err := q.Dequeue(context.Background()); !errors.Is(err, ErrQueueClosed) {
+				t.Fatalf("dequeue on drained closed queue: %v", err)
+			}
+		})
+	}
+}
+
+// TestStorageQueueRecoversAcrossReopen is storage-only: a crashed process's
+// ready AND leased tasks must all come back ready on reopen.
+func TestStorageQueueRecoversAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewStorageQueue(db, "crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := q.Enqueue(task(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lease two (simulating workers mid-task at crash time), ack one.
+	t0, _ := q.Dequeue(context.Background())
+	t1, _ := q.Dequeue(context.Background())
+	if err := q.Ack(t0.ID); err != nil {
+		t.Fatal(err)
+	}
+	_ = t1 // leased, never acked — the "crash" strands it
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	q2, err := NewStorageQueue(db2, "crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := q2.Depth(); d != 3 {
+		t.Fatalf("recovered depth = %d, want 3 (acked task must stay gone)", d)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		tk, err := q2.Dequeue(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[tk.ID] = true
+	}
+	if seen[t0.ID] {
+		t.Fatal("acked task resurrected after reopen")
+	}
+	if !seen[t1.ID] {
+		t.Fatal("stranded lease not redelivered after reopen")
+	}
+	// New tail ordinals must not collide with recovered rows.
+	if err := q2.Enqueue(Task{ID: TaskID("run-q", "P", 9), RunID: "run-q", Activity: "P", Element: 9}); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]int{}
+	for i := 0; i < 1; i++ {
+		tk, err := q2.Dequeue(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[tk.ID]++
+	}
+	for id, n := range ids {
+		if n != 1 {
+			t.Fatalf("task %s delivered %d times", id, n)
+		}
+	}
+}
+
+func TestQueueContractConcurrentWorkers(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			const n = 64
+			for i := 0; i < n; i++ {
+				if err := q.Enqueue(task(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := make(chan int, n)
+			for w := 0; w < 8; w++ {
+				go func() {
+					for {
+						tk, err := q.Dequeue(context.Background())
+						if err != nil {
+							return
+						}
+						if err := q.Ack(tk.ID); err != nil {
+							t.Errorf("ack: %v", err)
+						}
+						got <- tk.Element
+					}
+				}()
+			}
+			seen := map[int]bool{}
+			for i := 0; i < n; i++ {
+				select {
+				case e := <-got:
+					if seen[e] {
+						t.Fatalf("element %d delivered twice", e)
+					}
+					seen[e] = true
+				case <-time.After(5 * time.Second):
+					t.Fatalf("stalled after %d deliveries", i)
+				}
+			}
+			q.Close()
+			if q.Depth() != 0 || q.InFlight() != 0 {
+				t.Fatalf("leftovers: depth=%d inflight=%d", q.Depth(), q.InFlight())
+			}
+		})
+	}
+}

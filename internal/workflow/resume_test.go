@@ -37,22 +37,38 @@ func TestDataJSONRoundTrip(t *testing.T) {
 	}
 }
 
-func TestEngineResumeReplaysCheckpoints(t *testing.T) {
+// recordHistory runs fn with a listener that captures the full history
+// stream.
+func recordHistory() (*[]HistoryEvent, HistoryListener) {
+	var evs []HistoryEvent
+	return &evs, HistoryListenerFunc(func(ev HistoryEvent) { evs = append(evs, ev) })
+}
+
+func TestEventEngineResumeReplaysPrefix(t *testing.T) {
 	d := linearDef()
 	d.Processors[0].Service = "upper"
 	d.Processors[1].Service = "exclaim"
 	reg := upperReg()
 	// If the replayed processor is ever invoked, fail loudly.
 	reg.Register("upper", func(_ context.Context, c Call) (map[string]Data, error) {
-		t.Error("checkpointed processor A was re-invoked")
+		t.Error("prefix-completed processor A was re-invoked")
 		return map[string]Data{"y": Scalar("WRONG")}, nil
 	})
-	eng := NewEngine(reg)
+	eng := NewEventEngine(reg)
 
-	var events []EventType
-	listener := ListenerFunc(func(ev Event) { events = append(events, ev.Type) })
-	cp := []Checkpoint{{Processor: "A", Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO")}}}
-	res, err := eng.Resume(context.Background(), d, map[string]Data{"in": Scalar("hello")}, "run-resumed", cp, listener)
+	// History prefix: A scheduled, started, and completed before the crash.
+	prefix := []HistoryEvent{
+		{Seq: 0, Type: HistoryRunStarted, RunID: "run-resumed",
+			Inputs: map[string]Data{"in": Scalar("hello")}},
+		{Seq: 1, Type: HistoryActivityScheduled, RunID: "run-resumed", Activity: "A",
+			Service: "upper", Inputs: map[string]Data{"x": Scalar("hello")}, Elements: -1},
+		{Seq: 2, Type: HistoryActivityStarted, RunID: "run-resumed", Activity: "A", Worker: "w1"},
+		{Seq: 3, Type: HistoryActivityCompleted, RunID: "run-resumed", Activity: "A",
+			Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO")}},
+	}
+	var events []HistoryEventType
+	listener := HistoryListenerFunc(func(ev HistoryEvent) { events = append(events, ev.Type) })
+	res, err := eng.Resume(context.Background(), d, map[string]Data{"in": Scalar("hello")}, "run-resumed", prefix, listener)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,27 +84,29 @@ func TestEngineResumeReplaysCheckpoints(t *testing.T) {
 	if !reflect.DeepEqual(res.Replayed, []string{"A"}) {
 		t.Fatalf("replayed = %v", res.Replayed)
 	}
-	for _, ev := range events {
-		if ev == EventProcessorStarted || ev == EventProcessorCompleted {
-			// Only B may appear; A is replayed silently.
-		}
-	}
-	want := []EventType{EventWorkflowStarted, EventProcessorStarted, EventProcessorCompleted, EventWorkflowCompleted}
+	// Fresh events continue the sequence: only B executes, then run-finished.
+	want := []HistoryEventType{HistoryActivityScheduled, HistoryActivityStarted, HistoryActivityCompleted, HistoryRunFinished}
 	if !reflect.DeepEqual(events, want) {
-		t.Fatalf("events = %v", events)
+		t.Fatalf("fresh events = %v", events)
 	}
 }
 
-func TestEngineResumeAllCheckpointed(t *testing.T) {
+func TestEventEngineResumeAllCompleted(t *testing.T) {
 	d := linearDef()
 	d.Processors[0].Service = "upper"
 	d.Processors[1].Service = "exclaim"
-	eng := NewEngine(upperReg())
-	cps := []Checkpoint{
-		{Processor: "A", Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO")}},
-		{Processor: "B", Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO!")}},
+	eng := NewEventEngine(upperReg())
+	prefix := []HistoryEvent{
+		{Seq: 0, Type: HistoryRunStarted, RunID: "run-full"},
+		{Seq: 1, Type: HistoryActivityScheduled, RunID: "run-full", Activity: "A", Service: "upper", Elements: -1},
+		{Seq: 2, Type: HistoryActivityCompleted, RunID: "run-full", Activity: "A",
+			Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO")}},
+		{Seq: 3, Type: HistoryActivityScheduled, RunID: "run-full", Activity: "B", Service: "exclaim", Elements: -1},
+		{Seq: 4, Type: HistoryActivityCompleted, RunID: "run-full", Activity: "B",
+			Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO!")}},
 	}
-	res, err := eng.Resume(context.Background(), d, map[string]Data{"in": Scalar("hello")}, "run-full", cps)
+	evs, listener := recordHistory()
+	res, err := eng.Resume(context.Background(), d, map[string]Data{"in": Scalar("hello")}, "run-full", prefix, listener)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,19 +116,196 @@ func TestEngineResumeAllCheckpointed(t *testing.T) {
 	if len(res.Invocations) != 0 {
 		t.Fatalf("no services should run, got %v", res.Invocations)
 	}
+	if len(*evs) != 1 || (*evs)[0].Type != HistoryRunFinished || (*evs)[0].Seq != 5 {
+		t.Fatalf("fresh events = %+v", *evs)
+	}
 }
 
-func TestEngineResumeRejectsBadCheckpoints(t *testing.T) {
+// TestEventEngineResumeFinishedHistory covers the degenerate replay: the run
+// finished durably before the crash, so resume only re-delivers the terminal
+// event (letting projections repair finalization) and rebuilds the result
+// from history — no service runs, no fresh events append.
+func TestEventEngineResumeFinishedHistory(t *testing.T) {
 	d := linearDef()
 	d.Processors[0].Service = "upper"
 	d.Processors[1].Service = "exclaim"
-	eng := NewEngine(upperReg())
+	reg := upperReg()
+	reg.Register("upper", func(_ context.Context, c Call) (map[string]Data, error) {
+		t.Error("finished run re-invoked a service")
+		return nil, nil
+	})
+	eng := NewEventEngine(reg)
+	prefix := []HistoryEvent{
+		{Seq: 0, Type: HistoryRunStarted, RunID: "run-fin"},
+		{Seq: 1, Type: HistoryActivityScheduled, RunID: "run-fin", Activity: "A", Service: "upper", Elements: -1},
+		{Seq: 2, Type: HistoryActivityCompleted, RunID: "run-fin", Activity: "A",
+			Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO")}},
+		{Seq: 3, Type: HistoryActivityScheduled, RunID: "run-fin", Activity: "B", Service: "exclaim", Elements: -1},
+		{Seq: 4, Type: HistoryActivityCompleted, RunID: "run-fin", Activity: "B",
+			Iterations: 1, Outputs: map[string]Data{"y": Scalar("HELLO!")}},
+		{Seq: 5, Type: HistoryRunFinished, RunID: "run-fin", Status: "completed",
+			Outputs: map[string]Data{"out": Scalar("HELLO!")}},
+	}
+	evs, listener := recordHistory()
+	res, err := eng.Resume(context.Background(), d, map[string]Data{"in": Scalar("hello")}, "run-fin", prefix, listener)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs["out"].String(); got != "HELLO!" {
+		t.Fatalf("out = %q", got)
+	}
+	if len(res.Invocations) != 0 || !reflect.DeepEqual(res.Replayed, []string{"A", "B"}) {
+		t.Fatalf("invocations %v, replayed %v", res.Invocations, res.Replayed)
+	}
+	// The only event delivered is the replayed terminal event, same seq.
+	if len(*evs) != 1 || (*evs)[0].Type != HistoryRunFinished || (*evs)[0].Seq != 5 {
+		t.Fatalf("delivered events = %+v", *evs)
+	}
+	failed := append(append([]HistoryEvent(nil), prefix[:5]...),
+		HistoryEvent{Seq: 5, Type: HistoryRunFinished, RunID: "run-fin", Status: "failed", Err: "workflow: processor \"B\": boom"})
+	if _, err := eng.Resume(context.Background(), d, map[string]Data{"in": Scalar("hello")}, "run-fin", failed); err == nil {
+		t.Fatal("failed terminal event resumed without error")
+	}
+}
+
+func TestEventEngineResumeRejectsBadHistory(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	eng := NewEventEngine(upperReg())
 	in := map[string]Data{"in": Scalar("x")}
-	if _, err := eng.Resume(context.Background(), d, in, "r", []Checkpoint{{Processor: "nope"}}); err == nil {
-		t.Fatal("unknown processor accepted")
-	}
-	bad := []Checkpoint{{Processor: "A", Outputs: map[string]Data{}}}
+	bad := []HistoryEvent{{Seq: 0, Type: HistoryActivityScheduled, Activity: "nope"}}
 	if _, err := eng.Resume(context.Background(), d, in, "r", bad); err == nil {
-		t.Fatal("checkpoint missing a linked output accepted")
+		t.Fatal("history for unknown processor accepted")
 	}
+	done := []HistoryEvent{{Seq: 0, Type: HistoryRunFinished, RunID: "r", Status: "completed"}}
+	if _, err := eng.Resume(context.Background(), d, in, "r", done); err == nil {
+		t.Fatal("finished history lacking the workflow outputs accepted")
+	}
+	after := []HistoryEvent{
+		{Seq: 0, Type: HistoryRunFinished, RunID: "r", Status: "completed"},
+		{Seq: 1, Type: HistoryRunStarted, RunID: "r"},
+	}
+	if _, err := eng.Resume(context.Background(), d, in, "r", after); err == nil {
+		t.Fatal("history continuing past run-finished accepted")
+	}
+	lacking := []HistoryEvent{
+		{Seq: 0, Type: HistoryRunStarted, RunID: "r"},
+		{Seq: 1, Type: HistoryActivityScheduled, Activity: "A", Service: "upper", Elements: -1},
+		{Seq: 2, Type: HistoryActivityCompleted, Activity: "A", Iterations: 1, Outputs: map[string]Data{}},
+	}
+	if _, err := eng.Resume(context.Background(), d, in, "r", lacking); err == nil {
+		t.Fatal("completed activity missing a linked output accepted")
+	}
+}
+
+// TestEventEngineMatchesLegacy pins the bridge the whole refactor rests on:
+// the projector applied to the event engine's history stream yields the same
+// legacy execution events (up to timing) as the in-process engine, for both
+// scalar pipelines and implicit iteration, at several worker counts.
+func TestEventEngineMatchesLegacy(t *testing.T) {
+	d := linearDef()
+	d.Processors[0].Service = "upper"
+	d.Processors[1].Service = "exclaim"
+	in := map[string]Data{"in": Scalar("hello")}
+
+	legacyEng := NewEngine(upperReg())
+	var legacy []Event
+	if _, err := legacyEng.Run(context.Background(), d, in, ListenerFunc(func(ev Event) { legacy = append(legacy, ev) })); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		eng := NewEventEngine(upperReg())
+		eng.Workers = workers
+		var proj Projector
+		var got []Event
+		res, err := eng.Run(context.Background(), d, in, HistoryListenerFunc(func(hev HistoryEvent) {
+			if ev, ok := proj.Apply(hev); ok {
+				got = append(got, ev)
+			}
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outputs["out"].String() != "HELLO!" {
+			t.Fatalf("workers=%d: out = %q", workers, res.Outputs["out"])
+		}
+		if len(got) != len(legacy) {
+			t.Fatalf("workers=%d: %d projected events vs %d legacy", workers, len(got), len(legacy))
+		}
+		for i := range got {
+			g, l := got[i], legacy[i]
+			if g.Type != l.Type || g.Processor != l.Processor || g.Service != l.Service ||
+				g.Iterations != l.Iterations || !reflect.DeepEqual(dataStrings(g.Outputs), dataStrings(l.Outputs)) {
+				t.Fatalf("workers=%d event %d:\n got %+v\nwant %+v", workers, i, g, l)
+			}
+		}
+	}
+}
+
+func TestEventEngineIterationAndElementEvents(t *testing.T) {
+	d := &Definition{
+		ID:      "wf-iter",
+		Name:    "iter",
+		Inputs:  []Port{{Name: "names", Depth: 1}},
+		Outputs: []Port{{Name: "out", Depth: 1}},
+		Processors: []*Processor{
+			{Name: "Upper", Service: "upper", Inputs: []Port{{Name: "x"}}, Outputs: []Port{{Name: "y"}}},
+		},
+		Links: []Link{
+			{Source: Endpoint{Port: "names"}, Target: Endpoint{Processor: "Upper", Port: "x"}},
+			{Source: Endpoint{Processor: "Upper", Port: "y"}, Target: Endpoint{Port: "out"}},
+		},
+	}
+	eng := NewEventEngine(upperReg())
+	eng.Workers = 4
+	evs, listener := recordHistory()
+	res, err := eng.Run(context.Background(), d,
+		map[string]Data{"names": List(Scalar("a"), Scalar("b"), Scalar("c"))}, listener)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs["out"].String(); got != "[A, B, C]" {
+		t.Fatalf("out = %q", got)
+	}
+	elements := 0
+	var sched HistoryEvent
+	for _, ev := range *evs {
+		switch ev.Type {
+		case HistoryIterationElement:
+			elements++
+			if ev.Worker == "" {
+				t.Fatalf("element event without worker: %+v", ev)
+			}
+		case HistoryActivityScheduled:
+			sched = ev
+		}
+	}
+	if elements != 3 {
+		t.Fatalf("iteration-element events = %d, want 3", elements)
+	}
+	if sched.Elements != 3 {
+		t.Fatalf("scheduled planned elements = %d, want 3", sched.Elements)
+	}
+	// Seqs are dense from 0 and the stream is closed.
+	for i, ev := range *evs {
+		if ev.Seq != i {
+			t.Fatalf("seq gap at %d: %+v", i, ev)
+		}
+	}
+	if last := (*evs)[len(*evs)-1]; last.Type != HistoryRunFinished || last.Status != "completed" {
+		t.Fatalf("last event: %+v", last)
+	}
+}
+
+func dataStrings(m map[string]Data) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v.String()
+	}
+	return out
 }

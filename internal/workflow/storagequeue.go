@@ -1,0 +1,240 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// StorageQueue is the durable TaskQueue backend: tasks live in a storage
+// table, so a queue reopened after a crash redelivers every task that was
+// ready or leased when the process died (leases are process-local and reset
+// to ready on open). Blocking dequeues coordinate in-process through the
+// same broadcast-channel scheme as MemoryQueue; durability comes from the
+// table, not the channel.
+type StorageQueue struct {
+	db     *storage.DB
+	table  string
+	schema *storage.Schema
+
+	mu     sync.Mutex
+	seq    int64 // next tail key ordinal
+	closed bool
+	leased map[string]string // task ID -> row key
+	wake   chan struct{}
+}
+
+// storageQueueSchema builds the schema for one named queue table.
+func storageQueueSchema(table string) *storage.Schema {
+	return storage.MustSchema(table,
+		storage.Column{Name: "key", Kind: storage.KindString},
+		storage.Column{Name: "id", Kind: storage.KindString},
+		storage.Column{Name: "run_id", Kind: storage.KindString},
+		storage.Column{Name: "activity", Kind: storage.KindString},
+		storage.Column{Name: "element", Kind: storage.KindInt},
+		storage.Column{Name: "attempt", Kind: storage.KindInt},
+		storage.Column{Name: "enqueued_at", Kind: storage.KindTime},
+	)
+}
+
+// NewStorageQueue opens (or creates) the queue table "wfq_<name>" in db and
+// recovers any tasks a previous process left behind: rows are FIFO-ordered
+// by their zero-padded key, and all of them — leases do not survive the
+// process — come back ready.
+func NewStorageQueue(db *storage.DB, name string) (*StorageQueue, error) {
+	table := "wfq_" + name
+	schema := storageQueueSchema(table)
+	if db.Table(table) == nil {
+		if err := db.CreateTable(schema); err != nil {
+			return nil, fmt.Errorf("workflow: create queue table %s: %w", table, err)
+		}
+	}
+	q := &StorageQueue{
+		db:     db,
+		table:  table,
+		schema: schema,
+		leased: make(map[string]string),
+		wake:   make(chan struct{}),
+	}
+	// Recover the tail ordinal past every surviving row.
+	tbl := db.Table(table)
+	tbl.Scan(func(r storage.Row) bool {
+		var ord int64
+		fmt.Sscanf(r.Get(schema, "key").Str(), "%012d", &ord)
+		if ord >= q.seq {
+			q.seq = ord + 1
+		}
+		return true
+	})
+	return q, nil
+}
+
+func (q *StorageQueue) broadcastLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+func (q *StorageQueue) rowKey(ord int64) string {
+	return fmt.Sprintf("%012d", ord)
+}
+
+func (q *StorageQueue) insertLocked(t Task) error {
+	key := q.rowKey(q.seq)
+	err := q.db.Apply(storage.InsertOp(q.table, storage.Row{
+		storage.S(key), storage.S(t.ID), storage.S(t.RunID), storage.S(t.Activity),
+		storage.I(int64(t.Element)), storage.I(int64(t.Attempt)), storage.T(t.EnqueuedAt),
+	}))
+	if err != nil {
+		return fmt.Errorf("workflow: enqueue %q: %w", t.ID, err)
+	}
+	q.seq++
+	return nil
+}
+
+// Enqueue implements TaskQueue.
+func (q *StorageQueue) Enqueue(t Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if t.EnqueuedAt.IsZero() {
+		t.EnqueuedAt = time.Now()
+	}
+	if err := q.insertLocked(t); err != nil {
+		return err
+	}
+	q.broadcastLocked()
+	return nil
+}
+
+// takeLocked pops the FIFO head that is not currently leased by this
+// process, or returns ok=false when none is ready.
+func (q *StorageQueue) takeLocked() (Task, bool) {
+	leasedKeys := make(map[string]bool, len(q.leased))
+	for _, k := range q.leased {
+		leasedKeys[k] = true
+	}
+	var t Task
+	var key string
+	found := false
+	q.db.Table(q.table).Scan(func(r storage.Row) bool {
+		k := r.Get(q.schema, "key").Str()
+		if leasedKeys[k] {
+			return true
+		}
+		key = k
+		t = Task{
+			ID:         r.Get(q.schema, "id").Str(),
+			RunID:      r.Get(q.schema, "run_id").Str(),
+			Activity:   r.Get(q.schema, "activity").Str(),
+			Element:    int(r.Get(q.schema, "element").Int()),
+			Attempt:    int(r.Get(q.schema, "attempt").Int()),
+			EnqueuedAt: r.Get(q.schema, "enqueued_at").Time(),
+		}
+		found = true
+		return false
+	})
+	if !found {
+		return Task{}, false
+	}
+	q.leased[t.ID] = key
+	return t, true
+}
+
+// Dequeue implements TaskQueue.
+func (q *StorageQueue) Dequeue(ctx context.Context) (Task, error) {
+	for {
+		q.mu.Lock()
+		if t, ok := q.takeLocked(); ok {
+			q.mu.Unlock()
+			return t, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return Task{}, ErrQueueClosed
+		}
+		wake := q.wake
+		q.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Task{}, ctx.Err()
+		case <-wake:
+		}
+	}
+}
+
+// Ack implements TaskQueue.
+func (q *StorageQueue) Ack(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	key, ok := q.leased[id]
+	if !ok {
+		return fmt.Errorf("workflow: ack of unleased task %q", id)
+	}
+	if err := q.db.Apply(storage.DeleteOp(q.table, storage.S(key))); err != nil {
+		return fmt.Errorf("workflow: ack %q: %w", id, err)
+	}
+	delete(q.leased, id)
+	return nil
+}
+
+// Nack implements TaskQueue.
+func (q *StorageQueue) Nack(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	key, ok := q.leased[id]
+	if !ok {
+		return fmt.Errorf("workflow: nack of unleased task %q", id)
+	}
+	// Re-read the row before moving it to the tail with a bumped attempt.
+	row, err := q.db.Table(q.table).Get(storage.S(key))
+	if err != nil {
+		return fmt.Errorf("workflow: nack %q: leased row %s: %w", id, key, err)
+	}
+	t := Task{
+		ID:         row.Get(q.schema, "id").Str(),
+		RunID:      row.Get(q.schema, "run_id").Str(),
+		Activity:   row.Get(q.schema, "activity").Str(),
+		Element:    int(row.Get(q.schema, "element").Int()),
+		Attempt:    int(row.Get(q.schema, "attempt").Int()) + 1,
+		EnqueuedAt: time.Now(),
+	}
+	if err := q.db.Apply(storage.DeleteOp(q.table, storage.S(key))); err != nil {
+		return fmt.Errorf("workflow: nack %q: %w", id, err)
+	}
+	delete(q.leased, id)
+	if err := q.insertLocked(t); err != nil {
+		return err
+	}
+	q.broadcastLocked()
+	return nil
+}
+
+// Depth implements TaskQueue.
+func (q *StorageQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.db.Table(q.table).Len() - len(q.leased)
+}
+
+// InFlight implements TaskQueue.
+func (q *StorageQueue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.leased)
+}
+
+// Close implements TaskQueue.
+func (q *StorageQueue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		q.broadcastLocked()
+	}
+	return nil
+}
