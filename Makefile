@@ -10,11 +10,12 @@ test:
 
 ## race: race-detector pass over the concurrent subsystems (the parallel
 ## workflow engine, the singleflight caching resolver + resilience guards,
-## the streaming provenance pipeline, the storage layer under it, and the
-## archival store/scrubber), plus the core detection stack — including
-## crash/resume — that drives them end to end.
+## the streaming provenance pipeline, the storage layer under it, the
+## shard router with its scatter-gather fan-out, and the archival
+## store/scrubber), plus the core detection stack — including crash/resume
+## and the sharded/unsharded equivalence suite — that drives them end to end.
 race:
-	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/resilience/... ./internal/provenance/... ./internal/storage/... ./internal/archive/... ./internal/core/...
+	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/resilience/... ./internal/provenance/... ./internal/storage/... ./internal/shard/... ./internal/archive/... ./internal/core/...
 
 ## ci: the full hygiene gate — formatting, vet, the race-enabled tests, a
 ## short fuzz smoke over the archival WAV decoder (arbitrary bytes must
@@ -22,11 +23,15 @@ race:
 ## kill/resume trials plus degraded-authority assessment runs; the harness
 ## exits non-zero if a killed run fails to resume byte-identically or any
 ## run hard-fails under 50% authority availability), the /api/v1 contract
-## smoke, the tracing-overhead guard (traced detection within 5% of
-## untraced), the zero-allocation guards over the provenance/telemetry/
-## storage hot paths, and a 1-iteration bench-harness smoke proving every
-## tracked benchmark still runs (numbers land in the gitignored
-## BENCH_smoke.json, not the committed trajectory).
+## smoke (including the per-tenant quota contract), the tracing-overhead
+## guard (traced detection within 5% of untraced), the zero-allocation
+## guards over the provenance/telemetry/storage hot paths, a 1-iteration
+## bench-harness smoke proving every tracked benchmark still runs (numbers
+## land in the gitignored BENCH_smoke.json, not the committed trajectory),
+## the bench-trajectory comparator (fails on a >10% ns/op or allocs/op
+## regression between the two committed BENCH files), and the multi-tenant
+## load smoke (sustained detect+query traffic at 1 and 4 shards; the >=2x
+## throughput gate runs only in the full non-short experiment).
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -40,6 +45,8 @@ ci:
 	$(GO) test -run TestTracingOverhead .
 	$(GO) test -run 'Allocs' ./internal/storage/ ./internal/telemetry/ ./internal/provenance/
 	$(GO) run ./cmd/bench -smoke
+	$(GO) run ./cmd/bench -compare BENCH_7.json BENCH_8.json
+	$(GO) run ./cmd/experiments -run load -short
 
 ## verify: the gate for engine/concurrency/persistence changes — the ci
 ## hygiene pass (gofmt, vet, race suite) plus the full test suite.
@@ -48,10 +55,11 @@ verify: ci
 
 ## bench: the paper-reproduction benchmarks at the repo root, then the
 ## hot-path suites via the bench harness, recording the perf trajectory to
-## BENCH_7.json (schema bench.v1, documented in EXPERIMENTS.md).
+## BENCH_8.json (schema bench.v1, documented in EXPERIMENTS.md; min across
+## -count repetitions to resist shared-host noise).
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) run ./cmd/bench -out BENCH_7.json
+	$(GO) run ./cmd/bench -out BENCH_8.json
 
 experiments:
 	$(GO) run ./cmd/experiments

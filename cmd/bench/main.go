@@ -6,9 +6,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # full run -> BENCH_7.json
+//	go run ./cmd/bench                 # full run -> BENCH_8.json
 //	go run ./cmd/bench -smoke          # 1-iteration smoke -> BENCH_smoke.json
 //	go run ./cmd/bench -out FILE -benchtime 2s -count 3
+//	go run ./cmd/bench -compare BENCH_7.json BENCH_8.json
+//
+// -compare diffs two trajectory files and exits non-zero when any benchmark
+// tracked by both regressed more than 10% in ns/op or allocs/op — the CI
+// gate that keeps successive PRs honest about the hot paths.
 //
 // The schema ("bench.v1") is documented in EXPERIMENTS.md.
 package main
@@ -67,11 +72,24 @@ type benchFile struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output file (default BENCH_7.json, or BENCH_smoke.json with -smoke)")
+	out := flag.String("out", "", "output file (default BENCH_8.json, or BENCH_smoke.json with -smoke)")
 	smoke := flag.Bool("smoke", false, "1-iteration smoke run: proves every benchmark still executes, records no stable numbers")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (default 1s, or 1x with -smoke)")
-	count := flag.Int("count", 1, "go test -count value")
+	count := flag.Int("count", 3, "go test -count value; the recorded number is the min across repetitions")
+	compare := flag.Bool("compare", false, "compare two trajectory files (OLD NEW) instead of running; non-zero exit on a >10% ns/op or allocs/op regression")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "bench: -compare needs exactly two files: OLD NEW")
+			os.Exit(2)
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	bt := *benchtime
 	if bt == "" {
@@ -86,13 +104,13 @@ func main() {
 		if *smoke {
 			path = "BENCH_smoke.json"
 		} else {
-			path = "BENCH_7.json"
+			path = "BENCH_8.json"
 		}
 	}
 
 	file := benchFile{
 		Schema:    "bench.v1",
-		PR:        7,
+		PR:        8,
 		Generated: time.Now().UTC(),
 		Go:        runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -122,6 +140,101 @@ func main() {
 	fmt.Printf("bench: %d benchmarks -> %s\n", len(file.Benchmarks), path)
 }
 
+// compareFiles diffs two bench.v1 trajectory files. Every benchmark present
+// in both is compared on ns/op and allocs/op; a regression beyond the 10%
+// budget fails the comparison. Benchmarks that exist only on one side are
+// reported but never fail the gate — suites grow and occasionally rename,
+// and the gate's job is catching silent slowdowns, not freezing the list.
+func compareFiles(oldPath, newPath string) error {
+	oldFile, err := loadBenchFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newFile, err := loadBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+
+	old := make(map[string]benchResult, len(oldFile.Benchmarks))
+	for _, b := range oldFile.Benchmarks {
+		old[benchKey(b)] = b
+	}
+
+	const budget = 0.10
+	var regressions []string
+	compared := 0
+	fmt.Printf("bench compare: %s (PR %d) -> %s (PR %d), budget +%.0f%%\n",
+		oldPath, oldFile.PR, newPath, newFile.PR, budget*100)
+	fmt.Printf("%-55s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "Δallocs")
+	for _, nb := range newFile.Benchmarks {
+		ob, ok := old[benchKey(nb)]
+		if !ok {
+			fmt.Printf("%-55s %14s %14.1f %9s %9s  (new)\n", benchKey(nb), "-", nb.NsPerOp, "-", "-")
+			continue
+		}
+		delete(old, benchKey(nb))
+		compared++
+		nsDelta := relDelta(ob.NsPerOp, nb.NsPerOp)
+		allocDelta := relDelta(ob.AllocsPerOp, nb.AllocsPerOp)
+		fmt.Printf("%-55s %14.1f %14.1f %+8.1f%% %+8.1f%%\n",
+			benchKey(nb), ob.NsPerOp, nb.NsPerOp, nsDelta*100, allocDelta*100)
+		if nsDelta > budget {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %+.1f%% (%.1f -> %.1f)",
+				benchKey(nb), nsDelta*100, ob.NsPerOp, nb.NsPerOp))
+		}
+		if allocDelta > budget {
+			regressions = append(regressions, fmt.Sprintf("%s: allocs/op %+.1f%% (%.1f -> %.1f)",
+				benchKey(nb), allocDelta*100, ob.AllocsPerOp, nb.AllocsPerOp))
+		}
+	}
+	for key := range old {
+		fmt.Printf("%-55s  (dropped from %s)\n", key, newPath)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks in common between %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d regression(s) beyond the %.0f%% budget", len(regressions), budget*100)
+	}
+	fmt.Printf("bench compare: %d benchmarks within budget\n", compared)
+	return nil
+}
+
+func loadBenchFile(path string) (*benchFile, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "bench.v1" {
+		return nil, fmt.Errorf("%s: schema %q, want bench.v1", path, f.Schema)
+	}
+	return &f, nil
+}
+
+func benchKey(b benchResult) string {
+	return fmt.Sprintf("%s %s-%d", b.Package, b.Name, b.Procs)
+}
+
+// relDelta is (new-old)/old, with a zero baseline treated as a regression
+// only when the new value is nonzero (0 -> 1 alloc is an infinite-percent
+// slide; report it as +100%).
+func relDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (newV - oldV) / oldV
+}
+
 func runSuite(s suite, benchtime string, count int) ([]benchResult, error) {
 	args := []string{
 		"test", "-run", "^$",
@@ -139,11 +252,48 @@ func runSuite(s suite, benchtime string, count int) ([]benchResult, error) {
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("go test: %w\n%s", err, buf.String())
 	}
-	results := parseBenchOutput(s.Package, buf.String())
+	results := minAggregate(parseBenchOutput(s.Package, buf.String()))
 	if len(results) == 0 {
 		return nil, fmt.Errorf("no benchmark lines matched %q\n%s", s.Bench, buf.String())
 	}
 	return results, nil
+}
+
+// minAggregate collapses -count repetitions of the same benchmark into one
+// result holding the minimum of each measure. On a shared host the min is
+// the least-noise estimator — repetitions only ever add scheduler and cache
+// interference on top of the true cost, never subtract it.
+func minAggregate(results []benchResult) []benchResult {
+	idx := make(map[string]int, len(results))
+	var out []benchResult
+	for _, r := range results {
+		key := benchKey(r)
+		i, seen := idx[key]
+		if !seen {
+			idx[key] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = r.NsPerOp
+			out[i].Iterations = r.Iterations
+		}
+		if r.BPerOp < out[i].BPerOp {
+			out[i].BPerOp = r.BPerOp
+		}
+		if r.AllocsPerOp < out[i].AllocsPerOp {
+			out[i].AllocsPerOp = r.AllocsPerOp
+		}
+		for k, v := range r.Metrics {
+			if prev, ok := out[i].Metrics[k]; !ok || v < prev {
+				if out[i].Metrics == nil {
+					out[i].Metrics = map[string]float64{}
+				}
+				out[i].Metrics[k] = v
+			}
+		}
+	}
+	return out
 }
 
 // parseBenchOutput extracts benchmark lines of the form

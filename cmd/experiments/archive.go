@@ -163,7 +163,7 @@ func runArchive(e *environment) error {
 	}
 
 	fmt.Println("\nscrubber counters:")
-	o := pm.Scrubber.Observation(time.Now())
+	o := pm.ScrubObservation(time.Now())
 	for _, m := range o.Measurements {
 		fmt.Printf("  %-32s %.0f\n", m.Characteristic, m.Number)
 	}

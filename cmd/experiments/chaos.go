@@ -19,6 +19,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/opm"
 	"repro/internal/resilience"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/taxonomy"
 )
@@ -51,7 +52,206 @@ func runChaos(e *environment) error {
 	if err := chaosWorkerKills(e, killTrials, recA, spA); err != nil {
 		return err
 	}
-	return chaosDegradedResolution(e, runsB, recB, spB)
+	if err := chaosDegradedResolution(e, runsB, recB, spB); err != nil {
+		return err
+	}
+	recD, spD := 60, 15
+	if e.short {
+		recD, spD = 40, 10
+	}
+	return chaosShardLoss(e, recD, spD)
+}
+
+// chaosShardLoss is Part D, the sharding half of the failure model: a
+// 4-shard cluster serves four tenants (one per shard, by tenant affinity)
+// under sustained detect traffic when one shard is killed mid-stream. The
+// gates: tenants on surviving shards keep completing runs during the whole
+// outage; the dead tenant's queries and runs fail fast with a visible
+// ErrShardDown (bounded latency, never a hang); cross-shard listings report
+// the outage instead of silently dropping the shard; and after RejoinShard
+// the WAL replay restores the dead tenant's lineage byte-identically.
+func chaosShardLoss(e *environment, records, species int) error {
+	fmt.Printf("--- part D: shard loss (%d records, %d species per tenant) ---\n", records, species)
+	taxa, err := taxonomy.Generate(taxonomy.GeneratorSpec{
+		Species:             species,
+		OutdatedFraction:    0.08,
+		ProvisionalFraction: 0.05,
+		Seed:                e.seed + 401,
+	})
+	if err != nil {
+		return err
+	}
+	col, err := fnjv.Generate(fnjv.CollectionSpec{
+		Records: records, Seed: e.seed + 402, SyntaxErrorRate: 1e-12,
+	}, taxa, geo.SyntheticGazetteer(10, e.seed+403), envsource.NewSimulator())
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "fnjv-shardloss-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sys, err := core.Open(dir, core.Options{Sync: storage.SyncNever, Shards: 4})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	names := loadTenantNames(4, 4)
+	for _, tenant := range names {
+		owned := make([]*fnjv.Record, 0, len(col.Records))
+		for _, rec := range col.Records {
+			r := *rec
+			r.ID = tenant + shard.Sep + r.ID
+			owned = append(owned, &r)
+		}
+		if err := sys.Records.PutAll(owned); err != nil {
+			return err
+		}
+	}
+	ctx := context.Background()
+	opts := func(tenant string) core.RunOptions {
+		return core.RunOptions{Tenant: tenant, SkipLedger: true, Untraced: true}
+	}
+
+	// Baseline run per tenant; the victim's canonical lineage is the
+	// recovery oracle.
+	victim := names[0]
+	victimShard := sys.Cluster.OwnerIndex(victim + shard.Sep)
+	baseRuns := map[string]string{}
+	for _, tenant := range names {
+		out, err := sys.RunDetection(ctx, taxa.Checklist, opts(tenant))
+		if err != nil {
+			return fmt.Errorf("baseline run for %s: %w", tenant, err)
+		}
+		baseRuns[tenant] = out.RunID
+	}
+	victimRun := baseRuns[victim]
+	g, err := sys.Provenance.Graph(victimRun)
+	if err != nil {
+		return err
+	}
+	wantVictim := canonicalProvenance(g, victimRun)
+
+	// Sustained traffic on the three surviving tenants for the whole trial.
+	stop := make(chan struct{})
+	errCh := make(chan error, len(names))
+	counts := make([]atomic.Int64, len(names)-1)
+	var wg sync.WaitGroup
+	for i, tenant := range names[1:] {
+		wg.Add(1)
+		go func(i int, tenant string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sys.RunDetection(ctx, taxa.Checklist, opts(tenant)); err != nil {
+					errCh <- fmt.Errorf("tenant %s during trial: %w", tenant, err)
+					return
+				}
+				counts[i].Add(1)
+			}
+		}(i, tenant)
+	}
+	waitProgress := func(min []int64, what string) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			ok := true
+			for i := range counts {
+				if counts[i].Load() < min[i] {
+					ok = false
+				}
+			}
+			if ok {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("shard-loss gate: surviving tenants made no progress %s", what)
+			}
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	pre := make([]int64, len(counts))
+	for i := range pre {
+		pre[i] = 1
+	}
+	if err := waitProgress(pre, "before the kill"); err != nil {
+		return err
+	}
+
+	// Kill the victim's shard mid-traffic.
+	if err := sys.Cluster.StopShard(victimShard); err != nil {
+		return err
+	}
+	fmt.Printf("  killed %s (tenant %s) mid-traffic\n", fmt.Sprintf("shard-%04d", victimShard), victim)
+
+	// Affected queries: a visible, fast ErrShardDown — not a hang.
+	t0 := time.Now()
+	_, gerr := sys.Provenance.Graph(victimRun)
+	if gerr == nil || !errors.Is(gerr, shard.ErrShardDown) {
+		return fmt.Errorf("shard-loss gate: victim lineage query returned %v, want ErrShardDown", gerr)
+	}
+	if d := time.Since(t0); d > time.Second {
+		return fmt.Errorf("shard-loss gate: victim query took %v to fail, want fail-fast", d)
+	}
+	t0 = time.Now()
+	_, rerr := sys.RunDetection(ctx, taxa.Checklist, opts(victim))
+	if rerr == nil || !errors.Is(rerr, shard.ErrShardDown) {
+		return fmt.Errorf("shard-loss gate: victim detect returned %v, want ErrShardDown", rerr)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		return fmt.Errorf("shard-loss gate: victim detect took %v to fail, want fail-fast", d)
+	}
+	// Cross-shard listings name the outage instead of dropping the shard.
+	if _, _, lerr := sys.Provenance.RunsPage("", 10); lerr == nil || !errors.Is(lerr, shard.ErrShardDown) {
+		return fmt.Errorf("shard-loss gate: cross-shard listing returned %v, want ErrShardDown", lerr)
+	}
+
+	// Surviving tenants keep completing runs during the outage.
+	during := make([]int64, len(counts))
+	for i := range during {
+		during[i] = counts[i].Load() + 2
+	}
+	if err := waitProgress(during, "while the shard was down"); err != nil {
+		return err
+	}
+
+	// Rejoin: WAL replay restores the victim byte-identically and the
+	// tenant serves again.
+	if err := sys.Cluster.RejoinShard(victimShard); err != nil {
+		return fmt.Errorf("rejoin: %w", err)
+	}
+	g, err = sys.Provenance.Graph(victimRun)
+	if err != nil {
+		return fmt.Errorf("victim lineage after rejoin: %w", err)
+	}
+	if canonicalProvenance(g, victimRun) != wantVictim {
+		return fmt.Errorf("shard-loss gate: victim lineage diverged after rejoin")
+	}
+	if _, err := sys.RunDetection(ctx, taxa.Checklist, opts(victim)); err != nil {
+		return fmt.Errorf("victim detect after rejoin: %w", err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	served := int64(0)
+	for i := range counts {
+		served += counts[i].Load()
+	}
+	fmt.Printf("  survivors completed %d runs through the outage; victim failed fast, rejoined, lineage byte-identical\n", served)
+	return nil
 }
 
 // chaosWorkerKills is Part C, the worker-pool half of the failure model: kill

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|tableI|tableII|figure2|figure3|listing1|qualityIVC|timing|stage1|stage2|evolution|retrieval|archive|chaos] [-records N] [-species N] [-seed N] [-parallel N] [-short]
+//	experiments [-run all|tableI|tableII|figure2|figure3|listing1|qualityIVC|timing|stage1|stage2|evolution|retrieval|archive|chaos|load] [-records N] [-species N] [-seed N] [-parallel N] [-short]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment to run (all, tableI, tableII, figure2, figure3, listing1, qualityIVC, timing, stage1, stage2, evolution, retrieval, archive, chaos)")
+		run     = flag.String("run", "all", "experiment to run (all, tableI, tableII, figure2, figure3, listing1, qualityIVC, timing, stage1, stage2, evolution, retrieval, archive, chaos, load)")
 		records = flag.Int("records", 11898, "collection size (paper: 11898)")
 		species = flag.Int("species", 1929, "distinct species names (paper: 1929)")
 		seed    = flag.Int64("seed", 2014, "master PRNG seed")
@@ -43,8 +43,9 @@ func main() {
 		"retrieval":  runRetrieval,
 		"archive":    runArchive,
 		"chaos":      runChaos,
+		"load":       runLoad,
 	}
-	order := []string{"tableI", "tableII", "listing1", "stage1", "figure2", "figure3", "qualityIVC", "timing", "stage2", "evolution", "retrieval", "archive", "chaos"}
+	order := []string{"tableI", "tableII", "listing1", "stage1", "figure2", "figure3", "qualityIVC", "timing", "stage2", "evolution", "retrieval", "archive", "chaos", "load"}
 
 	if *run == "all" {
 		for _, name := range order {

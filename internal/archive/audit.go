@@ -22,7 +22,7 @@ const AuditWorkflowID = "wf-archive-audit"
 // repository's lineage indexes: RunsUsingArtifact("aip:<id>") returns the
 // audit runs that touched it.
 type ProvenanceAuditor struct {
-	Repo *provenance.Repository
+	Repo RunRecorder
 	// Agent labels the controlling agent node (default "archive-scrubber").
 	Agent string
 

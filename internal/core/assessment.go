@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/fnjv"
 	"repro/internal/provenance"
 	"repro/internal/quality"
+	"repro/internal/shard"
 	"repro/internal/taxonomy"
 	"repro/internal/telemetry"
 	"repro/internal/workflow"
@@ -93,6 +95,16 @@ type RunOptions struct {
 	// baseline). Latency histograms still record; only the span tree is
 	// skipped. A tracer already present on the context is honored regardless.
 	Untraced bool
+	// Tenant scopes the run to one tenant: the workflow input is the distinct
+	// names of that tenant's records only, per-record updates scan only those
+	// records, and the minted run ID carries the tenant qualifier
+	// ("<tenant>:run-000042") so the run routes to — and lists under — its
+	// tenant. Empty is the default tenant (whole collection, legacy IDs).
+	Tenant string
+	// WriterOptions overrides the streaming provenance writer's batching
+	// (group-commit size, flush interval, queue depth) for this run. Nil uses
+	// the defaults. The trace context is always taken from the run.
+	WriterOptions *provenance.BatchWriterOptions
 }
 
 func (o *RunOptions) defaults() {
@@ -152,8 +164,8 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		return nil, err
 	}
 
-	// Step 2: gather the metadata (distinct names).
-	names, err := s.DistinctNames()
+	// Step 2: gather the metadata (this tenant's distinct names).
+	names, err := s.TenantDistinctNames(opts.Tenant)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +186,15 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 	// group-committed batches), so completed runs are already persisted when
 	// the engine returns and failed runs keep their partial provenance,
 	// finalized as failed.
-	writer := s.Provenance.NewBatchWriter(provenance.BatchWriterOptions{Trace: ctx})
+	wopts := provenance.BatchWriterOptions{}
+	if opts.WriterOptions != nil {
+		wopts = *opts.WriterOptions
+	}
+	wopts.Trace = ctx
+	writer, err := s.Provenance.RunWriter(wopts)
+	if err != nil {
+		return nil, err
+	}
 	runCtx := ctx
 	var crash *provenance.CrashSink
 	if opts.CrashAfterDeltas > 0 {
@@ -226,6 +246,9 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 // registry, and the worker-kill chaos hook when requested.
 func (s *System) detectionEngine(reg *workflow.Registry, opts RunOptions) *workflow.EventEngine {
 	engine := workflow.NewEventEngine(reg)
+	if opts.Tenant != "" {
+		engine.RunIDPrefix = opts.Tenant + shard.Sep
+	}
 	engine.Workers = opts.Parallel
 	if engine.Workers < 1 {
 		engine.Workers = 1
@@ -265,9 +288,17 @@ func (s *System) finishDetection(result *workflow.RunResult, version int, start 
 		Replayed:         result.Replayed,
 	}
 
-	// Persist per-record updates referencing (not modifying) the originals.
+	// Persist per-record updates referencing (not modifying) the originals,
+	// scoped to the run's tenant.
+	tenantPrefix := ""
+	if opts.Tenant != "" {
+		tenantPrefix = opts.Tenant + shard.Sep
+	}
 	var updates []*curation.NameUpdate
-	err := s.Records.Scan(func(rec *fnjv.Record) bool {
+	visit := func(rec *fnjv.Record) bool {
+		if tenantPrefix != "" && !strings.HasPrefix(rec.ID, tenantPrefix) {
+			return true
+		}
 		outcome.RecordsProcessed++
 		updated, bad := sum.Renames[rec.Species]
 		if !bad {
@@ -289,7 +320,17 @@ func (s *System) finishDetection(result *workflow.RunResult, version int, start 
 			Review:       curation.ReviewPending,
 		})
 		return true
-	})
+	}
+	// Tenant runs scan only the tenant's shard (same fault-isolation
+	// contract as TenantDistinctNames).
+	var err error
+	if ts, ok := s.Records.(interface {
+		ScanTenant(string, func(*fnjv.Record) bool) error
+	}); ok && opts.Tenant != "" {
+		err = ts.ScanTenant(opts.Tenant, visit)
+	} else {
+		err = s.Records.Scan(visit)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -37,7 +37,7 @@ type CollectionFacts struct {
 
 // gatherFacts scans the collection once. checklist may be nil (skips
 // authority-based consistency).
-func gatherFacts(store *fnjv.Store, checklist *taxonomy.Checklist) (CollectionFacts, error) {
+func gatherFacts(store fnjv.Records, checklist *taxonomy.Checklist) (CollectionFacts, error) {
 	var f CollectionFacts
 	err := store.Scan(func(r *fnjv.Record) bool {
 		f.Records++

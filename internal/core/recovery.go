@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/provenance"
+	"repro/internal/shard"
 	"repro/internal/taxonomy"
 	"repro/internal/telemetry"
 	"repro/internal/workflow"
@@ -62,6 +63,11 @@ func RecoveryCounters() map[string]float64 {
 // detection-workflow run; anything else fails with ErrNotResumable.
 func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver, runID string, opts RunOptions) (*DetectionOutcome, error) {
 	opts.defaults()
+	if opts.Tenant == "" {
+		// The run ID carries its tenant; the resumed run must recompute the
+		// same tenant-scoped input the original run saw.
+		opts.Tenant, _ = shard.Split(runID)
+	}
 	start := time.Now()
 
 	// The resume session records the run's span tree under the original run
@@ -105,7 +111,7 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 	// The workflow input is recomputed, not recovered: DistinctNames is a
 	// deterministic sorted scan of the collection, and the collection is not
 	// mutated by a detection run.
-	names, err := s.DistinctNames()
+	names, err := s.TenantDistinctNames(opts.Tenant)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +135,7 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 		return nil, err
 	}
 	collector := provenance.NewResumeCollector(opts.Agent, prefix, info)
-	writer, err := s.Provenance.NewResumeWriter(runID, provenance.BatchWriterOptions{Trace: ctx})
+	writer, err := s.Provenance.ResumeRunWriter(runID, provenance.BatchWriterOptions{Trace: ctx})
 	if err != nil {
 		return nil, err
 	}

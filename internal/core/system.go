@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/adapter"
@@ -13,25 +15,35 @@ import (
 	"repro/internal/fnjv"
 	"repro/internal/provenance"
 	"repro/internal/quality"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/taxonomy"
 	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
-// System wires the full architecture of Fig. 1 over one embedded database:
-// the collection store, the workflow repository and engine, the provenance
-// manager and repository, the curation ledger and the quality manager.
+// System wires the full architecture of Fig. 1: the collection store, the
+// workflow repository and engine, the provenance manager and repository, the
+// curation ledger and the quality manager. Unsharded, every component shares
+// one embedded database; with Options.Shards > 1 the collection, provenance
+// and trace stores are shard routers over a cluster of databases (package
+// shard) and only the workflow repository and ledger stay on the meta
+// database — either way the fields present the same interfaces, so
+// everything above core is unaware of the topology.
 type System struct {
-	DB        *storage.DB
-	Records   *fnjv.Store
+	// DB is the single backing database when unsharded, and the meta
+	// database (workflow repository, curation ledger) when sharded.
+	DB *storage.DB
+	// Cluster is the shard cluster; nil when unsharded.
+	Cluster   *shard.Cluster
+	Records   fnjv.Records
 	Workflows *workflow.Repository
 	Registry  *workflow.Registry
 	Engine    *workflow.Engine
 	// Workers aggregates worker liveness and queue gauges across every
 	// event-engine run of this system; the web layer serves it live.
 	Workers    *workflow.WorkerRegistry
-	Provenance *provenance.Repository
+	Provenance provenance.Repo
 	Ledger     *curation.Ledger
 	Quality    *quality.Manager
 	// Probe observes service executions (the Workflow Adapter's measured
@@ -40,7 +52,7 @@ type System struct {
 	// Traces is the persisted per-run span table: every finished detection
 	// run's span tree lands here, keyed by run ID, queryable forever next to
 	// the run's OPM graph.
-	Traces *telemetry.SpanStore
+	Traces telemetry.TraceStore
 	// TraceRing holds the most recent finished spans process-wide — the
 	// "what just happened" view the web layer serves.
 	TraceRing *telemetry.Ring
@@ -50,33 +62,97 @@ type System struct {
 type Options struct {
 	// Sync is the WAL policy of the backing database (default SyncOnClose).
 	Sync storage.SyncPolicy
+	// Shards > 1 opens a sharded system: records, provenance runs/history,
+	// traces and archive holdings partition across that many shard databases
+	// under dir (consistent hashing, persisted shard map), while workflow
+	// definitions and the curation ledger stay on a meta database. 0 or 1 is
+	// the single-database layout.
+	Shards int
+	// ShardDeadline bounds each cross-shard scatter-gather leg (default 2s).
+	ShardDeadline time.Duration
+	// CommitDelay adds a deterministic simulated device latency to every
+	// SyncAlways WAL commit (see storage.Options.CommitDelay). Load
+	// experiments only; 0 in production.
+	CommitDelay time.Duration
 }
 
 // Open opens (or creates) a preservation system rooted at dir.
 func Open(dir string, opts Options) (*System, error) {
-	db, err := storage.Open(dir, storage.Options{Sync: opts.Sync})
+	if opts.Shards > 1 {
+		return openSharded(dir, opts)
+	}
+	db, err := storage.Open(dir, storage.Options{Sync: opts.Sync, CommitDelay: opts.CommitDelay})
 	if err != nil {
 		return nil, err
 	}
 	s := &System{DB: db, Registry: workflow.NewRegistry(), Probe: adapter.NewProbe()}
-	if s.Records, err = fnjv.NewStore(db); err != nil {
+	records, err := fnjv.NewStore(db)
+	if err != nil {
 		db.Close()
 		return nil, err
 	}
+	s.Records = records
 	if s.Workflows, err = workflow.NewRepository(db); err != nil {
 		db.Close()
 		return nil, err
 	}
-	if s.Provenance, err = provenance.NewRepository(db); err != nil {
+	prov, err := provenance.NewRepository(db)
+	if err != nil {
 		db.Close()
 		return nil, err
 	}
+	s.Provenance = prov
 	if s.Ledger, err = curation.NewLedger(db); err != nil {
 		db.Close()
 		return nil, err
 	}
-	if s.Traces, err = telemetry.NewSpanStore(db); err != nil {
+	traces, err := telemetry.NewSpanStore(db)
+	if err != nil {
 		db.Close()
+		return nil, err
+	}
+	s.Traces = traces
+	s.TraceRing = telemetry.NewRing(0)
+	s.Engine = workflow.NewEngine(s.Registry)
+	s.Workers = workflow.NewWorkerRegistry()
+	s.Quality = quality.NewManager()
+	return s, nil
+}
+
+// openSharded opens the sharded layout: a shard cluster for the partitioned
+// stores plus a meta database for the components that stay global.
+func openSharded(dir string, opts Options) (*System, error) {
+	cluster, err := shard.Open(dir, shard.Options{
+		Shards:      opts.Shards,
+		Sync:        opts.Sync,
+		Deadline:    opts.ShardDeadline,
+		CommitDelay: opts.CommitDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db, err := storage.Open(filepath.Join(dir, "meta"), storage.Options{Sync: opts.Sync, CommitDelay: opts.CommitDelay})
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	s := &System{
+		DB:         db,
+		Cluster:    cluster,
+		Registry:   workflow.NewRegistry(),
+		Probe:      adapter.NewProbe(),
+		Records:    cluster.Records(),
+		Provenance: cluster.Provenance(),
+		Traces:     cluster.Traces(),
+	}
+	if s.Workflows, err = workflow.NewRepository(db); err != nil {
+		db.Close()
+		cluster.Close()
+		return nil, err
+	}
+	if s.Ledger, err = curation.NewLedger(db); err != nil {
+		db.Close()
+		cluster.Close()
 		return nil, err
 	}
 	s.TraceRing = telemetry.NewRing(0)
@@ -103,8 +179,16 @@ func (s *System) saveTrace(runID string, spans []telemetry.Span) error {
 	return s.Traces.Append(runID, spans)
 }
 
-// Close flushes and closes the backing database.
-func (s *System) Close() error { return s.DB.Close() }
+// Close flushes and closes the backing database(s).
+func (s *System) Close() error {
+	err := s.DB.Close()
+	if s.Cluster != nil {
+		if cerr := s.Cluster.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // DetectionWorkflowID is the repository ID of the case-study workflow.
 const DetectionWorkflowID = "wf-outdated-species-detection"
@@ -254,6 +338,42 @@ func (s *System) DistinctNames() ([]string, error) {
 	}
 	names := make([]string, 0, len(distinct))
 	for n := range distinct {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// TenantDistinctNames scopes DistinctNames to one tenant's records — the
+// records whose IDs carry the tenant qualifier. The default tenant ""
+// keeps the legacy whole-collection behaviour.
+func (s *System) TenantDistinctNames(tenant string) ([]string, error) {
+	if tenant == "" {
+		return s.DistinctNames()
+	}
+	prefix := tenant + shard.Sep
+	set := map[string]struct{}{}
+	collect := func(r *fnjv.Record) bool {
+		if strings.HasPrefix(r.ID, prefix) {
+			set[r.Species] = struct{}{}
+		}
+		return true
+	}
+	// A sharded store scans only the tenant's own shard (tenant affinity):
+	// the tenant keeps serving while unrelated shards are down.
+	var err error
+	if ts, ok := s.Records.(interface {
+		ScanTenant(string, func(*fnjv.Record) bool) error
+	}); ok {
+		err = ts.ScanTenant(tenant, collect)
+	} else {
+		err = s.Records.Scan(collect)
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
 		names = append(names, n)
 	}
 	sort.Strings(names)

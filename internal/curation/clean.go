@@ -50,7 +50,7 @@ type Cleaner struct {
 // Clean checks every record, repairing what it safely can (writing the
 // repaired record back to the store and logging the change) and flagging the
 // rest for human attention.
-func (c *Cleaner) Clean(store *fnjv.Store) (*CleanReport, error) {
+func (c *Cleaner) Clean(store fnjv.Records) (*CleanReport, error) {
 	fuzzy := c.FuzzyDistance
 	if fuzzy == 0 {
 		fuzzy = 2

@@ -69,7 +69,7 @@ type Detector struct {
 // NameUpdate in the separate updates table; original records are not
 // touched. This is the paper's core prototype (Fig. 2 / Fig. 3). Cancelling
 // ctx aborts in-flight authority calls.
-func (d *Detector) Detect(ctx context.Context, store *fnjv.Store) (*DetectReport, error) {
+func (d *Detector) Detect(ctx context.Context, store fnjv.Records) (*DetectReport, error) {
 	if d.Resolver == nil {
 		return nil, fmt.Errorf("curation: detector needs a resolver")
 	}

@@ -32,7 +32,7 @@ type Geocoder struct {
 // Geocode adds coordinates to every record that lacks them and whose place
 // resolves unambiguously. Ambiguous and unknown places are counted for the
 // human-curator queue, mirroring the paper's expert-disambiguation loop.
-func (g *Geocoder) Geocode(store *fnjv.Store) (*GeocodeReport, error) {
+func (g *Geocoder) Geocode(store fnjv.Records) (*GeocodeReport, error) {
 	if g.Gazetteer == nil {
 		return nil, fmt.Errorf("curation: geocoder needs a gazetteer")
 	}
@@ -106,7 +106,7 @@ type GapFiller struct {
 
 // Fill completes missing temperature/humidity/atmosphere on records that
 // have coordinates and a collect date.
-func (g *GapFiller) Fill(store *fnjv.Store) (*GapFillReport, error) {
+func (g *GapFiller) Fill(store fnjv.Records) (*GapFillReport, error) {
 	if g.Source == nil {
 		return nil, fmt.Errorf("curation: gap filler needs an environmental source")
 	}

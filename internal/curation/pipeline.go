@@ -41,7 +41,7 @@ type PipelineReport struct {
 
 // Run executes the configured stages in the paper's order. ctx governs the
 // detection stage's authority calls.
-func (p *Pipeline) Run(ctx context.Context, store *fnjv.Store) (*PipelineReport, error) {
+func (p *Pipeline) Run(ctx context.Context, store fnjv.Records) (*PipelineReport, error) {
 	now := time.Now
 	if p.Now != nil {
 		now = p.Now

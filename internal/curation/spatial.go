@@ -47,7 +47,7 @@ type SpatialAuditor struct {
 // to the curation history as observations (reason "stage2-spatial"), not
 // modified — the anomaly may be a misidentification or genuinely new
 // behaviour; only an expert can tell.
-func (a *SpatialAuditor) Audit(store *fnjv.Store) (*SpatialReport, error) {
+func (a *SpatialAuditor) Audit(store fnjv.Records) (*SpatialReport, error) {
 	start := time.Now()
 	var obs []geo.Observation
 	species := map[string]int{}

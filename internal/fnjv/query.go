@@ -173,25 +173,41 @@ func (s *Store) Query(pred Predicate, opts QueryOptions) ([]*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch opts.OrderBy {
+	if err := SortRecords(out, opts.OrderBy); err != nil {
+		return nil, err
+	}
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	return out, nil
+}
+
+// SortRecords orders a result set the way Query does — "id" (default),
+// "date", or "species" — with the record ID as the final tiebreak, so the
+// ordering is total and identical however the records were collected
+// (single-store scan or a cross-shard merge).
+func SortRecords(out []*Record, orderBy string) error {
+	switch orderBy {
 	case "", "id":
-		// Scan order is ID order already.
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	case "date":
-		sort.SliceStable(out, func(i, j int) bool { return out[i].CollectDate.Before(out[j].CollectDate) })
+		sort.Slice(out, func(i, j int) bool {
+			if !out[i].CollectDate.Equal(out[j].CollectDate) {
+				return out[i].CollectDate.Before(out[j].CollectDate)
+			}
+			return out[i].ID < out[j].ID
+		})
 	case "species":
-		sort.SliceStable(out, func(i, j int) bool {
+		sort.Slice(out, func(i, j int) bool {
 			if out[i].Species != out[j].Species {
 				return out[i].Species < out[j].Species
 			}
 			return out[i].ID < out[j].ID
 		})
 	default:
-		return nil, fmt.Errorf("fnjv: unknown OrderBy %q", opts.OrderBy)
+		return fmt.Errorf("fnjv: unknown OrderBy %q", orderBy)
 	}
-	if opts.Limit > 0 && len(out) > opts.Limit {
-		out = out[:opts.Limit]
-	}
-	return out, nil
+	return nil
 }
 
 // QuerySpecies is the indexed fast path for an exact species name plus an

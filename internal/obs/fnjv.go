@@ -64,7 +64,7 @@ func FromRecord(r *fnjv.Record) Observation {
 // database, returning the number imported. The scan and the writes are two
 // phases: writing inside the scan callback would take the database write
 // lock while the scan holds the read lock.
-func ImportCollection(d *DB, store *fnjv.Store) (int, error) {
+func ImportCollection(d *DB, store fnjv.Records) (int, error) {
 	var recs []*fnjv.Record
 	if err := store.Scan(func(r *fnjv.Record) bool {
 		recs = append(recs, r)

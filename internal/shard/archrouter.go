@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/archive"
+)
+
+// ArchiveRouter implements archive.Holdings across the cluster: every AIP
+// routes by its content address (computed before routing, exactly as the
+// store computes it), listings merge across shards, and each shard's
+// scrubber audits only its own volumes.
+type ArchiveRouter struct {
+	c *Cluster
+}
+
+var _ archive.Holdings = (*ArchiveRouter)(nil)
+
+func (a *ArchiveRouter) ownerOf(id string) (*archive.Store, *Shard, error) {
+	sh := a.c.owner(id)
+	st, err := sh.archStore()
+	return st, sh, err
+}
+
+// Put implements archive.Holdings: the content address decides the owning
+// shard, so re-archiving identical bytes stays idempotent on one shard.
+func (a *ArchiveRouter) Put(payload []byte, meta archive.Meta) (archive.Manifest, error) {
+	id := archive.NewManifest(payload, meta, time.Time{}).ID
+	st, sh, err := a.ownerOf(id)
+	if err != nil {
+		sh.note(err)
+		return archive.Manifest{}, err
+	}
+	m, err := st.Put(payload, meta)
+	sh.note(err)
+	return m, err
+}
+
+// Get implements archive.Holdings.
+func (a *ArchiveRouter) Get(id string) (archive.Manifest, []byte, error) {
+	st, sh, err := a.ownerOf(id)
+	if err != nil {
+		sh.note(err)
+		return archive.Manifest{}, nil, err
+	}
+	m, payload, err := st.Get(id)
+	sh.note(err)
+	return m, payload, err
+}
+
+// Stat implements archive.Holdings. A down shard reports every replica
+// missing — the caller sees degraded status, not a hang.
+func (a *ArchiveRouter) Stat(id string) archive.ObjectStatus {
+	st, sh, err := a.ownerOf(id)
+	if err != nil {
+		sh.note(err)
+		return archive.ObjectStatus{ID: id}
+	}
+	status := st.Stat(id)
+	sh.note(nil)
+	return status
+}
+
+// List implements archive.Holdings.
+func (a *ArchiveRouter) List() ([]string, error) {
+	return a.listFanOut("archive.List", (*archive.Store).List)
+}
+
+// ListQuarantined implements archive.Holdings.
+func (a *ArchiveRouter) ListQuarantined() ([]string, error) {
+	return a.listFanOut("archive.ListQuarantined", (*archive.Store).ListQuarantined)
+}
+
+func (a *ArchiveRouter) listFanOut(op string, fn func(*archive.Store) ([]string, error)) ([]string, error) {
+	lists, err := gather(a.c, op, func(sh *Shard) ([]string, error) {
+		st, serr := sh.archStore()
+		if serr != nil {
+			return nil, serr
+		}
+		return fn(st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []string
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Strings(all)
+	return all, nil
+}
+
+// Scrubbers returns the per-shard scrubbers, in shard order — audits run
+// shard-by-shard, each scoped to its own volumes.
+func (a *ArchiveRouter) Scrubbers() []*archive.Scrubber {
+	return a.c.Scrubbers()
+}
+
+// Volumes implements archive.Holdings: every shard's replica volumes, in
+// shard order.
+func (a *ArchiveRouter) Volumes() []string {
+	var out []string
+	for _, sh := range a.c.shards {
+		out = append(out, sh.arch.Volumes()...)
+	}
+	return out
+}

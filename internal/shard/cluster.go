@@ -1,0 +1,319 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/fnjv"
+	"repro/internal/provenance"
+	"repro/internal/storage"
+	"repro/internal/telemetry"
+)
+
+// Options configures Open.
+type Options struct {
+	// Shards is the shard count on first open; 0 adopts the persisted map.
+	Shards int
+	// VNodes is the virtual-point count per shard (DefaultVNodes if 0).
+	VNodes int
+	// Sync is the WAL policy of every shard database.
+	Sync storage.SyncPolicy
+	// CommitDelay is forwarded to every shard database's WAL (simulated
+	// device commit latency; see storage.Options.CommitDelay).
+	CommitDelay time.Duration
+	// Deadline bounds each scatter-gather leg (default 2s).
+	Deadline time.Duration
+	// ArchiveReplicas is the replica-volume count of each shard's AIP store
+	// (default 2 — the minimum at which self-repair means anything).
+	ArchiveReplicas int
+}
+
+// Cluster is a set of shard instances under one persisted map, plus the
+// routers that make them look like one storage/provenance/trace/archive
+// layer. All routers are safe for concurrent use.
+type Cluster struct {
+	dir      string
+	m        Map
+	ring     *Ring
+	deadline time.Duration
+	shards   []*Shard
+
+	records *RecordRouter
+	prov    *ProvenanceRouter
+	traces  *TraceRouter
+	archive *ArchiveRouter
+}
+
+// Shard is one partition: its own database (records, provenance, traces,
+// history) plus a replicated AIP store and scrubber. The database-backed
+// components are swapped atomically on Stop/Rejoin; the AIP store lives on
+// the filesystem and survives both.
+type Shard struct {
+	id    int
+	dir   string
+	sync  storage.SyncPolicy
+	delay time.Duration
+
+	arch     *archive.Store
+	scrubber *archive.Scrubber
+
+	mu    sync.RWMutex
+	down  bool
+	db    *storage.DB
+	recs  *fnjv.Store
+	prov  *provenance.Repository
+	spans *telemetry.SpanStore
+
+	ops  atomic.Int64
+	errs atomic.Int64
+}
+
+// Open opens (or creates) a sharded cluster rooted at dir. The shard map is
+// persisted on first open; later opens must agree with it.
+func Open(dir string, opts Options) (*Cluster, error) {
+	m, err := loadOrInitMap(dir, opts.Shards, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	deadline := opts.Deadline
+	if deadline <= 0 {
+		deadline = 2 * time.Second
+	}
+	replicas := opts.ArchiveReplicas
+	if replicas <= 0 {
+		replicas = 2
+	}
+	c := &Cluster{dir: dir, m: m, ring: NewRing(m.Shards, m.VNodes), deadline: deadline}
+	for i := 0; i < m.Shards; i++ {
+		sh := &Shard{id: i, dir: filepath.Join(dir, "shards", shardName(i)), sync: opts.Sync, delay: opts.CommitDelay}
+		volumes := make([]string, replicas)
+		for v := range volumes {
+			volumes[v] = filepath.Join(sh.dir, fmt.Sprintf("vol-%d", v))
+		}
+		if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if sh.arch, err = archive.OpenStore(volumes); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := sh.open(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.shards = append(c.shards, sh)
+	}
+	c.records = &RecordRouter{c: c}
+	c.prov = &ProvenanceRouter{c: c}
+	c.traces = &TraceRouter{c: c}
+	c.archive = &ArchiveRouter{c: c}
+	// Audit runs route by their own run ID, so every shard's scrubber records
+	// through the router, not its local repository.
+	for _, sh := range c.shards {
+		sh.scrubber = &archive.Scrubber{
+			Store:   sh.arch,
+			Auditor: &archive.ProvenanceAuditor{Repo: c.prov, Agent: "archive-scrubber"},
+		}
+	}
+	return c, nil
+}
+
+// open (re)opens the shard's database-backed components.
+func (s *Shard) open() error {
+	db, err := storage.Open(filepath.Join(s.dir, "db"), storage.Options{Sync: s.sync, CommitDelay: s.delay})
+	if err != nil {
+		return fmt.Errorf("shard: open %s: %w", shardName(s.id), err)
+	}
+	recs, err := fnjv.NewStore(db)
+	var prov *provenance.Repository
+	if err == nil {
+		prov, err = provenance.NewRepository(db)
+	}
+	var spans *telemetry.SpanStore
+	if err == nil {
+		spans, err = telemetry.NewSpanStore(db)
+	}
+	if err != nil {
+		db.Close()
+		return fmt.Errorf("shard: open %s: %w", shardName(s.id), err)
+	}
+	s.mu.Lock()
+	s.db, s.recs, s.prov, s.spans = db, recs, prov, spans
+	s.down = false
+	s.mu.Unlock()
+	return nil
+}
+
+// Close closes every shard database. The cluster is unusable afterwards.
+func (c *Cluster) Close() error {
+	var errs []error
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		db := sh.db
+		sh.db = nil
+		sh.down = true
+		sh.mu.Unlock()
+		if db != nil {
+			if err := db.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// N returns the shard count.
+func (c *Cluster) N() int { return len(c.shards) }
+
+// OwnerIndex returns the index of the shard owning the given ID.
+func (c *Cluster) OwnerIndex(id string) int { return c.ring.Owner(RouteKey(id)) }
+
+// owner returns the shard owning the given ID.
+func (c *Cluster) owner(id string) *Shard { return c.shards[c.OwnerIndex(id)] }
+
+// Records returns the sharded collection store.
+func (c *Cluster) Records() *RecordRouter { return c.records }
+
+// Provenance returns the sharded provenance repository.
+func (c *Cluster) Provenance() *ProvenanceRouter { return c.prov }
+
+// Traces returns the sharded span store.
+func (c *Cluster) Traces() *TraceRouter { return c.traces }
+
+// Archive returns the sharded AIP store.
+func (c *Cluster) Archive() *ArchiveRouter { return c.archive }
+
+// Scrubbers returns every shard's archive scrubber, in shard order.
+func (c *Cluster) Scrubbers() []*archive.Scrubber {
+	out := make([]*archive.Scrubber, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.scrubber
+	}
+	return out
+}
+
+// StopShard marks shard i down and closes its database, simulating a shard
+// loss: in-flight operations error out, later routed operations fail fast
+// with ErrShardDown, other shards keep serving.
+func (c *Cluster) StopShard(i int) error {
+	if i < 0 || i >= len(c.shards) {
+		return fmt.Errorf("shard: no shard %d", i)
+	}
+	sh := c.shards[i]
+	sh.mu.Lock()
+	if sh.down {
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.down = true
+	db := sh.db
+	sh.db = nil
+	sh.mu.Unlock()
+	if db != nil {
+		return db.Close()
+	}
+	return nil
+}
+
+// RejoinShard reopens a stopped shard's database (replaying its WAL) and
+// marks it available again.
+func (c *Cluster) RejoinShard(i int) error {
+	if i < 0 || i >= len(c.shards) {
+		return fmt.Errorf("shard: no shard %d", i)
+	}
+	sh := c.shards[i]
+	sh.mu.RLock()
+	down := sh.down
+	sh.mu.RUnlock()
+	if !down {
+		return nil
+	}
+	return sh.open()
+}
+
+// Down reports whether shard i is currently marked unavailable.
+func (c *Cluster) Down(i int) bool {
+	sh := c.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.down
+}
+
+// Counters renders per-shard routing gauges for the metrics bridge: routed
+// operations, routed errors, and availability per shard.
+func (c *Cluster) Counters() map[string]float64 {
+	out := make(map[string]float64, 3*len(c.shards)+1)
+	out["shards"] = float64(len(c.shards))
+	for i, sh := range c.shards {
+		name := shardName(sh.id)
+		out[name+".ops"] = float64(sh.ops.Load())
+		out[name+".errors"] = float64(sh.errs.Load())
+		down := 0.0
+		if c.Down(i) {
+			down = 1
+		}
+		out[name+".down"] = down
+	}
+	return out
+}
+
+// note records one routed operation against the shard's gauges.
+func (s *Shard) note(err error) {
+	s.ops.Add(1)
+	if err != nil {
+		s.errs.Add(1)
+	}
+}
+
+func (s *Shard) downErr() error {
+	return fmt.Errorf("%w: %s", ErrShardDown, shardName(s.id))
+}
+
+// provRepo returns the shard's live provenance repository, or ErrShardDown.
+func (s *Shard) provRepo() (*provenance.Repository, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.down {
+		return nil, s.downErr()
+	}
+	return s.prov, nil
+}
+
+// recordStore returns the shard's live record store, or ErrShardDown.
+func (s *Shard) recordStore() (*fnjv.Store, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.down {
+		return nil, s.downErr()
+	}
+	return s.recs, nil
+}
+
+// spanStore returns the shard's live span store, or ErrShardDown.
+func (s *Shard) spanStore() (*telemetry.SpanStore, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.down {
+		return nil, s.downErr()
+	}
+	return s.spans, nil
+}
+
+// archStore returns the shard's AIP store, or ErrShardDown. The store itself
+// survives Stop/Rejoin, but a down shard refuses archive traffic too: the
+// shard is the failure domain, not the individual backend.
+func (s *Shard) archStore() (*archive.Store, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.down {
+		return nil, s.downErr()
+	}
+	return s.arch, nil
+}

@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/opm"
+	"repro/internal/provenance"
+)
+
+// TestCrossShardPaginationUnderConcurrentWrites is the property test behind
+// the router's cursor contract: a pagination sequence started at any moment
+// stays valid while every shard concurrently receives new runs. The walk
+// must (a) never deliver the same run twice, (b) deliver runs in strictly
+// ascending RunID order, and (c) deliver every run that existed before the
+// walk started — concurrent inserts may or may not appear, but can never
+// displace pre-existing runs or invalidate a cursor.
+func TestCrossShardPaginationUnderConcurrentWrites(t *testing.T) {
+	c := openCluster(t, t.TempDir(), 4)
+	prov := c.Provenance()
+
+	mkRun := func(id string) provenance.RunInfo {
+		return provenance.RunInfo{
+			RunID: id, WorkflowID: "wf", WorkflowName: "wf",
+			StartedAt: time.Unix(1700000000, 0), FinishedAt: time.Unix(1700000001, 0),
+			Status: provenance.RunCompleted,
+		}
+	}
+	store := func(id string) error {
+		g := opm.NewGraph()
+		if err := g.Process("p", "proc"); err != nil {
+			return err
+		}
+		return prov.Store(mkRun(id), g)
+	}
+
+	// Seed a known baseline across every shard.
+	baseline := map[string]bool{}
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("seed-%06d", i)
+		if err := store(id); err != nil {
+			t.Fatal(err)
+		}
+		baseline[id] = true
+	}
+
+	// Writers keep inserting fresh runs (random IDs, so they land before,
+	// between and after the reader's cursor position) for the whole walk.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("live-%06d-w%d-%d", rng.Intn(1000000), w, i)
+				if err := store(id); err != nil {
+					t.Errorf("concurrent store: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The reader walks the full listing in small pages, re-minting the
+	// cursor each step exactly as an API client would.
+	seen := map[string]bool{}
+	last := ""
+	after := ""
+	for pages := 0; ; pages++ {
+		if pages > 10000 {
+			t.Fatal("pagination did not terminate")
+		}
+		runs, next, err := prov.RunsPage(after, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range runs {
+			if seen[info.RunID] {
+				t.Fatalf("run %s delivered twice", info.RunID)
+			}
+			seen[info.RunID] = true
+			if last != "" && info.RunID <= last {
+				t.Fatalf("page out of order: %s after %s", info.RunID, last)
+			}
+			last = info.RunID
+		}
+		if next == "" {
+			break
+		}
+		after = next
+	}
+	close(stop)
+	wg.Wait()
+
+	for id := range baseline {
+		if !seen[id] {
+			t.Fatalf("pre-existing run %s skipped by the walk", id)
+		}
+	}
+
+	// A second, quiescent walk must deliver exactly the final run set.
+	total := len(prov.AllRuns())
+	count := 0
+	after = ""
+	for {
+		runs, next, err := prov.RunsPage(after, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count += len(runs)
+		if next == "" {
+			break
+		}
+		after = next
+	}
+	if count != total {
+		t.Fatalf("quiescent walk saw %d runs, repository holds %d", count, total)
+	}
+}

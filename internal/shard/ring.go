@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over shard IDs: each shard projects VNodes
+// virtual points onto a 64-bit circle and a key is owned by the first point
+// clockwise of its hash. With enough virtual points the keyspace splits
+// near-uniformly, and adding a shard moves only ~1/N of the keys — the
+// property a future resharding migration will lean on. The ring is immutable
+// after construction; shard membership changes go through the persisted Map.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultVNodes is the virtual-point count per shard when the Map does not
+// say otherwise. 64 points keep the per-shard keyspace share within a few
+// percent of uniform at small N.
+const DefaultVNodes = 64
+
+// NewRing builds the ring for `shards` shards with `vnodes` virtual points
+// each (DefaultVNodes if vnodes <= 0).
+func NewRing(shards, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("%s#%03d", shardName(s), v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Owner returns the shard that owns the given routing key.
+func (r *Ring) Owner(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-1a keeps sequential IDs
+// ("run-000001", "run-000002", ...) within a tiny window of the circle —
+// the trailing-byte differences move the hash by far less than an arc
+// width, so whole ID sequences collapse onto one shard. The avalanche
+// spreads single-bit input differences across all 64 bits.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

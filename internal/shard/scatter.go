@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// legResult carries one shard's answer back to the gathering goroutine.
+type legResult[T any] struct {
+	idx int
+	val T
+	err error
+}
+
+// gather fans fn out to every shard and collects the answers in shard order,
+// bounding the wait by the cluster deadline. A leg that misses the deadline
+// reports ErrShardTimeout (its goroutine is abandoned — shard stores are
+// safe under concurrent use, and a stuck leg must not stall the caller).
+// The error joins every failed leg; vals holds the successful answers with
+// zero values in failed slots.
+func gather[T any](c *Cluster, op string, fn func(sh *Shard) (T, error)) ([]T, error) {
+	n := len(c.shards)
+	vals := make([]T, n)
+	errs := make([]error, n)
+	results := make(chan legResult[T], n)
+	for i, sh := range c.shards {
+		go func(i int, sh *Shard) {
+			v, err := fn(sh)
+			sh.note(err)
+			results <- legResult[T]{idx: i, val: v, err: err}
+		}(i, sh)
+	}
+	timer := time.NewTimer(c.deadline)
+	defer timer.Stop()
+	got := make([]bool, n)
+	for collected := 0; collected < n; {
+		select {
+		case r := <-results:
+			vals[r.idx], errs[r.idx] = r.val, r.err
+			got[r.idx] = true
+			collected++
+		case <-timer.C:
+			for i := range got {
+				if !got[i] {
+					errs[i] = fmt.Errorf("%w: %s during %s", ErrShardTimeout, shardName(i), op)
+				}
+			}
+			collected = n
+		}
+	}
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("%s: %s: %w", op, shardName(i), err))
+		}
+	}
+	return vals, errors.Join(failed...)
+}

@@ -1,0 +1,88 @@
+// Package shard partitions the preservation system's hot state — collection
+// records, provenance runs/history, persisted traces, and archive holdings —
+// across N shard instances, each owning its own storage WAL/B-tree,
+// provenance repository, span store, and replicated AIP store with scrubber.
+//
+// Placement is consistent hashing over the routing key of an ID: a
+// tenant-qualified ID ("<tenant>:<rest>") routes by its tenant, giving every
+// tenant shard affinity (fault isolation: losing one shard degrades only the
+// tenants it hosts); an unqualified legacy ID routes by the full ID, spreading
+// a single-tenant workload across all shards. The ring and shard count are
+// persisted in shardmap.json so IDs stay routable across restarts.
+//
+// The routers (ProvenanceRouter, RecordRouter, TraceRouter, ArchiveRouter)
+// implement the same interfaces the single-store types implement
+// (provenance.Repo, fnjv.Records, telemetry.TraceStore, archive.Holdings),
+// so core, the workflow engine, and the web service run unchanged on top.
+// Per-run/per-record operations go straight to the owning shard; cross-shard
+// operations (run listings, lineage fan-out, collection scans, stats)
+// scatter-gather with a per-shard deadline and merge under the same ordering
+// and cursor contracts as the unsharded stores.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrShardDown marks an operation that touched a shard currently marked
+// unavailable (stopped by chaos, crashed, or still rejoining). Callers see
+// it quickly — routed operations never hang on a dead shard.
+var ErrShardDown = errors.New("shard: shard unavailable")
+
+// ErrShardTimeout marks a scatter-gather leg that missed its per-shard
+// deadline.
+var ErrShardTimeout = errors.New("shard: deadline exceeded")
+
+// Sep separates the tenant qualifier from the rest of an ID. ":" is safe in
+// URL path segments and cannot appear in legacy run/record IDs.
+const Sep = ":"
+
+// Split breaks a possibly tenant-qualified ID into its tenant and the
+// unqualified rest. IDs without a qualifier belong to the default tenant "".
+func Split(id string) (tenant, rest string) {
+	if i := strings.Index(id, Sep); i >= 0 {
+		return id[:i], id[i+1:]
+	}
+	return "", id
+}
+
+// Qualify prefixes id with the tenant qualifier; the default tenant ""
+// leaves the ID untouched (legacy format).
+func Qualify(tenant, id string) string {
+	if tenant == "" {
+		return id
+	}
+	return tenant + Sep + id
+}
+
+// RouteKey is the consistent-hashing key of an ID: the tenant when the ID is
+// tenant-qualified (tenant affinity), the full ID otherwise (spread).
+func RouteKey(id string) string {
+	if tenant, _ := Split(id); tenant != "" {
+		return tenant
+	}
+	return id
+}
+
+// ValidTenant reports whether t is an acceptable tenant identifier on the
+// public surface: 1-64 characters of lowercase letters, digits and dashes.
+// The default tenant is the empty string and is never sent on the wire.
+func ValidTenant(t string) bool {
+	if len(t) == 0 || len(t) > 64 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// shardName renders the canonical shard identifier used in directories,
+// metrics and errors.
+func shardName(id int) string { return fmt.Sprintf("shard-%04d", id) }

@@ -1,0 +1,73 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Map is the persisted shard topology. It is written once when a cluster
+// directory is initialised and must match on every reopen: the ring is a
+// pure function of (Shards, VNodes), so pinning both keeps every ID minted
+// under this map routable forever. Changing either without migrating data
+// would silently orphan rows, so Open refuses a mismatch.
+type Map struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+	VNodes  int `json:"vnodes"`
+}
+
+const mapFile = "shardmap.json"
+
+// mapVersion is the current shardmap.json schema version.
+const mapVersion = 1
+
+// loadOrInitMap reads dir's shard map, creating it with the requested
+// topology on first open. A requested topology of 0 shards adopts whatever
+// the file says; a non-zero request must match the file exactly.
+func loadOrInitMap(dir string, shards, vnodes int) (Map, error) {
+	path := filepath.Join(dir, mapFile)
+	blob, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m Map
+		if err := json.Unmarshal(blob, &m); err != nil {
+			return Map{}, fmt.Errorf("shard: parse %s: %w", path, err)
+		}
+		if m.Version != mapVersion {
+			return Map{}, fmt.Errorf("shard: %s has version %d, want %d", path, m.Version, mapVersion)
+		}
+		if m.Shards <= 0 {
+			return Map{}, fmt.Errorf("shard: %s declares %d shards", path, m.Shards)
+		}
+		if shards != 0 && shards != m.Shards {
+			return Map{}, fmt.Errorf("shard: directory is mapped to %d shards, cannot open with %d (resharding needs a migration)", m.Shards, shards)
+		}
+		if vnodes != 0 && m.VNodes != vnodes {
+			return Map{}, fmt.Errorf("shard: directory is mapped with %d vnodes, cannot open with %d", m.VNodes, vnodes)
+		}
+		return m, nil
+	case os.IsNotExist(err):
+		if shards <= 0 {
+			return Map{}, fmt.Errorf("shard: no %s in %s and no shard count requested", mapFile, dir)
+		}
+		if vnodes <= 0 {
+			vnodes = DefaultVNodes
+		}
+		m := Map{Version: mapVersion, Shards: shards, VNodes: vnodes}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return Map{}, err
+		}
+		out, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return Map{}, err
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return Map{}, fmt.Errorf("shard: write %s: %w", path, err)
+		}
+		return m, nil
+	default:
+		return Map{}, fmt.Errorf("shard: read %s: %w", path, err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Options configures a DB.
@@ -16,6 +17,13 @@ type Options struct {
 	// SnapshotEvery triggers an automatic snapshot once the WAL exceeds this
 	// many bytes (0 disables automatic snapshots).
 	SnapshotEvery int64
+	// CommitDelay adds a deterministic pause to every SyncAlways commit, on
+	// top of the real fsync, modeling the commit latency of the
+	// preservation-grade storage a deployment would sit on (network volumes,
+	// archival arrays). Load experiments use it so WAL-channel scaling
+	// measurements don't depend on the CI host's disk-noise profile. 0 (the
+	// default) means real fsync latency only.
+	CommitDelay time.Duration
 }
 
 // DB is the embedded database: a set of tables, durable via WAL + snapshot.
@@ -82,6 +90,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.log.delay = opts.CommitDelay
 	return db, nil
 }
 

@@ -119,10 +119,14 @@ func openBenchDB(b *testing.B) *DB {
 }
 
 // BenchmarkReadUnderWrite measures a full-table scan while a writer commits
-// continuously: "locked" scans through the live handle (shares the RWMutex
+// concurrently: "locked" scans through the live handle (shares the RWMutex
 // with the writer), "snapshot" scans a View (lock-free after the O(tables)
 // acquisition). The gap between the two is the read/write contention the
-// snapshot path removes from the /api/v1 endpoints.
+// snapshot path removes from the /api/v1 endpoints. The writer is paced at
+// exactly one 50-update batch per scan (handed off through an unbuffered
+// channel, applied while the scan runs) — a free-running writer would make
+// ns/op and allocs/op measure the host's goroutine-scheduling ratio instead
+// of the storage layer.
 func BenchmarkReadUnderWrite(b *testing.B) {
 	const rows = 2000
 	for _, mode := range []string{"locked", "snapshot"} {
@@ -144,18 +148,13 @@ func BenchmarkReadUnderWrite(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			stop := make(chan struct{})
+			work := make(chan struct{})
 			var wg sync.WaitGroup
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				gen := int64(1)
-				for {
-					select {
-					case <-stop:
-						return
-					default:
-					}
+				for range work {
 					ops := make([]Op, 0, 50)
 					for i := 0; i < 50; i++ {
 						ops = append(ops, UpdateOp("recordings",
@@ -171,6 +170,7 @@ func BenchmarkReadUnderWrite(b *testing.B) {
 			b.ResetTimer()
 			n := 0
 			for i := 0; i < b.N; i++ {
+				work <- struct{}{} // writer applies one batch while we scan
 				var tbl *Table
 				if mode == "snapshot" {
 					tbl = db.View().Table("recordings")
@@ -184,7 +184,7 @@ func BenchmarkReadUnderWrite(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			close(stop)
+			close(work)
 			wg.Wait()
 			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 		})

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // SyncPolicy controls when the WAL calls fsync.
@@ -43,6 +44,7 @@ type wal struct {
 	f      *os.File
 	w      *bufio.Writer
 	policy SyncPolicy
+	delay  time.Duration
 	size   int64
 	crcTab *crc32.Table
 }
@@ -86,6 +88,12 @@ func (l *wal) Append(payload []byte) error {
 		}
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("storage: wal sync: %w", err)
+		}
+		if l.delay > 0 {
+			// Simulated device commit latency: occupies this WAL's commit
+			// channel exactly like a slower fsync would (the lock is held),
+			// without touching any other WAL. See Options.CommitDelay.
+			time.Sleep(l.delay)
 		}
 	}
 	return nil

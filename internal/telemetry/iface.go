@@ -1,0 +1,18 @@
+package telemetry
+
+// TraceStore is the persisted-trace surface consumed by core and the web
+// service. *SpanStore implements it directly; shard.TraceRouter implements
+// it by routing each run's spans to the shard that owns the run.
+type TraceStore interface {
+	Count(runID string) (int, error)
+	Append(runID string, spans []Span) error
+	Spans(runID string) ([]Span, error)
+	SpansPage(runID string, after, limit int) ([]Span, int, error)
+	// Snapshot returns a read-only view pinned to the current state.
+	Snapshot() TraceStore
+}
+
+// Snapshot implements TraceStore; it is View with an interface return type.
+func (s *SpanStore) Snapshot() TraceStore { return s.View() }
+
+var _ TraceStore = (*SpanStore)(nil)

@@ -168,7 +168,7 @@ func (s *Server) registerAPI() {
 		},
 	}
 	for pattern, h := range routes {
-		s.mux.HandleFunc(pattern, s.traced(h))
+		s.mux.HandleFunc(pattern, s.traced(s.tenantGate(h)))
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/fnjv"
 	"repro/internal/linkeddata"
 	"repro/internal/quality"
+	"repro/internal/shard"
 	"repro/internal/taxonomy"
 )
 
@@ -49,6 +50,9 @@ type System struct {
 	// Resilient, when the Resolver is a taxonomy.ResilientResolver, exposes
 	// its breaker/bulkhead/fallback counters on /metrics; may be nil.
 	Resilient *taxonomy.ResilientResolver
+	// Quotas, when set, rate-limits /api/v1 per tenant (X-Tenant header);
+	// nil disables admission control.
+	Quotas *shard.Quotas
 
 	mu          sync.Mutex
 	lastOutcome *core.DetectionOutcome

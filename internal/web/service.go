@@ -36,7 +36,7 @@ func NewService(sys *System) *Service { return &Service{sys: sys} }
 // quality and detect views. The supplied context carries any request-minted
 // tracer, so API-triggered runs trace from the HTTP boundary down.
 func (v *Service) Detect(ctx context.Context) (*core.DetectionOutcome, error) {
-	outcome, err := v.sys.Core.RunDetection(ctx, v.sys.Resolver, core.RunOptions{})
+	outcome, err := v.sys.Core.RunDetection(ctx, v.sys.Resolver, core.RunOptions{Tenant: TenantFrom(ctx)})
 	if err != nil {
 		return nil, err
 	}
@@ -68,15 +68,15 @@ func (v *Service) Workers() ([]workflow.WorkerInfo, map[string]float64) {
 
 // RunsPage pages provenance runs through the repository cursor.
 func (v *Service) RunsPage(after string, limit int) ([]provenance.RunInfo, string, error) {
-	return v.sys.Core.Provenance.View().RunsPage(after, limit)
+	return v.sys.Core.Provenance.Snapshot().RunsPage(after, limit)
 }
 
 // Run loads one run's info; errNotFound when the ID is unknown.
 func (v *Service) Run(runID string) (provenance.RunInfo, error) {
-	return runInfoFrom(v.sys.Core.Provenance.View(), runID)
+	return runInfoFrom(v.sys.Core.Provenance.Snapshot(), runID)
 }
 
-func runInfoFrom(repo *provenance.Repository, runID string) (provenance.RunInfo, error) {
+func runInfoFrom(repo provenance.Repo, runID string) (provenance.RunInfo, error) {
 	info, err := repo.Run(runID)
 	if err != nil {
 		return provenance.RunInfo{}, fmt.Errorf("%w: run %q", errNotFound, runID)
@@ -94,7 +94,7 @@ func RunFinished(info provenance.RunInfo) bool {
 // RunGraphXML serializes the run's OPM graph, returning the run info so the
 // caller can decide cacheability.
 func (v *Service) RunGraphXML(runID string) ([]byte, provenance.RunInfo, error) {
-	repo := v.sys.Core.Provenance.View() // one snapshot: info and graph agree
+	repo := v.sys.Core.Provenance.Snapshot() // one snapshot: info and graph agree
 	info, err := runInfoFrom(repo, runID)
 	if err != nil {
 		return nil, info, err
@@ -109,7 +109,7 @@ func (v *Service) RunGraphXML(runID string) ([]byte, provenance.RunInfo, error) 
 
 // RunNodesPage pages the run's provenance nodes.
 func (v *Service) RunNodesPage(runID, after string, limit int) ([]*opm.Node, string, error) {
-	repo := v.sys.Core.Provenance.View()
+	repo := v.sys.Core.Provenance.Snapshot()
 	if _, err := runInfoFrom(repo, runID); err != nil {
 		return nil, "", err
 	}
@@ -118,7 +118,7 @@ func (v *Service) RunNodesPage(runID, after string, limit int) ([]*opm.Node, str
 
 // RunEdgesPage pages the run's dependency edges.
 func (v *Service) RunEdgesPage(runID string, after, limit int) ([]opm.Edge, int, error) {
-	repo := v.sys.Core.Provenance.View()
+	repo := v.sys.Core.Provenance.Snapshot()
 	if _, err := runInfoFrom(repo, runID); err != nil {
 		return nil, -1, err
 	}
@@ -141,7 +141,7 @@ func (v *Service) RunTrace(runID string) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	spans, err := v.sys.Core.Traces.View().Spans(runID)
+	spans, err := v.sys.Core.Traces.Snapshot().Spans(runID)
 	if errors.Is(err, telemetry.ErrTraceNotFound) {
 		return nil, fmt.Errorf("%w: no trace recorded for run %q", errNotFound, runID)
 	}
@@ -162,7 +162,7 @@ func (v *Service) RunSpansPage(runID string, after, limit int) ([]telemetry.Span
 	if _, err := v.Run(runID); err != nil {
 		return nil, -1, err
 	}
-	spans, next, err := v.sys.Core.Traces.View().SpansPage(runID, after, limit)
+	spans, next, err := v.sys.Core.Traces.Snapshot().SpansPage(runID, after, limit)
 	if err != nil {
 		return nil, -1, err
 	}
@@ -314,7 +314,13 @@ func (v *Service) Metrics(at time.Time) []MetricsEntry {
 	}
 	v.sys.mu.Unlock()
 	if pm := v.sys.Preservation; pm != nil {
-		subsystems["archive-scrubber"] = pm.Scrubber.Counters()
+		subsystems["archive-scrubber"] = pm.ScrubCounters()
+	}
+	if c := v.sys.Core.Cluster; c != nil {
+		subsystems["shard-router"] = c.Counters()
+	}
+	if q := v.sys.Quotas; q != nil {
+		subsystems["tenant-quotas"] = q.Counters()
 	}
 	if rr := v.sys.Resilient; rr != nil {
 		subsystems["resolution-resilience"] = rr.Counters()

@@ -36,6 +36,10 @@ type EventEngine struct {
 	// Nack the task and exit (the last live worker always survives so the
 	// run can finish).
 	KillWorker func(workerID string, tasksDone int) bool
+	// RunIDPrefix is prepended to minted run IDs. Multi-tenant callers set it
+	// to "tenant:" so the run ID itself carries the routing key; explicit run
+	// IDs are used as-is.
+	RunIDPrefix string
 
 	metrics engineMetrics
 }
@@ -294,7 +298,7 @@ func (e *EventEngine) execute(ctx context.Context, def *Definition, inputs map[s
 		return nil, err
 	}
 	if runID == "" {
-		runID = fmt.Sprintf("run-%06d", atomic.AddInt64(&runCounter, 1))
+		runID = e.RunIDPrefix + fmt.Sprintf("run-%06d", atomic.AddInt64(&runCounter, 1))
 	}
 	if folded.finished != nil {
 		return finalizeFromHistory(def, runID, prefix, folded, listeners)

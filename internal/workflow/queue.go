@@ -58,16 +58,75 @@ type TaskQueue interface {
 // MemoryQueue is the in-process TaskQueue: a mutex-guarded FIFO with a
 // broadcast wake channel. It is the default backend of EventEngine.
 type MemoryQueue struct {
-	mu     sync.Mutex
-	ready  []Task
-	leased map[string]Task
-	closed bool
-	wake   chan struct{} // closed-and-replaced to broadcast state changes
+	mu       sync.Mutex
+	ready    []Task
+	leased   map[string]memLease
+	leaseTTL time.Duration // 0 = leases never expire
+	expiring int           // leases with a non-zero deadline outstanding
+	closed   bool
+	wake     chan struct{} // closed-and-replaced to broadcast state changes
+}
+
+// memLease is one outstanding delivery; a zero expires never times out.
+type memLease struct {
+	t       Task
+	expires time.Time
 }
 
 // NewMemoryQueue returns an empty in-memory task queue.
 func NewMemoryQueue() *MemoryQueue {
-	return &MemoryQueue{leased: make(map[string]Task), wake: make(chan struct{})}
+	return &MemoryQueue{leased: make(map[string]memLease), wake: make(chan struct{})}
+}
+
+// SetLeaseTTL bounds how long a dequeued task may stay unacknowledged: a
+// lease older than ttl is reclaimed by the next Dequeue and the task is
+// redelivered at the tail with Attempt+1, exactly as a Nack would — the
+// original holder's Ack then fails as unleased. Zero (the default) restores
+// leases that never expire, adding no cost to the hot dispatch path. Only
+// leases taken after the call carry the new TTL.
+func (q *MemoryQueue) SetLeaseTTL(ttl time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.leaseTTL = ttl
+}
+
+// reclaimLocked returns expired leases to the tail, bumping Attempt. Callers
+// hold q.mu and have checked q.expiring > 0, keeping the no-TTL dispatch
+// path free of clock reads and map sweeps. Reports whether anything was
+// reclaimed.
+func (q *MemoryQueue) reclaimLocked(now time.Time) bool {
+	reclaimed := false
+	for id, l := range q.leased {
+		if l.expires.IsZero() || now.Before(l.expires) {
+			continue
+		}
+		delete(q.leased, id)
+		q.expiring--
+		t := l.t
+		t.Attempt++
+		t.EnqueuedAt = now
+		q.ready = append(q.ready, t)
+		reclaimed = true
+	}
+	return reclaimed
+}
+
+// nextExpiryLocked returns the earliest lease deadline, zero when no lease
+// can expire. Callers hold q.mu.
+func (q *MemoryQueue) nextExpiryLocked() time.Time {
+	var min time.Time
+	if q.expiring == 0 {
+		return min
+	}
+	for _, l := range q.leased {
+		if l.expires.IsZero() {
+			continue
+		}
+		if min.IsZero() || l.expires.Before(min) {
+			min = l.expires
+		}
+	}
+	return min
 }
 
 // broadcastLocked wakes every blocked Dequeue. Callers hold q.mu.
@@ -95,10 +154,18 @@ func (q *MemoryQueue) Enqueue(t Task) error {
 func (q *MemoryQueue) Dequeue(ctx context.Context) (Task, error) {
 	for {
 		q.mu.Lock()
+		if q.expiring > 0 && q.reclaimLocked(time.Now()) {
+			q.broadcastLocked() // other blocked dequeuers may take the rest
+		}
 		if len(q.ready) > 0 {
 			t := q.ready[0]
 			q.ready = q.ready[1:]
-			q.leased[t.ID] = t
+			l := memLease{t: t}
+			if q.leaseTTL > 0 {
+				l.expires = time.Now().Add(q.leaseTTL)
+				q.expiring++
+			}
+			q.leased[t.ID] = l
 			q.mu.Unlock()
 			return t, nil
 		}
@@ -107,11 +174,25 @@ func (q *MemoryQueue) Dequeue(ctx context.Context) (Task, error) {
 			return Task{}, ErrQueueClosed
 		}
 		wake := q.wake
+		expiry := q.nextExpiryLocked()
 		q.mu.Unlock()
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if !expiry.IsZero() {
+			timer = time.NewTimer(time.Until(expiry))
+			timerC = timer.C
+		}
 		select {
 		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
 			return Task{}, ctx.Err()
 		case <-wake:
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
 		}
 	}
 }
@@ -120,10 +201,14 @@ func (q *MemoryQueue) Dequeue(ctx context.Context) (Task, error) {
 func (q *MemoryQueue) Ack(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if _, ok := q.leased[id]; !ok {
+	l, ok := q.leased[id]
+	if !ok {
 		return fmt.Errorf("workflow: ack of unleased task %q", id)
 	}
 	delete(q.leased, id)
+	if !l.expires.IsZero() {
+		q.expiring--
+	}
 	return nil
 }
 
@@ -131,11 +216,15 @@ func (q *MemoryQueue) Ack(id string) error {
 func (q *MemoryQueue) Nack(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	t, ok := q.leased[id]
+	l, ok := q.leased[id]
 	if !ok {
 		return fmt.Errorf("workflow: nack of unleased task %q", id)
 	}
 	delete(q.leased, id)
+	if !l.expires.IsZero() {
+		q.expiring--
+	}
+	t := l.t
 	t.Attempt++
 	t.EnqueuedAt = time.Now()
 	q.ready = append(q.ready, t)

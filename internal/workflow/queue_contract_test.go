@@ -187,6 +187,81 @@ func TestQueueContractCloseDrains(t *testing.T) {
 	}
 }
 
+// TestQueueContractLeaseExpiry pins the lease-timeout contract on both
+// backends: a dequeued task that is never acknowledged is redelivered —
+// exactly once — to another dequeuer after the TTL, with Attempt+1, and the
+// original holder's late Ack fails as unleased once the redelivery is acked.
+func TestQueueContractLeaseExpiry(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			q.(interface{ SetLeaseTTL(time.Duration) }).SetLeaseTTL(30 * time.Millisecond)
+			if err := q.Enqueue(task(0)); err != nil {
+				t.Fatal(err)
+			}
+			// Dequeuer A takes the task and dies without acking.
+			first, err := q.Dequeue(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.InFlight() != 1 {
+				t.Fatalf("inflight = %d, want 1", q.InFlight())
+			}
+			// Dequeuer B blocks; the expiry timer, not an enqueue, must wake
+			// it with the reclaimed task.
+			redelivered, err := q.Dequeue(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if redelivered.ID != first.ID {
+				t.Fatalf("redelivered ID %q, want %q", redelivered.ID, first.ID)
+			}
+			if redelivered.Attempt != first.Attempt+1 {
+				t.Fatalf("redelivered attempt = %d, want %d", redelivered.Attempt, first.Attempt+1)
+			}
+			if err := q.Ack(redelivered.ID); err != nil {
+				t.Fatalf("new holder's ack: %v", err)
+			}
+			// The original holder's lease is gone; its late ack must fail.
+			if err := q.Ack(first.ID); err == nil {
+				t.Fatal("original holder's ack accepted after lease expiry")
+			}
+			// Exactly once: nothing left to deliver.
+			if q.Depth() != 0 || q.InFlight() != 0 {
+				t.Fatalf("leftovers: depth=%d inflight=%d", q.Depth(), q.InFlight())
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			if _, err := q.Dequeue(ctx); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("expired task delivered a second time: %v", err)
+			}
+		})
+	}
+}
+
+// TestQueueLeaseTTLZeroNeverExpires pins the default: without SetLeaseTTL a
+// lease outlives any wait, so a slow worker is never double-delivered.
+func TestQueueLeaseTTLZeroNeverExpires(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			q.Enqueue(task(0))
+			first, err := q.Dequeue(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+			defer cancel()
+			if _, err := q.Dequeue(ctx); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("unexpired lease redelivered: %v", err)
+			}
+			if err := q.Ack(first.ID); err != nil {
+				t.Fatalf("slow ack rejected: %v", err)
+			}
+		})
+	}
+}
+
 // TestStorageQueueRecoversAcrossReopen is storage-only: a crashed process's
 // ready AND leased tasks must all come back ready on reopen.
 func TestStorageQueueRecoversAcrossReopen(t *testing.T) {

@@ -3,6 +3,7 @@ package workflow
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/storage"
@@ -15,6 +16,9 @@ import (
 // specification that produced it.
 type Repository struct {
 	db *storage.DB
+	// pub serializes Publish's read-latest-then-insert so concurrent
+	// publishers (parallel detection runs) never mint the same version.
+	pub sync.Mutex
 }
 
 const wfTable = "workflows"
@@ -55,6 +59,8 @@ func (r *Repository) Publish(def *Definition) (int, error) {
 	if err := Validate(def); err != nil {
 		return 0, err
 	}
+	r.pub.Lock()
+	defer r.pub.Unlock()
 	latest, err := r.LatestVersion(def.ID)
 	if err != nil && !errors.Is(err, ErrWorkflowNotFound) {
 		return 0, err

@@ -20,11 +20,18 @@ type StorageQueue struct {
 	table  string
 	schema *storage.Schema
 
-	mu     sync.Mutex
-	seq    int64 // next tail key ordinal
-	closed bool
-	leased map[string]string // task ID -> row key
-	wake   chan struct{}
+	mu       sync.Mutex
+	seq      int64 // next tail key ordinal
+	closed   bool
+	leased   map[string]storageLease // task ID -> lease
+	leaseTTL time.Duration           // 0 = leases never expire
+	wake     chan struct{}
+}
+
+// storageLease is one outstanding delivery; a zero expires never times out.
+type storageLease struct {
+	key     string // row key of the leased task
+	expires time.Time
 }
 
 // storageQueueSchema builds the schema for one named queue table.
@@ -56,7 +63,7 @@ func NewStorageQueue(db *storage.DB, name string) (*StorageQueue, error) {
 		db:     db,
 		table:  table,
 		schema: schema,
-		leased: make(map[string]string),
+		leased: make(map[string]storageLease),
 		wake:   make(chan struct{}),
 	}
 	// Recover the tail ordinal past every surviving row.
@@ -75,6 +82,65 @@ func NewStorageQueue(db *storage.DB, name string) (*StorageQueue, error) {
 func (q *StorageQueue) broadcastLocked() {
 	close(q.wake)
 	q.wake = make(chan struct{})
+}
+
+// SetLeaseTTL bounds how long a dequeued task may stay unacknowledged: a
+// lease older than ttl is reclaimed by the next Dequeue and the task moves
+// back to the tail with Attempt+1 (the same row rewrite a Nack performs) —
+// the original holder's Ack then fails as unleased. Zero (the default)
+// restores leases that never expire. Only leases taken after the call carry
+// the new TTL.
+func (q *StorageQueue) SetLeaseTTL(ttl time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.leaseTTL = ttl
+}
+
+// reclaimLocked moves expired leases back to the tail with Attempt+1.
+// Callers hold q.mu. Reports whether anything was reclaimed.
+func (q *StorageQueue) reclaimLocked(now time.Time) (bool, error) {
+	reclaimed := false
+	for id, l := range q.leased {
+		if l.expires.IsZero() || now.Before(l.expires) {
+			continue
+		}
+		row, err := q.db.Table(q.table).Get(storage.S(l.key))
+		if err != nil {
+			return reclaimed, fmt.Errorf("workflow: reclaim %q: leased row %s: %w", id, l.key, err)
+		}
+		t := Task{
+			ID:         row.Get(q.schema, "id").Str(),
+			RunID:      row.Get(q.schema, "run_id").Str(),
+			Activity:   row.Get(q.schema, "activity").Str(),
+			Element:    int(row.Get(q.schema, "element").Int()),
+			Attempt:    int(row.Get(q.schema, "attempt").Int()) + 1,
+			EnqueuedAt: now,
+		}
+		if err := q.db.Apply(storage.DeleteOp(q.table, storage.S(l.key))); err != nil {
+			return reclaimed, fmt.Errorf("workflow: reclaim %q: %w", id, err)
+		}
+		delete(q.leased, id)
+		if err := q.insertLocked(t); err != nil {
+			return reclaimed, err
+		}
+		reclaimed = true
+	}
+	return reclaimed, nil
+}
+
+// nextExpiryLocked returns the earliest lease deadline, zero when no lease
+// can expire. Callers hold q.mu.
+func (q *StorageQueue) nextExpiryLocked() time.Time {
+	var min time.Time
+	for _, l := range q.leased {
+		if l.expires.IsZero() {
+			continue
+		}
+		if min.IsZero() || l.expires.Before(min) {
+			min = l.expires
+		}
+	}
+	return min
 }
 
 func (q *StorageQueue) rowKey(ord int64) string {
@@ -115,8 +181,8 @@ func (q *StorageQueue) Enqueue(t Task) error {
 // process, or returns ok=false when none is ready.
 func (q *StorageQueue) takeLocked() (Task, bool) {
 	leasedKeys := make(map[string]bool, len(q.leased))
-	for _, k := range q.leased {
-		leasedKeys[k] = true
+	for _, l := range q.leased {
+		leasedKeys[l.key] = true
 	}
 	var t Task
 	var key string
@@ -141,7 +207,11 @@ func (q *StorageQueue) takeLocked() (Task, bool) {
 	if !found {
 		return Task{}, false
 	}
-	q.leased[t.ID] = key
+	l := storageLease{key: key}
+	if q.leaseTTL > 0 {
+		l.expires = time.Now().Add(q.leaseTTL)
+	}
+	q.leased[t.ID] = l
 	return t, true
 }
 
@@ -149,6 +219,14 @@ func (q *StorageQueue) takeLocked() (Task, bool) {
 func (q *StorageQueue) Dequeue(ctx context.Context) (Task, error) {
 	for {
 		q.mu.Lock()
+		reclaimed, err := q.reclaimLocked(time.Now())
+		if err != nil {
+			q.mu.Unlock()
+			return Task{}, err
+		}
+		if reclaimed {
+			q.broadcastLocked() // other blocked dequeuers may take the rest
+		}
 		if t, ok := q.takeLocked(); ok {
 			q.mu.Unlock()
 			return t, nil
@@ -158,11 +236,25 @@ func (q *StorageQueue) Dequeue(ctx context.Context) (Task, error) {
 			return Task{}, ErrQueueClosed
 		}
 		wake := q.wake
+		expiry := q.nextExpiryLocked()
 		q.mu.Unlock()
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if !expiry.IsZero() {
+			timer = time.NewTimer(time.Until(expiry))
+			timerC = timer.C
+		}
 		select {
 		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
 			return Task{}, ctx.Err()
 		case <-wake:
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
 		}
 	}
 }
@@ -171,11 +263,11 @@ func (q *StorageQueue) Dequeue(ctx context.Context) (Task, error) {
 func (q *StorageQueue) Ack(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	key, ok := q.leased[id]
+	l, ok := q.leased[id]
 	if !ok {
 		return fmt.Errorf("workflow: ack of unleased task %q", id)
 	}
-	if err := q.db.Apply(storage.DeleteOp(q.table, storage.S(key))); err != nil {
+	if err := q.db.Apply(storage.DeleteOp(q.table, storage.S(l.key))); err != nil {
 		return fmt.Errorf("workflow: ack %q: %w", id, err)
 	}
 	delete(q.leased, id)
@@ -186,10 +278,11 @@ func (q *StorageQueue) Ack(id string) error {
 func (q *StorageQueue) Nack(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	key, ok := q.leased[id]
+	l, ok := q.leased[id]
 	if !ok {
 		return fmt.Errorf("workflow: nack of unleased task %q", id)
 	}
+	key := l.key
 	// Re-read the row before moving it to the tail with a bumped attempt.
 	row, err := q.db.Table(q.table).Get(storage.S(key))
 	if err != nil {
