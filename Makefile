@@ -11,18 +11,21 @@ test:
 ## race: race-detector pass over the concurrent subsystems (the parallel
 ## workflow engine, the singleflight caching resolver + resilience guards,
 ## the streaming provenance pipeline, the storage layer under it, the
-## shard router with its scatter-gather fan-out, and the archival
-## store/scrubber), plus the core detection stack — including crash/resume
-## and the sharded/unsharded equivalence suite — that drives them end to end.
+## shard router with its scatter-gather fan-out, the cluster layer — lease
+## store, fenced queues, HTTP gateway + remote worker — and the archival
+## store/scrubber), plus the core detection stack — including crash/resume,
+## orchestrator failover, and the sharded/unsharded equivalence suite —
+## that drives them end to end.
 race:
-	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/resilience/... ./internal/provenance/... ./internal/storage/... ./internal/shard/... ./internal/archive/... ./internal/core/...
+	$(GO) test -race ./internal/workflow/... ./internal/taxonomy/... ./internal/resilience/... ./internal/provenance/... ./internal/storage/... ./internal/shard/... ./internal/cluster/... ./internal/archive/... ./internal/core/...
 
 ## ci: the full hygiene gate — formatting, vet, the race-enabled tests, a
 ## short fuzz smoke over the archival WAV decoder (arbitrary bytes must
 ## never panic the archive read path), the chaos smoke (randomized
-## kill/resume trials plus degraded-authority assessment runs; the harness
-## exits non-zero if a killed run fails to resume byte-identically or any
-## run hard-fails under 50% authority availability), the /api/v1 contract
+## kill/resume trials, degraded-authority assessment runs, shard-loss
+## traffic, and orchestrator-failover trials — a standby steals the expired
+## lease and must finish byte-identically while the resurrected stale
+## orchestrator gets every fenced write rejected), the /api/v1 contract
 ## smoke (including the per-tenant quota contract), the tracing-overhead
 ## guard (traced detection within 5% of untraced), the zero-allocation
 ## guards over the provenance/telemetry/storage hot paths, a 1-iteration
@@ -45,7 +48,7 @@ ci:
 	$(GO) test -run TestTracingOverhead .
 	$(GO) test -run 'Allocs' ./internal/storage/ ./internal/telemetry/ ./internal/provenance/
 	$(GO) run ./cmd/bench -smoke
-	$(GO) run ./cmd/bench -compare BENCH_7.json BENCH_8.json
+	$(GO) run ./cmd/bench -compare BENCH_8.json BENCH_9.json
 	$(GO) run ./cmd/experiments -run load -short
 
 ## verify: the gate for engine/concurrency/persistence changes — the ci
@@ -55,11 +58,11 @@ verify: ci
 
 ## bench: the paper-reproduction benchmarks at the repo root, then the
 ## hot-path suites via the bench harness, recording the perf trajectory to
-## BENCH_8.json (schema bench.v1, documented in EXPERIMENTS.md; min across
+## BENCH_9.json (schema bench.v1, documented in EXPERIMENTS.md; min across
 ## -count repetitions to resist shared-host noise).
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) run ./cmd/bench -out BENCH_8.json
+	$(GO) run ./cmd/bench -out BENCH_9.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -13,15 +13,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/envsource"
 	"repro/internal/fnjv"
 	"repro/internal/geo"
 	"repro/internal/opm"
+	"repro/internal/provenance"
 	"repro/internal/resilience"
 	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/taxonomy"
+	"repro/internal/workflow"
 )
 
 // runChaos is the failure-injection experiment behind the PR's robustness
@@ -59,7 +62,141 @@ func runChaos(e *environment) error {
 	if e.short {
 		recD, spD = 40, 10
 	}
-	return chaosShardLoss(e, recD, spD)
+	if err := chaosShardLoss(e, recD, spD); err != nil {
+		return err
+	}
+	trialsE := 24
+	if e.short {
+		trialsE = 10
+	}
+	return chaosOrchestratorFailover(e, trialsE, recA, spA)
+}
+
+// chaosOrchestratorFailover is Part E, the cross-process half of the failure
+// model: an orchestrator claims a run under a fenced lease, dies at a
+// seeded-random history cut (on half the trials with 1-3 of its workers
+// killed first), and a standby steals the expired lease — bumping the
+// fencing token — and finishes the run under its original ID. The gates:
+// every trial's final graph is byte-identical to an uninterrupted run; and
+// when the dead orchestrator is resurrected with its stale token, every one
+// of its history appends and queue writes is rejected with ErrStaleFence and
+// zero of them reach the graph — split-brain is structurally impossible, not
+// just unlikely.
+func chaosOrchestratorFailover(e *environment, trials, records, species int) error {
+	fmt.Printf("--- part E: orchestrator failover (%d trials, %d records, %d species) ---\n", trials, records, species)
+	sys, taxa, cleanup, err := chaosSystem(records, species, e.seed+509)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	ctx := context.Background()
+
+	baseline, err := sys.RunDetection(ctx, taxa.Checklist, core.RunOptions{SkipLedger: true, Parallel: 1})
+	if err != nil {
+		return fmt.Errorf("baseline run: %w", err)
+	}
+	baseG, err := sys.Provenance.Graph(baseline.RunID)
+	if err != nil {
+		return err
+	}
+	want := canonicalProvenance(baseG, baseline.RunID)
+	total := int(baseline.ProvenanceWriter.Enqueued)
+
+	rng := rand.New(rand.NewSource(e.seed + 17))
+	identical, resurrections := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		cut := 1 + rng.Intn(total-1)
+		kills := 0
+		if trial%2 == 1 {
+			kills = 1 + rng.Intn(3)
+		}
+		opts := core.RunOptions{
+			SkipLedger: true, Parallel: 4, WorkerKills: kills,
+			CrashAfterDeltas: cut, Orchestrator: "orch-primary", LeaseTTL: time.Second,
+		}
+		_, err := sys.RunDetection(ctx, taxa.Checklist, opts)
+		var crash *core.CrashError
+		if !errors.As(err, &crash) {
+			return fmt.Errorf("trial %d: expected a kill at cut %d, got %v", trial, cut, err)
+		}
+		runID := crash.RunID
+		staleToken := sys.Provenance.RunFenceToken(runID)
+
+		// Every third trial the dead orchestrator comes back from the grave:
+		// open its writer at the pre-steal token while the run is still
+		// marked running, exactly what a partitioned process would hold.
+		var stale provenance.RunWriter
+		if trial%3 == 0 {
+			stale, err = sys.Provenance.ResumeRunWriter(runID, provenance.BatchWriterOptions{
+				FenceName: provenance.RunFenceName(runID), FenceToken: staleToken,
+			})
+			if err != nil {
+				return fmt.Errorf("trial %d: opening stale writer: %v", trial, err)
+			}
+		}
+
+		// Force the lease expiry instead of sleeping the TTL out, then let
+		// the standby steal, replay, and finish.
+		if err := sys.Leases.Expire(runID); err != nil {
+			return err
+		}
+		outcome, err := sys.FailoverDetection(ctx, taxa.Checklist, runID, 10*time.Second, core.RunOptions{
+			SkipLedger: true, Parallel: 4, Orchestrator: "orch-standby", LeaseTTL: time.Second,
+		})
+		if err != nil {
+			return fmt.Errorf("trial %d: failover after cut %d with %d kills: %v", trial, cut, kills, err)
+		}
+		if outcome.RunID != runID {
+			return fmt.Errorf("trial %d: failover finished under a new run ID", trial)
+		}
+		if tok := sys.Provenance.RunFenceToken(runID); tok != staleToken+1 {
+			return fmt.Errorf("trial %d: fence token = %d after steal, want %d", trial, tok, staleToken+1)
+		}
+		g, err := sys.Provenance.Graph(runID)
+		if err != nil {
+			return err
+		}
+		if canonicalProvenance(g, runID) != want {
+			return fmt.Errorf("trial %d: cut %d + %d kills: failed-over graph diverged", trial, cut, kills)
+		}
+		identical++
+
+		if stale != nil {
+			nodes, edges := g.NodeCount(), g.EdgeCount()
+			if err := stale.Emit(provenance.Delta{Kind: provenance.DeltaAddNode,
+				Node: opm.Node{ID: "zombie", Kind: opm.KindArtifact, Label: "zombie"}}); err != nil {
+				return fmt.Errorf("trial %d: stale emit failed before flush: %v", trial, err)
+			}
+			if cerr := stale.Close(); !errors.Is(cerr, storage.ErrStaleFence) {
+				return fmt.Errorf("chaos gate: trial %d: stale orchestrator append = %v, want ErrStaleFence", trial, cerr)
+			}
+			q, err := workflow.NewStorageQueue(sys.DB, runID)
+			if err != nil {
+				return err
+			}
+			q.SetFence(cluster.FenceName(runID), staleToken)
+			if qerr := q.Enqueue(workflow.Task{ID: "zombie-task", RunID: runID, Activity: "A", Element: -1}); !errors.Is(qerr, storage.ErrStaleFence) {
+				return fmt.Errorf("chaos gate: trial %d: stale queue write = %v, want ErrStaleFence", trial, qerr)
+			}
+			g2, err := sys.Provenance.Graph(runID)
+			if err != nil {
+				return err
+			}
+			if g2.NodeCount() != nodes || g2.EdgeCount() != edges {
+				return fmt.Errorf("chaos gate: trial %d: stale orchestrator mutated the graph", trial)
+			}
+			resurrections++
+		}
+	}
+	if identical != trials {
+		return fmt.Errorf("chaos gate: only %d/%d failovers byte-identical", identical, trials)
+	}
+	if resurrections == 0 {
+		return fmt.Errorf("chaos gate: no resurrection trials ran")
+	}
+	fmt.Printf("  failover: %d/%d trials finished byte-identical under the original run ID\n", identical, trials)
+	fmt.Printf("  resurrected stale orchestrator: %d trials, 0 accepted writes (all fenced off)\n", resurrections)
+	return nil
 }
 
 // chaosShardLoss is Part D, the sharding half of the failure model: a

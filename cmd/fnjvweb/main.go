@@ -16,6 +16,7 @@ import (
 	_ "net/http/pprof" // profiling endpoints, served only on -pprof
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/envsource"
 	"repro/internal/fnjv"
@@ -108,7 +109,15 @@ func main() {
 		}()
 	}
 
+	// Cluster gateway: out-of-process workers (cmd/worker) attach here and
+	// pull tasks from any live run of this orchestrator.
+	gw := cluster.NewServer(sys.Workers)
+	sys.Gateway = gw
+
 	srv := web.NewServer(&web.System{Core: sys, Resolver: resolver, Checklist: taxa.Checklist, Resilient: resilient})
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/v1/", gw)
+	mux.Handle("/", srv)
 	log.Printf("FNJV prototype listening on %s (collection: %d records)", *addr, sys.Records.Len())
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

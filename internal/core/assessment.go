@@ -105,6 +105,20 @@ type RunOptions struct {
 	// (group-commit size, flush interval, queue depth) for this run. Nil uses
 	// the defaults. The trace context is always taken from the run.
 	WriterOptions *provenance.BatchWriterOptions
+	// Orchestrator, when non-empty, names the process running this run and
+	// turns on fenced ownership: the run ID is minted up front and claimed as
+	// a lease (System.Leases) before the first history append; the lease's
+	// fencing token guards every history append and queue write; heartbeats
+	// renew the lease while the run executes. If the lease is stolen — this
+	// orchestrator was presumed dead — the run's context cancels and its
+	// writes are rejected at the storage layer, so a standby's takeover can
+	// never interleave with ours. Empty keeps the legacy single-process path
+	// with zero added overhead.
+	Orchestrator string
+	// LeaseTTL is the run-lease time-to-live for orchestrated runs (default
+	// DefaultLeaseTTL). A standby can take over ~LeaseTTL after the holder
+	// stops heartbeating.
+	LeaseTTL time.Duration
 }
 
 func (o *RunOptions) defaults() {
@@ -181,6 +195,24 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		return nil, err
 	}
 	collector := provenance.NewCollector(opts.Agent)
+	// Orchestrated runs claim ownership before the first history append: the
+	// run ID is minted here, leased under this orchestrator's name, and the
+	// lease's fencing token installed as the run's history fence — from this
+	// point only the token holder can append.
+	var orch *orchestration
+	runCtx := ctx
+	if opts.Orchestrator != "" {
+		prefix := ""
+		if opts.Tenant != "" {
+			prefix = opts.Tenant + shard.Sep
+		}
+		orch, err = s.claimRun(workflow.MintRunID(prefix), opts)
+		if err != nil {
+			return nil, err
+		}
+		defer orch.halt()
+		runCtx = orch.watch(runCtx)
+	}
 	// Step 4 overlaps step 3: the Provenance Manager streams graph deltas
 	// into the repository while the workflow executes (write-behind,
 	// group-committed batches), so completed runs are already persisted when
@@ -191,15 +223,18 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		wopts = *opts.WriterOptions
 	}
 	wopts.Trace = ctx
+	if orch != nil {
+		wopts.FenceName = provenance.RunFenceName(orch.runID)
+		wopts.FenceToken = orch.token()
+	}
 	writer, err := s.Provenance.RunWriter(wopts)
 	if err != nil {
 		return nil, err
 	}
-	runCtx := ctx
 	var crash *provenance.CrashSink
 	if opts.CrashAfterDeltas > 0 {
 		var cancel context.CancelFunc
-		runCtx, cancel = context.WithCancel(ctx)
+		runCtx, cancel = context.WithCancel(runCtx)
 		defer cancel()
 		crash = provenance.NewCrashSink(writer, opts.CrashAfterDeltas, cancel)
 		collector.AddSink(crash)
@@ -207,7 +242,18 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		collector.AddSink(writer)
 	}
 	engine := s.detectionEngine(reg, opts)
-	result, runErr := engine.Run(runCtx, def, map[string]workflow.Data{"names": workflow.List(items...)}, provenance.NewHistoryCapture(collector))
+	inputs := map[string]workflow.Data{"names": workflow.List(items...)}
+	var result *workflow.RunResult
+	var runErr error
+	if orch != nil {
+		// The run ID already exists (it is the leased resource), so execute
+		// under it explicitly — Resume with an empty prefix is a fresh run
+		// under a chosen identity — on a durable, fenced dispatch queue.
+		engine.NewQueue = orch.newQueue
+		result, runErr = engine.Resume(runCtx, def, inputs, orch.runID, nil, provenance.NewHistoryCapture(collector))
+	} else {
+		result, runErr = engine.Run(runCtx, def, inputs, provenance.NewHistoryCapture(collector))
+	}
 	werr := writer.Close()
 	runID := collector.Info().RunID
 	rootSpan.SetAttr("run_id", runID)
@@ -217,7 +263,20 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 		// like a process death. Report the kill so the caller can resume.
 		// Spans are deliberately NOT persisted — a real process death loses
 		// its in-memory trace; the resume session records the run's tree.
+		// An orchestrated run's lease is NOT released: it ages out exactly as
+		// a dead process's would, and the standby steals it.
+		if orch != nil {
+			orch.abandon()
+		}
 		return nil, &CrashError{RunID: runID, Deltas: crash.Forwarded()}
+	}
+	if orch != nil {
+		// Clean exit (success or failure): stop heartbeating and release the
+		// lease. Releasing a stolen lease is a no-op.
+		orch.finish()
+		if lerr := orch.lostErr(); lerr != nil && runErr != nil {
+			runErr = fmt.Errorf("%v (ownership: %w)", runErr, lerr)
+		}
 	}
 	if runErr != nil {
 		rootSpan.SetAttr("error", runErr.Error())
@@ -254,6 +313,7 @@ func (s *System) detectionEngine(reg *workflow.Registry, opts RunOptions) *workf
 		engine.Workers = 1
 	}
 	engine.Stats = s.Workers
+	engine.Gateway = s.Gateway
 	if opts.WorkerKills > 0 {
 		var killed atomic.Int64
 		kills := int64(opts.WorkerKills)

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/envsource"
+	"repro/internal/fnjv"
+	"repro/internal/geo"
+	"repro/internal/opm"
+	"repro/internal/provenance"
+	"repro/internal/shard"
+	"repro/internal/storage"
+	"repro/internal/taxonomy"
+	"repro/internal/workflow"
+)
+
+// orchOpts is the orchestrated variant of the standard fast test options.
+func orchOpts(who string, ttl time.Duration) RunOptions {
+	return RunOptions{Orchestrator: who, LeaseTTL: ttl, SkipLedger: true, Untraced: true}
+}
+
+// TestOrchestratedDetectionMatchesLegacy is the zero-regression gate for the
+// fenced path: an orchestrated run (lease + fenced history + durable fenced
+// queue) must produce a canonical graph byte-identical to the legacy
+// in-memory path, release its lease on completion, and leave the run fence
+// at the first token.
+func TestOrchestratedDetectionMatchesLegacy(t *testing.T) {
+	sys, taxa, _ := testSystem(t, 400, 80)
+	ctx := context.Background()
+
+	legacy, err := sys.RunDetection(ctx, taxa.Checklist, RunOptions{SkipLedger: true, Untraced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := sys.Provenance.Graph(legacy.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orch, err := sys.RunDetection(ctx, taxa.Checklist, orchOpts("orch-1", 500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, err := sys.Provenance.Graph(orch.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalGraph(og, orch.RunID) != canonicalGraph(lg, legacy.RunID) {
+		t.Error("orchestrated canonical graph diverges from the legacy path")
+	}
+
+	// finish() released the lease: it still exists (token history) but is no
+	// longer live, so any standby could acquire immediately.
+	if l, ok := sys.Leases.Get(orch.RunID); !ok {
+		t.Error("lease row missing after finish")
+	} else if l.Live(time.Now()) {
+		t.Errorf("lease still live after finish: %+v", l)
+	}
+	if tok := sys.Provenance.RunFenceToken(orch.RunID); tok != 1 {
+		t.Errorf("run fence token = %d, want 1 (single uncontended claim)", tok)
+	}
+}
+
+// TestOrchestratorFailoverByteIdentical kills an orchestrated run mid-flight
+// and drives the full takeover protocol: while the dead holder's lease is
+// live a standby bounces off ErrLeaseHeld; after expiry the standby steals
+// (token bump), replays, and finishes the run under its original ID with a
+// canonical graph byte-identical to an uninterrupted run. The resurrected
+// first orchestrator — still holding token 1 — gets every history append and
+// queue write rejected with storage.ErrStaleFence.
+func TestOrchestratorFailoverByteIdentical(t *testing.T) {
+	sys, taxa, _ := testSystem(t, 400, 80)
+	ctx := context.Background()
+
+	baseline, err := sys.RunDetection(ctx, taxa.Checklist, RunOptions{SkipLedger: true, Untraced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := sys.Provenance.Graph(baseline.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalGraph(bg, baseline.RunID)
+
+	// Orchestrated run killed after 40 provenance deltas; the lease stays
+	// held (the dead process can't release it) until it ages out.
+	opts := orchOpts("orch-1", time.Second)
+	opts.CrashAfterDeltas = 40
+	_, err = sys.RunDetection(ctx, taxa.Checklist, opts)
+	var crash *CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("crash run returned %v, want CrashError", err)
+	}
+	runID := crash.RunID
+
+	l, ok := sys.Leases.Get(runID)
+	if !ok || l.Holder != "orch-1" || l.Token != 1 {
+		t.Fatalf("post-crash lease = %+v ok=%v, want token 1 held by orch-1", l, ok)
+	}
+	if l.Live(time.Now()) {
+		// While the dead holder's lease lives, a standby cannot take over.
+		if _, rerr := sys.ResumeDetection(ctx, taxa.Checklist, runID, orchOpts("orch-2", time.Second)); !errors.Is(rerr, cluster.ErrLeaseHeld) {
+			t.Fatalf("resume under live foreign lease: %v, want ErrLeaseHeld", rerr)
+		}
+	}
+
+	// The resurrected orchestrator's writer, opened at its old token while
+	// the run is still marked running — exactly what a stale process would
+	// hold after a network partition heals.
+	staleWriter, err := sys.Provenance.ResumeRunWriter(runID, provenance.BatchWriterOptions{
+		FenceName:  provenance.RunFenceName(runID),
+		FenceToken: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Force the expiry instead of sleeping the TTL out, then fail over.
+	if err := sys.Leases.Expire(runID); err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := sys.FailoverDetection(ctx, taxa.Checklist, runID, 5*time.Second, orchOpts("orch-2", time.Second))
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if outcome.RunID != runID {
+		t.Fatalf("failover finished run %q, want original %q", outcome.RunID, runID)
+	}
+	if tok := sys.Provenance.RunFenceToken(runID); tok != 2 {
+		t.Errorf("run fence token after steal = %d, want 2", tok)
+	}
+
+	g, err := sys.Provenance.Graph(runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalGraph(g, runID) != want {
+		t.Error("failed-over canonical graph diverges from the uninterrupted baseline")
+	}
+	nodes, edges := len(g.Nodes()), len(g.Edges())
+
+	// The stale orchestrator wakes up and tries to append history: every
+	// write carries token 1 against a fence at 2 and must bounce.
+	if err := staleWriter.Emit(provenance.Delta{Kind: provenance.DeltaAddNode,
+		Node: opm.Node{ID: "stale-node", Kind: opm.KindArtifact, Label: "stale"}}); err != nil {
+		t.Fatalf("stale emit failed before flush: %v", err)
+	}
+	if err := staleWriter.Close(); !errors.Is(err, storage.ErrStaleFence) {
+		t.Fatalf("stale writer Close = %v, want ErrStaleFence", err)
+	}
+
+	// And its queue handle — fenced at the stolen lease's old token — can no
+	// longer enqueue work either.
+	q, err := workflow.NewStorageQueue(sys.DB, runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetFence(cluster.FenceName(runID), 1)
+	if err := q.Enqueue(workflow.Task{ID: "stale-task", RunID: runID, Activity: "A", Element: -1}); !errors.Is(err, storage.ErrStaleFence) {
+		t.Fatalf("stale queue Enqueue = %v, want ErrStaleFence", err)
+	}
+
+	// Zero accepted writes: the graph is exactly what the failover left.
+	g2, err := sys.Provenance.Graph(runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Nodes()) != nodes || len(g2.Edges()) != edges {
+		t.Errorf("stale writer mutated the graph: %d/%d nodes, %d/%d edges",
+			len(g2.Nodes()), nodes, len(g2.Edges()), edges)
+	}
+	for _, n := range g2.Nodes() {
+		if n.ID == "stale-node" {
+			t.Error("stale node committed past the fence")
+		}
+	}
+}
+
+// TestTenantFailoverAcrossShardOutage drives failover through a shard
+// outage: a tenant-affine orchestrated run crashes, its owning shard goes
+// down, the standby's takeover fails visibly while the shard is out, and
+// after RejoinShard the standby finishes the run under its original ID with
+// a canonical graph byte-identical to an uninterrupted tenant run.
+func TestTenantFailoverAcrossShardOutage(t *testing.T) {
+	taxa, err := taxonomy.Generate(taxonomy.GeneratorSpec{
+		Species: 60, OutdatedFraction: 0.07, ProvisionalFraction: 0.1, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := fnjv.Generate(fnjv.CollectionSpec{
+		Records: 300, Seed: 5, SyntaxErrorRate: 1e-12,
+	}, taxa, geo.SyntheticGazetteer(15, 6), envsource.NewSimulator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Open(t.TempDir(), Options{Sync: storage.SyncNever, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+
+	const tenant = "acme"
+	owned := make([]*fnjv.Record, 0, len(col.Records))
+	for _, rec := range col.Records {
+		r := *rec
+		r.ID = tenant + shard.Sep + r.ID
+		owned = append(owned, &r)
+	}
+	if err := sys.Records.PutAll(owned); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	baseline, err := sys.RunDetection(ctx, taxa.Checklist, RunOptions{Tenant: tenant, SkipLedger: true, Untraced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := sys.Provenance.Graph(baseline.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalGraph(bg, baseline.RunID)
+
+	opts := orchOpts("orch-1", time.Second)
+	opts.Tenant = tenant
+	opts.CrashAfterDeltas = 40
+	_, err = sys.RunDetection(ctx, taxa.Checklist, opts)
+	var crash *CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("crash run returned %v, want CrashError", err)
+	}
+	runID := crash.RunID
+	if tn, _ := shard.Split(runID); tn != tenant {
+		t.Fatalf("crashed run ID %q lost its tenant prefix", runID)
+	}
+	if err := sys.Leases.Expire(runID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tenant's shard goes down before the standby notices the death.
+	victim := sys.Cluster.OwnerIndex(tenant + shard.Sep)
+	if err := sys.Cluster.StopShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Takeover while the shard is out fails visibly (the run's rows are
+	// unreadable), and fast — FailoverDetection only retries lease
+	// contention, never an outage.
+	t0 := time.Now()
+	if _, ferr := sys.FailoverDetection(ctx, taxa.Checklist, runID, time.Second, orchOpts("orch-2", time.Second)); !errors.Is(ferr, ErrNotResumable) {
+		t.Fatalf("failover during outage = %v, want ErrNotResumable", ferr)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("failover during outage took %v, want fail-fast", d)
+	}
+
+	// Rejoin (WAL replay) and fail over for real.
+	if err := sys.Cluster.RejoinShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := sys.FailoverDetection(ctx, taxa.Checklist, runID, 5*time.Second, orchOpts("orch-2", time.Second))
+	if err != nil {
+		t.Fatalf("failover after rejoin: %v", err)
+	}
+	if outcome.RunID != runID {
+		t.Fatalf("failover finished run %q, want original %q", outcome.RunID, runID)
+	}
+	g, err := sys.Provenance.Graph(runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalGraph(g, runID) != want {
+		t.Error("post-outage failover graph diverges from the uninterrupted tenant baseline")
+	}
+}

@@ -120,6 +120,22 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 		items[i] = workflow.Scalar(n)
 	}
 
+	// An orchestrated resume claims the run BEFORE reading its history: the
+	// claim bumps the fencing token, so the previous owner — if it is in
+	// fact still alive — can no longer extend the prefix we are about to
+	// replay. A live lease held by someone else fails with ErrLeaseHeld
+	// (FailoverDetection waits the expiry out).
+	var orch *orchestration
+	runCtx := ctx
+	if opts.Orchestrator != "" {
+		orch, err = s.claimRun(runID, opts)
+		if err != nil {
+			return nil, err
+		}
+		defer orch.halt()
+		runCtx = orch.watch(runCtx)
+	}
+
 	history, err := s.Provenance.History(runID)
 	if err != nil {
 		return nil, err
@@ -135,15 +151,29 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 		return nil, err
 	}
 	collector := provenance.NewResumeCollector(opts.Agent, prefix, info)
-	writer, err := s.Provenance.ResumeRunWriter(runID, provenance.BatchWriterOptions{Trace: ctx})
+	wopts := provenance.BatchWriterOptions{Trace: ctx}
+	if orch != nil {
+		wopts.FenceName = provenance.RunFenceName(runID)
+		wopts.FenceToken = orch.token()
+	}
+	writer, err := s.Provenance.ResumeRunWriter(runID, wopts)
 	if err != nil {
 		return nil, err
 	}
 	collector.AddSink(writer)
 	engine := s.detectionEngine(reg, opts)
+	if orch != nil {
+		engine.NewQueue = orch.newQueue
+	}
 
-	result, runErr := engine.Resume(ctx, def, map[string]workflow.Data{"names": workflow.List(items...)}, runID, history, provenance.NewHistoryCapture(collector))
+	result, runErr := engine.Resume(runCtx, def, map[string]workflow.Data{"names": workflow.List(items...)}, runID, history, provenance.NewHistoryCapture(collector))
 	werr := writer.Close()
+	if orch != nil {
+		orch.finish()
+		if lerr := orch.lostErr(); lerr != nil && runErr != nil {
+			runErr = fmt.Errorf("%v (ownership: %w)", runErr, lerr)
+		}
+	}
 	if runErr != nil {
 		rootSpan.SetAttr("error", runErr.Error())
 		rootSpan.Finish()
@@ -175,6 +205,10 @@ type SweepReport struct {
 	Resumed []string
 	// Abandoned maps run IDs finalized as abandoned to the reason.
 	Abandoned map[string]string
+	// Skipped lists runs left alone because a live lease held by another
+	// orchestrator covers them: they are in flight elsewhere, not ours to
+	// resume or abandon.
+	Skipped []string
 }
 
 // SweepUnfinishedRuns is the startup reconciliation pass: every run the
@@ -205,6 +239,14 @@ func (s *System) SweepUnfinishedRuns(ctx context.Context, resolver taxonomy.Reso
 		return nil
 	}
 	for _, info := range unfinished {
+		if s.Leases != nil {
+			if l, ok := s.Leases.Get(info.RunID); ok && l.Live(time.Now()) && l.Holder != opts.Orchestrator {
+				// A live foreign lease means another orchestrator owns this
+				// run right now; sweeping it would just bounce off the fence.
+				report.Skipped = append(report.Skipped, info.RunID)
+				continue
+			}
+		}
 		switch {
 		case info.WorkflowID != DetectionWorkflowID:
 			if err := abandon(info.RunID, fmt.Sprintf("no resume path for workflow %q", info.WorkflowID)); err != nil {

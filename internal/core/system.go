@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/adapter"
+	"repro/internal/cluster"
 	"repro/internal/curation"
 	"repro/internal/fnjv"
 	"repro/internal/provenance"
@@ -46,6 +47,16 @@ type System struct {
 	Provenance provenance.Repo
 	Ledger     *curation.Ledger
 	Quality    *quality.Manager
+	// Leases arbitrates fenced run ownership between orchestrators (package
+	// cluster): an orchestrated run is claimed here before its first history
+	// append, heartbeated while it executes, and stolen — with a fencing-token
+	// bump that structurally cuts the old owner off — when its orchestrator
+	// dies. Lives on DB (the meta database when sharded).
+	Leases *cluster.Store
+	// Gateway, when set, observes run lifecycles on behalf of out-of-process
+	// workers (cluster.Server implements it); every detection engine built by
+	// this system announces its runs there.
+	Gateway workflow.RunGateway
 	// Probe observes service executions (the Workflow Adapter's measured
 	// quality byproducts).
 	Probe *adapter.Probe
@@ -112,6 +123,10 @@ func Open(dir string, opts Options) (*System, error) {
 		return nil, err
 	}
 	s.Traces = traces
+	if s.Leases, err = cluster.NewStore(db); err != nil {
+		db.Close()
+		return nil, err
+	}
 	s.TraceRing = telemetry.NewRing(0)
 	s.Engine = workflow.NewEngine(s.Registry)
 	s.Workers = workflow.NewWorkerRegistry()
@@ -122,7 +137,7 @@ func Open(dir string, opts Options) (*System, error) {
 // openSharded opens the sharded layout: a shard cluster for the partitioned
 // stores plus a meta database for the components that stay global.
 func openSharded(dir string, opts Options) (*System, error) {
-	cluster, err := shard.Open(dir, shard.Options{
+	shards, err := shard.Open(dir, shard.Options{
 		Shards:      opts.Shards,
 		Sync:        opts.Sync,
 		Deadline:    opts.ShardDeadline,
@@ -133,26 +148,31 @@ func openSharded(dir string, opts Options) (*System, error) {
 	}
 	db, err := storage.Open(filepath.Join(dir, "meta"), storage.Options{Sync: opts.Sync, CommitDelay: opts.CommitDelay})
 	if err != nil {
-		cluster.Close()
+		shards.Close()
 		return nil, err
 	}
 	s := &System{
 		DB:         db,
-		Cluster:    cluster,
+		Cluster:    shards,
 		Registry:   workflow.NewRegistry(),
 		Probe:      adapter.NewProbe(),
-		Records:    cluster.Records(),
-		Provenance: cluster.Provenance(),
-		Traces:     cluster.Traces(),
+		Records:    shards.Records(),
+		Provenance: shards.Provenance(),
+		Traces:     shards.Traces(),
 	}
 	if s.Workflows, err = workflow.NewRepository(db); err != nil {
 		db.Close()
-		cluster.Close()
+		shards.Close()
 		return nil, err
 	}
 	if s.Ledger, err = curation.NewLedger(db); err != nil {
 		db.Close()
-		cluster.Close()
+		shards.Close()
+		return nil, err
+	}
+	if s.Leases, err = cluster.NewStore(db); err != nil {
+		db.Close()
+		shards.Close()
 		return nil, err
 	}
 	s.TraceRing = telemetry.NewRing(0)
@@ -220,12 +240,20 @@ type detectionSummary struct {
 // RegisterDetectionServices binds the case-study services to the given
 // taxonomic authority. Call once before running the detection workflow.
 func (s *System) RegisterDetectionServices(resolver taxonomy.Resolver) {
+	RegisterDetectionServicesInto(s.Registry, resolver)
+}
+
+// RegisterDetectionServicesInto binds the case-study services to any service
+// registry — the system's own, or the private registry of an out-of-process
+// worker (cmd/worker), which executes the same services against its own
+// resolver.
+func RegisterDetectionServicesInto(registry *workflow.Registry, resolver taxonomy.Resolver) {
 	// Coalesce concurrent per-element resolutions into shared authority
 	// round trips: Parallel workers each resolve one name, and without this
 	// every worker pays its own round trip. A resolver with no batch
 	// capability comes back unchanged.
 	resolver = taxonomy.Coalesce(resolver, taxonomy.CoalescerOptions{})
-	s.Registry.Register("col.resolve", func(ctx context.Context, call workflow.Call) (map[string]workflow.Data, error) {
+	registry.Register("col.resolve", func(ctx context.Context, call workflow.Call) (map[string]workflow.Data, error) {
 		name := call.Input("name").String()
 		res, err := resolver.Resolve(ctx, name)
 		rr := resolveResult{Name: name}
@@ -254,7 +282,7 @@ func (s *System) RegisterDetectionServices(resolver taxonomy.Resolver) {
 		return map[string]workflow.Data{"result": workflow.Scalar(string(blob))}, nil
 	})
 
-	s.Registry.Register("detect.summarize", func(_ context.Context, call workflow.Call) (map[string]workflow.Data, error) {
+	registry.Register("detect.summarize", func(_ context.Context, call workflow.Call) (map[string]workflow.Data, error) {
 		sum := detectionSummary{Renames: map[string]string{}, References: map[string]string{}}
 		for _, item := range call.Input("results").Items() {
 			var rr resolveResult

@@ -309,6 +309,31 @@ func (p *ProvenanceRouter) UnfinishedRuns() ([]provenance.RunInfo, error) {
 	return mergeRuns(pages), nil
 }
 
+// AdvanceRunFence implements provenance.Repo on the shard owning the run's
+// history rows, so the fence sits in the same storage the fenced writer
+// commits to.
+func (p *ProvenanceRouter) AdvanceRunFence(runID string, token int64) error {
+	repo, sh, err := p.ownerRepo(runID)
+	if err != nil {
+		sh.note(err)
+		return err
+	}
+	err = repo.AdvanceRunFence(runID, token)
+	sh.note(err)
+	return err
+}
+
+// RunFenceToken implements provenance.Repo; 0 when the owning shard is down
+// (the caller cannot write there anyway).
+func (p *ProvenanceRouter) RunFenceToken(runID string) int64 {
+	repo, sh, err := p.ownerRepo(runID)
+	if err != nil {
+		sh.note(err)
+		return 0
+	}
+	return repo.RunFenceToken(runID)
+}
+
 // MarkAbandoned implements provenance.Repo.
 func (p *ProvenanceRouter) MarkAbandoned(runID, reason string, at time.Time) error {
 	repo, sh, err := p.ownerRepo(runID)

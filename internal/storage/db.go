@@ -360,6 +360,12 @@ func (db *DB) Apply(ops ...Op) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.applyLocked(ops)
+}
+
+// applyLocked is the shared validate/log/apply body of Apply and ApplyFenced.
+// Callers hold db.mu exclusively.
+func (db *DB) applyLocked(ops []Op) error {
 	if db.closed {
 		return fmt.Errorf("storage: db is closed")
 	}

@@ -664,16 +664,34 @@ func (s *Server) apiMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // apiWorkers serves the event engine's live worker-pool view: queue-depth and
-// in-flight gauges plus per-worker liveness, task counts, and kill marks.
-// Unlike most of the API this is not a snapshot of a finished run — it reads
-// the live registry, so a poll during an active run shows workers mid-task.
+// in-flight gauges plus per-worker liveness, task counts, and kill marks —
+// and, since the cluster layer landed, the run-ownership leases: which
+// orchestrator holds which run, at which fencing token, until when. Unlike
+// most of the API this is not a snapshot of a finished run — it reads the
+// live registry, so a poll during an active run shows workers mid-task.
 func (s *Server) apiWorkers(w http.ResponseWriter, r *http.Request) {
 	workers, counters := s.svc.Workers()
 	if workers == nil {
 		workers = []workflow.WorkerInfo{}
 	}
+	type leaseJSON struct {
+		Resource string    `json:"resource"`
+		Holder   string    `json:"holder"`
+		Token    int64     `json:"token"`
+		Expires  time.Time `json:"expires"`
+		Live     bool      `json:"live"`
+	}
+	now := timeNow()
+	leases := []leaseJSON{}
+	for _, l := range s.svc.Leases() {
+		leases = append(leases, leaseJSON{
+			Resource: l.Resource, Holder: l.Holder, Token: l.Token,
+			Expires: l.Expires, Live: l.Live(now),
+		})
+	}
 	writeJSON(w, struct {
 		Counters map[string]float64    `json:"counters"`
 		Workers  []workflow.WorkerInfo `json:"workers"`
-	}{counters, workers})
+		Leases   []leaseJSON           `json:"leases"`
+	}{counters, workers, leases})
 }

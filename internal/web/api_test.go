@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/archive"
 	"repro/internal/core"
@@ -389,7 +390,7 @@ func TestAPIQualityAndMetrics(t *testing.T) {
 // empty but well-formed; after a detection run the registry reports the
 // run's workers (exited, not killed) and the queue gauges read drained.
 func TestAPIWorkers(t *testing.T) {
-	srv, _, _ := testServer(t)
+	srv, wsys, _ := testServer(t)
 
 	var pool struct {
 		Counters map[string]float64 `json:"counters"`
@@ -400,10 +401,19 @@ func TestAPIWorkers(t *testing.T) {
 			Alive  bool   `json:"alive"`
 			Killed bool   `json:"killed"`
 		} `json:"workers"`
+		Leases []struct {
+			Resource string `json:"resource"`
+			Holder   string `json:"holder"`
+			Token    int64  `json:"token"`
+			Live     bool   `json:"live"`
+		} `json:"leases"`
 	}
 	decodeJSON(t, getResp(t, srv.URL+"/api/v1/workers", nil), 200, &pool)
 	if len(pool.Workers) != 0 || pool.Counters["workers.started"] != 0 {
 		t.Fatalf("pool before any run: %+v", pool)
+	}
+	if len(pool.Leases) != 0 {
+		t.Fatalf("leases before any orchestrated run: %+v", pool.Leases)
 	}
 
 	resp, err := http.Post(srv.URL+"/api/v1/detect", "application/json", nil)
@@ -434,6 +444,18 @@ func TestAPIWorkers(t *testing.T) {
 	}
 	if tasks == 0 {
 		t.Fatal("workers report zero tasks for a completed run")
+	}
+
+	// A held run lease surfaces in the payload with its fencing token.
+	if _, err := wsys.Core.Leases.Acquire("run-x", "orch-api", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, getResp(t, srv.URL+"/api/v1/workers", nil), 200, &pool)
+	if len(pool.Leases) != 1 {
+		t.Fatalf("leases = %+v, want the acquired one", pool.Leases)
+	}
+	if l := pool.Leases[0]; l.Resource != "run-x" || l.Holder != "orch-api" || l.Token != 1 || !l.Live {
+		t.Fatalf("lease payload = %+v", l)
 	}
 
 	// The same gauges flow through /api/v1/metrics as a subsystem.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/curation"
 	"repro/internal/fnjv"
@@ -58,6 +59,18 @@ func (v *Service) LastOutcome() *core.DetectionOutcome {
 func (v *Service) Workers() ([]workflow.WorkerInfo, map[string]float64) {
 	reg := v.sys.Core.Workers
 	return reg.Snapshot(), reg.Counters()
+}
+
+// Leases reports the run-ownership leases of the cluster lease store, sorted
+// by resource — who orchestrates which run, at which fencing token. Empty on
+// systems without a lease store.
+func (v *Service) Leases() []cluster.Lease {
+	if v.sys.Core.Leases == nil {
+		return nil
+	}
+	leases := v.sys.Core.Leases.List()
+	sort.Slice(leases, func(i, j int) bool { return leases[i].Resource < leases[j].Resource })
+	return leases
 }
 
 // API reads run against immutable point-in-time snapshots
@@ -318,6 +331,25 @@ func (v *Service) Metrics(at time.Time) []MetricsEntry {
 	}
 	if c := v.sys.Core.Cluster; c != nil {
 		subsystems["shard-router"] = c.Counters()
+	}
+	if ls := v.sys.Core.Leases; ls != nil {
+		// Run-ownership gauges: total/live leases and the highest fencing
+		// token handed out (the cluster's ownership epoch high-water mark).
+		leases := ls.List()
+		live, maxToken := 0, int64(0)
+		for _, l := range leases {
+			if l.Live(at) {
+				live++
+			}
+			if l.Token > maxToken {
+				maxToken = l.Token
+			}
+		}
+		subsystems["cluster-leases"] = map[string]float64{
+			"leases.total":     float64(len(leases)),
+			"leases.live":      float64(live),
+			"leases.max_token": float64(maxToken),
+		}
 	}
 	if q := v.sys.Quotas; q != nil {
 		subsystems["tenant-quotas"] = q.Counters()

@@ -40,8 +40,30 @@ type EventEngine struct {
 	// to "tenant:" so the run ID itself carries the routing key; explicit run
 	// IDs are used as-is.
 	RunIDPrefix string
+	// Gateway, when set, is told when runs start and finish so out-of-process
+	// workers can attach to the run's queue (cluster.Server implements it).
+	// Remote workers pull tasks through the RunHandle and report through the
+	// same orchestrator channel as the in-process pool.
+	Gateway RunGateway
 
 	metrics engineMetrics
+}
+
+// RunGateway observes run lifecycles on behalf of out-of-process workers.
+type RunGateway interface {
+	// RunStarted is called before the first task is enqueued; the handle
+	// stays valid until RunFinished.
+	RunStarted(h *RunHandle)
+	// RunFinished is called after the run's queue has closed and drained.
+	RunFinished(runID string)
+}
+
+// MintRunID returns a fresh engine-unique run ID with the given prefix —
+// the same counter execute uses, exported so orchestrated callers can know
+// the run's identity (for lease acquisition and fence installation) before
+// the run starts.
+func MintRunID(prefix string) string {
+	return prefix + fmt.Sprintf("run-%06d", atomic.AddInt64(&runCounter, 1))
 }
 
 // NewEventEngine builds an event-sourced engine over the given registry.
@@ -251,6 +273,30 @@ type eventRun struct {
 	failErr   error
 	result    *RunResult
 	msgs      chan workerMsg
+	// accepted marks task IDs whose completion report the orchestrator has
+	// folded in. Lease-TTL redelivery means a task can legitimately complete
+	// twice (the first holder's Ack after expiry is a no-op and its report
+	// still arrives); only the first report per task ID counts, so duplicate
+	// deliveries can never double-append history.
+	accepted map[string]bool
+	// done closes when the orchestration loop exits; remote reports select
+	// against it instead of blocking on msgs forever.
+	done chan struct{}
+}
+
+// prefixRecorded reports whether the replayed prefix already holds the
+// result this task would produce. The folded prefix is immutable once the
+// run starts, so workers may read it lock-free.
+func (r *eventRun) prefixRecorded(t Task) bool {
+	fa := r.folded.acts[t.Activity]
+	if fa == nil {
+		return false
+	}
+	if t.Element < 0 {
+		return fa.done
+	}
+	_, seen := fa.elements[t.Element]
+	return seen
 }
 
 func (r *eventRun) activity(name string) *activity {
@@ -298,7 +344,7 @@ func (e *EventEngine) execute(ctx context.Context, def *Definition, inputs map[s
 		return nil, err
 	}
 	if runID == "" {
-		runID = e.RunIDPrefix + fmt.Sprintf("run-%06d", atomic.AddInt64(&runCounter, 1))
+		runID = MintRunID(e.RunIDPrefix)
 	}
 	if folded.finished != nil {
 		return finalizeFromHistory(def, runID, prefix, folded, listeners)
@@ -330,12 +376,27 @@ func (e *EventEngine) execute(ctx context.Context, def *Definition, inputs map[s
 		values:    map[string]Data{},
 		remaining: map[string]int{},
 		msgs:      make(chan workerMsg, workers*2+4),
+		accepted:  map[string]bool{},
+		done:      make(chan struct{}),
 		result: &RunResult{
 			RunID:       runID,
 			Outputs:     map[string]Data{},
 			StartedAt:   time.Now(),
 			Invocations: map[string]int{},
 		},
+	}
+
+	// A durable queue reopened across a crash can redeliver tasks whose
+	// results the prefix already records. Seed the report dedup with their
+	// task IDs so a late completion folds in nowhere; workers additionally
+	// drain them at dequeue without invoking the service.
+	for name, fa := range folded.acts {
+		if fa.done {
+			r.accepted[TaskID(runID, name, -1)] = true
+		}
+		for i := range fa.elements {
+			r.accepted[TaskID(runID, name, i)] = true
+		}
 	}
 
 	// Hand the replayed prefix to projections before any new event, then
@@ -419,12 +480,16 @@ func (e *EventEngine) execute(ctx context.Context, def *Definition, inputs map[s
 			r.worker(id, &alive)
 		}()
 	}
+	if e.Gateway != nil {
+		e.Gateway.RunStarted(&RunHandle{r: r})
+	}
 	for _, p := range ready {
 		r.schedule(p)
 	}
 	for r.active > 0 {
 		r.handle(<-r.msgs)
 	}
+	close(r.done) // unblock any remote report racing the loop exit
 
 	if r.failErr == nil {
 		for _, out := range def.Outputs {
@@ -444,6 +509,9 @@ func (e *EventEngine) execute(ctx context.Context, def *Definition, inputs map[s
 	}
 	q.Close()
 	wg.Wait() // all worker spans recorded before the run returns
+	if e.Gateway != nil {
+		e.Gateway.RunFinished(runID)
+	}
 	r.result.FinishedAt = time.Now()
 	return r.result, r.failErr
 }
@@ -558,6 +626,12 @@ func (r *eventRun) handle(msg workerMsg) {
 		})
 		return
 	}
+	if r.accepted[msg.task.ID] {
+		// Duplicate delivery (an expired lease redelivered work the original
+		// holder also finished): exactly one report per task may fold in.
+		return
+	}
+	r.accepted[msg.task.ID] = true
 	a.reported++
 	switch {
 	case msg.err != nil:
@@ -725,6 +799,15 @@ func (r *eventRun) worker(id string, alive *atomic.Int64) {
 			alive.Add(1) // the last live worker shrugs the kill off
 		}
 		a := r.activity(t.Activity)
+		if a == nil || r.prefixRecorded(t) {
+			// Stale content of a durable queue reopened across a crash: the
+			// activity (or this element) already completed in the replayed
+			// prefix. Drain it without a service call.
+			r.q.Ack(t.ID)
+			stats.TaskDone(id)
+			tasksDone++
+			continue
+		}
 		if err := a.ctx.Err(); err != nil {
 			// Drained without a span or a service call, like the legacy
 			// parallel iterator after cancellation.

@@ -81,9 +81,9 @@ func NewMemoryQueue() *MemoryQueue {
 // SetLeaseTTL bounds how long a dequeued task may stay unacknowledged: a
 // lease older than ttl is reclaimed by the next Dequeue and the task is
 // redelivered at the tail with Attempt+1, exactly as a Nack would — the
-// original holder's Ack then fails as unleased. Zero (the default) restores
-// leases that never expire, adding no cost to the hot dispatch path. Only
-// leases taken after the call carry the new TTL.
+// original holder's late Ack is then an idempotent no-op. Zero (the default)
+// restores leases that never expire, adding no cost to the hot dispatch
+// path. Only leases taken after the call carry the new TTL.
 func (q *MemoryQueue) SetLeaseTTL(ttl time.Duration) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -197,13 +197,21 @@ func (q *MemoryQueue) Dequeue(ctx context.Context) (Task, error) {
 	}
 }
 
-// Ack implements TaskQueue.
+// Ack implements TaskQueue. Acking a task this holder no longer leases — it
+// was never dequeued, already acked, or the lease expired and the task now
+// belongs to whoever reclaims it — is an idempotent no-op: the ownership
+// transfer already happened and completing the stolen copy here would race
+// the new holder. Redelivery of completed work is absorbed by the engine's
+// per-task report dedup, not prevented at the queue.
 func (q *MemoryQueue) Ack(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	l, ok := q.leased[id]
 	if !ok {
-		return fmt.Errorf("workflow: ack of unleased task %q", id)
+		return nil
+	}
+	if !l.expires.IsZero() && !time.Now().Before(l.expires) {
+		return nil // expired: the task is reclaimable, not completable
 	}
 	delete(q.leased, id)
 	if !l.expires.IsZero() {
@@ -212,13 +220,18 @@ func (q *MemoryQueue) Ack(id string) error {
 	return nil
 }
 
-// Nack implements TaskQueue.
+// Nack implements TaskQueue. Like Ack, nacking an unleased or expired task is
+// an idempotent no-op — an expired lease is already on its way back to the
+// tail via reclaim, and re-enqueueing it here would duplicate the delivery.
 func (q *MemoryQueue) Nack(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	l, ok := q.leased[id]
 	if !ok {
-		return fmt.Errorf("workflow: nack of unleased task %q", id)
+		return nil
+	}
+	if !l.expires.IsZero() && !time.Now().Before(l.expires) {
+		return nil // expired: reclaim owns the redelivery
 	}
 	delete(q.leased, id)
 	if !l.expires.IsZero() {

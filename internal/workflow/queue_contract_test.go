@@ -84,8 +84,17 @@ func TestQueueContractLeaseAccounting(t *testing.T) {
 			if q.InFlight() != 0 {
 				t.Fatalf("after ack: inflight=%d", q.InFlight())
 			}
-			if err := q.Ack(got.ID); err == nil {
-				t.Fatal("double ack accepted")
+			// Pinned: a double Ack (or an Ack/Nack of anything unleased) is
+			// an idempotent no-op, not an error — and it must not disturb
+			// the still-queued task.
+			if err := q.Ack(got.ID); err != nil {
+				t.Fatalf("double ack: %v, want idempotent nil", err)
+			}
+			if err := q.Nack(got.ID); err != nil {
+				t.Fatalf("nack of acked task: %v, want idempotent nil", err)
+			}
+			if q.Depth() != 1 || q.InFlight() != 0 {
+				t.Fatalf("after idempotent no-ops: depth=%d inflight=%d, want 1/0", q.Depth(), q.InFlight())
 			}
 		})
 	}
@@ -190,7 +199,8 @@ func TestQueueContractCloseDrains(t *testing.T) {
 // TestQueueContractLeaseExpiry pins the lease-timeout contract on both
 // backends: a dequeued task that is never acknowledged is redelivered —
 // exactly once — to another dequeuer after the TTL, with Attempt+1, and the
-// original holder's late Ack fails as unleased once the redelivery is acked.
+// original holder's late Ack is an idempotent no-op that cannot
+// double-complete the stolen task.
 func TestQueueContractLeaseExpiry(t *testing.T) {
 	for name, mk := range queueBackends(t) {
 		t.Run(name, func(t *testing.T) {
@@ -222,9 +232,14 @@ func TestQueueContractLeaseExpiry(t *testing.T) {
 			if err := q.Ack(redelivered.ID); err != nil {
 				t.Fatalf("new holder's ack: %v", err)
 			}
-			// The original holder's lease is gone; its late ack must fail.
-			if err := q.Ack(first.ID); err == nil {
-				t.Fatal("original holder's ack accepted after lease expiry")
+			// The original holder's lease is gone; its late ack and nack
+			// must be no-ops — in particular the nack must NOT resurrect
+			// the task the new holder already completed.
+			if err := q.Ack(first.ID); err != nil {
+				t.Fatalf("late ack after expiry: %v, want idempotent nil", err)
+			}
+			if err := q.Nack(first.ID); err != nil {
+				t.Fatalf("late nack after expiry: %v, want idempotent nil", err)
 			}
 			// Exactly once: nothing left to deliver.
 			if q.Depth() != 0 || q.InFlight() != 0 {
@@ -234,6 +249,104 @@ func TestQueueContractLeaseExpiry(t *testing.T) {
 			defer cancel()
 			if _, err := q.Dequeue(ctx); !errors.Is(err, context.DeadlineExceeded) {
 				t.Fatalf("expired task delivered a second time: %v", err)
+			}
+		})
+	}
+}
+
+// TestQueueContractExpiredAckCannotComplete pins the stolen-task half of the
+// idempotency contract: once a lease has expired, the original holder's Ack
+// arrives too late to complete the task — it is a no-op, and the task is
+// still redelivered to the next dequeuer with a bumped attempt.
+func TestQueueContractExpiredAckCannotComplete(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			q.(interface{ SetLeaseTTL(time.Duration) }).SetLeaseTTL(20 * time.Millisecond)
+			if err := q.Enqueue(task(0)); err != nil {
+				t.Fatal(err)
+			}
+			first, err := q.Dequeue(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(40 * time.Millisecond) // lease expires, nothing reclaims yet
+			if err := q.Ack(first.ID); err != nil {
+				t.Fatalf("expired ack: %v, want idempotent nil", err)
+			}
+			// The ack must not have consumed the task: it comes back.
+			redelivered, err := q.Dequeue(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if redelivered.ID != first.ID || redelivered.Attempt != first.Attempt+1 {
+				t.Fatalf("redelivered = %+v, want ID %q attempt %d", redelivered, first.ID, first.Attempt+1)
+			}
+			if err := q.Ack(redelivered.ID); err != nil {
+				t.Fatalf("new holder's ack: %v", err)
+			}
+		})
+	}
+}
+
+// TestQueueContractConcurrentLeaseStealers races two dequeuers for one
+// expired lease on both backends: exactly one must win the reclaimed task,
+// the other must still be empty-handed at its deadline. Runs under -race via
+// the workflow package's slot in `make race`.
+func TestQueueContractConcurrentLeaseStealers(t *testing.T) {
+	for name, mk := range queueBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk(t)
+			q.(interface{ SetLeaseTTL(time.Duration) }).SetLeaseTTL(100 * time.Millisecond)
+			if err := q.Enqueue(task(0)); err != nil {
+				t.Fatal(err)
+			}
+			// The doomed holder takes the lease and never acks.
+			first, err := q.Dequeue(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			wins := make(chan Task, 2)
+			losses := make(chan error, 2)
+			for i := 0; i < 2; i++ {
+				go func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+					defer cancel()
+					tk, err := q.Dequeue(ctx)
+					if err != nil {
+						losses <- err
+						return
+					}
+					// Ack inside the goroutine: the stolen lease carries the
+					// TTL too, and it must not expire into the loser's hands
+					// while the test inspects the winner.
+					if err := q.Ack(tk.ID); err != nil {
+						t.Errorf("winner's ack: %v", err)
+					}
+					wins <- tk
+				}()
+			}
+			var stolen Task
+			select {
+			case stolen = <-wins:
+			case <-time.After(2 * time.Second):
+				t.Fatal("no stealer won the expired lease")
+			}
+			if stolen.ID != first.ID || stolen.Attempt != first.Attempt+1 {
+				t.Fatalf("stolen = %+v, want ID %q attempt %d", stolen, first.ID, first.Attempt+1)
+			}
+			select {
+			case dup := <-wins:
+				t.Fatalf("both stealers won: second got %+v", dup)
+			case err := <-losses:
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("loser error = %v, want deadline exceeded", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("losing stealer neither timed out nor returned")
+			}
+			if q.Depth() != 0 || q.InFlight() != 0 {
+				t.Fatalf("leftovers: depth=%d inflight=%d", q.Depth(), q.InFlight())
 			}
 		})
 	}

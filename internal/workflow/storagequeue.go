@@ -26,6 +26,12 @@ type StorageQueue struct {
 	leased   map[string]storageLease // task ID -> lease
 	leaseTTL time.Duration           // 0 = leases never expire
 	wake     chan struct{}
+
+	// fenceName/fenceToken, when set, route every queue write through
+	// storage.ApplyFenced: a queue held by an orchestrator whose run lease
+	// was stolen stops being able to mutate shared state mid-operation.
+	fenceName  string
+	fenceToken int64
 }
 
 // storageLease is one outstanding delivery; a zero expires never times out.
@@ -84,12 +90,32 @@ func (q *StorageQueue) broadcastLocked() {
 	q.wake = make(chan struct{})
 }
 
+// SetFence makes every subsequent queue write carry the given fencing token
+// (storage.ApplyFenced against name). Once the token is stale — the run's
+// lease was stolen and the fence advanced — every Enqueue/Ack/Nack/reclaim
+// from this process fails with storage.ErrStaleFence instead of interleaving
+// with the new owner's queue. An empty name clears the fence.
+func (q *StorageQueue) SetFence(name string, token int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.fenceName, q.fenceToken = name, token
+}
+
+// applyLocked routes a queue mutation through the fence when one is set.
+// Callers hold q.mu.
+func (q *StorageQueue) applyLocked(ops ...storage.Op) error {
+	if q.fenceName != "" {
+		return q.db.ApplyFenced(q.fenceName, q.fenceToken, ops...)
+	}
+	return q.db.Apply(ops...)
+}
+
 // SetLeaseTTL bounds how long a dequeued task may stay unacknowledged: a
 // lease older than ttl is reclaimed by the next Dequeue and the task moves
 // back to the tail with Attempt+1 (the same row rewrite a Nack performs) —
-// the original holder's Ack then fails as unleased. Zero (the default)
-// restores leases that never expire. Only leases taken after the call carry
-// the new TTL.
+// the original holder's late Ack is then an idempotent no-op. Zero (the
+// default) restores leases that never expire. Only leases taken after the
+// call carry the new TTL.
 func (q *StorageQueue) SetLeaseTTL(ttl time.Duration) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -116,7 +142,7 @@ func (q *StorageQueue) reclaimLocked(now time.Time) (bool, error) {
 			Attempt:    int(row.Get(q.schema, "attempt").Int()) + 1,
 			EnqueuedAt: now,
 		}
-		if err := q.db.Apply(storage.DeleteOp(q.table, storage.S(l.key))); err != nil {
+		if err := q.applyLocked(storage.DeleteOp(q.table, storage.S(l.key))); err != nil {
 			return reclaimed, fmt.Errorf("workflow: reclaim %q: %w", id, err)
 		}
 		delete(q.leased, id)
@@ -149,7 +175,7 @@ func (q *StorageQueue) rowKey(ord int64) string {
 
 func (q *StorageQueue) insertLocked(t Task) error {
 	key := q.rowKey(q.seq)
-	err := q.db.Apply(storage.InsertOp(q.table, storage.Row{
+	err := q.applyLocked(storage.InsertOp(q.table, storage.Row{
 		storage.S(key), storage.S(t.ID), storage.S(t.RunID), storage.S(t.Activity),
 		storage.I(int64(t.Element)), storage.I(int64(t.Attempt)), storage.T(t.EnqueuedAt),
 	}))
@@ -259,28 +285,41 @@ func (q *StorageQueue) Dequeue(ctx context.Context) (Task, error) {
 	}
 }
 
-// Ack implements TaskQueue.
+// Ack implements TaskQueue. Acking a task this holder no longer leases — or
+// holds only an expired lease on — is an idempotent no-op: after expiry the
+// task belongs to whoever reclaims it, and deleting the row here would
+// double-complete a stolen task under the new holder. Redelivery of already-
+// completed work is absorbed by the engine's per-task report dedup.
 func (q *StorageQueue) Ack(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	l, ok := q.leased[id]
 	if !ok {
-		return fmt.Errorf("workflow: ack of unleased task %q", id)
+		return nil
 	}
-	if err := q.db.Apply(storage.DeleteOp(q.table, storage.S(l.key))); err != nil {
+	if !l.expires.IsZero() && !time.Now().Before(l.expires) {
+		return nil // expired: the row is reclaimable, not completable
+	}
+	if err := q.applyLocked(storage.DeleteOp(q.table, storage.S(l.key))); err != nil {
 		return fmt.Errorf("workflow: ack %q: %w", id, err)
 	}
 	delete(q.leased, id)
 	return nil
 }
 
-// Nack implements TaskQueue.
+// Nack implements TaskQueue. Like Ack, nacking an unleased or expired task
+// is an idempotent no-op — reclaim owns the redelivery of expired leases,
+// and rewriting the row here would resurrect a task a new holder may already
+// have completed.
 func (q *StorageQueue) Nack(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	l, ok := q.leased[id]
 	if !ok {
-		return fmt.Errorf("workflow: nack of unleased task %q", id)
+		return nil
+	}
+	if !l.expires.IsZero() && !time.Now().Before(l.expires) {
+		return nil // expired: reclaim owns the redelivery
 	}
 	key := l.key
 	// Re-read the row before moving it to the tail with a bumped attempt.
@@ -296,7 +335,7 @@ func (q *StorageQueue) Nack(id string) error {
 		Attempt:    int(row.Get(q.schema, "attempt").Int()) + 1,
 		EnqueuedAt: time.Now(),
 	}
-	if err := q.db.Apply(storage.DeleteOp(q.table, storage.S(key))); err != nil {
+	if err := q.applyLocked(storage.DeleteOp(q.table, storage.S(key))); err != nil {
 		return fmt.Errorf("workflow: nack %q: %w", id, err)
 	}
 	delete(q.leased, id)

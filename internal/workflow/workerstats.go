@@ -36,6 +36,7 @@ type WorkerInfo struct {
 	Busy       bool      `json:"busy"`
 	Alive      bool      `json:"alive"`
 	Killed     bool      `json:"killed"`
+	Remote     bool      `json:"remote,omitempty"`
 	LastActive time.Time `json:"last_active"`
 }
 
@@ -57,6 +58,27 @@ func (r *WorkerRegistry) Register(runID string) string {
 	r.started++
 	id := fmt.Sprintf("w-%d", r.nextID)
 	r.workers[id] = &WorkerInfo{ID: id, RunID: runID, Alive: true, LastActive: time.Now()}
+	return id
+}
+
+// RegisterRemote tracks an out-of-process worker under its self-chosen name,
+// prefixed "r-" to keep the namespace disjoint from pool workers. Re-
+// registering the same name (a worker reconnecting) revives the existing row.
+func (r *WorkerRegistry) RegisterRemote(name, runID string) string {
+	if r == nil {
+		return "r-" + name
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := "r-" + name
+	if w := r.workers[id]; w != nil {
+		w.Alive = true
+		w.RunID = runID
+		w.LastActive = time.Now()
+		return id
+	}
+	r.started++
+	r.workers[id] = &WorkerInfo{ID: id, RunID: runID, Alive: true, Remote: true, LastActive: time.Now()}
 	return id
 }
 
