@@ -23,10 +23,13 @@ race:
 ## short fuzz smoke over the archival WAV decoder (arbitrary bytes must
 ## never panic the archive read path), the chaos smoke (randomized
 ## kill/resume trials, degraded-authority assessment runs, shard-loss
-## traffic, and orchestrator-failover trials — a standby steals the expired
+## traffic, orchestrator-failover trials — a standby steals the expired
 ## lease and must finish byte-identically while the resurrected stale
-## orchestrator gets every fenced write rejected), the /api/v1 contract
-## smoke (including the per-tenant quota contract), the tracing-overhead
+## orchestrator gets every fenced write rejected — and the scheduler-pool
+## trial: three peer orchestrators drain an admission queue while two are
+## killed mid-run, and every queued run must still complete byte-identically
+## exactly once), the /api/v1 contract smoke (including the /api/v1/cluster
+## resources and the per-tenant quota contract), the tracing-overhead
 ## guard (traced detection within 5% of untraced), the zero-allocation
 ## guards over the provenance/telemetry/storage hot paths, a 1-iteration
 ## bench-harness smoke proving every tracked benchmark still runs (numbers
@@ -44,11 +47,11 @@ ci:
 	$(MAKE) race
 	$(GO) test ./internal/audio/ -run='^$$' -fuzz=FuzzReadWAV -fuzztime=10s
 	$(GO) run ./cmd/experiments -run chaos -short
-	$(GO) test ./internal/web/ -run 'TestAPI'
+	$(GO) test ./internal/web/ -run 'TestAPI|TestCluster|TestWorkersAlias|TestAsyncDetect|TestDetectStaysSync'
 	$(GO) test -run TestTracingOverhead .
 	$(GO) test -run 'Allocs' ./internal/storage/ ./internal/telemetry/ ./internal/provenance/
 	$(GO) run ./cmd/bench -smoke
-	$(GO) run ./cmd/bench -compare BENCH_8.json BENCH_9.json
+	$(GO) run ./cmd/bench -compare BENCH_9.json BENCH_10.json
 	$(GO) run ./cmd/experiments -run load -short
 
 ## verify: the gate for engine/concurrency/persistence changes — the ci
@@ -58,11 +61,11 @@ verify: ci
 
 ## bench: the paper-reproduction benchmarks at the repo root, then the
 ## hot-path suites via the bench harness, recording the perf trajectory to
-## BENCH_9.json (schema bench.v1, documented in EXPERIMENTS.md; min across
+## BENCH_10.json (schema bench.v1, documented in EXPERIMENTS.md; min across
 ## -count repetitions to resist shared-host noise).
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) run ./cmd/bench -out BENCH_9.json
+	$(GO) run ./cmd/bench -out BENCH_10.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -6,10 +6,10 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # full run -> BENCH_9.json
+//	go run ./cmd/bench                 # full run -> BENCH_10.json
 //	go run ./cmd/bench -smoke          # 1-iteration smoke -> BENCH_smoke.json
 //	go run ./cmd/bench -out FILE -benchtime 2s -count 3
-//	go run ./cmd/bench -compare BENCH_8.json BENCH_9.json
+//	go run ./cmd/bench -compare BENCH_9.json BENCH_10.json
 //
 // -compare diffs two trajectory files and exits non-zero when any benchmark
 // tracked by both regressed more than 10% in ns/op or allocs/op — the CI
@@ -42,7 +42,7 @@ type suite struct {
 // across PRs: the trajectory is only comparable if names persist.
 var suites = []suite{
 	{Package: "./internal/taxonomy", Bench: "BenchmarkResolveBatch"},
-	{Package: "./internal/workflow", Bench: "BenchmarkQueueDispatch|BenchmarkHistoryAppend"},
+	{Package: "./internal/workflow", Bench: "BenchmarkQueueDispatch|BenchmarkHistoryAppend|BenchmarkAdmission"},
 	{Package: "./internal/provenance", Bench: "BenchmarkDeltaEncode|BenchmarkEdgeRowEncode|BenchmarkStoreStreaming$"},
 	{Package: "./internal/storage", Bench: "BenchmarkReadUnderWrite|BenchmarkEncodeRow|BenchmarkEncodeKey|BenchmarkFencedAppend"},
 	{Package: "./internal/telemetry", Bench: "BenchmarkSpanStamp|BenchmarkHistogramObserve|BenchmarkStartSpanFinish"},
@@ -72,7 +72,7 @@ type benchFile struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output file (default BENCH_9.json, or BENCH_smoke.json with -smoke)")
+	out := flag.String("out", "", "output file (default BENCH_10.json, or BENCH_smoke.json with -smoke)")
 	smoke := flag.Bool("smoke", false, "1-iteration smoke run: proves every benchmark still executes, records no stable numbers")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (default 1s, or 1x with -smoke)")
 	count := flag.Int("count", 3, "go test -count value; the recorded number is the min across repetitions")
@@ -104,7 +104,7 @@ func main() {
 		if *smoke {
 			path = "BENCH_smoke.json"
 		} else {
-			path = "BENCH_9.json"
+			path = "BENCH_10.json"
 		}
 	}
 

@@ -69,7 +69,235 @@ func runChaos(e *environment) error {
 	if e.short {
 		trialsE = 10
 	}
-	return chaosOrchestratorFailover(e, trialsE, recA, spA)
+	if err := chaosOrchestratorFailover(e, trialsE, recA, spA); err != nil {
+		return err
+	}
+	runsF, crashF := 9, 5
+	if e.short {
+		runsF, crashF = 5, 3
+	}
+	return chaosSchedulerPool(e, runsF, crashF, recA, spA)
+}
+
+// chaosSchedulerPool is Part F, the self-healing scheduler gate: three peer
+// orchestrators drain one durable admission queue; a subset of the admitted
+// runs carries a seeded-random crash cut, and the first two orchestrators to
+// be interrupted mid-run are killed on the spot (nothing released — their
+// membership rows and run leases age out like a dead process's). The gates:
+// the lone survivor completes every admitted run — in-flight and queued —
+// byte-identically under its original run ID; every run is executed exactly
+// once (the lease CAS arbitrates, losers observe ErrLeaseHeld); every steal
+// is visible as a fencing-token bump past the dead claim; a resurrected
+// stale writer gets ErrStaleFence with the graph untouched; and the
+// admission queue ends empty.
+func chaosSchedulerPool(e *environment, runs, crashes, records, species int) error {
+	fmt.Printf("--- part F: scheduler pool (3 orchestrators, %d runs, %d crash cuts, kill 2) ---\n", runs, crashes)
+	sys, taxa, cleanup, err := chaosSystem(records, species, e.seed+601)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	ctx := context.Background()
+
+	baseline, err := sys.RunDetection(ctx, taxa.Checklist, core.RunOptions{SkipLedger: true, Parallel: 1, Untraced: true})
+	if err != nil {
+		return fmt.Errorf("baseline run: %w", err)
+	}
+	baseG, err := sys.Provenance.Graph(baseline.RunID)
+	if err != nil {
+		return err
+	}
+	want := canonicalProvenance(baseG, baseline.RunID)
+	total := int(baseline.ProvenanceWriter.Enqueued)
+
+	// Admit everything up front: the queue is the durable work list the pool
+	// fights over. The first `crashes` admissions carry a random history cut.
+	rng := rand.New(rand.NewSource(e.seed + 607))
+	admitted := make([]string, 0, runs)
+	crashing := map[string]bool{}
+	for i := 0; i < runs; i++ {
+		opts := core.RunOptions{SkipLedger: true, Parallel: 4, Untraced: true, LeaseTTL: 250 * time.Millisecond}
+		if i < crashes {
+			opts.CrashAfterDeltas = 1 + rng.Intn(total-1)
+		}
+		adm, err := sys.AdmitDetection(opts)
+		if err != nil {
+			return fmt.Errorf("admit %d: %w", i, err)
+		}
+		admitted = append(admitted, adm.RunID)
+		if opts.CrashAfterDeltas > 0 {
+			crashing[adm.RunID] = true
+		}
+	}
+
+	// Event log: interruption tokens (fence gate + stale-writer ammo) and the
+	// kill trigger come from scheduler events; the exactly-once gate counts
+	// OnOutcome calls, which fire only when a claim actually produced an
+	// outcome — a peer re-settling an already-finished admission is a no-op
+	// success, not an execution.
+	var mu sync.Mutex
+	execs := map[string]int{} // run → genuine executions
+	successTok := map[string]int64{}
+	staleTok := map[string]int64{} // run → fence token of the interrupted claim
+	killCh := make(chan string, 64)
+	hook := func(ev cluster.SchedulerEvent) {
+		mu.Lock()
+		switch ev.Kind {
+		case "complete", "rescue":
+			if _, ok := successTok[ev.Run]; !ok {
+				successTok[ev.Run] = ev.Token
+			}
+		case "interrupted":
+			if _, ok := staleTok[ev.Run]; !ok {
+				staleTok[ev.Run] = ev.Token
+			}
+			select {
+			case killCh <- ev.Orchestrator:
+			default:
+			}
+		}
+		mu.Unlock()
+	}
+
+	be := sys.SchedulerBackend(taxa.Checklist, core.RunOptions{SkipLedger: true, Parallel: 4, Untraced: true},
+		func(o *core.DetectionOutcome) {
+			mu.Lock()
+			execs[o.RunID]++
+			mu.Unlock()
+		})
+	pool := make(map[string]*cluster.Scheduler, 3)
+	for i := 0; i < 3; i++ {
+		s := &cluster.Scheduler{
+			Name: fmt.Sprintf("orch-%c", 'a'+i), Leases: sys.Leases, Backend: be,
+			TTL: 200 * time.Millisecond, Poll: 10 * time.Millisecond,
+			Seed: e.seed + int64(i), OnEvent: hook,
+		}
+		if err := s.Start(); err != nil {
+			return fmt.Errorf("starting %s: %w", s.Name, err)
+		}
+		pool[s.Name] = s
+	}
+	defer func() {
+		for _, s := range pool {
+			s.Stop()
+		}
+	}()
+
+	// The reaper: the first two distinct orchestrators to report an
+	// interruption die right there — mid-run, nothing released. Killing from
+	// a separate goroutine mirrors a real process death (the scheduler's own
+	// loop cannot wait on itself).
+	killed := map[string]bool{}
+	reaped := make(chan struct{})
+	go func() {
+		defer close(reaped)
+		for name := range killCh {
+			if len(killed) >= 2 || killed[name] {
+				continue
+			}
+			killed[name] = true
+			pool[name].Kill()
+			fmt.Printf("  killed %s at its crash cut (%d/2)\n", name, len(killed))
+			if len(killed) == 2 {
+				return
+			}
+		}
+	}()
+
+	// Drain: every admission settled and every run terminal.
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		unfinished, err := sys.Provenance.UnfinishedRuns()
+		if err != nil {
+			return err
+		}
+		if sys.Admissions.Depth() == 0 && len(unfinished) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos gate: pool did not drain (%d queued, %d unfinished)", sys.Admissions.Depth(), len(unfinished))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(killCh)
+	<-reaped
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(killed) != 2 {
+		return fmt.Errorf("chaos gate: killed %d orchestrators, want 2", len(killed))
+	}
+	survivors := 0
+	for _, m := range sys.Leases.Members(time.Now()) {
+		if m.Live && !killed[m.Name] {
+			survivors++
+		}
+	}
+	if survivors != 1 {
+		return fmt.Errorf("chaos gate: %d live survivors, want exactly 1", survivors)
+	}
+
+	identical, steals := 0, 0
+	for _, runID := range admitted {
+		info, err := sys.Provenance.Run(runID)
+		if err != nil || info.Status != provenance.RunCompleted {
+			return fmt.Errorf("chaos gate: run %s ended %v (%v), want completed", runID, info.Status, err)
+		}
+		if n := execs[runID]; n != 1 {
+			return fmt.Errorf("chaos gate: run %s executed %d times, want exactly once", runID, n)
+		}
+		g, err := sys.Provenance.Graph(runID)
+		if err != nil {
+			return err
+		}
+		if canonicalProvenance(g, runID) != want {
+			return fmt.Errorf("chaos gate: run %s graph diverged from the uninterrupted baseline", runID)
+		}
+		identical++
+		if stale, wasCut := staleTok[runID]; wasCut {
+			// The rescue is visible in the fence: the completing claim's token
+			// is strictly past the dead orchestrator's.
+			if successTok[runID] <= stale {
+				return fmt.Errorf("chaos gate: run %s completed at token %d, not past the dead claim's %d",
+					runID, successTok[runID], stale)
+			}
+			steals++
+		}
+	}
+	if steals == 0 {
+		return fmt.Errorf("chaos gate: no run was ever interrupted and stolen")
+	}
+
+	// Resurrect one dead claim: a queue write at the pre-steal token must be
+	// rejected by the fence and leave the graph untouched.
+	for runID, stale := range staleTok {
+		g, err := sys.Provenance.Graph(runID)
+		if err != nil {
+			return err
+		}
+		nodes, edges := g.NodeCount(), g.EdgeCount()
+		q, err := workflow.NewStorageQueue(sys.DB, runID)
+		if err != nil {
+			return err
+		}
+		q.SetFence(cluster.FenceName(runID), stale)
+		if qerr := q.Enqueue(workflow.Task{ID: "zombie-task", RunID: runID, Activity: "A", Element: -1}); !errors.Is(qerr, storage.ErrStaleFence) {
+			return fmt.Errorf("chaos gate: stale queue write = %v, want ErrStaleFence", qerr)
+		}
+		g2, err := sys.Provenance.Graph(runID)
+		if err != nil {
+			return err
+		}
+		if g2.NodeCount() != nodes || g2.EdgeCount() != edges {
+			return fmt.Errorf("chaos gate: stale writer mutated run %s", runID)
+		}
+		break
+	}
+
+	fmt.Printf("  pool drained: %d/%d runs byte-identical under original IDs, %d rescued past dead claims, queue empty\n",
+		identical, runs, steals)
+	fmt.Println("  resurrected stale claim: 0 accepted writes (fenced off)")
+	return nil
 }
 
 // chaosOrchestratorFailover is Part E, the cross-process half of the failure

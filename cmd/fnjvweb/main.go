@@ -11,9 +11,11 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints, served only on -pprof
+	"os"
 	"time"
 
 	"repro/internal/cluster"
@@ -36,6 +38,8 @@ func main() {
 		authority = flag.String("authority", "", "URL of a colserver (empty = in-process checklist)")
 		seed      = flag.Int64("seed", 2014, "PRNG seed")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		orchName  = flag.String("orchestrator", "", "this process's name in the scheduler pool (default web-<pid>)")
+		noSched   = flag.Bool("no-scheduler", false, "disable the in-process scheduler: POST /api/v1/detect runs synchronously")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -86,9 +90,16 @@ func main() {
 		resolver = resilient
 	}
 
+	name := *orchName
+	if name == "" {
+		name = fmt.Sprintf("web-%d", os.Getpid())
+	}
+
 	// Startup reconciliation: resume any detection run a previous process
-	// left unfinished, abandon (with a reason) anything unresumable.
-	sweep, err := sys.SweepUnfinishedRuns(context.Background(), resolver, core.RunOptions{})
+	// left unfinished, abandon (with a reason) anything unresumable. The
+	// sweep claims under this process's pool name, so a peer orchestrator's
+	// live runs are skipped, not stolen.
+	sweep, err := sys.SweepUnfinishedRuns(context.Background(), resolver, core.RunOptions{Orchestrator: name})
 	if err != nil {
 		log.Fatalf("sweeping unfinished runs: %v", err)
 	}
@@ -114,7 +125,24 @@ func main() {
 	gw := cluster.NewServer(sys.Workers)
 	sys.Gateway = gw
 
-	srv := web.NewServer(&web.System{Core: sys, Resolver: resolver, Checklist: taxa.Checklist, Resilient: resilient})
+	wsys := &web.System{Core: sys, Resolver: resolver, Checklist: taxa.Checklist, Resilient: resilient}
+
+	// Scheduler membership: this process joins the orchestrator pool, drains
+	// the admission queue (POST /api/v1/detect turns asynchronous — 202 plus
+	// the run URL) and rescues expired peers' runs. Peer orchestrators over
+	// the same data directory (cmd/orchestrator) balance the work with it.
+	if !*noSched {
+		backend := sys.SchedulerBackend(resolver, core.RunOptions{Orchestrator: name}, wsys.RecordOutcome)
+		sched := &cluster.Scheduler{Name: name, Leases: sys.Leases, Backend: backend, Seed: *seed}
+		if err := sched.Start(); err != nil {
+			log.Fatalf("starting scheduler %s: %v", name, err)
+		}
+		defer sched.Stop()
+		wsys.Scheduler = sched
+		log.Printf("scheduler %s joined the orchestrator pool", name)
+	}
+
+	srv := web.NewServer(wsys)
 	mux := http.NewServeMux()
 	mux.Handle("/cluster/v1/", gw)
 	mux.Handle("/", srv)

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/provenance"
+	"repro/internal/shard"
+	"repro/internal/taxonomy"
+	"repro/internal/workflow"
+)
+
+// Admission handoff: POST /api/v1/detect (and any other admitting caller) no
+// longer has to execute a detection run in-request. AdmitDetection mints the
+// run ID, persists the intent in the durable admission queue, and returns
+// immediately; the scheduler pool (cluster.Scheduler over SchedulerBackend)
+// drains the queue, claims each run's lease, and executes it — so the run
+// survives the death of whichever orchestrator picks it up, and clients can
+// watch /api/v1/runs/<id> from the moment of admission.
+
+// ErrNoAdmissionQueue is returned by AdmitDetection on systems opened without
+// an admission queue (should not happen via Open; defensive).
+var ErrNoAdmissionQueue = errors.New("core: no admission queue configured")
+
+// admittedOptions is the serializable subset of RunOptions an admission
+// round-trips through the durable queue. Chaos knobs travel too: a chaos
+// harness admits crashing runs exactly like real ones.
+type admittedOptions struct {
+	Reputation           string  `json:"reputation,omitempty"`
+	Availability         string  `json:"availability,omitempty"`
+	Author               string  `json:"author,omitempty"`
+	Agent                string  `json:"agent,omitempty"`
+	MeasuredAvailability float64 `json:"measured_availability,omitempty"`
+	SkipLedger           bool    `json:"skip_ledger,omitempty"`
+	Parallel             int     `json:"parallel,omitempty"`
+	CrashAfterDeltas     int     `json:"crash_after_deltas,omitempty"`
+	WorkerKills          int     `json:"worker_kills,omitempty"`
+	Untraced             bool    `json:"untraced,omitempty"`
+	LeaseTTLMS           int64   `json:"lease_ttl_ms,omitempty"`
+}
+
+func encodeRunOptions(opts RunOptions) string {
+	blob, _ := json.Marshal(admittedOptions{
+		Reputation:           opts.Reputation,
+		Availability:         opts.Availability,
+		Author:               opts.Author,
+		Agent:                opts.Agent,
+		MeasuredAvailability: opts.MeasuredAvailability,
+		SkipLedger:           opts.SkipLedger,
+		Parallel:             opts.Parallel,
+		CrashAfterDeltas:     opts.CrashAfterDeltas,
+		WorkerKills:          opts.WorkerKills,
+		Untraced:             opts.Untraced,
+		LeaseTTLMS:           opts.LeaseTTL.Milliseconds(),
+	})
+	return string(blob)
+}
+
+func decodeRunOptions(blob string) RunOptions {
+	var a admittedOptions
+	_ = json.Unmarshal([]byte(blob), &a) // zero value = defaults
+	return RunOptions{
+		Reputation:           a.Reputation,
+		Availability:         a.Availability,
+		Author:               a.Author,
+		Agent:                a.Agent,
+		MeasuredAvailability: a.MeasuredAvailability,
+		SkipLedger:           a.SkipLedger,
+		Parallel:             a.Parallel,
+		CrashAfterDeltas:     a.CrashAfterDeltas,
+		WorkerKills:          a.WorkerKills,
+		Untraced:             a.Untraced,
+		LeaseTTL:             time.Duration(a.LeaseTTLMS) * time.Millisecond,
+	}
+}
+
+// AdmitDetection records the intent to run detection for opts.Tenant and
+// returns the admission carrying the pre-minted run ID. The run does not
+// execute here: whichever scheduler claims the admission first runs it under
+// that ID (RunOptions.RunID). Orchestrator/RunID fields of opts are ignored —
+// ownership is the claiming scheduler's, not the admitter's.
+func (s *System) AdmitDetection(opts RunOptions) (workflow.Admission, error) {
+	if s.Admissions == nil {
+		return workflow.Admission{}, ErrNoAdmissionQueue
+	}
+	prefix := ""
+	if opts.Tenant != "" {
+		prefix = opts.Tenant + shard.Sep
+	}
+	adm := workflow.Admission{
+		RunID:   workflow.MintRunID(prefix),
+		Tenant:  opts.Tenant,
+		Options: encodeRunOptions(opts),
+	}
+	if err := s.Admissions.Add(adm); err != nil {
+		return workflow.Admission{}, err
+	}
+	return adm, nil
+}
+
+// RunAdmitted claims and executes one admitted run under the orchestrator's
+// name: the lease claim happens before any run state is read
+// (claim-before-read), and what the state says decides the path — no run row
+// yet means fresh execution under the preset ID, an unfinished marker means
+// resume by history replay, a terminal row means a stale admission to drop.
+// ErrLeaseHeld means a peer owns the run right now.
+func (s *System) RunAdmitted(ctx context.Context, resolver taxonomy.Resolver, adm workflow.Admission, orchestrator string) (*DetectionOutcome, error) {
+	opts := decodeRunOptions(adm.Options)
+	opts.Tenant = adm.Tenant
+	opts.RunID = adm.RunID
+	opts.Orchestrator = orchestrator
+	opts.defaults()
+	orch, err := s.claimRun(adm.RunID, opts)
+	if err != nil {
+		return nil, err
+	}
+	info, ierr := s.Provenance.Run(adm.RunID)
+	switch {
+	case ierr != nil:
+		// Never started: fresh execution under the admitted identity.
+		return s.runDetection(ctx, resolver, opts, orch)
+	case info.Status == provenance.RunRunning:
+		// A previous owner died mid-run: resuming IS executing the admission.
+		// A crash knob must not re-fire on replay — the cut already happened.
+		opts.CrashAfterDeltas = 0
+		return s.resumeDetection(ctx, resolver, adm.RunID, opts, orch)
+	default:
+		// Already terminal (a peer finished it but died before clearing the
+		// admission row): nothing to execute.
+		orch.finish()
+		if s.Admissions != nil {
+			_ = s.Admissions.Remove(adm.RunID)
+		}
+		return nil, nil
+	}
+}
+
+// SchedulerBackend adapts this system to the cluster scheduler: admissions
+// come from the durable queue, execution goes through RunAdmitted /
+// resumeDetection, and rescue candidates are the unfinished runs whose lease
+// lapsed. base supplies execution defaults (Parallel, LeaseTTL, quality
+// annotations) for runs admitted without their own; OnOutcome, when set,
+// observes every completed outcome (the web layer feeds its last-outcome
+// cache from it).
+func (s *System) SchedulerBackend(resolver taxonomy.Resolver, base RunOptions, onOutcome func(*DetectionOutcome)) cluster.SchedulerBackend {
+	return &schedulerBackend{sys: s, resolver: resolver, base: base, onOutcome: onOutcome}
+}
+
+type schedulerBackend struct {
+	sys       *System
+	resolver  taxonomy.Resolver
+	base      RunOptions
+	onOutcome func(*DetectionOutcome)
+}
+
+// withBase fills unset execution knobs of an admitted run from the backend's
+// defaults.
+func (b *schedulerBackend) withBase(adm workflow.Admission) workflow.Admission {
+	opts := decodeRunOptions(adm.Options)
+	if opts.Parallel == 0 {
+		opts.Parallel = b.base.Parallel
+	}
+	if opts.LeaseTTL == 0 {
+		opts.LeaseTTL = b.base.LeaseTTL
+	}
+	adm.Options = encodeRunOptions(opts)
+	return adm
+}
+
+// PendingAdmissions implements cluster.SchedulerBackend.
+func (b *schedulerBackend) PendingAdmissions() ([]workflow.Admission, error) {
+	if b.sys.Admissions == nil {
+		return nil, ErrNoAdmissionQueue
+	}
+	return b.sys.Admissions.Pending()
+}
+
+// ExecuteAdmission implements cluster.SchedulerBackend.
+func (b *schedulerBackend) ExecuteAdmission(ctx context.Context, adm workflow.Admission, orchestrator string) error {
+	out, err := b.sys.RunAdmitted(ctx, b.resolver, b.withBase(adm), orchestrator)
+	return b.settle(adm.RunID, out, err)
+}
+
+// RescueCandidates implements cluster.SchedulerBackend: unfinished runs that
+// were orchestrated (a lease row exists) but whose ownership lapsed. Runs
+// that never took a lease — legacy unorchestrated executions — stay the
+// startup sweep's business: a live one may be executing in-process right now,
+// and nothing fences it.
+func (b *schedulerBackend) RescueCandidates() ([]string, error) {
+	if b.sys.Leases == nil {
+		return nil, nil
+	}
+	unfinished, err := b.sys.Provenance.UnfinishedRuns()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	var out []string
+	for _, info := range unfinished {
+		l, ok := b.sys.Leases.Get(info.RunID)
+		if !ok || l.Live(now) {
+			continue
+		}
+		out = append(out, info.RunID)
+	}
+	return out, nil
+}
+
+// RescueRun implements cluster.SchedulerBackend: claim the lapsed run and
+// finish it by history replay under its original ID.
+func (b *schedulerBackend) RescueRun(ctx context.Context, runID, orchestrator string) error {
+	opts := b.base
+	if b.sys.Admissions != nil {
+		if adm, ok := b.sys.Admissions.Get(runID); ok {
+			opts = decodeRunOptions(b.withBase(adm).Options)
+		}
+	}
+	// The cut that interrupted this run already happened; replay must not
+	// re-fire it.
+	opts.CrashAfterDeltas = 0
+	opts.RunID = runID
+	opts.Orchestrator = orchestrator
+	out, err := b.sys.ResumeDetection(ctx, b.resolver, runID, opts)
+	if errors.Is(err, ErrNotResumable) {
+		// ErrNotResumable covers both "terminal already" (a peer finished it
+		// between listing and claim) and "unreadable right now" (owning shard
+		// down). Only a readable terminal row settles the admission; an
+		// outage keeps it — the run still owes a terminal state.
+		if info, ierr := b.sys.Provenance.Run(runID); ierr == nil && info.Status != provenance.RunRunning {
+			if b.sys.Admissions != nil {
+				_ = b.sys.Admissions.Remove(runID)
+			}
+			return nil
+		}
+		return err
+	}
+	return b.settle(runID, out, err)
+}
+
+// settle translates an execution result into the scheduler's contract and
+// clears the admission row for every terminal outcome.
+func (b *schedulerBackend) settle(runID string, out *DetectionOutcome, err error) error {
+	var crash *CrashError
+	switch {
+	case err == nil:
+		if b.sys.Admissions != nil {
+			_ = b.sys.Admissions.Remove(runID)
+		}
+		if out != nil && b.onOutcome != nil {
+			b.onOutcome(out)
+		}
+		return nil
+	case errors.As(err, &crash):
+		// Died resumably mid-run; the abandoned lease ages out and any live
+		// peer rescues. The admission row stays — it is the durable record
+		// that this run must still reach a terminal state.
+		return fmt.Errorf("%w: %v", cluster.ErrRunInterrupted, err)
+	case errors.Is(err, cluster.ErrLeaseHeld) || errors.Is(err, cluster.ErrLeaseLost):
+		return err
+	default:
+		// Executed and failed terminally: the run row records the failure and
+		// cannot be re-run under the same ID, so the admission is settled.
+		if info, ierr := b.sys.Provenance.Run(runID); ierr == nil && info.Status != provenance.RunRunning {
+			if b.sys.Admissions != nil {
+				_ = b.sys.Admissions.Remove(runID)
+			}
+			return nil
+		}
+		return err
+	}
+}

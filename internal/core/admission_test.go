@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/provenance"
+)
+
+// TestAdmittedRunLifecycle drives the full async path end to end on one
+// system: admit → durable queue row → scheduler claims → run executes under
+// the pre-minted ID → admission settled — with a canonical graph identical to
+// a synchronous run's.
+func TestAdmittedRunLifecycle(t *testing.T) {
+	sys, taxa, _ := testSystem(t, 300, 60)
+	ctx := context.Background()
+
+	sync_, err := sys.RunDetection(ctx, taxa.Checklist, RunOptions{SkipLedger: true, Untraced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := sys.Provenance.Graph(sync_.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalGraph(sg, sync_.RunID)
+
+	adm, err := sys.AdmitDetection(RunOptions{SkipLedger: true, Untraced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.RunID == "" {
+		t.Fatal("admission minted no run ID")
+	}
+	if _, err := sys.Provenance.Run(adm.RunID); err == nil {
+		t.Fatal("admitted run has a run row before any scheduler executed it")
+	}
+	if n := sys.Admissions.Depth(); n != 1 {
+		t.Fatalf("queue depth = %d, want 1", n)
+	}
+
+	var mu sync.Mutex
+	var outcomes []*DetectionOutcome
+	be := sys.SchedulerBackend(taxa.Checklist, RunOptions{SkipLedger: true, Untraced: true, LeaseTTL: time.Second}, func(o *DetectionOutcome) {
+		mu.Lock()
+		outcomes = append(outcomes, o)
+		mu.Unlock()
+	})
+	pending, err := be.PendingAdmissions()
+	if err != nil || len(pending) != 1 || pending[0].RunID != adm.RunID {
+		t.Fatalf("PendingAdmissions = %v, %v; want the one admission", pending, err)
+	}
+	if err := be.ExecuteAdmission(ctx, pending[0], "orch-1"); err != nil {
+		t.Fatalf("ExecuteAdmission: %v", err)
+	}
+
+	// The run finished under its admitted identity, the queue row is gone,
+	// the outcome reached the observer, and the graph matches sync.
+	if info, err := sys.Provenance.Run(adm.RunID); err != nil || info.Status != provenance.RunCompleted {
+		t.Fatalf("run %s after execution: %+v, %v", adm.RunID, info, err)
+	}
+	if n := sys.Admissions.Depth(); n != 0 {
+		t.Fatalf("queue depth after execution = %d, want 0", n)
+	}
+	mu.Lock()
+	no := len(outcomes)
+	mu.Unlock()
+	if no != 1 || outcomes[0].RunID != adm.RunID {
+		t.Fatalf("observer saw %d outcomes (%v), want the admitted run", no, outcomes)
+	}
+	g, err := sys.Provenance.Graph(adm.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalGraph(g, adm.RunID) != want {
+		t.Error("admitted run canonical graph diverges from the synchronous path")
+	}
+
+	// Re-executing a settled admission is a no-op, not a duplicate run.
+	if err := be.ExecuteAdmission(ctx, pending[0], "orch-2"); err != nil {
+		t.Fatalf("re-execute settled admission: %v", err)
+	}
+}
+
+// TestAdmittedRunInterruptedAndRescued crashes an admitted run mid-flight
+// (chaos knob round-tripped through the queue), confirms the scheduler
+// contract error, then rescues it through the backend under a different
+// orchestrator: same run ID, graph identical to an uninterrupted run, and the
+// fence token shows the steal.
+func TestAdmittedRunInterruptedAndRescued(t *testing.T) {
+	sys, taxa, _ := testSystem(t, 300, 60)
+	ctx := context.Background()
+
+	baseline, err := sys.RunDetection(ctx, taxa.Checklist, RunOptions{SkipLedger: true, Untraced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := sys.Provenance.Graph(baseline.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalGraph(bg, baseline.RunID)
+
+	adm, err := sys.AdmitDetection(RunOptions{
+		SkipLedger: true, Untraced: true, CrashAfterDeltas: 25, LeaseTTL: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := sys.SchedulerBackend(taxa.Checklist, RunOptions{SkipLedger: true, Untraced: true}, nil)
+
+	err = be.ExecuteAdmission(ctx, adm, "orch-1")
+	if !errors.Is(err, cluster.ErrRunInterrupted) {
+		t.Fatalf("crashed execution returned %v, want ErrRunInterrupted", err)
+	}
+	// Interrupted ≠ settled: the admission row must survive as the durable
+	// record of the unfinished obligation, and the run is still marked running.
+	if _, ok := sys.Admissions.Get(adm.RunID); !ok {
+		t.Fatal("admission row dropped for an interrupted run")
+	}
+	if info, err := sys.Provenance.Run(adm.RunID); err != nil || info.Status != provenance.RunRunning {
+		t.Fatalf("interrupted run = %+v, %v; want running", info, err)
+	}
+
+	// Until the abandoned lease expires the run is not a rescue candidate.
+	if cands, err := be.RescueCandidates(); err != nil || len(cands) != 0 {
+		t.Fatalf("candidates before expiry = %v, %v; want none", cands, err)
+	}
+	if err := sys.Leases.Expire(adm.RunID); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := be.RescueCandidates()
+	if err != nil || len(cands) != 1 || cands[0] != adm.RunID {
+		t.Fatalf("candidates after expiry = %v, %v; want the interrupted run", cands, err)
+	}
+	if err := be.RescueRun(ctx, adm.RunID, "orch-2"); err != nil {
+		t.Fatalf("RescueRun: %v", err)
+	}
+
+	if info, err := sys.Provenance.Run(adm.RunID); err != nil || info.Status != provenance.RunCompleted {
+		t.Fatalf("rescued run = %+v, %v; want finished", info, err)
+	}
+	if _, ok := sys.Admissions.Get(adm.RunID); ok {
+		t.Fatal("admission row survived a completed rescue")
+	}
+	g, err := sys.Provenance.Graph(adm.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalGraph(g, adm.RunID) != want {
+		t.Error("rescued run canonical graph diverges from the uninterrupted baseline")
+	}
+	if tok := sys.Provenance.RunFenceToken(adm.RunID); tok < 2 {
+		t.Errorf("run fence token = %d, want ≥ 2 (the rescue stole the lease)", tok)
+	}
+}
+
+// TestSweepSchedulerClaimRace is the -race regression for the expired-lease
+// race between the startup sweep and a scheduler rescue: both see the same
+// lapsed run and go for it concurrently. Claim-before-read means exactly one
+// side replays it; the loser reports the run as skipped or held — never
+// abandoned, which would finalize a run the winner is actively completing.
+func TestSweepSchedulerClaimRace(t *testing.T) {
+	sys, taxa, _ := testSystem(t, 300, 60)
+	ctx := context.Background()
+
+	adm, err := sys.AdmitDetection(RunOptions{
+		SkipLedger: true, Untraced: true, CrashAfterDeltas: 25, LeaseTTL: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := sys.SchedulerBackend(taxa.Checklist, RunOptions{SkipLedger: true, Untraced: true}, nil)
+	if err := be.ExecuteAdmission(ctx, adm, "orch-dead"); !errors.Is(err, cluster.ErrRunInterrupted) {
+		t.Fatalf("crashed execution returned %v, want ErrRunInterrupted", err)
+	}
+	if err := sys.Leases.Expire(adm.RunID); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		report    *SweepReport
+		sweepErr  error
+		rescueErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		report, sweepErr = sys.SweepUnfinishedRuns(ctx, taxa.Checklist, orchOpts("orch-sweep", 500*time.Millisecond))
+	}()
+	go func() {
+		defer wg.Done()
+		rescueErr = be.RescueRun(ctx, adm.RunID, "orch-rescue")
+	}()
+	wg.Wait()
+
+	if sweepErr != nil {
+		t.Fatalf("sweep: %v", sweepErr)
+	}
+	// The rescue either won the run or lost the claim race cleanly.
+	if rescueErr != nil && !errors.Is(rescueErr, cluster.ErrLeaseHeld) && !errors.Is(rescueErr, cluster.ErrLeaseLost) {
+		t.Fatalf("rescue: %v", rescueErr)
+	}
+	// Whoever lost, the run itself must have been completed by the winner —
+	// never abandoned by the loser.
+	if reason, abandoned := report.Abandoned[adm.RunID]; abandoned {
+		t.Fatalf("sweep abandoned the contested run: %s", reason)
+	}
+	if info, err := sys.Provenance.Run(adm.RunID); err != nil || info.Status != provenance.RunCompleted {
+		t.Fatalf("contested run = %+v, %v; want finished exactly once", info, err)
+	}
+}

@@ -105,6 +105,13 @@ type RunOptions struct {
 	// (group-commit size, flush interval, queue depth) for this run. Nil uses
 	// the defaults. The trace context is always taken from the run.
 	WriterOptions *provenance.BatchWriterOptions
+	// RunID, when set together with Orchestrator, executes under this
+	// pre-minted run identity instead of minting one — the admission handoff:
+	// AdmitDetection mints the ID and persists the intent durably, and
+	// whichever scheduler claims the admission executes it under that ID, so
+	// clients can watch a run resource that exists before any orchestrator
+	// picked the run up. Ignored for non-orchestrated runs.
+	RunID string
 	// Orchestrator, when non-empty, names the process running this run and
 	// turns on fenced ownership: the run ID is minted up front and claimed as
 	// a lease (System.Leases) before the first history append; the lease's
@@ -151,6 +158,14 @@ func (o *RunOptions) defaults() {
 // and then assesses quality (§IV.C): accuracy of species-name metadata plus
 // the authority's reputation and availability.
 func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, opts RunOptions) (*DetectionOutcome, error) {
+	return s.runDetection(ctx, resolver, opts, nil)
+}
+
+// runDetection is RunDetection with an optional pre-claimed orchestration:
+// the admission path (RunAdmitted) claims the run lease before reading any
+// run state and passes the claim down, so claim and execution are one
+// ownership session. orch == nil claims here (or runs unorchestrated).
+func (s *System) runDetection(ctx context.Context, resolver taxonomy.Resolver, opts RunOptions, orch *orchestration) (*DetectionOutcome, error) {
 	opts.defaults()
 	start := time.Now()
 
@@ -196,20 +211,25 @@ func (s *System) RunDetection(ctx context.Context, resolver taxonomy.Resolver, o
 	}
 	collector := provenance.NewCollector(opts.Agent)
 	// Orchestrated runs claim ownership before the first history append: the
-	// run ID is minted here, leased under this orchestrator's name, and the
-	// lease's fencing token installed as the run's history fence — from this
-	// point only the token holder can append.
-	var orch *orchestration
+	// run ID is minted here (or preset by the admission), leased under this
+	// orchestrator's name, and the lease's fencing token installed as the
+	// run's history fence — from this point only the token holder can append.
 	runCtx := ctx
-	if opts.Orchestrator != "" {
-		prefix := ""
-		if opts.Tenant != "" {
-			prefix = opts.Tenant + shard.Sep
+	if orch == nil && opts.Orchestrator != "" {
+		runID := opts.RunID
+		if runID == "" {
+			prefix := ""
+			if opts.Tenant != "" {
+				prefix = opts.Tenant + shard.Sep
+			}
+			runID = workflow.MintRunID(prefix)
 		}
-		orch, err = s.claimRun(workflow.MintRunID(prefix), opts)
+		orch, err = s.claimRun(runID, opts)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if orch != nil {
 		defer orch.halt()
 		runCtx = orch.watch(runCtx)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/provenance"
 	"repro/internal/shard"
 	"repro/internal/taxonomy"
@@ -62,6 +63,19 @@ func RecoveryCounters() map[string]float64 {
 // The run must still be marked running (the unfinished marker) and must be a
 // detection-workflow run; anything else fails with ErrNotResumable.
 func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver, runID string, opts RunOptions) (*DetectionOutcome, error) {
+	return s.resumeDetection(ctx, resolver, runID, opts, nil)
+}
+
+// resumeDetection is ResumeDetection with an optional pre-claimed
+// orchestration (the admission path claims before dispatching here). An
+// orchestrated resume claims the run BEFORE reading any of its state —
+// claim-before-read — so the previous owner, if still alive, can no longer
+// extend the prefix we are about to replay, and two peers racing on the same
+// expired lease resolve at the fence CAS: the loser gets ErrLeaseHeld without
+// having touched the run. When the claim is won but the run turns out not to
+// need us (already finished, not resumable), the claim is released
+// immediately instead of aging out.
+func (s *System) resumeDetection(ctx context.Context, resolver taxonomy.Resolver, runID string, opts RunOptions, orch *orchestration) (*DetectionOutcome, error) {
 	opts.defaults()
 	if opts.Tenant == "" {
 		// The run ID carries its tenant; the resumed run must recompute the
@@ -86,22 +100,46 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 	ctx, rootSpan := telemetry.StartSpan(ctx, "resume-detection", "core")
 	rootSpan.SetAttr("run_id", runID)
 
+	// Claim first. A live lease held by someone else fails with ErrLeaseHeld
+	// (FailoverDetection waits the expiry out; the scheduler backs off).
+	var err error
+	if orch == nil && opts.Orchestrator != "" {
+		orch, err = s.claimRun(runID, opts)
+		if err != nil {
+			if errors.Is(err, cluster.ErrLeaseHeld) || errors.Is(err, cluster.ErrLeaseLost) {
+				return nil, err
+			}
+			// The lease was granted but the run's own fence is unreachable
+			// (e.g. its owning shard is down): the run cannot be read, let
+			// alone replayed — the same condition as an unreadable run row.
+			return nil, fmt.Errorf("%w: %v", ErrNotResumable, err)
+		}
+	}
+	// bail releases a claim that turned out to be unneeded (the run is
+	// terminal or unreadable): holding it to expiry would only delay peers.
+	bail := func(err error) error {
+		if orch != nil {
+			orch.finish()
+		}
+		return err
+	}
+
 	info, err := s.Provenance.Run(runID)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotResumable, err)
+		return nil, bail(fmt.Errorf("%w: %v", ErrNotResumable, err))
 	}
 	if info.Status != provenance.RunRunning {
-		return nil, fmt.Errorf("%w: run %s is %s", ErrNotResumable, runID, info.Status)
+		return nil, bail(fmt.Errorf("%w: run %s is %s", ErrNotResumable, runID, info.Status))
 	}
 	if info.WorkflowID != DetectionWorkflowID {
-		return nil, fmt.Errorf("%w: run %s executed workflow %q", ErrNotResumable, runID, info.WorkflowID)
+		return nil, bail(fmt.Errorf("%w: run %s executed workflow %q", ErrNotResumable, runID, info.WorkflowID))
 	}
 
 	// Rebuild the same instrumented definition the original run executed.
 	// The workflow was already published; resuming must not mint a version.
 	def, err := AnnotatedDetectionWorkflow(opts.Reputation, opts.Availability, opts.Author, start)
 	if err != nil {
-		return nil, err
+		return nil, bail(err)
 	}
 	version, err := s.Workflows.LatestVersion(DetectionWorkflowID)
 	if err != nil {
@@ -113,25 +151,15 @@ func (s *System) ResumeDetection(ctx context.Context, resolver taxonomy.Resolver
 	// mutated by a detection run.
 	names, err := s.TenantDistinctNames(opts.Tenant)
 	if err != nil {
-		return nil, err
+		return nil, bail(err)
 	}
 	items := make([]workflow.Data, len(names))
 	for i, n := range names {
 		items[i] = workflow.Scalar(n)
 	}
 
-	// An orchestrated resume claims the run BEFORE reading its history: the
-	// claim bumps the fencing token, so the previous owner — if it is in
-	// fact still alive — can no longer extend the prefix we are about to
-	// replay. A live lease held by someone else fails with ErrLeaseHeld
-	// (FailoverDetection waits the expiry out).
-	var orch *orchestration
 	runCtx := ctx
-	if opts.Orchestrator != "" {
-		orch, err = s.claimRun(runID, opts)
-		if err != nil {
-			return nil, err
-		}
+	if orch != nil {
 		defer orch.halt()
 		runCtx = orch.watch(runCtx)
 	}
@@ -258,6 +286,15 @@ func (s *System) SweepUnfinishedRuns(ctx context.Context, resolver taxonomy.Reso
 			}
 		default:
 			if _, rerr := s.ResumeDetection(ctx, resolver, info.RunID, opts); rerr != nil {
+				if errors.Is(rerr, cluster.ErrLeaseHeld) || errors.Is(rerr, cluster.ErrLeaseLost) {
+					// Lost the claim race: between our liveness pre-check and
+					// the resume's claim, a scheduler (or a second sweeping
+					// process) won the lease and is executing the run right
+					// now. Its run, not ours — abandoning it here would
+					// finalize a run that is actively completing elsewhere.
+					report.Skipped = append(report.Skipped, info.RunID)
+					continue
+				}
 				if err := abandon(info.RunID, fmt.Sprintf("resume failed: %v", rerr)); err != nil {
 					return report, err
 				}

@@ -53,6 +53,11 @@ type System struct {
 	// bump that structurally cuts the old owner off — when its orchestrator
 	// dies. Lives on DB (the meta database when sharded).
 	Leases *cluster.Store
+	// Admissions is the durable queue of admitted-but-unstarted runs: every
+	// async detection request lands here with a pre-minted run ID, and the
+	// scheduler pool drains it. Lives on DB (the meta database when sharded),
+	// so a restarted process sees exactly the admissions the dead one left.
+	Admissions *workflow.AdmissionQueue
 	// Gateway, when set, observes run lifecycles on behalf of out-of-process
 	// workers (cluster.Server implements it); every detection engine built by
 	// this system announces its runs there.
@@ -127,6 +132,10 @@ func Open(dir string, opts Options) (*System, error) {
 		db.Close()
 		return nil, err
 	}
+	if s.Admissions, err = workflow.NewAdmissionQueue(db); err != nil {
+		db.Close()
+		return nil, err
+	}
 	s.TraceRing = telemetry.NewRing(0)
 	s.Engine = workflow.NewEngine(s.Registry)
 	s.Workers = workflow.NewWorkerRegistry()
@@ -171,6 +180,11 @@ func openSharded(dir string, opts Options) (*System, error) {
 		return nil, err
 	}
 	if s.Leases, err = cluster.NewStore(db); err != nil {
+		db.Close()
+		shards.Close()
+		return nil, err
+	}
+	if s.Admissions, err = workflow.NewAdmissionQueue(db); err != nil {
 		db.Close()
 		shards.Close()
 		return nil, err

@@ -9,21 +9,30 @@ import (
 
 // QuotaOptions configures per-tenant rate limits.
 type QuotaOptions struct {
-	// Rate is the sustained request budget per tenant, in requests/second
+	// Rate is the sustained request budget per tenant, in tokens/second
 	// (default 50).
 	Rate float64
 	// Burst is the bucket capacity — how far a tenant can run ahead of the
 	// sustained rate (default 2×Rate, minimum 1).
 	Burst float64
+	// Costs maps a request class to its token cost, so expensive operations
+	// (a detection run walks the whole collection and the authority) spend
+	// proportionally more of the tenant's budget than a page read. Classes
+	// absent from the table — and the empty class — cost DefaultCost.
+	Costs map[string]float64
 }
 
-// Quotas enforces a token bucket per tenant: every admitted request spends
-// one token, tokens refill continuously at Rate, and a tenant that drains
-// its bucket is throttled until it refills — other tenants' buckets are
-// untouched. Safe for concurrent use.
+// DefaultCost is the token cost of a request class with no Costs entry.
+const DefaultCost = 1
+
+// Quotas enforces a weighted token bucket per tenant: every admitted request
+// spends its class's cost in tokens, tokens refill continuously at Rate, and
+// a tenant that drains its bucket is throttled until it refills — other
+// tenants' buckets are untouched. Safe for concurrent use.
 type Quotas struct {
 	rate  float64
 	burst float64
+	costs map[string]float64
 	// now is the clock, swappable in tests.
 	now func() time.Time
 
@@ -33,9 +42,10 @@ type Quotas struct {
 
 type bucket struct {
 	tokens    float64
-	last      time.Time
+	spent     float64
 	requests  int64
 	throttled int64
+	last      time.Time
 }
 
 // NewQuotas builds a quota table with the given limits.
@@ -48,7 +58,22 @@ func NewQuotas(opts QuotaOptions) *Quotas {
 	if burst <= 0 {
 		burst = math.Max(1, 2*rate)
 	}
-	return &Quotas{rate: rate, burst: burst, now: time.Now, buckets: make(map[string]*bucket)}
+	costs := make(map[string]float64, len(opts.Costs))
+	for class, c := range opts.Costs {
+		if c > 0 {
+			costs[class] = c
+		}
+	}
+	return &Quotas{rate: rate, burst: burst, costs: costs, now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// Cost returns the token cost of a request class: its Costs entry, or
+// DefaultCost when the class has none.
+func (q *Quotas) Cost(class string) float64 {
+	if c, ok := q.costs[class]; ok {
+		return c
+	}
+	return DefaultCost
 }
 
 // Decision is the outcome of one admission check.
@@ -59,14 +84,28 @@ type Decision struct {
 	Limit int
 	// Remaining is the whole tokens left after this decision.
 	Remaining int
-	// RetryAfter is how long a throttled tenant must wait for the next
-	// token; zero when Allowed.
+	// RetryAfter is how long a throttled tenant must wait for enough tokens;
+	// zero when Allowed.
 	RetryAfter time.Duration
 }
 
-// Allow spends one token from the tenant's bucket, creating a full bucket on
-// first sight. The default tenant "" has a bucket like any other.
+// Allow spends one token from the tenant's bucket — the unweighted admission
+// check every plain read uses.
 func (q *Quotas) Allow(tenant string) Decision {
+	return q.AllowN(tenant, DefaultCost)
+}
+
+// AllowN spends cost tokens from the tenant's bucket, creating a full bucket
+// on first sight. The default tenant "" has a bucket like any other. A cost
+// above the bucket capacity could never be admitted; it is capped at the
+// capacity so the class is expensive-but-possible (one full refill buys one).
+func (q *Quotas) AllowN(tenant string, cost float64) Decision {
+	if cost <= 0 {
+		cost = DefaultCost
+	}
+	if cost > q.burst {
+		cost = q.burst
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.now()
@@ -81,25 +120,27 @@ func (q *Quotas) Allow(tenant string) Decision {
 	}
 	b.requests++
 	d := Decision{Limit: int(q.burst)}
-	if b.tokens >= 1 {
-		b.tokens--
+	if b.tokens >= cost {
+		b.tokens -= cost
+		b.spent += cost
 		d.Allowed = true
 		d.Remaining = int(b.tokens)
 		return d
 	}
 	b.throttled++
-	d.RetryAfter = time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	d.RetryAfter = time.Duration((cost - b.tokens) / q.rate * float64(time.Second))
 	if d.RetryAfter < time.Millisecond {
 		d.RetryAfter = time.Millisecond
 	}
 	return d
 }
 
-// Counters renders per-tenant admission gauges for the metrics bridge.
+// Counters renders per-tenant admission gauges for the metrics bridge:
+// requests seen, requests throttled, and the weighted token spend.
 func (q *Quotas) Counters() map[string]float64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make(map[string]float64, 2*len(q.buckets)+2)
+	out := make(map[string]float64, 3*len(q.buckets)+2)
 	out["rate"] = q.rate
 	out["burst"] = q.burst
 	tenants := make([]string, 0, len(q.buckets))
@@ -115,6 +156,7 @@ func (q *Quotas) Counters() map[string]float64 {
 		b := q.buckets[t]
 		out["tenant."+name+".requests"] = float64(b.requests)
 		out["tenant."+name+".throttled"] = float64(b.throttled)
+		out["tenant."+name+".spent"] = b.spent
 	}
 	return out
 }

@@ -27,7 +27,6 @@ import (
 
 	"repro/internal/provenance"
 	"repro/internal/telemetry"
-	"repro/internal/workflow"
 )
 
 // maxPageLimit is the hard page-size ceiling of every paged endpoint.
@@ -161,7 +160,9 @@ func (s *Server) registerAPI() {
 		"/api/v1/archive/": s.requireGet(s.apiArchiveObject),
 		"/api/v1/quality":  s.requireGet(s.apiQuality),
 		"/api/v1/metrics":  s.requireGet(s.apiMetrics),
-		"/api/v1/workers":  s.requireGet(s.apiWorkers),
+		"/api/v1/workers":  s.requireGet(s.apiWorkers), // deprecated alias of /api/v1/cluster
+		"/api/v1/cluster":  s.requireGet(s.apiCluster),
+		"/api/v1/cluster/": s.requireGet(s.apiCluster),
 		"/api/v1/detect":   s.apiDetect,
 		"/api/v1/": func(w http.ResponseWriter, r *http.Request) {
 			writeAPIError(w, http.StatusNotFound, "not_found", "no such API resource: "+r.URL.Path)
@@ -421,12 +422,39 @@ func cursorPtr(n int) *int {
 
 // ---- detect ----
 
-// apiDetect (POST) triggers a detection run. The run traces from this
-// request's boundary span down; the response links to the persisted trace.
+// apiDetect (POST) triggers a detection run. With a scheduler attached the
+// default is asynchronous: the run is admitted to the durable queue and the
+// response is 202 Accepted with the run's URL — an orchestrator claims and
+// executes it, and the client polls /api/v1/runs/{id} until the status turns
+// terminal (admitted → claimed → running → completed|failed). ?wait=true
+// forces the old synchronous behaviour; without a scheduler every request is
+// synchronous. Synchronous runs trace from this request's boundary span
+// down; the response links to the persisted trace.
 func (s *Server) apiDetect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
+		return
+	}
+	if s.svc.AsyncDetect() && r.URL.Query().Get("wait") != "true" {
+		adm, err := s.svc.Admit(r.Context())
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		runURL := "/api/v1/runs/" + adm.RunID
+		w.Header().Set("Location", runURL)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, struct {
+			RunID  string            `json:"run_id"`
+			Status string            `json:"status"`
+			Links  map[string]string `json:"links"`
+		}{adm.RunID, "admitted", map[string]string{
+			"run":   runURL,
+			"owner": "/api/v1/cluster/runs/" + adm.RunID + "/owner",
+			"queue": "/api/v1/cluster/queues",
+		}})
 		return
 	}
 	// The run must survive a client disconnect: keep the request's tracer
@@ -661,37 +689,4 @@ func (s *Server) apiQuality(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) apiMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.svc.Metrics(timeNow()))
-}
-
-// apiWorkers serves the event engine's live worker-pool view: queue-depth and
-// in-flight gauges plus per-worker liveness, task counts, and kill marks —
-// and, since the cluster layer landed, the run-ownership leases: which
-// orchestrator holds which run, at which fencing token, until when. Unlike
-// most of the API this is not a snapshot of a finished run — it reads the
-// live registry, so a poll during an active run shows workers mid-task.
-func (s *Server) apiWorkers(w http.ResponseWriter, r *http.Request) {
-	workers, counters := s.svc.Workers()
-	if workers == nil {
-		workers = []workflow.WorkerInfo{}
-	}
-	type leaseJSON struct {
-		Resource string    `json:"resource"`
-		Holder   string    `json:"holder"`
-		Token    int64     `json:"token"`
-		Expires  time.Time `json:"expires"`
-		Live     bool      `json:"live"`
-	}
-	now := timeNow()
-	leases := []leaseJSON{}
-	for _, l := range s.svc.Leases() {
-		leases = append(leases, leaseJSON{
-			Resource: l.Resource, Holder: l.Holder, Token: l.Token,
-			Expires: l.Expires, Live: l.Live(now),
-		})
-	}
-	writeJSON(w, struct {
-		Counters map[string]float64    `json:"counters"`
-		Workers  []workflow.WorkerInfo `json:"workers"`
-		Leases   []leaseJSON           `json:"leases"`
-	}{counters, workers, leases})
 }

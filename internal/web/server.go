@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/curation"
 	"repro/internal/fnjv"
@@ -53,9 +54,26 @@ type System struct {
 	// Quotas, when set, rate-limits /api/v1 per tenant (X-Tenant header);
 	// nil disables admission control.
 	Quotas *shard.Quotas
+	// Scheduler, when set, is this process's member of the orchestrator pool:
+	// POST /api/v1/detect admits runs asynchronously (202 + run URL) instead
+	// of executing in-request, and the scheduler's claim/rescue counters show
+	// on /api/v1/metrics. Nil keeps the synchronous single-process behaviour.
+	Scheduler *cluster.Scheduler
 
 	mu          sync.Mutex
 	lastOutcome *core.DetectionOutcome
+}
+
+// RecordOutcome publishes a detection outcome produced outside the request
+// path — the scheduler draining admitted runs — so the quality and detect
+// views reflect it exactly as a synchronous run's outcome would.
+func (sys *System) RecordOutcome(out *core.DetectionOutcome) {
+	if out == nil {
+		return
+	}
+	sys.mu.Lock()
+	sys.lastOutcome = out
+	sys.mu.Unlock()
 }
 
 // NewServer builds the HTTP server.

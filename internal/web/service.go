@@ -73,6 +73,72 @@ func (v *Service) Leases() []cluster.Lease {
 	return leases
 }
 
+// Orchestrators lists the scheduler pool's membership rows — every
+// orchestrator that ever heartbeated, live or aged out — sorted by name.
+func (v *Service) Orchestrators(now time.Time) []cluster.Member {
+	if v.sys.Core.Leases == nil {
+		return nil
+	}
+	return v.sys.Core.Leases.Members(now)
+}
+
+// RunLeases lists the run-ownership leases (membership rows excluded),
+// sorted by resource.
+func (v *Service) RunLeases() []cluster.Lease {
+	if v.sys.Core.Leases == nil {
+		return nil
+	}
+	return v.sys.Core.Leases.RunLeases()
+}
+
+// RunOwner resolves one run's ownership lease. errNotFound when the run was
+// never claimed by any orchestrator.
+func (v *Service) RunOwner(runID string) (cluster.Lease, error) {
+	if v.sys.Core.Leases == nil {
+		return cluster.Lease{}, fmt.Errorf("%w: no lease store configured", errNotFound)
+	}
+	l, ok := v.sys.Core.Leases.Get(runID)
+	if !ok {
+		return cluster.Lease{}, fmt.Errorf("%w: run %q has no ownership lease", errNotFound, runID)
+	}
+	return l, nil
+}
+
+// AdmissionStats is the admission queue's live view: depth plus the queued
+// runs in FIFO order.
+type AdmissionStats struct {
+	Depth   int
+	Pending []workflow.Admission
+}
+
+// Admissions snapshots the durable admission queue. errNotFound on systems
+// opened without one.
+func (v *Service) Admissions() (AdmissionStats, error) {
+	q := v.sys.Core.Admissions
+	if q == nil {
+		return AdmissionStats{}, fmt.Errorf("%w: no admission queue configured", errNotFound)
+	}
+	pending, err := q.Pending()
+	if err != nil {
+		return AdmissionStats{}, err
+	}
+	return AdmissionStats{Depth: len(pending), Pending: pending}, nil
+}
+
+// AsyncDetect reports whether admitted runs will actually execute: a
+// scheduler member is running in this process and the admission queue
+// exists. Without it POST /api/v1/detect stays synchronous — admitting a run
+// nobody drains would accept work into a black hole.
+func (v *Service) AsyncDetect() bool {
+	return v.sys.Scheduler != nil && v.sys.Core.Admissions != nil
+}
+
+// Admit records the intent to run detection for the context's tenant and
+// returns the pre-minted run identity without executing anything.
+func (v *Service) Admit(ctx context.Context) (workflow.Admission, error) {
+	return v.sys.Core.AdmitDetection(core.RunOptions{Tenant: TenantFrom(ctx)})
+}
+
 // API reads run against immutable point-in-time snapshots
 // (provenance.Repository.View / telemetry.SpanStore.View): dashboard scans
 // never hold the storage read lock against a live run's provenance flushes,
@@ -351,7 +417,18 @@ func (v *Service) Metrics(at time.Time) []MetricsEntry {
 			"leases.max_token": float64(maxToken),
 		}
 	}
+	if sch := v.sys.Scheduler; sch != nil {
+		// Claim/complete/rescue/interrupted counts of this process's pool
+		// member.
+		subsystems["cluster-scheduler"] = sch.Counters()
+	}
+	if aq := v.sys.Core.Admissions; aq != nil {
+		subsystems["admission-queue"] = map[string]float64{
+			"admissions.depth": float64(aq.Depth()),
+		}
+	}
 	if q := v.sys.Quotas; q != nil {
+		// Includes the weighted per-tenant spend (tenant.<name>.spent).
 		subsystems["tenant-quotas"] = q.Counters()
 	}
 	if rr := v.sys.Resilient; rr != nil {
